@@ -1,0 +1,36 @@
+# Convenience targets for the GPU-ArraySort reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-claims report examples figures table1 clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-claims:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -s
+
+report:
+	$(PYTHON) -m repro report
+
+figures:
+	$(PYTHON) -m repro figures
+
+table1:
+	$(PYTHON) -m repro table1
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,106 @@
+"""Shared machinery for the Figs. 4-7 runtime-vs-N reproductions.
+
+Each figure is the same experiment at a different array size n: sweep the
+number of arrays N and compare GPU-ArraySort against STA.  The module
+provides:
+
+* :func:`wall_clock_sweep` — wall time of both vectorized implementations
+  at a scaled-down N sweep (same relative axis as the paper);
+* :func:`model_sweep` — the calibrated model at the paper's actual axis;
+* :func:`report_figure` — renders both, checks the paper's shape claims
+  (GPU-ArraySort wins everywhere; both curves near-linear in N), and
+  returns the assembled data for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.perfmodel import model_arraysort_ms, model_sta_ms
+from repro.analysis.reporting import ascii_plot, render_series
+from repro.baselines.sta import StaSorter
+from repro.core import GpuArraySort
+from repro.gpusim.device import K40C
+from repro.workloads import uniform_arrays
+
+#: Paper N axis divided by this for the wall-clock runs.
+WALL_DIVISOR = 100
+
+
+def paper_axis(n: int) -> List[int]:
+    points = [25_000, 50_000, 100_000, 150_000, 200_000]
+    return points[:-1] if n >= 4000 else points
+
+
+def wall_clock_sweep(n: int, seed: int = 0) -> Dict[str, List[float]]:
+    """Wall milliseconds for both techniques at N/WALL_DIVISOR."""
+    gas_sorter = GpuArraySort()
+    sta_sorter = StaSorter()
+    gas_ms, sta_ms = [], []
+    for N in paper_axis(n):
+        batch = uniform_arrays(N // WALL_DIVISOR, n, seed=seed + N)
+        t0 = time.perf_counter()
+        gas_sorter.sort(batch)
+        gas_ms.append((time.perf_counter() - t0) * 1e3)
+        t0 = time.perf_counter()
+        sta_sorter.sort(batch)
+        sta_ms.append((time.perf_counter() - t0) * 1e3)
+    return {"GPU-ArraySort": gas_ms, "STA": sta_ms}
+
+
+def model_sweep(n: int) -> Dict[str, List[float]]:
+    """Calibrated-model milliseconds at the paper's actual N axis."""
+    axis = paper_axis(n)
+    return {
+        "GPU-ArraySort": [model_arraysort_ms(K40C, N, n) for N in axis],
+        "STA": [model_sta_ms(K40C, N, n) for N in axis],
+    }
+
+
+def _linearity_r2(xs: List[int], ys: List[float]) -> float:
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    coeffs = np.polyfit(x, y, 1)
+    pred = np.polyval(coeffs, x)
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    return 1.0 - ss_res / ss_tot if ss_tot else 1.0
+
+
+def report_figure(fig_name: str, n: int) -> None:
+    """Print the figure reproduction and assert its shape claims."""
+    axis = paper_axis(n)
+    model = model_sweep(n)
+    wall = wall_clock_sweep(n)
+
+    print()
+    print(render_series(
+        "N", axis, model,
+        title=f"{fig_name} — modeled runtime vs N at paper scale (n={n})",
+    ))
+    print(render_series(
+        "N/100", [N // WALL_DIVISOR for N in axis], wall,
+        title=f"{fig_name} — wall-clock at N/100 (vectorized engines)",
+    ))
+    print(ascii_plot(axis, model, title=f"{fig_name} shape"))
+
+    # Claim 1: GPU-ArraySort wins at every point, in model and wall clock.
+    for impl_label, series in (("model", model), ("wall", wall)):
+        gas, sta = series["GPU-ArraySort"], series["STA"]
+        for i, N in enumerate(axis):
+            assert sta[i] > gas[i], (
+                f"{fig_name} {impl_label}: STA faster at N={N}?"
+            )
+
+    # Claim 2: near-linear growth in N for both curves (model scale).
+    for name, ys in model.items():
+        r2 = _linearity_r2(axis, ys)
+        assert r2 > 0.99, f"{fig_name}: {name} not linear in N (R^2={r2:.3f})"
+
+    # Claim 3: the win factor is in the band read off the paper's figures.
+    ratio = model["STA"][-1] / model["GPU-ArraySort"][-1]
+    assert 1.8 < ratio < 5.0, f"{fig_name}: win factor {ratio:.2f} out of band"
+    print(f"{fig_name}: win factor at max N = {ratio:.2f}x  (paper: ~2.5-4x)")

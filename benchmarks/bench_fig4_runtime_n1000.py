@@ -1,0 +1,29 @@
+"""Fig. 4 — runtime vs number of arrays, array size n = 1000.
+
+GPU-ArraySort vs STA; the paper shows GPU-ArraySort winning across the
+whole sweep (STA reaching ~8 s at N = 2*10^5, GPU-ArraySort ~2 s).
+"""
+
+from repro.baselines.sta import StaSorter
+from repro.core import GpuArraySort
+from repro.workloads import uniform_arrays
+
+from _runtime_common import report_figure
+
+N_ARRAY = 1000
+N_WALL = 2000  # 200k / 100
+
+
+class TestFig4:
+    def test_fig4_series_and_claims(self):
+        report_figure("Fig 4", N_ARRAY)
+
+    def test_wall_gpu_arraysort(self, benchmark):
+        batch = uniform_arrays(N_WALL, N_ARRAY, seed=4)
+        sorter = GpuArraySort()
+        benchmark(lambda: sorter.sort(batch))
+
+    def test_wall_sta(self, benchmark):
+        batch = uniform_arrays(N_WALL, N_ARRAY, seed=4)
+        sorter = StaSorter()
+        benchmark(lambda: sorter.sort(batch))

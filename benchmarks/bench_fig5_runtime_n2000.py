@@ -1,0 +1,25 @@
+"""Fig. 5 — runtime vs number of arrays, array size n = 2000."""
+
+from repro.baselines.sta import StaSorter
+from repro.core import GpuArraySort
+from repro.workloads import uniform_arrays
+
+from _runtime_common import report_figure
+
+N_ARRAY = 2000
+N_WALL = 1000
+
+
+class TestFig5:
+    def test_fig5_series_and_claims(self):
+        report_figure("Fig 5", N_ARRAY)
+
+    def test_wall_gpu_arraysort(self, benchmark):
+        batch = uniform_arrays(N_WALL, N_ARRAY, seed=5)
+        sorter = GpuArraySort()
+        benchmark(lambda: sorter.sort(batch))
+
+    def test_wall_sta(self, benchmark):
+        batch = uniform_arrays(N_WALL, N_ARRAY, seed=5)
+        sorter = StaSorter()
+        benchmark(lambda: sorter.sort(batch))

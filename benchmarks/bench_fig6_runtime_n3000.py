@@ -1,0 +1,25 @@
+"""Fig. 6 — runtime vs number of arrays, array size n = 3000."""
+
+from repro.baselines.sta import StaSorter
+from repro.core import GpuArraySort
+from repro.workloads import uniform_arrays
+
+from _runtime_common import report_figure
+
+N_ARRAY = 3000
+N_WALL = 700
+
+
+class TestFig6:
+    def test_fig6_series_and_claims(self):
+        report_figure("Fig 6", N_ARRAY)
+
+    def test_wall_gpu_arraysort(self, benchmark):
+        batch = uniform_arrays(N_WALL, N_ARRAY, seed=6)
+        sorter = GpuArraySort()
+        benchmark(lambda: sorter.sort(batch))
+
+    def test_wall_sta(self, benchmark):
+        batch = uniform_arrays(N_WALL, N_ARRAY, seed=6)
+        sorter = StaSorter()
+        benchmark(lambda: sorter.sort(batch))

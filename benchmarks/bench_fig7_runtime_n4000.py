@@ -1,0 +1,29 @@
+"""Fig. 7 — runtime vs number of arrays, array size n = 4000.
+
+The paper's N axis stops at 1.5*10^5 here (the biggest arrays); the
+common axis helper handles that.
+"""
+
+from repro.baselines.sta import StaSorter
+from repro.core import GpuArraySort
+from repro.workloads import uniform_arrays
+
+from _runtime_common import report_figure
+
+N_ARRAY = 4000
+N_WALL = 500
+
+
+class TestFig7:
+    def test_fig7_series_and_claims(self):
+        report_figure("Fig 7", N_ARRAY)
+
+    def test_wall_gpu_arraysort(self, benchmark):
+        batch = uniform_arrays(N_WALL, N_ARRAY, seed=7)
+        sorter = GpuArraySort()
+        benchmark(lambda: sorter.sort(batch))
+
+    def test_wall_sta(self, benchmark):
+        batch = uniform_arrays(N_WALL, N_ARRAY, seed=7)
+        sorter = StaSorter()
+        benchmark(lambda: sorter.sort(batch))

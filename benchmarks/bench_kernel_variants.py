@@ -1,0 +1,64 @@
+"""Kernel-variant study (ours): measuring §5.1's rejected strategies.
+
+The paper rejected cooperative phase-1 sorting ("overheads were too
+large") and used a serial count scan in phase 2.  Both alternatives are
+implemented in ``repro.core.kernels_optimized``; this bench runs the
+baseline and optimized pipelines on identical data on the simulator and
+reports per-phase modeled times, sync counts, and divergence — the
+evidence behind (or against) the paper's engineering calls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.kernels import run_arraysort_on_device
+from repro.core.kernels_optimized import run_arraysort_optimized
+from repro.gpusim import GpuDevice
+from repro.workloads import uniform_arrays
+
+
+class TestKernelVariants:
+    def test_variant_comparison_table(self):
+        gpu = GpuDevice.micro()
+        batch = uniform_arrays(4, 120, seed=21)
+        base_out, base = run_arraysort_on_device(gpu, batch)
+        opt_out, opt = run_arraysort_optimized(gpu, batch)
+        assert np.array_equal(base_out, opt_out)
+
+        rows = []
+        for pipeline, label in ((base, "paper (serial p1/scan)"),
+                                (opt, "optimized (parallel)")):
+            for launch in pipeline.launches:
+                syncs = sum(w.syncs for w in launch.warp_stats)
+                rows.append([
+                    label, launch.kernel_name,
+                    f"{launch.milliseconds:.4f}",
+                    syncs,
+                    f"{launch.divergence_fraction:.2f}",
+                ])
+        print()
+        print(render_table(
+            ["variant", "kernel", "modeled ms", "syncs", "divergence"],
+            rows,
+            title="Kernel-variant study (micro device, 4 x 120)",
+        ))
+
+    def test_phase1_barrier_count_scales_with_sample(self):
+        gpu = GpuDevice.micro()
+        small = uniform_arrays(2, 60, seed=2)
+        large = uniform_arrays(2, 200, seed=2)
+        _, opt_small = run_arraysort_optimized(gpu, small)
+        _, opt_large = run_arraysort_optimized(gpu, large)
+        syncs_small = sum(w.syncs for w in opt_small.launches[0].warp_stats)
+        syncs_large = sum(w.syncs for w in opt_large.launches[0].warp_stats)
+        # odd-even rounds == sample size -> barrier count grows with n.
+        assert syncs_large > syncs_small
+
+    @pytest.mark.parametrize("variant", ["baseline", "optimized"])
+    def test_wall_pipeline(self, benchmark, variant):
+        gpu = GpuDevice.micro()
+        batch = uniform_arrays(2, 80, seed=22)
+        runner = (run_arraysort_on_device if variant == "baseline"
+                  else run_arraysort_optimized)
+        benchmark(lambda: runner(gpu, batch))

@@ -1,0 +1,83 @@
+"""Microbenchmarks of the substrates (not a paper artifact).
+
+Wall-clock performance of the building blocks, so regressions in the
+substrates show up separately from the figure-level numbers:
+
+* the three vectorized phases in isolation,
+* the LSD radix sort at several digit widths,
+* the segmented-sort comparator,
+* the lock-step simulator's kernel throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.radix import radix_sort_by_key
+from repro.baselines.segmented import segmented_sort
+from repro.core.bucketing import bucketize
+from repro.core.insertion import sort_buckets
+from repro.core.splitters import select_splitters
+from repro.gpusim import GpuDevice
+from repro.workloads import uniform_arrays
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return uniform_arrays(2000, 1000, seed=123)
+
+
+class TestPhaseMicrobench:
+    def test_phase1_splitters(self, benchmark, batch):
+        benchmark(lambda: select_splitters(batch))
+
+    def test_phase2_bucketing(self, benchmark, batch):
+        spl = select_splitters(batch)
+        benchmark(lambda: bucketize(batch.copy(), spl.splitters))
+
+    def test_phase3_bucket_sort(self, benchmark, batch):
+        spl = select_splitters(batch)
+        res = bucketize(batch.copy(), spl.splitters)
+        benchmark(lambda: sort_buckets(res.bucketed.copy(), res.offsets))
+
+
+class TestRadixMicrobench:
+    @pytest.mark.parametrize("digit_bits", [4, 8, 16])
+    def test_radix_digit_width(self, benchmark, digit_bits):
+        keys = uniform_arrays(1, 500_000, seed=5).ravel()
+        tags = np.arange(keys.size, dtype=np.int32)
+        benchmark(lambda: radix_sort_by_key(keys, tags, digit_bits=digit_bits))
+
+
+class TestComparators:
+    def test_segmented_sort(self, benchmark, batch):
+        benchmark(lambda: segmented_sort(batch))
+
+    def test_numpy_oracle(self, benchmark, batch):
+        benchmark(lambda: np.sort(batch, axis=1))
+
+
+class TestSimulatorThroughput:
+    def test_lockstep_kernel_throughput(self, benchmark):
+        """Events-per-second of the lock-step interpreter."""
+        gpu = GpuDevice.micro()
+        data = gpu.memory.alloc_like(
+            np.arange(32 * 8, dtype=np.float32)
+        )
+        out = gpu.memory.alloc(32 * 8, np.float32)
+
+        def saxpy_kernel(ctx, shared, src, dst):
+            tid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+            x = yield ctx.gload(src, tid)
+            yield ctx.alu(2)
+            yield ctx.gstore(dst, tid, 2.0 * x + 1.0)
+
+        benchmark(lambda: gpu.launch(saxpy_kernel, grid=8, block=32,
+                                     args=(data, out)))
+
+    def test_sim_engine_small_sort(self, benchmark):
+        from repro.core import GpuArraySort
+
+        gpu = GpuDevice.micro()
+        small = uniform_arrays(2, 80, seed=3)
+        sorter = GpuArraySort(engine="sim", device=gpu)
+        benchmark(lambda: sorter.sort(small))

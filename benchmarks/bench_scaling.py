@@ -1,0 +1,108 @@
+"""Device-scaling study (ours): the paper's scalability claim, quantified.
+
+Not a paper artifact — the paper asserts scalability qualitatively
+("highly scalable", blocks in parallel); these benches turn it into
+checkable predictions of the calibrated model:
+
+* strong scaling with SM count until bandwidth saturates,
+* K40c vs C2050 generation gap,
+* the residency knee: time is flat until N exceeds the number of
+  concurrently resident blocks, then grows linearly in waves.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_series, render_table
+from repro.analysis.scaling import (
+    device_comparison,
+    residency_knee,
+    sm_scaling_curve,
+)
+from repro.core import GpuArraySort
+from repro.workloads import uniform_arrays
+
+SM_COUNTS = [1, 2, 4, 8, 15, 30, 60]
+
+
+class TestSmScaling:
+    def test_strong_scaling_curve(self):
+        points = sm_scaling_curve(SM_COUNTS)
+        print()
+        print(render_table(
+            ["SMs", "modeled_ms", "speedup", "ideal"],
+            [[p.sm_count, f"{p.modeled_ms:.0f}", f"{p.speedup:.2f}x",
+              f"{p.sm_count / SM_COUNTS[0]:.0f}x"] for p in points],
+            title="Strong scaling with SM count (N=200k, n=1000)",
+        ))
+        # Monotone improvement...
+        times = [p.modeled_ms for p in points]
+        assert all(b <= a for a, b in zip(times, times[1:]))
+        # ...near-ideal at low counts...
+        assert points[1].speedup > 1.8
+        # ...sublinear by 60 SMs (fixed bandwidth saturates).
+        assert points[-1].speedup < 60
+
+
+class TestDeviceComparison:
+    def test_generation_gap(self):
+        rows = device_comparison()
+        print()
+        print(render_table(
+            ["device", "phase1", "phase2", "phase3", "total"],
+            [[name, f"{r['phase1']:.0f}", f"{r['phase2']:.0f}",
+              f"{r['phase3']:.0f}", f"{r['total']:.0f}"]
+             for name, r in rows.items()],
+            title="Catalog comparison (modeled ms, N=200k, n=1000)",
+        ))
+        assert rows["Tesla K40c"]["total"] < rows["Tesla C2050"]["total"]
+        # The gap is damped well below the raw core-count ratio (6.4x):
+        # the model is residency/latency-bound and the C2050's higher
+        # clock (1150 vs 745 MHz) claws back ground.  Expect 1.2-8x.
+        ratio = rows["Tesla C2050"]["total"] / rows["Tesla K40c"]["total"]
+        assert 1.2 < ratio < 8.0
+
+
+class TestResidencyKnee:
+    def test_flat_below_knee_linear_above(self):
+        result = residency_knee()
+        knee = result["knee_arrays"]
+        times = result["times_at_multiples"]
+        print()
+        print(render_series(
+            "multiple-of-knee", list(times.keys()),
+            {"modeled_ms": list(times.values())},
+            title=f"Residency knee at N = {knee} arrays",
+        ))
+        # Below the knee: same single wave, same time.
+        assert times[0.25] == pytest.approx(times[1.0], rel=0.01)
+        # Above: doubling waves ~doubles time.
+        assert times[4.0] == pytest.approx(2 * times[2.0], rel=0.05)
+        assert times[8.0] == pytest.approx(4 * times[2.0], rel=0.05)
+
+    def test_knee_matches_simulator_occupancy(self):
+        """The analytic knee must agree with the lock-step simulator's
+        occupancy calculation for the same launch shape."""
+        import numpy as np
+
+        from repro.core.config import SortConfig
+        from repro.gpusim import GpuDevice
+        from repro.gpusim.grid import LaunchConfig
+        from repro.gpusim.occupancy import compute_occupancy
+
+        config = SortConfig()
+        n = 1000
+        p = config.num_buckets(n)
+        smem = (p + 1) * 8 + 2 * p * 4
+        occ = compute_occupancy(
+            GpuDevice.k40c().spec, LaunchConfig.create(1, p, smem)
+        )
+        knee = residency_knee(n=n)["knee_arrays"]
+        assert knee == occ.concurrent_blocks
+
+
+class TestWallScaling:
+    @pytest.mark.parametrize("rows", [500, 1000, 2000])
+    def test_wall_scaling_in_batch_size(self, benchmark, rows):
+        batch = uniform_arrays(rows, 500, seed=8)
+        sorter = GpuArraySort()
+        benchmark(lambda: sorter.sort(batch))

@@ -1,0 +1,58 @@
+"""Streaming-ingestion bench (ours): batch size vs throughput.
+
+The streaming sorter trades latency (waiting to fill a batch) against
+device efficiency (bigger launches amortize waves better).  This bench
+sweeps the batch size and reports wall throughput and modeled device
+throughput, plus the end-to-end correctness check.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import render_series
+from repro.core import StreamingSorter
+from repro.workloads import uniform_arrays
+
+ARRAY_SIZE = 500
+TOTAL = 4000
+BATCH_SIZES = [64, 256, 1024, 4000]
+
+
+class TestStreamingThroughput:
+    def test_batch_size_sweep(self):
+        data = uniform_arrays(TOTAL, ARRAY_SIZE, seed=17)
+        wall_tp, model_tp = [], []
+        for batch_arrays in BATCH_SIZES:
+            sorter = StreamingSorter(ARRAY_SIZE, batch_arrays=batch_arrays)
+            t0 = time.perf_counter()
+            sorter.push_slab(data)
+            sorter.flush()
+            wall = time.perf_counter() - t0
+            wall_tp.append(TOTAL / wall)
+            model_tp.append(sorter.stats.modeled_throughput_arrays_per_s)
+            assert np.array_equal(
+                np.vstack(sorter.results), np.sort(data, axis=1)
+            )
+        print()
+        print(render_series(
+            "batch_arrays", BATCH_SIZES,
+            {"wall_arrays_per_s": wall_tp, "modeled_arrays_per_s": model_tp},
+            title=f"Streaming throughput, {TOTAL} arrays x {ARRAY_SIZE}",
+        ))
+        # Modeled device throughput must improve (or hold) with batch
+        # size: bigger launches fill more residency waves.
+        assert model_tp[-1] >= model_tp[0] * 0.9
+
+    @pytest.mark.parametrize("batch_arrays", [256, 2048])
+    def test_wall_streaming(self, benchmark, batch_arrays):
+        data = uniform_arrays(2000, ARRAY_SIZE, seed=18)
+
+        def run():
+            sorter = StreamingSorter(ARRAY_SIZE, batch_arrays=batch_arrays)
+            sorter.push_slab(data)
+            sorter.flush()
+            return sorter
+
+        benchmark(run)

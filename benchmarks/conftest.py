@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artifact gets its own module:
+
+====================  =======================================to==========
+bench_fig2_complexity  Fig. 2 — time vs array size + theory overlay
+bench_fig4..7_runtime  Figs. 4-7 — time vs N, GPU-ArraySort vs STA
+bench_table1_capacity  Table 1 — max arrays per technique
+bench_ablations        our design-choice sweeps (bucket size, sampling
+                       rate, presort redundancy, out-of-core overlap)
+bench_micro            substrate microbenchmarks (radix, phases, kernels)
+====================  ==================================================
+
+Wall-clock benchmarking (pytest-benchmark) runs the *vectorized* engines
+at a scaled-down N (the full paper points are 2*10^8 elements); the
+paper-scale series are produced by the calibrated model and printed next
+to the paper's approximate values, which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+#: Scale factor between the paper's N axis and the wall-clock N used in
+#: pytest-benchmark runs (keeps each measurement well under a second).
+WALL_SCALE = 100
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20160815)  # the TR's publication date
+
+
+def paper_n_axis(n: int) -> list:
+    """The N sweep used in the paper's figures (Fig. 7 stops at 150k)."""
+    points = [25_000, 50_000, 100_000, 150_000, 200_000]
+    return points[:-1] if n == 4000 else points

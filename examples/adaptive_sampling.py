@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Adaptive sampling: the paper's Section 9 multi-sampling plan, working.
+
+The published algorithm uses 10 % *regular* sampling, tuned for the
+uniformly distributed evaluation data.  Section 9 promises "multiple
+sampling techniques in accordance with the distribution of the dataset".
+This example runs that extension:
+
+1. probes three datasets (uniform / clustered / duplicate-heavy) with
+   the cheap skew probe,
+2. shows which sampling strategy the probe selects,
+3. measures what each strategy does to bucket balance — the quantity
+   phase 3's load balance (and hence the algorithm's scalability claim)
+   rides on,
+4. sorts through the auto-adaptive sampler end to end.
+
+Run:  python examples/adaptive_sampling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import bucket_balance
+from repro.core import GpuArraySort
+from repro.core.adaptive import (
+    SAMPLING_STRATEGIES,
+    AdaptiveSampler,
+    probe_skew,
+    select_splitters_adaptive,
+)
+from repro.core.bucketing import bucketize
+from repro.workloads import (
+    clustered_arrays,
+    duplicate_heavy_arrays,
+    uniform_arrays,
+)
+
+
+def balance_for(batch: np.ndarray, strategy: str) -> float:
+    spl = select_splitters_adaptive(batch, strategy=strategy, seed=7)
+    res = bucketize(batch.copy(), spl.splitters)
+    return bucket_balance(res.sizes).std
+
+
+def main() -> None:
+    datasets = {
+        "uniform (paper's eval data)": uniform_arrays(60, 1000, seed=5),
+        "clustered (3 tight modes)": clustered_arrays(
+            60, 1000, num_clusters=3, seed=5
+        ),
+        "duplicate-heavy (6 values)": duplicate_heavy_arrays(
+            60, 1000, distinct_values=6, seed=5
+        ),
+    }
+
+    print("Skew probe and strategy choice:")
+    sampler = AdaptiveSampler("auto", seed=7)
+    for name, batch in datasets.items():
+        probe = probe_skew(batch, seed=7)
+        choice = sampler.resolve_strategy(batch)
+        print(f"  {name:<30} dup={probe.duplicate_mass:.2f} "
+              f"gapCV={probe.gap_dispersion:5.2f}  -> {choice}")
+
+    print("\nBucket-size std per strategy (lower = better phase-3 balance):")
+    header = f"  {'dataset':<30}" + "".join(f"{s:>12}" for s in SAMPLING_STRATEGIES)
+    print(header)
+    for name, batch in datasets.items():
+        row = f"  {name:<30}"
+        for strategy in SAMPLING_STRATEGIES:
+            row += f"{balance_for(batch, strategy):12.1f}"
+        print(row)
+
+    print("\nEnd-to-end sort through the auto sampler (verified):")
+    for name, batch in datasets.items():
+        sorter = GpuArraySort(sampler=sampler, verify=True)
+        result = sorter.sort(batch)
+        assert np.array_equal(result.batch, np.sort(batch, axis=1))
+        print(f"  {name:<30} OK "
+              f"({result.total_seconds * 1e3:.0f} ms, "
+              f"max bucket {result.buckets.max_bucket_size()})")
+
+    print("\nNote the duplicate-heavy row: no splitter set can balance 6")
+    print("distinct values across 50 buckets — the probe correctly keeps")
+    print("the cheap regular sampling there instead of paying for more.")
+
+
+if __name__ == "__main__":
+    main()

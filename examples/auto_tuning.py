@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Auto-tuning: let the model pick the paper's constants for you.
+
+The paper fixed bucket size 20 and 10 % sampling by manual experiments
+on one GPU.  ``repro.core.tune_config`` redoes that search per (device,
+array size, pilot data):
+
+1. sweeps bucket sizes through the calibrated cost model (no sorting),
+2. refines the sampling rate against a pilot batch's bucket balance,
+3. hands back a ready SortConfig — compared here against the paper's
+   defaults on several devices and distributions.
+
+Run:  python examples/auto_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GpuArraySort, tune_config
+from repro.gpusim.device import C2050, K40C, P100
+from repro.workloads import clustered_arrays, uniform_arrays
+
+
+def main() -> None:
+    n = 1000
+    print(f"Tuning for arrays of n = {n} elements\n")
+
+    print(f"{'device':<14}{'best bucket':>12}{'modeled ms (N=100k)':>22}"
+          f"{'paper default ms':>18}")
+    for device in (K40C, C2050, P100):
+        result = tune_config(n, device=device)
+        paper_ms = next(
+            ms for bucket, ms in result.candidates if bucket == 20
+        ) if any(b == 20 for b, _ in result.candidates) else float("nan")
+        print(f"{device.name:<14}{result.bucket_size:>12}"
+              f"{result.modeled_ms:>22.0f}{paper_ms:>18.0f}")
+
+    print("\nSampling-rate refinement against pilot data (K40c, bucket 20):")
+    pilots = {
+        "uniform (paper's data)": uniform_arrays(60, n, seed=1),
+        "clustered": clustered_arrays(60, n, seed=1),
+    }
+    for name, pilot in pilots.items():
+        result = tune_config(n, pilot=pilot, bucket_candidates=(20,))
+        print(f"  {name:<24} -> sampling rate "
+              f"{result.config.sampling_rate:.0%} "
+              f"(paper used 10% on uniform data)")
+
+    # Use the tuned config end to end.
+    batch = uniform_arrays(5000, n, seed=7)
+    tuned = tune_config(n, pilot=batch[:100], bucket_candidates=(20,)).config
+    result = GpuArraySort(tuned, verify=True).sort(batch)
+    assert np.all(np.diff(result.batch, axis=1) >= 0)
+    print(f"\nSorted {batch.shape[0]} arrays with the tuned config "
+          f"(bucket={tuned.bucket_size}, rate={tuned.sampling_rate:.0%}): "
+          f"{result.total_seconds * 1e3:.0f} ms, verified.")
+
+
+if __name__ == "__main__":
+    main()

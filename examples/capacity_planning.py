@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Capacity planning: how many arrays fit on your GPU? (Table 1 scenario)
+
+The paper's Table 1 answers "how many arrays of size n can each
+technique sort before running out of device memory?".  This example
+turns that into a planning tool:
+
+1. prints the Table 1 reproduction (paper vs analytic vs measured),
+2. answers an arbitrary planning query (device, n, technique),
+3. shows what happens at the boundary: the exact allocation sequence
+   succeeding at capacity and OOM-ing one step beyond.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.memory_model import (
+    arraysort_bytes_per_array,
+    capacity_analytic,
+    measure_capacity,
+    sta_bytes_per_array,
+    table1_rows,
+)
+from repro.analysis.reporting import render_table
+from repro.gpusim.device import DEVICE_CATALOG, K40C
+from repro.gpusim.errors import DeviceOutOfMemoryError
+from repro.gpusim.executor import GpuDevice
+
+
+def print_table1() -> None:
+    rows = table1_rows(measure=True)
+    print(render_table(
+        ["n", "paper GAS", "model GAS", "paper STA", "model STA", "advantage"],
+        [[r.array_size, r.paper_arraysort, r.model_arraysort,
+          r.paper_sta, r.model_sta, f"{r.model_advantage:.2f}x"]
+         for r in rows],
+        title="Table 1 reproduction — Tesla K40c, 11520 MB",
+    ))
+    print()
+
+
+def plan(device_key: str, n: int) -> None:
+    spec = DEVICE_CATALOG[device_key]
+    gas_cap = capacity_analytic(n, arraysort_bytes_per_array(n), spec)
+    sta_cap = capacity_analytic(n, sta_bytes_per_array(n), spec)
+    print(f"Planning for {spec.name} "
+          f"({spec.usable_global_mem_bytes / 1e9:.1f} GB usable), n={n}:")
+    print(f"  GPU-ArraySort : up to {gas_cap:>12,} arrays "
+          f"({gas_cap * n / 1e9:.2f} G elements)")
+    print(f"  STA (tagged)  : up to {sta_cap:>12,} arrays "
+          f"({sta_cap * n / 1e9:.2f} G elements)")
+    print(f"  -> in-place advantage: {gas_cap / max(1, sta_cap):.2f}x\n")
+
+
+def boundary_demo() -> None:
+    """Watch the OOM boundary with a real (simulated) allocator."""
+    n = 1000
+    cap = measure_capacity("arraysort", n)
+    print(f"Empirical K40c capacity for GPU-ArraySort at n={n}: {cap:,} arrays")
+
+    from repro.analysis.memory_model import _alloc_arraysort
+    from repro.core.config import DEFAULT_CONFIG
+
+    device = GpuDevice(K40C)
+    allocs = _alloc_arraysort(device, cap, n, DEFAULT_CONFIG)
+    print(f"  allocating at capacity: OK "
+          f"({device.memory.stats.allocated_bytes / 1e9:.2f} GB committed)")
+    for a in allocs:
+        device.memory.free(a)
+
+    try:
+        _alloc_arraysort(GpuDevice(K40C), cap + 10_000, n, DEFAULT_CONFIG)
+    except DeviceOutOfMemoryError as exc:
+        print(f"  +10k arrays: {exc}")
+
+
+def main() -> None:
+    print_table1()
+    plan("k40c", 1000)
+    plan("k40c", 4000)
+    plan("c2050", 1000)  # the Fermi-generation card for contrast
+    boundary_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Profile the three GPU-ArraySort kernels on the simulated device.
+
+Runs the actual per-thread kernels (Algorithms 1-3 of the paper) on the
+lock-step SIMT simulator and prints the hardware behaviour the paper's
+Section 3 design rules are about:
+
+* memory-coalescing efficiency of each kernel's global accesses,
+* warp branch-divergence fractions (the sentinel-splitter trick),
+* shared- vs global-memory traffic,
+* occupancy and modeled milliseconds per phase.
+
+Also demonstrates a *bad* kernel (strided accesses, divergent branches)
+next to a good one, quantifying Sections 3.1-3.2 directly.
+
+Run:  python examples/device_profiling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GpuArraySort
+from repro.gpusim import GpuDevice
+from repro.workloads import uniform_arrays
+
+
+def profile_arraysort() -> None:
+    gpu = GpuDevice.micro()
+    batch = uniform_arrays(6, 128, seed=1)
+    print(f"Running GPU-ArraySort (sim engine) on {batch.shape} "
+          f"using device '{gpu.spec.name}'...\n")
+    result = GpuArraySort(engine="sim", device=gpu, verify=True).sort(batch)
+
+    header = (f"{'kernel':<28}{'ms':>8}{'coalesce':>10}"
+              f"{'diverge':>9}{'smem':>8}{'gmem_tx':>9}{'waves':>7}")
+    print(header)
+    print("-" * len(header))
+    for launch in result.reports.launches:
+        print(f"{launch.kernel_name:<28}"
+              f"{launch.milliseconds:>8.3f}"
+              f"{launch.coalescing_efficiency:>10.2f}"
+              f"{launch.divergence_fraction:>9.2f}"
+              f"{launch.total_shared_accesses:>8}"
+              f"{launch.total_global_transactions:>9}"
+              f"{launch.timing.waves:>7}")
+    print(f"\npipeline total: {result.reports.milliseconds:.3f} modeled ms")
+    print(f"device peak memory: {gpu.memory.stats.peak_bytes} bytes "
+          f"(payload: {batch.nbytes} bytes -> in-place, ~1x)\n")
+
+
+def good_vs_bad_kernel() -> None:
+    """Sections 3.1-3.2 quantified: coalescing and divergence matter."""
+    gpu = GpuDevice.micro()
+    n = 1024
+    data = gpu.memory.alloc_like(np.arange(n, dtype=np.float32))
+    out = gpu.memory.alloc(n, np.float32)
+
+    def coalesced_uniform(ctx, shared, src, dst):
+        tid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+        x = yield ctx.gload(src, tid)
+        yield ctx.alu(1)
+        yield ctx.gstore(dst, tid, x + 1.0)
+
+    def strided_divergent(ctx, shared, src, dst):
+        tid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+        lane = ctx.thread_idx.x
+        # 128-byte stride: every lane its own transaction (Section 3.1).
+        x = yield ctx.gload(src, (tid * 32) % n)
+        # Odd/even lanes take different paths (Section 3.2).
+        if lane % 2 == 0:
+            yield ctx.alu(4)
+        else:
+            x = yield ctx.gload(src, (tid * 32 + 1) % n)
+        yield ctx.gstore(dst, tid, x + 1.0)
+
+    rep_good = gpu.launch(coalesced_uniform, grid=4, block=64, args=(data, out))
+    rep_bad = gpu.launch(strided_divergent, grid=4, block=64, args=(data, out))
+
+    print("Design-rule demo (same work, different memory/branch habits):")
+    for name, rep in (("coalesced+uniform", rep_good),
+                      ("strided+divergent", rep_bad)):
+        print(f"  {name:<20} {rep.milliseconds:8.4f} ms   "
+              f"coalescing={rep.coalescing_efficiency:.2f}  "
+              f"divergence={rep.divergence_fraction:.2f}  "
+              f"transactions={rep.total_global_transactions}")
+    slowdown = rep_bad.milliseconds / rep_good.milliseconds
+    print(f"  -> the careless kernel is {slowdown:.1f}x slower on the "
+          "same data\n")
+
+
+def main() -> None:
+    profile_arraysort()
+    good_vs_bad_kernel()
+
+
+if __name__ == "__main__":
+    main()

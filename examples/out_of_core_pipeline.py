@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Out-of-core sorting: datasets bigger than device memory (paper §9).
+
+The paper's future-work section promises an out-of-core array sorter
+that "hides data transfer latencies in runtime".  This example drives
+the implemented extension:
+
+1. plans device-sized chunks for a host batch that exceeds the (scaled)
+   device's global memory,
+2. sorts it chunk by chunk,
+3. compares the modeled timeline with and without transfer/compute
+   overlap, showing the latency hiding the paper aimed for.
+
+A scaled-down device spec keeps the demo fast; swap in
+``repro.gpusim.device.K40C`` and millions of arrays for the real thing.
+
+Run:  python examples/out_of_core_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import OutOfCoreSorter, plan_chunks
+from repro.gpusim.device import DeviceSpec
+from repro.workloads import uniform_arrays
+
+
+def main() -> None:
+    # A device with ~8 MB of usable memory: big enough to be honest,
+    # small enough that a 40 MB host batch needs many chunks.
+    device = DeviceSpec(
+        name="demo-gpu",
+        sm_count=8,
+        cores_per_sm=64,
+        global_mem_bytes=8 * 1024 * 1024,
+        shared_mem_per_block=48 * 1024,
+        usable_mem_fraction=1.0,
+    )
+
+    num_arrays, array_size = 10_000, 1000  # 40 MB of float32
+    batch = uniform_arrays(num_arrays, array_size, seed=99)
+    print(f"Host batch: {num_arrays} x {array_size} floats "
+          f"({batch.nbytes / 1e6:.0f} MB); device holds "
+          f"{device.usable_global_mem_bytes / 1e6:.0f} MB")
+
+    plan = plan_chunks(num_arrays, array_size, device=device)
+    print(f"Chunk plan: {plan.num_chunks} chunks of "
+          f"{plan.arrays_per_chunk} arrays "
+          f"({plan.chunk_bytes / 1e6:.1f} MB each, double-buffered)\n")
+
+    # Two transfer regimes over the SAME chunk plan:
+    #  - pinned PCIe 3.0 (12 GB/s): compute-bound, little to hide;
+    #  - a constrained link (0.05 GB/s, e.g. remote/virtualized GPU):
+    #    transfer-bound, where Section 9's latency hiding pays off.
+    for label, gbps in (("pinned PCIe 3.0 (12 GB/s)", 12.0),
+                        ("constrained link (0.05 GB/s)", 0.05)):
+        res = OutOfCoreSorter(device=device, overlap=True, pcie_gbps=gbps).sort(batch)
+        assert np.array_equal(res.batch, np.sort(batch, axis=1))
+
+        up = sum(res.per_chunk["upload_ms"])
+        comp = sum(res.per_chunk["compute_ms"])
+        down = sum(res.per_chunk["download_ms"])
+        print(f"--- {label} ---")
+        print(f"  stage totals: H2D {up:.1f} ms | compute {comp:.1f} ms | "
+              f"D2H {down:.1f} ms")
+        print(f"  serialized timeline  : {res.modeled_ms_no_overlap:8.2f} ms")
+        print(f"  dual-buffer overlap  : {res.modeled_ms:8.2f} ms")
+        print(f"  latency hidden       : {res.overlap_speedup:.2f}x speedup\n")
+
+    print("Verified: out-of-core results match the np.sort oracle.")
+    print("Takeaway: overlap approaches max(transfer, compute) — exactly the")
+    print("'hides data transfer latencies in runtime' behaviour of paper §9.")
+
+
+if __name__ == "__main__":
+    main()

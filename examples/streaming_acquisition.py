@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Streaming acquisition: sorting spectra as the instrument produces them.
+
+Paper Section 8: "modern scientific equipment is capable of generating
+GBs of data per second" — in production, spectra arrive as a stream.
+This example drives :class:`repro.core.StreamingSorter` like an
+acquisition loop would:
+
+1. an "instrument" emits spectra in bursts of varying size,
+2. the sorter accumulates them into device-sized batches, sorts each,
+   and hands the sorted batch to a downstream consumer (here: a running
+   top-K reducer),
+3. at end of run, throughput accounting answers the adoption question:
+   does the (modeled) device keep up with the instrument?
+
+Run:  python examples/streaming_acquisition.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import StreamingSorter
+from repro.gpusim.device import K40C
+from repro.workloads import generate_spectra
+
+
+def main() -> None:
+    peaks = 1000
+    keep = 100
+    rng = np.random.default_rng(2016)
+
+    # Downstream consumer: accumulate each batch's top-K peak intensities.
+    reduced_batches = []
+
+    def consume(sorted_batch: np.ndarray) -> None:
+        reduced_batches.append(sorted_batch[:, -keep:])
+
+    sorter = StreamingSorter(
+        peaks, device=K40C, batch_arrays=2048, on_batch=consume
+    )
+    print(f"Session: spectra of {peaks} peaks, batch = "
+          f"{sorter.batch_arrays} spectra, keep top {keep} peaks/spectrum\n")
+
+    # The "instrument": 12 acquisition bursts of 300-900 spectra each.
+    total_emitted = 0
+    for burst_idx in range(12):
+        burst_size = int(rng.integers(300, 900))
+        burst = generate_spectra(burst_size, peaks, seed=burst_idx).intensity
+        batches = sorter.push_slab(burst)
+        total_emitted += burst_size
+        print(f"  burst {burst_idx:2d}: +{burst_size:4d} spectra "
+              f"-> {batches} batch(es) sorted, "
+              f"{sorter.stats.arrays_pending:4d} pending")
+    sorter.flush()
+
+    s = sorter.stats
+    print(f"\nSession totals: {s.arrays_in} spectra in, "
+          f"{s.batches_out} batches sorted, {s.arrays_out} spectra out")
+    print(f"  host wall time sorting : {s.wall_seconds_sorting:.2f} s")
+    print(f"  modeled K40c time      : {s.modeled_device_ms / 1e3:.2f} s")
+    print(f"  modeled throughput     : "
+          f"{s.modeled_throughput_arrays_per_s:,.0f} spectra/s")
+
+    data_rate = s.arrays_in * peaks * 4 / (s.modeled_device_ms / 1e3) / 1e9
+    print(f"  sustained data rate    : {data_rate:.2f} GB/s sorted "
+          "(vs the paper's 'GBs of data per second' instruments)")
+
+    reduced = np.vstack(reduced_batches)
+    assert reduced.shape == (total_emitted, keep)
+    assert np.all(np.diff(reduced, axis=1) >= 0)
+    print(f"\nDownstream consumer holds {reduced.shape[0]} x {keep} "
+          "top-intensity matrices — pipeline verified end to end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so the
+PEP 517 editable-install path (which builds a wheel) is unavailable.  This
+shim lets ``pip install -e . --no-use-pep517`` (or plain ``pip install -e .``
+with pip configured for legacy installs) fall back to ``setup.py develop``.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""GPU-ArraySort reproduction library.
+
+Reproduces Awan & Saeed, *GPU-ArraySort: A Parallel, In-Place Algorithm
+for Sorting Large Number of Arrays* (2016), including:
+
+* :mod:`repro.core` — the three-phase GPU-ArraySort algorithm;
+* :mod:`repro.gpusim` — the SIMT GPU simulator standing in for the paper's
+  Tesla K40c (see DESIGN.md for the substitution rationale);
+* :mod:`repro.baselines` — the STA (tagged Thrust-style) baseline and
+  friends;
+* :mod:`repro.workloads` — dataset generators, incl. synthetic
+  mass-spectrometry spectra;
+* :mod:`repro.analysis` — complexity/memory/performance models behind the
+  paper's figures and Table 1.
+
+Quickstart::
+
+    import numpy as np
+    from repro import sort_arrays
+
+    batch = np.random.default_rng(0).uniform(0, 2**31 - 1, (1000, 500))
+    sorted_batch = sort_arrays(batch.astype(np.float32))
+"""
+
+from ._version import __version__
+from .core import (
+    DEFAULT_CONFIG,
+    GpuArraySort,
+    PairSortResult,
+    SortConfig,
+    SortResult,
+    sort_arrays,
+    sort_pairs,
+    top_k,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "GpuArraySort",
+    "PairSortResult",
+    "SortConfig",
+    "SortResult",
+    "__version__",
+    "sort_arrays",
+    "sort_pairs",
+    "top_k",
+]

@@ -1,0 +1,91 @@
+"""``repro.analysis`` — models and metrics behind the paper's evaluation.
+
+* :mod:`~repro.analysis.complexity` — the paper's Eqs. 1-3 + Fig 2 fit;
+* :mod:`~repro.analysis.perfmodel` — calibrated cycle model for Figs 4-7;
+* :mod:`~repro.analysis.memory_model` — footprints + Table 1 capacities;
+* :mod:`~repro.analysis.metrics` — bucket balance / hardware metrics;
+* :mod:`~repro.analysis.reporting` — text rendering for benches.
+"""
+
+from .calibration import (
+    PAPER_CAPACITY_ANCHORS,
+    PAPER_TIME_ANCHORS,
+    Anchor,
+    CalibrationResult,
+    fit_memory_fraction,
+    fit_time_calibration,
+)
+from .complexity import (
+    ComplexityFit,
+    eq2_complexity,
+    eq3_complexity,
+    fit_scale,
+    phase_complexities,
+    theoretical_curve,
+)
+from .memory_model import (
+    PAPER_TABLE1,
+    CapacityRow,
+    arraysort_bytes_per_array,
+    capacity_analytic,
+    measure_capacity,
+    sta_bytes_per_array,
+    table1_rows,
+)
+from .export import export_all, export_claims, export_figure_series, export_table1
+from .metrics import BucketBalance, bucket_balance, report_metrics, sampling_quality
+from .report import Claim, build_report, evaluate_claims
+from .perfmodel import (
+    CALIBRATION,
+    PhaseBreakdown,
+    model_arraysort_breakdown,
+    model_arraysort_ms,
+    model_sta_breakdown,
+    model_sta_ms,
+    win_factor,
+)
+from .reporting import ascii_plot, format_ms, render_series, render_table
+
+__all__ = [
+    "Anchor",
+    "CALIBRATION",
+    "CalibrationResult",
+    "PAPER_CAPACITY_ANCHORS",
+    "PAPER_TIME_ANCHORS",
+    "fit_memory_fraction",
+    "fit_time_calibration",
+    "BucketBalance",
+    "Claim",
+    "build_report",
+    "evaluate_claims",
+    "export_all",
+    "export_claims",
+    "export_figure_series",
+    "export_table1",
+    "CapacityRow",
+    "ComplexityFit",
+    "PAPER_TABLE1",
+    "PhaseBreakdown",
+    "arraysort_bytes_per_array",
+    "ascii_plot",
+    "bucket_balance",
+    "capacity_analytic",
+    "eq2_complexity",
+    "eq3_complexity",
+    "fit_scale",
+    "format_ms",
+    "measure_capacity",
+    "model_arraysort_breakdown",
+    "model_arraysort_ms",
+    "model_sta_breakdown",
+    "model_sta_ms",
+    "phase_complexities",
+    "render_series",
+    "render_table",
+    "report_metrics",
+    "sampling_quality",
+    "sta_bytes_per_array",
+    "table1_rows",
+    "theoretical_curve",
+    "win_factor",
+]

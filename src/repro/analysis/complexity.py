@@ -1,0 +1,126 @@
+"""The paper's theoretical time-complexity model (Section 6, Eqs. 1-3).
+
+The paper derives, per array of size ``n`` with ``p`` buckets, sampling
+rate ``r`` and ``q = p - 1`` splitters:
+
+* phase 1: ``O(q + r*n*log(r*n))`` — sample sort + splitter pick;
+* phase 2: ``O(n/p)`` — bucketing traversal;
+* phase 3: ``O((n/p) * log(n/p))`` — per-bucket sorting;
+
+combined (Eq. 2) as ``O((n + q) + ((p*r + 1)/p) * n * log(n))`` and
+simplified (Eq. 3) to ``O(n/p + (n/p)*log(n))``.  Because N arrays map to
+N independent blocks, N cancels (Eq. 1) and the curve is a function of
+``n`` alone.
+
+Fig. 2 plots this theoretical curve against measured times for
+``N = 50 000`` and varying ``n``; the claim is shape agreement.  Big-O
+hides a scale constant, so — like the paper must have — we fit a single
+multiplicative constant (least squares) before overlaying.  The fit
+quality metric we report is the coefficient of determination R^2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.config import DEFAULT_CONFIG, SortConfig
+
+__all__ = [
+    "eq2_complexity",
+    "eq3_complexity",
+    "phase_complexities",
+    "fit_scale",
+    "ComplexityFit",
+    "theoretical_curve",
+]
+
+
+def phase_complexities(n: int, config: SortConfig = DEFAULT_CONFIG) -> dict:
+    """The three per-phase complexity terms for array size ``n``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    p = config.num_buckets(n)
+    q = p - 1
+    r = config.sampling_rate
+    s = max(2.0, r * n)
+    return {
+        "phase1": q + s * np.log2(s),
+        "phase2": n / p,
+        "phase3": (n / p) * np.log2(max(2.0, n / p)),
+    }
+
+
+def eq2_complexity(n: int, config: SortConfig = DEFAULT_CONFIG) -> float:
+    """Paper Eq. 2: ``(n + q) + ((p*r + 1)/p) * n * log(n)``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    p = config.num_buckets(n)
+    q = p - 1
+    r = config.sampling_rate
+    return (n + q) + ((p * r + 1) / p) * n * np.log2(max(2.0, n))
+
+
+def eq3_complexity(n: int, config: SortConfig = DEFAULT_CONFIG) -> float:
+    """Paper Eq. 3 (simplified): ``n/p + (n/p) * log(n)``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    p = config.num_buckets(n)
+    return n / p + (n / p) * np.log2(max(2.0, n))
+
+
+@dataclasses.dataclass(frozen=True)
+class ComplexityFit:
+    """A fitted theory overlay: ``predicted = scale * raw_complexity``."""
+
+    scale: float
+    r_squared: float
+    sizes: np.ndarray
+    measured: np.ndarray
+    predicted: np.ndarray
+
+
+def fit_scale(
+    sizes: Sequence[int],
+    measured_ms: Sequence[float],
+    *,
+    config: SortConfig = DEFAULT_CONFIG,
+    form: Callable[[int, SortConfig], float] = eq2_complexity,
+) -> ComplexityFit:
+    """Least-squares fit of the single Big-O constant, like Fig. 2.
+
+    Returns the fit with R^2 so tests/benches can assert shape agreement
+    (the paper's claim: "the plot for actual values follows the same
+    trend as that of theoretically calculated values").
+    """
+    sizes = np.asarray(list(sizes), dtype=np.int64)
+    measured = np.asarray(list(measured_ms), dtype=np.float64)
+    if sizes.size != measured.size or sizes.size == 0:
+        raise ValueError("sizes and measured_ms must be equal-length and non-empty")
+    raw = np.array([form(int(n), config) for n in sizes], dtype=np.float64)
+    denom = float(np.dot(raw, raw))
+    scale = float(np.dot(raw, measured) / denom) if denom > 0 else 0.0
+    predicted = scale * raw
+    ss_res = float(np.sum((measured - predicted) ** 2))
+    ss_tot = float(np.sum((measured - measured.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ComplexityFit(
+        scale=scale,
+        r_squared=r2,
+        sizes=sizes,
+        measured=measured,
+        predicted=predicted,
+    )
+
+
+def theoretical_curve(
+    sizes: Sequence[int],
+    scale: float = 1.0,
+    *,
+    config: SortConfig = DEFAULT_CONFIG,
+    form: Callable[[int, SortConfig], float] = eq2_complexity,
+) -> np.ndarray:
+    """Evaluate the (scaled) theory curve at the given sizes."""
+    return np.array([scale * form(int(n), config) for n in sizes])

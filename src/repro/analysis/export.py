@@ -1,0 +1,125 @@
+"""CSV export of every reproduced series — for external plotting.
+
+The benches print text; anyone re-plotting the paper's figures in
+matplotlib/gnuplot/Excel wants machine-readable series.
+:func:`export_all` writes one CSV per artifact into a directory:
+
+``fig2.csv``            n, modeled_ms, theory_ms
+``fig4.csv``..``fig7``  N, gpu_arraysort_ms, sta_ms
+``table1.csv``          n, paper/model capacities per technique
+``claims.csv``          claim id, verdict, detail
+
+No third-party dependencies — ``csv`` from the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..core.config import DEFAULT_CONFIG, SortConfig
+from ..gpusim.device import DeviceSpec, K40C
+from .complexity import fit_scale
+from .memory_model import table1_rows
+from .perfmodel import model_arraysort_ms, model_sta_ms
+from .report import evaluate_claims
+
+__all__ = ["export_all", "export_figure_series", "export_table1", "export_claims"]
+
+PathLike = Union[str, Path]
+
+
+def _write_csv(path: Path, header: List[str], rows: List[List]) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_figure_series(
+    directory: PathLike,
+    *,
+    device: DeviceSpec = K40C,
+    config: SortConfig = DEFAULT_CONFIG,
+) -> List[Path]:
+    """Write fig2.csv and fig4..7.csv; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    sizes = list(range(200, 2001, 200))
+    modeled = [model_arraysort_ms(device, 50_000, n, config) for n in sizes]
+    fit = fit_scale(sizes, modeled, config=config)
+    path = directory / "fig2.csv"
+    _write_csv(path, ["n", "modeled_ms", "theory_ms"], [
+        [n, f"{m:.3f}", f"{t:.3f}"]
+        for n, m, t in zip(sizes, modeled, fit.predicted)
+    ])
+    written.append(path)
+
+    for fig, n in ((4, 1000), (5, 2000), (6, 3000), (7, 4000)):
+        axis = [25_000, 50_000, 100_000, 150_000, 200_000]
+        if n >= 4000:
+            axis = axis[:-1]
+        path = directory / f"fig{fig}.csv"
+        _write_csv(path, ["N", "gpu_arraysort_ms", "sta_ms"], [
+            [N,
+             f"{model_arraysort_ms(device, N, n, config):.3f}",
+             f"{model_sta_ms(device, N, n):.3f}"]
+            for N in axis
+        ])
+        written.append(path)
+    return written
+
+
+def export_table1(
+    directory: PathLike,
+    *,
+    device: DeviceSpec = K40C,
+    config: SortConfig = DEFAULT_CONFIG,
+    measure: bool = False,
+) -> Path:
+    """Write table1.csv; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rows = table1_rows(device=device, config=config, measure=measure)
+    path = directory / "table1.csv"
+    _write_csv(
+        path,
+        ["n", "paper_arraysort", "model_arraysort", "paper_sta", "model_sta",
+         "model_advantage"],
+        [[r.array_size, r.paper_arraysort, r.model_arraysort, r.paper_sta,
+          r.model_sta, f"{r.model_advantage:.3f}"] for r in rows],
+    )
+    return path
+
+
+def export_claims(
+    directory: PathLike,
+    *,
+    device: DeviceSpec = K40C,
+    config: SortConfig = DEFAULT_CONFIG,
+) -> Path:
+    """Write claims.csv; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    claims = evaluate_claims(device=device, config=config)
+    path = directory / "claims.csv"
+    _write_csv(path, ["claim_id", "verdict", "statement", "detail"],
+               [[c.claim_id, c.verdict, c.statement, c.detail] for c in claims])
+    return path
+
+
+def export_all(
+    directory: PathLike,
+    *,
+    device: DeviceSpec = K40C,
+    config: SortConfig = DEFAULT_CONFIG,
+) -> Dict[str, Path]:
+    """Write every series; returns {artifact: path}."""
+    figures = export_figure_series(directory, device=device, config=config)
+    out = {p.stem: p for p in figures}
+    out["table1"] = export_table1(directory, device=device, config=config)
+    out["claims"] = export_claims(directory, device=device, config=config)
+    return out

@@ -1,0 +1,89 @@
+"""Load-balance and hardware-behaviour metrics.
+
+The paper's core engineering argument is *uniform distribution of data
+chunks for better load balancing across threads*.  These metrics quantify
+it:
+
+* bucket-balance statistics over a phase-2 result (max/mean bucket size —
+  the phase-3 straggler factor),
+* sampling quality across rates/distributions (for the ablation bench),
+* roll-ups of gpusim launch reports into comparable scalar metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["BucketBalance", "bucket_balance", "sampling_quality", "report_metrics"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BucketBalance:
+    """Distribution statistics of bucket sizes across a whole batch."""
+
+    mean: float
+    std: float
+    max: int
+    min: int
+    #: max / mean — 1.0 is perfect balance; phase 3's wall time scales
+    #: with the square of the largest bucket an SM must sort.
+    straggler_factor: float
+    #: Fraction of buckets with zero elements (wasted threads).
+    empty_fraction: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+def bucket_balance(sizes: np.ndarray) -> BucketBalance:
+    """Compute balance statistics from a ``(N, p)`` bucket-size matrix."""
+    sizes = np.asarray(sizes)
+    if sizes.ndim != 2 or sizes.size == 0:
+        raise ValueError(f"expected non-empty (N, p) sizes, got shape {sizes.shape}")
+    flat = sizes.ravel()
+    mean = float(flat.mean())
+    return BucketBalance(
+        mean=mean,
+        std=float(flat.std()),
+        max=int(flat.max()),
+        min=int(flat.min()),
+        straggler_factor=float(flat.max() / mean) if mean > 0 else float("inf"),
+        empty_fraction=float(np.mean(flat == 0)),
+    )
+
+
+def sampling_quality(
+    batch: np.ndarray,
+    sampling_rate: float,
+    *,
+    bucket_size: int = 20,
+) -> BucketBalance:
+    """Bucket balance a given sampling rate would produce on ``batch``.
+
+    Runs phases 1-2 with the requested rate and summarizes the resulting
+    bucket sizes.  This is the measurement behind the paper's "10 %
+    regular sampling gave most evenly balanced buckets" claim and our
+    sampling-rate ablation.
+    """
+    from ..core.bucketing import bucketize
+    from ..core.config import SortConfig
+    from ..core.splitters import select_splitters
+
+    config = SortConfig(bucket_size=bucket_size, sampling_rate=sampling_rate)
+    spl = select_splitters(np.asarray(batch), config)
+    buckets = bucketize(np.asarray(batch).copy(), spl.splitters, config)
+    return bucket_balance(buckets.sizes)
+
+
+def report_metrics(report) -> Dict[str, float]:
+    """Flatten a gpusim LaunchReport / PipelineReport into scalar metrics."""
+    if hasattr(report, "launches"):
+        return {
+            "milliseconds": report.milliseconds,
+            "global_transactions": report.total_global_transactions,
+            "divergence_fraction": report.divergence_fraction,
+        }
+    return report.summary()

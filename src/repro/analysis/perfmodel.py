@@ -1,0 +1,274 @@
+"""Calibrated analytic performance model (drives Figs. 2 and 4-7 at paper scale).
+
+The lock-step simulator executes real kernels but cannot run 2*10^5 arrays
+of 4000 floats in Python.  This module evaluates the same first-order cost
+structure *in closed form*:
+
+* per-block cycle counts for the three GPU-ArraySort phases, built from
+  the device's latency/bandwidth figures,
+* analytic occupancy (same limits as
+  :func:`repro.gpusim.occupancy.compute_occupancy`) turning N blocks into
+  execution waves,
+* a bandwidth model for STA's radix passes, derated for the scatter
+  phase's imperfect coalescing.
+
+Modeling choices that follow the *paper's* account of its implementation:
+
+* The phase-1 sample sort is charged ``s * log2(s)`` steps, matching the
+  paper's complexity expression ``O(r*n*log(r*n))`` (Section 6).  True
+  single-thread insertion sort is quadratic — the gpusim kernels exhibit
+  that faithfully — but the paper's measured curves (Figs. 2, 4-7) are
+  only consistent with the loglinear form, so the *model* adopts it.
+* Phase 2 keeps only splitters + counters in shared memory ("The
+  sub-array sp_i is moved to shared memory because of its very small
+  size", Section 5.2); the row scans stream through the read-only cache
+  at :data:`CACHED_READ_CYCLES` per access.  This keeps occupancy high at
+  n = 4000 (16 KB rows would otherwise cap residency at 2 blocks/SM).
+
+**Calibration.** One shared scalar maps modeled cycles to the paper's
+measured milliseconds, fitted jointly (least squares) over five readings
+taken off the paper's figures — see
+:mod:`repro.analysis.calibration.PAPER_TIME_ANCHORS`.  Identical for both
+techniques — they ran on the same hardware — so the win factor must
+emerge from the operation counts alone.  EXPERIMENTS.md records the
+resulting paper-vs-model agreement at every point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+from ..core.config import DEFAULT_CONFIG, SortConfig
+from ..gpusim.device import DeviceSpec, K40C
+
+__all__ = [
+    "PhaseBreakdown",
+    "model_arraysort_ms",
+    "model_arraysort_breakdown",
+    "model_sta_ms",
+    "model_sta_breakdown",
+    "win_factor",
+    "CALIBRATION",
+    "CACHED_READ_CYCLES",
+    "RADIX_SCATTER_EFFICIENCY",
+]
+
+#: Sim-to-silicon calibration shared by both techniques: absorbs kernel
+#: launch overheads, imperfect latency hiding, ECC, and the authors'
+#: implementation constant.  Fitted jointly (relative least squares) over
+#: the five figure readings in
+#: repro.analysis.calibration.PAPER_TIME_ANCHORS; see
+#: fit_time_calibration, which reproduces this value to within noise.
+#: Residuals: GAS anchors ~+10 %, STA anchors ~-20 % — i.e. the model's
+#: win factor trails the figures' by ~30 %, documented in EXPERIMENTS.md.
+CALIBRATION = 30.05
+
+#: Cycles per data element read that hits the read-only/L1 cache path.
+#: The phase-2/3 scans re-read a 4-16 KB row that trivially fits cache.
+CACHED_READ_CYCLES = 10.0
+
+#: Cycles per compare-and-shift step of the (modeled) sample sort and of
+#: per-bucket sorting: one cached load + one store + compare.
+SORT_STEP_CYCLES = 10.0
+
+#: Effective fraction of peak bandwidth radix scatter sustains.  The
+#: scatter phase of an LSD pass writes each element to a data-dependent
+#: location, touching many 128-byte lines per warp; ~50 % efficiency is a
+#: standard figure for Kepler-era radix sorts.
+RADIX_SCATTER_EFFICIENCY = 0.5
+
+
+@dataclasses.dataclass
+class PhaseBreakdown:
+    """Modeled milliseconds per phase of a technique."""
+
+    phases: Dict[str, float]
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.phases.values())
+
+
+# --------------------------------------------------------------------------
+# shared helpers
+# --------------------------------------------------------------------------
+
+def _serial_txn_cycles(spec: DeviceSpec) -> float:
+    """Cycles one dependent global transaction costs a single thread.
+
+    A lone thread cannot hide latency behind sibling warps as well as a
+    saturated SM; expose half the raw latency plus the line's bandwidth
+    term.
+    """
+    bytes_per_cycle = spec.mem_bandwidth_gbps * 1e9 / spec.clock_hz
+    bw = spec.transaction_bytes / bytes_per_cycle
+    return 0.5 * spec.global_latency_cycles + bw
+
+
+def _bandwidth_cycles_per_byte(spec: DeviceSpec) -> float:
+    return spec.clock_hz / (spec.mem_bandwidth_gbps * 1e9)
+
+
+def _concurrent_blocks(spec: DeviceSpec, threads_per_block: int, smem_bytes: int) -> int:
+    """Analytic occupancy: blocks resident device-wide."""
+    by_threads = spec.max_threads_per_sm // max(threads_per_block, spec.warp_size)
+    by_blocks = spec.max_blocks_per_sm
+    by_smem = (
+        spec.shared_mem_per_block // smem_bytes if smem_bytes > 0 else by_blocks
+    )
+    per_sm = max(1, min(by_threads, by_blocks, by_smem))
+    return per_sm * spec.sm_count
+
+
+def _waves(total_blocks: int, concurrent: int) -> int:
+    return -(-total_blocks // max(1, concurrent))
+
+
+def _log2(x: float) -> float:
+    return math.log2(x) if x > 1 else 1.0
+
+
+# --------------------------------------------------------------------------
+# GPU-ArraySort
+# --------------------------------------------------------------------------
+
+def model_arraysort_breakdown(
+    spec: DeviceSpec,
+    N: int,
+    n: int,
+    config: SortConfig = DEFAULT_CONFIG,
+    *,
+    calibration: float = CALIBRATION,
+) -> PhaseBreakdown:
+    """Per-phase modeled milliseconds for GPU-ArraySort on ``spec``.
+
+    Phase models (see module docstring for the fidelity notes):
+
+    * **phase 1** (1 thread/block): ``s`` strided sample gathers at serial
+      transaction cost, ``s log2 s`` sort steps in shared memory, ``q``
+      splitter writes;
+    * **phase 2** (p threads/block): row streamed once in and once out at
+      bandwidth; two cached scans of ``n`` elements per thread (count,
+      then collect); ~``n/p`` per-thread local collects;
+    * **phase 3** (p threads/block): per-thread sort of a ``k = n/p``
+      bucket — ``k^2/4`` average compare-shift steps against cached
+      lines — plus streaming the row once more.
+    """
+    if N < 0 or n < 1:
+        raise ValueError("need N >= 0 and n >= 1")
+    if N == 0:
+        return PhaseBreakdown({"phase1": 0.0, "phase2": 0.0, "phase3": 0.0})
+    p = config.num_buckets(n)
+    q = p - 1
+    s = config.sample_size(n)
+    k = n / p
+    itemsize = config.dtype.itemsize
+
+    g = _serial_txn_cycles(spec)
+    bwc = _bandwidth_cycles_per_byte(spec)
+
+    # Phase 1: single-thread block; sample buffer in shared memory.
+    p1_block = s * g + s * _log2(s) * SORT_STEP_CYCLES + q * g
+    conc1 = _concurrent_blocks(spec, 1, s * itemsize)
+    p1 = _waves(N, conc1) * p1_block
+
+    # Phase 2: only splitters + counters in shared memory.
+    smem2 = (p + 1) * 8 + 2 * p * 4
+    p2_block = (
+        n * itemsize * bwc              # stream the row in once
+        + 2 * n * CACHED_READ_CYCLES    # two scans (count, collect)
+        + k * CACHED_READ_CYCLES        # per-thread local bucket collect
+        + n * itemsize * bwc            # write the row back once
+    )
+    conc2 = _concurrent_blocks(spec, p, smem2)
+    p2 = _waves(N, conc2) * p2_block
+
+    # Phase 3: per-thread insertion sort of its bucket (k ~ bucket_size).
+    smem3 = 2 * p * 4
+    p3_block = 0.25 * k * k * SORT_STEP_CYCLES + n * itemsize * bwc
+    conc3 = _concurrent_blocks(spec, p, smem3)
+    p3 = _waves(N, conc3) * p3_block
+
+    to_ms = lambda cycles: spec.cycles_to_ms(cycles * calibration)
+    return PhaseBreakdown(
+        {"phase1": to_ms(p1), "phase2": to_ms(p2), "phase3": to_ms(p3)}
+    )
+
+
+def model_arraysort_ms(
+    spec: DeviceSpec,
+    N: int,
+    n: int,
+    config: SortConfig = DEFAULT_CONFIG,
+    *,
+    calibration: float = CALIBRATION,
+) -> float:
+    """Total modeled milliseconds for GPU-ArraySort (see breakdown)."""
+    return model_arraysort_breakdown(
+        spec, N, n, config, calibration=calibration
+    ).total_ms
+
+
+# --------------------------------------------------------------------------
+# STA
+# --------------------------------------------------------------------------
+
+def model_sta_breakdown(
+    spec: DeviceSpec,
+    N: int,
+    n: int,
+    *,
+    include_redundant_presort: bool = True,
+    digit_bits: int = 8,
+    key_bits: int = 32,
+    itemsize: int = 4,
+    tag_itemsize: int = 4,
+    calibration: float = CALIBRATION,
+) -> PhaseBreakdown:
+    """Per-stage modeled milliseconds for the STA pipeline.
+
+    Every stable sort is ``key_bits / digit_bits`` radix passes over all
+    ``M = N * n`` elements.  Each pass streams keys+payload in at full
+    bandwidth and scatters them out at
+    :data:`RADIX_SCATTER_EFFICIENCY` of peak.  Tag creation writes one
+    tag per element.
+    """
+    if N < 0 or n < 1:
+        raise ValueError("need N >= 0 and n >= 1")
+    if N == 0:
+        return PhaseBreakdown({"tagging": 0.0})
+    M = N * n
+    bwc = _bandwidth_cycles_per_byte(spec)
+    passes = -(-key_bits // digit_bits)
+    pair_bytes = itemsize + tag_itemsize
+
+    read_cycles = M * pair_bytes * bwc
+    scatter_cycles = M * pair_bytes * bwc / RADIX_SCATTER_EFFICIENCY
+    per_sort = passes * (read_cycles + scatter_cycles)
+
+    to_ms = lambda cycles: spec.cycles_to_ms(cycles * calibration)
+    phases = {"tagging": to_ms(M * tag_itemsize * bwc)}
+    if include_redundant_presort:
+        phases["sort_by_tags_redundant"] = to_ms(per_sort)
+    phases["sort_by_values"] = to_ms(per_sort)
+    phases["sort_by_tags_restore"] = to_ms(per_sort)
+    return PhaseBreakdown(phases)
+
+
+def model_sta_ms(spec: DeviceSpec, N: int, n: int, **kwargs) -> float:
+    """Total modeled milliseconds for STA (see breakdown)."""
+    return model_sta_breakdown(spec, N, n, **kwargs).total_ms
+
+
+def win_factor(
+    spec: DeviceSpec = K40C,
+    N: int = 200_000,
+    n: int = 1000,
+    config: SortConfig = DEFAULT_CONFIG,
+) -> float:
+    """Modeled STA-time / GPU-ArraySort-time ratio (the paper's headline)."""
+    gas = model_arraysort_ms(spec, N, n, config)
+    sta = model_sta_ms(spec, N, n)
+    return sta / gas if gas > 0 else math.inf

@@ -1,0 +1,106 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+tables as aligned columns, figures as (x, y, ...) series listings plus a
+crude ASCII plot for quick visual shape checks in CI logs.  No plotting
+dependencies — the repo stays importable with NumPy alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "ascii_plot", "format_ms"]
+
+
+def format_ms(value: float) -> str:
+    """Human-scaled milliseconds: 950 -> '950 ms', 12000 -> '12.0 s'."""
+    if value >= 1000:
+        return f"{value / 1000:.1f} s"
+    if value >= 1:
+        return f"{value:.0f} ms"
+    return f"{value * 1000:.0f} us"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([str(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    *,
+    title: Optional[str] = None,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render figure data as a table of x vs each named series."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [fmt.format(series[name][i]) for name in series])
+    return render_table(headers, rows, title=title)
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Crude ASCII scatter of one or more series (shape inspection only).
+
+    Each series gets a marker character; points round to the nearest cell.
+    """
+    markers = "*o+x#@"
+    xs = [float(v) for v in x_values]
+    all_y = [float(v) for vals in series.values() for v in vals]
+    if not xs or not all_y:
+        return "(empty plot)"
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        for x, y in zip(xs, vals):
+            col = int((float(x) - x_min) / x_span * (width - 1))
+            row = height - 1 - int((float(y) - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_min:.1f}, {y_max:.1f}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_min:.0f}, {x_max:.0f}]   " + "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    ))
+    return "\n".join(lines)

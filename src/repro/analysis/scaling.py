@@ -1,0 +1,130 @@
+"""Device-scaling studies: how the algorithm rides the hardware envelope.
+
+The paper's scalability argument ("highly scalable ... each array gets
+assigned to an individual block and in theory each block is processed in
+parallel") implies concrete predictions the model can test:
+
+* **SM scaling** — with N far above residency, time should fall ~1/SMs
+  until bandwidth saturates;
+* **generation scaling** — the K40c should beat the Fermi C2050 by
+  roughly their throughput ratio;
+* **residency knee** — below ``concurrent_blocks`` arrays, adding
+  arrays is free (same wave count); above it, time grows linearly.  The
+  knee position is an occupancy prediction, checkable against the
+  simulator.
+
+:func:`sm_scaling_curve`, :func:`device_comparison` and
+:func:`residency_knee` produce the data; ``benchmarks/bench_scaling.py``
+renders and asserts them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import DEFAULT_CONFIG, SortConfig
+from ..gpusim.device import DEVICE_CATALOG, DeviceSpec, K40C
+from .perfmodel import model_arraysort_breakdown, model_arraysort_ms
+
+__all__ = [
+    "sm_scaling_curve",
+    "device_comparison",
+    "residency_knee",
+    "ScalingPoint",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling study."""
+
+    label: str
+    sm_count: int
+    modeled_ms: float
+    speedup: float
+
+
+def _with_sm_count(spec: DeviceSpec, sm_count: int) -> DeviceSpec:
+    return dataclasses.replace(spec, sm_count=sm_count)
+
+
+def sm_scaling_curve(
+    sm_counts: Sequence[int],
+    *,
+    N: int = 200_000,
+    n: int = 1000,
+    base: DeviceSpec = K40C,
+    config: SortConfig = DEFAULT_CONFIG,
+) -> List[ScalingPoint]:
+    """Modeled time vs SM count (strong scaling at fixed work).
+
+    Bandwidth is held at the base device's figure, so the curve bends
+    away from ideal as the memory system saturates — the honest story.
+    """
+    if not sm_counts:
+        raise ValueError("need at least one SM count")
+    points: List[ScalingPoint] = []
+    base_ms: Optional[float] = None
+    for sms in sm_counts:
+        if sms < 1:
+            raise ValueError("SM counts must be >= 1")
+        spec = _with_sm_count(base, sms)
+        ms = model_arraysort_ms(spec, N, n, config)
+        if base_ms is None:
+            base_ms = ms
+        points.append(
+            ScalingPoint(
+                label=f"{sms} SMs",
+                sm_count=sms,
+                modeled_ms=ms,
+                speedup=base_ms / ms if ms else float("inf"),
+            )
+        )
+    return points
+
+
+def device_comparison(
+    *,
+    N: int = 200_000,
+    n: int = 1000,
+    devices: Optional[Dict[str, DeviceSpec]] = None,
+    config: SortConfig = DEFAULT_CONFIG,
+) -> Dict[str, Dict[str, float]]:
+    """Per-device modeled time and phase breakdown across the catalog."""
+    catalog = devices or {
+        key: spec for key, spec in DEVICE_CATALOG.items() if key != "micro"
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    for key, spec in sorted(catalog.items()):
+        breakdown = model_arraysort_breakdown(spec, N, n, config)
+        row = dict(breakdown.phases)
+        row["total"] = breakdown.total_ms
+        out[spec.name] = row
+    return out
+
+
+def residency_knee(
+    *,
+    n: int = 1000,
+    device: DeviceSpec = K40C,
+    config: SortConfig = DEFAULT_CONFIG,
+    max_waves: int = 8,
+) -> Dict[str, object]:
+    """Locate the N below which extra arrays are free (single wave).
+
+    Phase 2's occupancy dominates (its blocks carry p threads and the
+    splitter/count shared arrays); the knee is its ``concurrent_blocks``.
+    Returns the knee and the modeled times at multiples of it, which
+    must be flat below and staircase-linear above.
+    """
+    from .perfmodel import _concurrent_blocks  # shared analytic occupancy
+
+    p = config.num_buckets(n)
+    smem2 = (p + 1) * 8 + 2 * p * 4
+    knee = _concurrent_blocks(device, p, smem2)
+    series = {}
+    for mult in [0.25, 0.5, 1.0] + [float(w) for w in range(2, max_waves + 1)]:
+        N = max(1, int(knee * mult))
+        series[mult] = model_arraysort_ms(device, N, n, config)
+    return {"knee_arrays": knee, "times_at_multiples": series}

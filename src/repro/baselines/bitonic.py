@@ -1,0 +1,200 @@
+"""Bitonic sorting networks — the classic GPU batch-sort alternative.
+
+Before segmented sorts, the standard way to sort many small arrays on a
+GPU was one bitonic network per block: data-independent compare-exchange
+stages, no divergence, shared-memory resident.  The paper's related-work
+section surveys this family (hybrid sort [16], GPU sample sort [6]);
+implementing it gives the benchmark suite a second *dedicated* batch
+sorter to place GPU-ArraySort against:
+
+* :func:`bitonic_sort_batch` — vectorized: the full network applied to
+  every row of an ``(N, n)`` batch simultaneously (each compare-exchange
+  stage is one vectorized min/max over a column gather);
+* :func:`bitonic_kernel` — the per-block shared-memory kernel for the
+  gpusim engine (one array per block, one thread per element pair);
+* :func:`bitonic_network` — the (stage, substage) schedule, exposed for
+  tests and for operation-count analysis.
+
+Bitonic does Θ(n log² n) compare-exchanges vs sample-sort's Θ(n log n)
+— the asymptotic gap the paper's bucket approach exploits; the ablation
+bench quantifies the crossover.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..gpusim import GpuDevice
+from ..gpusim.profiler import LaunchReport
+
+__all__ = [
+    "bitonic_network",
+    "bitonic_sort_batch",
+    "bitonic_kernel",
+    "run_bitonic_on_device",
+    "compare_exchange_count",
+]
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def bitonic_network(n: int) -> Iterator[Tuple[int, int]]:
+    """Yield (k, j) parameters of each compare-exchange stage for size n.
+
+    ``n`` must be a power of two.  For each element i, its partner is
+    ``i ^ j``; the comparison direction is ascending iff ``i & k == 0``.
+    """
+    if n & (n - 1):
+        raise ValueError(f"bitonic network needs power-of-two size, got {n}")
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            yield (k, j)
+            j //= 2
+        k *= 2
+
+
+def compare_exchange_count(n: int) -> int:
+    """Total compare-exchanges the network performs per array.
+
+    Θ(n log² n): each of the log(n)·(log(n)+1)/2 stages touches n/2
+    pairs.
+    """
+    n2 = _next_pow2(n)
+    stages = sum(1 for _ in bitonic_network(n2))
+    return stages * (n2 // 2)
+
+
+def bitonic_sort_batch(batch: np.ndarray) -> np.ndarray:
+    """Sort every row of a batch with one shared bitonic schedule.
+
+    Rows are padded to the next power of two with +inf (float) or the
+    dtype max (int); padding sorts to the tail and is sliced off.  Every
+    compare-exchange stage runs vectorized across the whole batch —
+    exactly the lockstep the hardware version exhibits.
+    """
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+    N, n = batch.shape
+    if N == 0 or n == 0:
+        return batch.copy()
+    n2 = _next_pow2(n)
+    if batch.dtype.kind == "f":
+        pad_value = np.inf
+    elif batch.dtype.kind in "iu":
+        pad_value = np.iinfo(batch.dtype).max
+    else:
+        raise TypeError(f"unsupported dtype {batch.dtype}")
+    work = np.full((N, n2), pad_value, dtype=batch.dtype)
+    work[:, :n] = batch
+
+    idx = np.arange(n2)
+    for k, j in bitonic_network(n2):
+        partner = idx ^ j
+        forward = partner > idx
+        ascending = (idx & k) == 0
+        # Only process each pair once, from its lower index.
+        active = forward
+        i_lo = idx[active]
+        i_hi = partner[active]
+        asc = ascending[active]
+        a = work[:, i_lo]
+        b = work[:, i_hi]
+        swap = np.where(asc[None, :], a > b, a < b)
+        lo_new = np.where(swap, b, a)
+        hi_new = np.where(swap, a, b)
+        work[:, i_lo] = lo_new
+        work[:, i_hi] = hi_new
+    return work[:, :n]
+
+
+def bitonic_kernel(ctx, shared, d_data, n, n2):
+    """Per-block bitonic sort: one array per block in shared memory.
+
+    ``block_dim`` must be ``n2 / 2`` threads (one per pair).  Threads
+    cooperatively stage the row (+inf padding), run the network with a
+    barrier per substage, and write back.  Compare-exchange direction is
+    data-independent — zero branch divergence, the property that made
+    bitonic the GPU default for small arrays.
+    """
+    tid = ctx.thread_idx.x
+    base = ctx.block_idx.x * n
+    pairs = n2 // 2
+
+    # Stage with padding.
+    for i in range(tid, n2, pairs):
+        if i < n:
+            v = yield ctx.gload(d_data, base + i)
+        else:
+            v = float("inf")
+        yield ctx.sstore(shared, i, v)
+    yield ctx.sync()
+
+    k = 2
+    while k <= n2:
+        j = k // 2
+        while j >= 1:
+            # Thread t owns the t-th pair: lower index i with (i & j) == 0,
+            # partner = i ^ j.
+            my_i = _pair_lower_index(tid, j, n2)
+            partner = my_i ^ j
+            a = yield ctx.sload(shared, my_i)
+            b = yield ctx.sload(shared, partner)
+            yield ctx.alu(2)
+            ascending = (my_i & k) == 0
+            if (a > b) == ascending and a != b:
+                yield ctx.sstore(shared, my_i, b)
+                yield ctx.sstore(shared, partner, a)
+            else:
+                # Keep the lock step: issue the same store traffic so the
+                # warp does not diverge on the swap decision.
+                yield ctx.sstore(shared, my_i, a)
+                yield ctx.sstore(shared, partner, b)
+            yield ctx.sync()
+            j //= 2
+        k *= 2
+
+    for i in range(tid, n, pairs):
+        v = yield ctx.sload(shared, i)
+        yield ctx.gstore(d_data, base + i, v)
+
+
+def _pair_lower_index(t: int, j: int, n2: int) -> int:
+    """The t-th index i in [0, n2) with (i & j) == 0 (a pair's lower end).
+
+    Classic bitonic indexing: insert a zero bit at j's position.
+    """
+    low = t & (j - 1)
+    high = (t & ~(j - 1)) << 1
+    return high | low
+
+
+def run_bitonic_on_device(
+    device: GpuDevice, batch: np.ndarray
+) -> Tuple[np.ndarray, LaunchReport]:
+    """Sort a batch on the simulated device with one bitonic block per row."""
+    batch = np.asarray(batch, dtype=np.float32)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+    N, n = batch.shape
+    n2 = _next_pow2(n)
+    d = device.memory.alloc_like(batch.ravel())
+    try:
+        report = device.launch(
+            bitonic_kernel, grid=N, block=n2 // 2, args=(d, n, n2),
+            shared_setup=lambda sm: sm.alloc(n2, np.float32),
+            name="bitonic_sort",
+        )
+        out = d.copy_to_host().reshape(N, n)
+    finally:
+        device.memory.free(d)
+    return out, report

@@ -1,0 +1,54 @@
+"""Naive per-array baselines (the "existing algorithms" strawman).
+
+Section 2 of the paper: existing 1-D GPU sorting algorithms could only
+sort many arrays "one after the other thus making the process sequential
+in nature".  These baselines exist to quantify that claim and to serve as
+trivially-correct oracles in tests:
+
+* :func:`sequential_sort` — a Python loop of per-row sorts, the direct
+  analog of launching one 1-D GPU sort per array;
+* :func:`numpy_rowwise_sort` — ``np.sort(batch, axis=1)``, the tightest
+  host-side implementation, used as the ground-truth oracle everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["sequential_sort", "numpy_rowwise_sort", "timed_sequential_sort"]
+
+
+def sequential_sort(batch: np.ndarray) -> np.ndarray:
+    """Sort each row with an independent ``np.sort`` call, sequentially.
+
+    Models the per-array kernel-launch pattern: each row pays its own
+    fixed overhead (here: Python call dispatch; on a GPU: a kernel launch
+    that cannot fill the device).
+    """
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+    out = np.empty_like(batch)
+    for i in range(batch.shape[0]):
+        out[i] = np.sort(batch[i])
+    return out
+
+
+def numpy_rowwise_sort(batch: np.ndarray) -> np.ndarray:
+    """The oracle: one vectorized row-wise sort."""
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+    return np.sort(batch, axis=1)
+
+
+def timed_sequential_sort(batch: np.ndarray) -> Tuple[np.ndarray, Dict[str, float]]:
+    """Run :func:`sequential_sort` and report wall time + per-row overhead."""
+    t0 = time.perf_counter()
+    out = sequential_sort(batch)
+    elapsed = time.perf_counter() - t0
+    per_row = elapsed / max(1, batch.shape[0])
+    return out, {"total_seconds": elapsed, "seconds_per_array": per_row}

@@ -1,0 +1,61 @@
+"""Modern segmented-sort comparator (CUB / moderngpu / bb_segsort style).
+
+The paper predates the now-standard *segmented sort* primitives.  Later
+libraries sort many independent segments in a single launch by assigning
+segments to cooperative groups by size class.  This module implements a
+host-vectorized equivalent so the benchmark suite can place
+GPU-ArraySort's design in today's context (novelty band in DESIGN.md):
+
+* uniform-length segments (our batch case) — one stable flat sort keyed
+  by ``(segment, value)``, the merge-path style single pass;
+* ragged segments — the same via explicit segment offsets.
+
+It is also the third independent implementation of batch sorting in the
+repo, which the property tests exploit for three-way cross-checking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segmented_sort", "segmented_sort_ragged"]
+
+
+def segmented_sort(batch: np.ndarray) -> np.ndarray:
+    """Sort each row of a uniform ``(N, n)`` batch in one flat pass.
+
+    One ``np.lexsort`` with the row id as major key: the single-launch
+    structure of a modern segmented sort (every element participates in
+    one global key comparison network; no per-segment dispatch).
+    """
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+    N, n = batch.shape
+    if N == 0 or n == 0:
+        return batch.copy()
+    rows = np.repeat(np.arange(N), n)
+    order = np.lexsort((batch.ravel(), rows))
+    return batch.ravel()[order].reshape(N, n)
+
+
+def segmented_sort_ragged(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sort ragged segments: ``values[offsets[i]:offsets[i+1]]`` each sorted.
+
+    ``offsets`` must be non-decreasing, start at 0, end at ``len(values)``.
+    Returns a new flat array; segment boundaries are unchanged.
+    """
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if values.ndim != 1:
+        raise ValueError("values must be 1-D")
+    if offsets.ndim != 1 or offsets.size < 1:
+        raise ValueError("offsets must be 1-D with at least 1 entry")
+    if offsets[0] != 0 or offsets[-1] != values.size or np.any(np.diff(offsets) < 0):
+        raise ValueError("offsets must be a non-decreasing span of values")
+    seg_ids = np.zeros(values.size + 1, dtype=np.int64)
+    # Mark each interior segment start (possibly repeated for empties).
+    np.add.at(seg_ids, offsets[1:-1], 1)
+    seg_of_element = np.cumsum(seg_ids[:-1])
+    order = np.lexsort((values, seg_of_element))
+    return values[order]

@@ -1,0 +1,104 @@
+"""STA as device kernels: the full Fig. 3 pipeline on the simulator.
+
+:mod:`repro.baselines.sta` runs STA's sorts on the host (with device
+memory accounting); this module executes the whole baseline as kernels
+for micro-scale hardware comparisons against GPU-ArraySort's kernels:
+
+1. a **tagging kernel** writes each element's array id (Fig. 3 step I;
+   the merge of step II is free — arrays are already contiguous);
+2. the optional redundant tag presort (step III),
+3. ``stable_sort_by_key(values, tags)`` (step IV),
+4. ``stable_sort_by_key(tags, values)`` (step V),
+
+with steps 2-4 running the histogram/scan/scatter kernel pipeline of
+:mod:`repro.baselines.radix_kernels`.  The combined
+:class:`~repro.gpusim.profiler.PipelineReport` makes claims like "STA
+moves an order of magnitude more global data" checkable at the same
+granularity as the GPU-ArraySort kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..gpusim import GpuDevice, PipelineReport
+from .radix import float32_to_sortable_uint32, sortable_uint32_to_float32
+from .radix_kernels import run_radix_pass_on_device
+
+__all__ = ["tagging_kernel", "run_sta_on_device"]
+
+
+def tagging_kernel(ctx, shared, d_tags, N, n):
+    """Fig. 3 step I: element i of array a gets tag a.
+
+    Grid-stride over the N*n tag array; consecutive lanes write
+    consecutive tags — fully coalesced.
+    """
+    total = ctx.grid_dim.x * ctx.block_dim.x
+    gid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+    i = gid
+    while i < N * n:
+        yield ctx.alu(1)  # i // n
+        yield ctx.gstore(d_tags, i, i // n)
+        i += total
+
+
+def _device_sort_by_key(device, keys, vals, pipeline, *, digit_bits=8):
+    """Full LSD radix sort of (keys, vals) accumulating into pipeline."""
+    enc = keys
+    passes = -(-32 // digit_bits)
+    for pass_idx in range(passes):
+        enc, vals, pass_pipeline = run_radix_pass_on_device(
+            device, enc, vals, shift=pass_idx * digit_bits,
+            digit_bits=digit_bits,
+        )
+        for launch in pass_pipeline.launches:
+            pipeline.add(launch)
+    return enc, vals
+
+
+def run_sta_on_device(
+    device: GpuDevice,
+    batch: np.ndarray,
+    *,
+    include_redundant_presort: bool = True,
+    digit_bits: int = 8,
+) -> Tuple[np.ndarray, PipelineReport]:
+    """Execute the complete STA baseline as simulator kernels."""
+    batch = np.asarray(batch, dtype=np.float32)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+    N, n = batch.shape
+    M = N * n
+    pipeline = PipelineReport()
+
+    # Step I: tag on device.
+    d_tags = device.memory.alloc(max(M, 1), np.uint32, name="sta_tags")
+    try:
+        pipeline.add(device.launch(
+            tagging_kernel, grid=2, block=32, args=(d_tags, N, n),
+            name="sta_tagging",
+        ))
+        tags = d_tags.copy_to_host()[:M]
+    finally:
+        device.memory.free(d_tags)
+    values_enc = float32_to_sortable_uint32(batch.ravel())
+
+    # Step III (redundant): stable sort by tags, values ride along.
+    if include_redundant_presort:
+        tags, values_enc = _device_sort_by_key(
+            device, tags, values_enc, pipeline, digit_bits=digit_bits
+        )
+    # Step IV: stable sort by values, tags ride along.
+    values_enc, tags = _device_sort_by_key(
+        device, values_enc, tags, pipeline, digit_bits=digit_bits
+    )
+    # Step V: stable sort by tags restores arrays, values stay ordered.
+    tags, values_enc = _device_sort_by_key(
+        device, tags, values_enc, pipeline, digit_bits=digit_bits
+    )
+
+    out = sortable_uint32_to_float32(values_enc).reshape(N, n)
+    return out, pipeline

@@ -1,0 +1,149 @@
+"""A simulated slice of NVIDIA's Thrust library (the parts STA needs).
+
+The paper's baseline builds on two Thrust facilities:
+
+* ``thrust::device_vector`` — device-resident storage, here backed by the
+  gpusim :class:`~repro.gpusim.memory.GlobalMemory` so allocation pressure
+  is accounted against the same 11.5 GB the paper's K40c had;
+* ``thrust::stable_sort_by_key`` — stable key/value sort, which for
+  primitive keys runs the LSD radix sort of :mod:`repro.baselines.radix`
+  and **allocates O(N) scratch** on the device for the duration of the
+  call (this is the memory behaviour the paper's Section 7.1 charges STA
+  with).
+
+The point of this module is honesty of accounting, not CUDA API
+completeness: every element the sort touches and every scratch byte it
+borrows shows up in the device's memory statistics and in the returned
+:class:`ThrustCallStats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..gpusim.executor import GpuDevice
+from ..gpusim.memory import DeviceArray
+from .radix import RadixStats, radix_sort_by_key
+
+__all__ = ["DeviceVector", "ThrustCallStats", "stable_sort_by_key", "sequence"]
+
+
+@dataclasses.dataclass
+class ThrustCallStats:
+    """Accounting of one ``stable_sort_by_key`` call."""
+
+    elements: int = 0
+    radix: RadixStats = dataclasses.field(default_factory=RadixStats)
+    #: Peak device bytes attributable to this call's scratch allocations.
+    scratch_bytes: int = 0
+
+
+class DeviceVector:
+    """``thrust::device_vector<T>`` analog bound to a simulated device."""
+
+    def __init__(self, device: GpuDevice, data_or_size, dtype=None, name: str = "") -> None:
+        self.device = device
+        if isinstance(data_or_size, (int, np.integer)):
+            if dtype is None:
+                raise ValueError("dtype required when constructing by size")
+            self._array: DeviceArray = device.memory.alloc(
+                int(data_or_size), dtype, name=name or "device_vector"
+            )
+        else:
+            host = np.asarray(data_or_size)
+            self._array = device.memory.alloc_like(
+                host if dtype is None else host.astype(dtype),
+                name=name or "device_vector",
+            )
+        self._freed = False
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    @property
+    def array(self) -> DeviceArray:
+        return self._array
+
+    def to_host(self) -> np.ndarray:
+        return self._array.copy_to_host()
+
+    def from_host(self, host: np.ndarray) -> None:
+        self._array.copy_from_host(host)
+
+    def free(self) -> None:
+        """Explicit release (``device_vector`` destructor analog)."""
+        if not self._freed:
+            self.device.memory.free(self._array)
+            self._freed = True
+
+    def __enter__(self) -> "DeviceVector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.free()
+
+
+def sequence(device: GpuDevice, count: int, dtype=np.int32, name: str = "seq") -> DeviceVector:
+    """``thrust::sequence``: a device vector holding 0, 1, ..., count-1."""
+    vec = DeviceVector(device, count, dtype=dtype, name=name)
+    vec.from_host(np.arange(count, dtype=dtype))
+    return vec
+
+
+def stable_sort_by_key(
+    keys: DeviceVector,
+    values: DeviceVector,
+    *,
+    stats: Optional[ThrustCallStats] = None,
+) -> None:
+    """``thrust::stable_sort_by_key`` with radix-sort memory semantics.
+
+    Sorts ``keys`` in place (stably) and applies the same permutation to
+    ``values``.  Scratch double buffers for keys and values are allocated
+    on the device for the duration of the call — if they do not fit,
+    :class:`~repro.gpusim.errors.DeviceOutOfMemoryError` propagates, which
+    is precisely how the STA capacity limit in Table 1 manifests.
+    """
+    if len(keys) != len(values):
+        raise ValueError(
+            f"keys and values must have equal length, got {len(keys)} and {len(values)}"
+        )
+    device = keys.device
+    if device is not values.device:
+        raise ValueError("keys and values live on different devices")
+
+    n = len(keys)
+    # Radix double buffers: the real implementation ping-pongs between the
+    # input storage and a same-sized temporary for both keys and values.
+    scratch_keys = scratch_vals = None
+    try:
+        scratch_keys = device.memory.alloc(n, keys.dtype, name="radix_scratch_keys")
+        scratch_vals = device.memory.alloc(n, values.dtype, name="radix_scratch_vals")
+        radix_stats = stats.radix if stats is not None else RadixStats()
+        host_keys = keys.to_host()
+        host_vals = values.to_host()
+        sorted_keys, sorted_vals = radix_sort_by_key(
+            host_keys, host_vals, stats=radix_stats
+        )
+        # Model the ping-pong: final pass lands in scratch, copied back.
+        scratch_keys.copy_from_host(sorted_keys)
+        scratch_vals.copy_from_host(sorted_vals)
+        keys.from_host(scratch_keys.copy_to_host())
+        values.from_host(scratch_vals.copy_to_host())
+        if stats is not None:
+            stats.elements += n
+            stats.scratch_bytes = max(
+                stats.scratch_bytes, scratch_keys.nbytes + scratch_vals.nbytes
+            )
+    finally:
+        if scratch_keys is not None:
+            device.memory.free(scratch_keys)
+        if scratch_vals is not None:
+            device.memory.free(scratch_vals)

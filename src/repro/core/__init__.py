@@ -1,0 +1,89 @@
+"""``repro.core`` — the paper's contribution: GPU-ArraySort.
+
+Public surface:
+
+* :class:`~repro.core.array_sort.GpuArraySort` / :func:`~repro.core.array_sort.sort_arrays`
+  — the three-phase batch sorter with ``vectorized`` / ``sim`` / ``model`` engines;
+* :class:`~repro.core.config.SortConfig` — bucket-size and sampling-rate tuning;
+* phase building blocks (:mod:`~repro.core.splitters`,
+  :mod:`~repro.core.bucketing`, :mod:`~repro.core.insertion`) for users who
+  want to compose the pipeline themselves;
+* :mod:`~repro.core.kernels` — the per-thread kernels for the gpusim engine;
+* :mod:`~repro.core.pipeline` — the out-of-core extension (paper Section 9);
+* :mod:`~repro.core.validation` — result checkers.
+"""
+
+from .adaptive import (
+    SAMPLING_STRATEGIES,
+    AdaptiveSampler,
+    SkewProbe,
+    choose_strategy,
+    probe_skew,
+    select_splitters_adaptive,
+)
+from .array_sort import GpuArraySort, SortResult, sort_arrays
+from .pairs import PairSortResult, sort_pairs
+from .streaming import StreamingSorter, StreamStats
+from .topk import top_k, top_k_via_sort
+from .tuning import TuningResult, sweep_bucket_sizes, tune_config
+from .bucketing import BucketResult, bucket_ids_for_row, bucketize, exclusive_scan
+from .config import DEFAULT_CONFIG, SortConfig
+from .insertion import (
+    insertion_sort,
+    insertion_sort_inplace,
+    sort_buckets,
+    sort_buckets_rowwise,
+)
+from .splitters import (
+    SplitterResult,
+    regular_sample_indices,
+    select_splitters,
+    splitter_pick_indices,
+)
+from .validation import (
+    ValidationFailure,
+    assert_batch_sorted,
+    check_bucket_partition,
+    is_sorted_rows,
+    rows_are_permutations,
+)
+
+__all__ = [
+    "AdaptiveSampler",
+    "BucketResult",
+    "DEFAULT_CONFIG",
+    "PairSortResult",
+    "SAMPLING_STRATEGIES",
+    "SkewProbe",
+    "choose_strategy",
+    "probe_skew",
+    "select_splitters_adaptive",
+    "sort_pairs",
+    "StreamingSorter",
+    "StreamStats",
+    "TuningResult",
+    "sweep_bucket_sizes",
+    "top_k",
+    "top_k_via_sort",
+    "tune_config",
+    "GpuArraySort",
+    "SortConfig",
+    "SortResult",
+    "SplitterResult",
+    "ValidationFailure",
+    "assert_batch_sorted",
+    "bucket_ids_for_row",
+    "bucketize",
+    "check_bucket_partition",
+    "exclusive_scan",
+    "insertion_sort",
+    "insertion_sort_inplace",
+    "is_sorted_rows",
+    "regular_sample_indices",
+    "rows_are_permutations",
+    "select_splitters",
+    "sort_arrays",
+    "sort_buckets",
+    "sort_buckets_rowwise",
+    "splitter_pick_indices",
+]

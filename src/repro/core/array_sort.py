@@ -1,0 +1,234 @@
+"""GPU-ArraySort orchestrator: the paper's three-phase pipeline.
+
+:class:`GpuArraySort` is the public entry point.  It runs the same
+algorithm through one of three engines:
+
+* ``"vectorized"`` — NumPy batch implementation of the exact phase
+  semantics; fast enough for wall-clock benchmarking at realistic sizes.
+* ``"sim"`` — executes the per-thread kernels of
+  :mod:`repro.core.kernels` on the :mod:`repro.gpusim` lock-step SIMT
+  interpreter, producing hardware-behaviour reports (coalescing,
+  divergence, modeled milliseconds).  Micro scale only.
+* ``"model"`` — does no data movement at all; evaluates the calibrated
+  analytic cost model (:mod:`repro.analysis.perfmodel`) to predict the
+  modeled time at *paper* scale (N up to millions).
+
+All engines share phase 1/2/3 semantics, so the test suite cross-checks
+``sim`` against ``vectorized`` element for element.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from .bucketing import BucketResult, bucketize
+from .config import DEFAULT_CONFIG, SortConfig
+from .insertion import sort_buckets
+from .splitters import SplitterResult, select_splitters
+from .validation import assert_batch_sorted
+
+__all__ = ["GpuArraySort", "SortResult", "sort_arrays"]
+
+
+@dataclasses.dataclass
+class SortResult:
+    """Everything a sort run produced.
+
+    ``batch`` is the sorted ``(N, n)`` matrix (same storage as the input
+    when ``inplace=True``).  ``phase_seconds`` holds wall-clock per phase
+    for the vectorized engine; ``reports`` holds gpusim launch reports for
+    the sim engine; ``modeled_ms`` holds the cost-model prediction for
+    sim/model engines.
+    """
+
+    batch: np.ndarray
+    splitters: Optional[SplitterResult] = None
+    buckets: Optional[BucketResult] = None
+    phase_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+    reports: Optional[object] = None  # PipelineReport for engine="sim"
+    modeled_ms: Optional[float] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+
+class GpuArraySort:
+    """Sorter for large batches of equally-sized arrays.
+
+    Example::
+
+        sorter = GpuArraySort()
+        result = sorter.sort(batch)          # batch: (N, n) ndarray
+        sorted_batch = result.batch
+
+    Parameters
+    ----------
+    config:
+        Bucket-size / sampling-rate tuning (paper defaults).
+    engine:
+        ``"vectorized"`` (default), ``"sim"``, or ``"model"``.
+    device:
+        A :class:`repro.gpusim.GpuDevice` (sim engine) or
+        :class:`repro.gpusim.DeviceSpec` (model engine).  Defaults to the
+        paper's K40c.
+    verify:
+        When true, assert sortedness + permutation after every run.
+    """
+
+    ENGINES = ("vectorized", "sim", "model")
+
+    def __init__(
+        self,
+        config: SortConfig = DEFAULT_CONFIG,
+        *,
+        engine: str = "vectorized",
+        device=None,
+        verify: bool = False,
+        sampler=None,
+    ) -> None:
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
+        self.config = config
+        self.engine = engine
+        self.device = device
+        self.verify = verify
+        #: Optional repro.core.adaptive.AdaptiveSampler overriding phase 1's
+        #: regular sampling (vectorized engine only; the paper's Section 9
+        #: multi-sampling plan).
+        self.sampler = sampler
+
+    # -- public API ----------------------------------------------------------
+    def sort(
+        self,
+        batch: np.ndarray,
+        *,
+        inplace: bool = False,
+        descending: bool = False,
+    ) -> SortResult:
+        """Sort every row of ``batch``; returns a :class:`SortResult`.
+
+        ``inplace=True`` reuses the caller's storage (the algorithm is
+        in-place on the device; on the host this controls whether we copy
+        first).  ``descending=True`` reverses the order (internally: sort
+        ascending, reverse each row — one extra coalesced pass, exactly
+        how a device implementation would do it).  The input must be 2-D
+        with at least one column; NaNs are rejected by phase 2.
+        """
+        batch = np.asarray(batch)
+        if batch.ndim != 2:
+            raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+        if batch.shape[0] == 0:
+            return SortResult(batch=batch.copy() if not inplace else batch)
+        work = batch if inplace else batch.astype(batch.dtype, copy=True)
+        reference = batch.copy() if self.verify else None
+
+        if self.engine == "vectorized":
+            result = self._sort_vectorized(work)
+        elif self.engine == "sim":
+            result = self._sort_sim(work)
+        else:
+            result = self._sort_model(work)
+
+        if self.verify:
+            assert_batch_sorted(result.batch, reference)
+        if descending:
+            result.batch[:] = result.batch[:, ::-1]
+        return result
+
+    def argsort(self, batch: np.ndarray, *, descending: bool = False) -> np.ndarray:
+        """Per-row sorting permutation, via the pair machinery.
+
+        Runs the three phases on ``batch`` as keys carrying the column
+        indices as payload — the permutation a downstream pipeline needs
+        to reorder companion matrices (e.g. reorder intensities after
+        sorting m/z).  Stable: equal keys keep their original order.
+        """
+        from .pairs import sort_pairs
+
+        batch = np.asarray(batch)
+        if batch.ndim != 2:
+            raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+        idx = np.broadcast_to(
+            np.arange(batch.shape[1], dtype=np.int64), batch.shape
+        ).copy()
+        result = sort_pairs(batch, idx, config=self.config)
+        perm = result.values.astype(np.int64)
+        if descending:
+            perm = perm[:, ::-1].copy()
+        return perm
+
+    # -- engines ----------------------------------------------------------------
+    def _sort_vectorized(self, work: np.ndarray) -> SortResult:
+        t0 = time.perf_counter()
+        if self.sampler is not None:
+            spl = self.sampler.select(work)
+        else:
+            spl = select_splitters(work, self.config)
+        t1 = time.perf_counter()
+        buckets = bucketize(work, spl.splitters, self.config, out=work)
+        t2 = time.perf_counter()
+        sort_buckets(work, buckets.offsets)
+        t3 = time.perf_counter()
+        return SortResult(
+            batch=work,
+            splitters=spl,
+            buckets=buckets,
+            phase_seconds={
+                "phase1_splitters": t1 - t0,
+                "phase2_bucketing": t2 - t1,
+                "phase3_sorting": t3 - t2,
+            },
+        )
+
+    def _sort_sim(self, work: np.ndarray) -> SortResult:
+        from . import kernels  # local import: gpusim only needed for this engine
+        from ..gpusim import GpuDevice
+
+        device = self.device if self.device is not None else GpuDevice.k40c()
+        if not isinstance(device, GpuDevice):
+            raise TypeError("engine='sim' needs a repro.gpusim.GpuDevice")
+        sorted_batch, pipeline = kernels.run_arraysort_on_device(
+            device, work, self.config
+        )
+        work[:] = sorted_batch
+        return SortResult(
+            batch=work,
+            reports=pipeline,
+            modeled_ms=pipeline.milliseconds,
+        )
+
+    def _sort_model(self, work: np.ndarray) -> SortResult:
+        from ..analysis.perfmodel import model_arraysort_ms
+        from ..gpusim.device import DeviceSpec, K40C
+
+        spec = self.device if self.device is not None else K40C
+        if not isinstance(spec, DeviceSpec):
+            spec = getattr(spec, "spec", None)
+            if not isinstance(spec, DeviceSpec):
+                raise TypeError("engine='model' needs a DeviceSpec")
+        ms = model_arraysort_ms(spec, work.shape[0], work.shape[1], self.config)
+        # The model engine still delivers a sorted result (cheaply) so
+        # callers can use it interchangeably.
+        work.sort(axis=1)
+        return SortResult(batch=work, modeled_ms=ms)
+
+
+def sort_arrays(
+    batch: np.ndarray,
+    *,
+    config: SortConfig = DEFAULT_CONFIG,
+    engine: str = "vectorized",
+    verify: bool = False,
+) -> np.ndarray:
+    """One-shot convenience wrapper: returns the sorted batch.
+
+    >>> sort_arrays(np.array([[3., 1., 2.], [9., 7., 8.]])).tolist()
+    [[1.0, 2.0, 3.0], [7.0, 8.0, 9.0]]
+    """
+    sorter = GpuArraySort(config, engine=engine, verify=verify)
+    return sorter.sort(batch).batch

@@ -1,0 +1,167 @@
+"""Phase 2 — bucketing and in-place write-back (paper Section 5.2).
+
+Each array is partitioned by its splitters into ``p`` data-independent
+buckets.  On hardware, one block handles one array with one thread per
+bucket: each thread owns a splitter *pair* (with sentinels below the
+minimum and above the maximum appended, so no thread needs a boundary
+branch — the paper's branch-divergence avoidance trick), scans the whole
+array, collects in-range elements, and counts them.  The counted sizes let
+the block compute write-back offsets with an exclusive prefix sum, so the
+buckets are written **back into the array's own global-memory footprint**
+— the in-place property that saves ~50 % of device memory versus
+double-buffered bucketing.
+
+The vectorized engine expresses the same computation as:
+
+* bucket id per element = number of splitters <= element (a right-bisect),
+* stable argsort by bucket id = the order in which a per-bucket scan would
+  have emitted elements (each thread scans left to right, so bucketing is
+  stable within a bucket),
+* bincount per row = the size array ``Z`` of paper Definition 4.
+
+Boundary semantics: the paper's Algorithm 2 buckets elements *strictly
+between* the pair, which would drop elements equal to a splitter.  Every
+working sample-sort implementation uses half-open ranges; we bucket
+element ``x`` into bucket ``j`` iff ``s_j <= x < s_{j+1}`` (DESIGN.md
+section 8 records this deviation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from .config import DEFAULT_CONFIG, SortConfig
+
+__all__ = ["BucketResult", "bucket_ids_for_row", "bucketize", "exclusive_scan"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BucketResult:
+    """Output of phase 2 for a batch.
+
+    ``bucketed`` is the ``(N, n)`` matrix after in-place write-back: row
+    ``i`` holds array ``i``'s elements grouped by bucket, buckets in
+    splitter order, original order preserved inside each bucket.
+    ``sizes[i, j]`` is the population of bucket ``j`` (Definition 4's
+    ``Z``), and ``offsets`` is the per-row exclusive scan of sizes with an
+    end sentinel (shape ``(N, p + 1)``).
+    """
+
+    bucketed: np.ndarray
+    sizes: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def num_buckets(self) -> int:
+        return self.sizes.shape[1]
+
+    def max_bucket_size(self) -> int:
+        """Largest bucket anywhere in the batch (load-balance metric)."""
+        return int(self.sizes.max(initial=0))
+
+
+def exclusive_scan(sizes: np.ndarray) -> np.ndarray:
+    """Row-wise exclusive prefix sum with end sentinel.
+
+    This is the parallel write-back enabler from Section 5.2: knowing all
+    bucket sizes up front turns the "tedious sequential write back" into
+    independent per-bucket writes.
+
+    >>> exclusive_scan(np.array([[2, 0, 3]])).tolist()
+    [[0, 2, 2, 5]]
+    """
+    sizes = np.asarray(sizes)
+    if sizes.ndim != 2:
+        raise ValueError(f"expected (N, p) sizes, got shape {sizes.shape}")
+    out = np.zeros((sizes.shape[0], sizes.shape[1] + 1), dtype=np.int64)
+    np.cumsum(sizes, axis=1, out=out[:, 1:])
+    return out
+
+
+def bucket_ids_for_row(row: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+    """Bucket index of each element of one array (half-open ranges).
+
+    ``searchsorted(splitters, x, side='right')`` counts splitters <= x,
+    which is exactly the bucket owning ``x`` under ``s_j <= x < s_{j+1}``.
+    """
+    return np.searchsorted(np.asarray(splitters), np.asarray(row), side="right")
+
+
+def _batch_bucket_ids(batch: np.ndarray, splitters: np.ndarray, row_chunk: int) -> np.ndarray:
+    """Vectorized bucket ids for the whole batch, chunked to bound memory.
+
+    Broadcasting ``(rows, n, 1) >= (rows, 1, q)`` materializes a boolean
+    cube; chunking rows keeps it within ~tens of MB regardless of N.
+    """
+    n_rows = batch.shape[0]
+    q = splitters.shape[1]
+    out = np.empty(batch.shape, dtype=np.int32)
+    if q == 0:
+        out[:] = 0
+        return out
+    for start in range(0, n_rows, row_chunk):
+        stop = min(start + row_chunk, n_rows)
+        chunk = batch[start:stop]
+        # sum over splitter axis of (x >= s) == count of splitters <= x
+        # (for floats, >= and <= agree except on NaN, which we reject).
+        out[start:stop] = (chunk[:, :, None] >= splitters[start:stop, None, :]).sum(
+            axis=2, dtype=np.int32
+        )
+    return out
+
+
+def bucketize(
+    batch: np.ndarray,
+    splitters: np.ndarray,
+    config: SortConfig = DEFAULT_CONFIG,
+    *,
+    out: Optional[np.ndarray] = None,
+    row_chunk: int = 512,
+) -> BucketResult:
+    """Run phase 2 on a batch given phase-1 splitters.
+
+    When ``out`` is the batch itself the write-back is genuinely in place
+    (the default engine passes the device-resident matrix here); otherwise
+    a new matrix is produced.
+
+    NaNs are rejected: the splitter comparison network, like the hardware
+    kernel's ``<`` comparisons, has no total order for NaN.  Infinities
+    are allowed — padded ragged batches use +inf sentinels, which sort to
+    the tail like any other value.
+    """
+    batch = np.asarray(batch)
+    splitters = np.asarray(splitters)
+    if batch.ndim != 2 or splitters.ndim != 2:
+        raise ValueError("batch and splitters must both be 2-D")
+    if batch.shape[0] != splitters.shape[0]:
+        raise ValueError(
+            f"row count mismatch: batch has {batch.shape[0]} arrays, "
+            f"splitters {splitters.shape[0]}"
+        )
+    if batch.dtype.kind == "f" and np.isnan(batch).any():
+        raise ValueError("batch contains NaN; no total order")
+
+    p = splitters.shape[1] + 1
+    ids = _batch_bucket_ids(batch, splitters, row_chunk)
+
+    # Stable grouping by bucket id == per-thread in-order collection.
+    order = np.argsort(ids, axis=1, kind="stable")
+    bucketed = np.take_along_axis(batch, order, axis=1)
+
+    # Definition 4's Z array: per-row bucket populations.
+    sizes = np.zeros((batch.shape[0], p), dtype=np.int64)
+    rows = np.repeat(np.arange(batch.shape[0]), batch.shape[1])
+    np.add.at(sizes, (rows, ids.ravel()), 1)
+
+    offsets = exclusive_scan(sizes)
+
+    if out is None:
+        out = bucketed
+    else:
+        if out.shape != batch.shape:
+            raise ValueError("out must match batch shape")
+        out[:] = bucketed
+    return BucketResult(bucketed=out, sizes=sizes, offsets=offsets)

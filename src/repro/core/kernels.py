@@ -1,0 +1,276 @@
+"""CUDA-style per-thread kernels for the gpusim engine (Algorithms 1-3).
+
+These are direct transcriptions of the paper's three per-thread pseudo
+codes into the :mod:`repro.gpusim` generator-kernel model.  Every memory
+touch is an explicit event, so launch reports expose the hardware
+behaviour the paper's Section 3 argues about — coalescing of the staging
+loads, divergence-free bucketing thanks to sentinel splitter pairs, and
+shared-vs-global traffic ratios.
+
+Layout conventions (all 1-D, row-major):
+
+* ``d_data``   — the N*n element matrix, array ``i`` at ``[i*n, (i+1)*n)``;
+* ``d_split``  — the N*q splitter matrix (paper Definition 3's ``S``);
+* ``d_sizes``  — the N*p bucket-size matrix (Definition 4's ``Z``).
+
+Phase 1 launches one *single-thread* block per array (the paper: "Per
+block, single thread is used for performing all these operations");
+phases 2 and 3 launch one block per array with one thread per bucket.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..gpusim import GpuDevice, PipelineReport
+from .config import DEFAULT_CONFIG, SortConfig
+from .splitters import regular_sample_indices, splitter_pick_indices
+
+__all__ = [
+    "splitter_selection_kernel",
+    "bucketing_kernel",
+    "bucket_sort_kernel",
+    "run_arraysort_on_device",
+]
+
+
+def splitter_selection_kernel(ctx, shared, d_data, d_split, n, q, sample_idx, pick_idx):
+    """Algorithm 1: regular sampling + insertion sort + splitter pick.
+
+    One thread per block; ``shared`` is the block's sample buffer.
+    """
+    if ctx.thread_idx.x != 0:  # single-thread phase; spare lanes exit
+        return
+    base = ctx.block_idx.x * n
+    s = len(sample_idx)
+
+    # obtainSamples(Ai): strided gather from global into shared memory.
+    for i in range(s):
+        v = yield ctx.gload(d_data, base + sample_idx[i])
+        yield ctx.sstore(shared, i, v)
+
+    # insertionSort(samples), in shared memory on this single thread.
+    for i in range(1, s):
+        key = yield ctx.sload(shared, i)
+        j = i - 1
+        while j >= 0:
+            cur = yield ctx.sload(shared, j)
+            yield ctx.alu(1)  # the comparison
+            if cur <= key:
+                break
+            yield ctx.sstore(shared, j + 1, cur)
+            j -= 1
+        yield ctx.sstore(shared, j + 1, key)
+
+    # Gather q splitters at regular intervals of the sorted sample and
+    # write them to consecutive global locations (consecutive blocks write
+    # to consecutive memory, Section 5.1).
+    for k in range(q):
+        v = yield ctx.sload(shared, pick_idx[k])
+        yield ctx.gstore(d_split, ctx.block_idx.x * q + k, v)
+
+
+def bucketing_kernel(ctx, shared, d_data, d_split, d_sizes, n, p):
+    """Algorithm 2: splitter-pair bucketing with in-place write-back.
+
+    One block per array, one thread per bucket.  ``shared`` is a dict of
+    block-shared arrays: the staged input row, the splitter sub-array with
+    sentinels, the per-bucket counts, and the exclusive-scan offsets.
+
+    Two scans over the staged row: the first counts this thread's bucket
+    (Definition 4's ``zb``), the second emits matches straight to the
+    array's own global footprint at the scanned offset — the write-back
+    that saves ~50 % of device memory.
+    """
+    tid = ctx.thread_idx.x
+    base = ctx.block_idx.x * n
+    row = shared["row"]
+    sp = shared["splitters"]  # length p + 1, with -inf / +inf sentinels
+    counts = shared["counts"]
+    offsets = shared["offsets"]
+    q = p - 1
+
+    # Cooperative staging: thread t loads elements t, t+p, t+2p, ...
+    # Consecutive threads touch consecutive addresses -> coalesced.
+    for i in range(tid, n, p):
+        v = yield ctx.gload(d_data, base + i)
+        yield ctx.sstore(row, i, v)
+
+    # Stage this array's splitters (tiny but frequently used, Section 5.2)
+    # and plant the two sentinels that remove boundary branches.
+    if tid == 0:
+        yield ctx.sstore(sp, 0, -math.inf)
+        yield ctx.sstore(sp, p, math.inf)
+    for k in range(tid, q, p):
+        v = yield ctx.gload(d_split, ctx.block_idx.x * q + k)
+        yield ctx.sstore(sp, k + 1, v)
+    yield ctx.sync()
+
+    # Definition 5: thread tid owns the splitter pair (sp[tid], sp[tid+1]).
+    lo = yield ctx.sload(sp, tid)
+    hi = yield ctx.sload(sp, tid + 1)
+
+    # Scan 1: count. Every lane executes the same loads and the same
+    # compare; only the counter increment differs -> no divergent paths,
+    # exactly the property the sentinel pair buys (Section 5.2).
+    count = 0
+    for i in range(n):
+        v = yield ctx.sload(row, i)
+        yield ctx.alu(2)  # two range comparisons
+        if lo <= v < hi:
+            count += 1
+    yield ctx.gstore(d_sizes, ctx.block_idx.x * p + tid, count)
+    yield ctx.sstore(counts, tid, count)
+    yield ctx.sync()
+
+    # Exclusive scan of counts -> write-back offsets (single thread; p is
+    # small, and this mirrors the paper's simple per-block bookkeeping).
+    if tid == 0:
+        acc = 0
+        for j in range(p):
+            yield ctx.sstore(offsets, j, acc)
+            c = yield ctx.sload(counts, j)
+            acc += c
+    yield ctx.sync()
+
+    # Scan 2: emit. Matches stream to contiguous global addresses starting
+    # at this bucket's offset, inside the array's own storage.
+    offset = yield ctx.sload(offsets, tid)
+    write_pos = offset
+    for i in range(n):
+        v = yield ctx.sload(row, i)
+        yield ctx.alu(2)
+        if lo <= v < hi:
+            yield ctx.gstore(d_data, base + write_pos, v)
+            write_pos += 1
+
+
+def bucket_sort_kernel(ctx, shared, d_data, d_sizes, n, p):
+    """Algorithm 3: per-bucket in-place insertion sort.
+
+    One block per array, one thread per bucket.  Bucket pointers are
+    derived from the size matrix exactly as the paper describes ("pointers
+    to each bucket are calculated based on the thread ids and the size of
+    each bucket").
+    """
+    tid = ctx.thread_idx.x
+    base = ctx.block_idx.x * n
+    sizes = shared["sizes"]
+    offsets = shared["offsets"]
+
+    # Stage bucket sizes, then thread 0 turns them into offsets.
+    for k in range(tid, p, ctx.block_dim.x):
+        v = yield ctx.gload(d_sizes, ctx.block_idx.x * p + k)
+        yield ctx.sstore(sizes, k, v)
+    yield ctx.sync()
+    if tid == 0:
+        acc = 0
+        for j in range(p):
+            yield ctx.sstore(offsets, j, acc)
+            c = yield ctx.sload(sizes, j)
+            acc += c
+    yield ctx.sync()
+
+    start = yield ctx.sload(offsets, tid)
+    size = yield ctx.sload(sizes, tid)
+    start = int(start)
+    size = int(size)
+
+    # In-place insertion sort of d_data[base+start : base+start+size].
+    for i in range(1, size):
+        key = yield ctx.gload(d_data, base + start + i)
+        j = i - 1
+        while j >= 0:
+            cur = yield ctx.gload(d_data, base + start + j)
+            yield ctx.alu(1)
+            if cur <= key:
+                break
+            yield ctx.gstore(d_data, base + start + j + 1, cur)
+            j -= 1
+        yield ctx.gstore(d_data, base + start + j + 1, key)
+
+
+def run_arraysort_on_device(
+    device: GpuDevice,
+    batch: np.ndarray,
+    config: SortConfig = DEFAULT_CONFIG,
+) -> Tuple[np.ndarray, PipelineReport]:
+    """Execute the full three-launch pipeline on a simulated device.
+
+    Returns the sorted batch (host copy) and the :class:`PipelineReport`
+    with per-launch hardware metrics.  Device allocations are freed before
+    returning, leak-checked by tests via ``device.memory.live_allocations``.
+    """
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+    if batch.dtype.kind == "f" and np.isnan(batch).any():
+        # NaN defeats the splitter range comparisons: every bucket's
+        # "lo <= v < hi" is false, so the element would silently vanish
+        # during write-back.  Match the vectorized engine: refuse.
+        raise ValueError("batch contains NaN; no total order")
+    N, n = batch.shape
+    dtype = np.dtype(config.dtype)
+    p = config.num_buckets(n)
+    q = p - 1
+    sample_idx = regular_sample_indices(n, config)
+    pick_idx = splitter_pick_indices(len(sample_idx), p)
+
+    pipeline = PipelineReport()
+    d_data = d_split = d_sizes = None
+    try:
+        d_data = device.memory.alloc_like(batch.astype(dtype).ravel(), name="data")
+        d_split = device.memory.alloc(max(N * q, 1), dtype, name="splitters")
+        d_sizes = device.memory.alloc(N * p, np.int32, name="sizes")
+        rep1 = device.launch(
+            splitter_selection_kernel,
+            grid=N,
+            block=1,
+            args=(d_data, d_split, n, q, sample_idx, pick_idx),
+            shared_setup=lambda sm: sm.alloc(len(sample_idx), dtype, "samples"),
+            name="phase1_splitter_selection",
+        )
+        pipeline.add(rep1)
+
+        def phase2_shared(sm):
+            return {
+                "row": sm.alloc(n, dtype, "row"),
+                "splitters": sm.alloc(p + 1, np.float64, "splitters"),
+                "counts": sm.alloc(p, np.int32, "counts"),
+                "offsets": sm.alloc(p, np.int32, "offsets"),
+            }
+
+        rep2 = device.launch(
+            bucketing_kernel,
+            grid=N,
+            block=p,
+            args=(d_data, d_split, d_sizes, n, p),
+            shared_setup=phase2_shared,
+            name="phase2_bucketing",
+        )
+        pipeline.add(rep2)
+
+        def phase3_shared(sm):
+            return {
+                "sizes": sm.alloc(p, np.int32, "sizes"),
+                "offsets": sm.alloc(p, np.int32, "offsets"),
+            }
+
+        rep3 = device.launch(
+            bucket_sort_kernel,
+            grid=N,
+            block=p,
+            args=(d_data, d_sizes, n, p),
+            shared_setup=phase3_shared,
+            name="phase3_bucket_sort",
+        )
+        pipeline.add(rep3)
+        sorted_host = d_data.copy_to_host().reshape(N, n)
+    finally:
+        for arr in (d_data, d_split, d_sizes):
+            if arr is not None:
+                device.memory.free(arr)
+    return sorted_host, pipeline

@@ -1,0 +1,239 @@
+"""Optimized kernel variants — the "more complex strategies" (§5.1-5.2).
+
+The paper reports design experiments it ultimately rejected or left on
+the table:
+
+* §5.1: "Per block, single thread is used for performing all these
+  operations, we tried using more complex strategies but owing to the
+  small size of sampled array, over heads were too large."
+* §5.2's write-back offsets come from a serial scan; a parallel
+  block-level scan is the textbook alternative.
+
+This module implements those alternatives as runnable kernels, so the
+trade-off is *measured on the simulator* instead of taken on faith:
+
+* :func:`splitter_selection_parallel_kernel` — phase 1 with a
+  cooperative block: parallel sample staging (coalesced), an odd-even
+  sorting network over the sample (p threads, barriers), and parallel
+  splitter emission.  More parallelism, but barrier and network
+  overhead on a ~100-element sample;
+* :func:`bucketing_scan_kernel` — phase 2 with a Hillis-Steele
+  block-level scan of the bucket counts replacing the thread-0 serial
+  scan.
+
+:func:`run_arraysort_optimized` swaps these in (phase 3 unchanged) and
+returns the same outputs as the baseline pipeline, enabling an
+apples-to-apples modeled-time comparison
+(``benchmarks/bench_kernel_variants.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..gpusim import GpuDevice, PipelineReport
+from .config import DEFAULT_CONFIG, SortConfig
+from .kernels import bucket_sort_kernel
+from .splitters import regular_sample_indices, splitter_pick_indices
+
+__all__ = [
+    "splitter_selection_parallel_kernel",
+    "bucketing_scan_kernel",
+    "run_arraysort_optimized",
+]
+
+
+def splitter_selection_parallel_kernel(ctx, shared, d_data, d_split, n, q,
+                                       sample_idx, pick_idx):
+    """Phase 1 with a cooperative block (the rejected §5.1 strategy).
+
+    ``block_dim`` threads stage the sample in parallel (coalesced
+    gather), sort it with an odd-even transposition network (s rounds,
+    one barrier each — the overhead the paper blames), and emit the
+    splitters in parallel.
+    """
+    tid = ctx.thread_idx.x
+    bdim = ctx.block_dim.x
+    base = ctx.block_idx.x * n
+    s = len(sample_idx)
+
+    # Parallel staging: thread t loads samples t, t+bdim, ...
+    for i in range(tid, s, bdim):
+        v = yield ctx.gload(d_data, base + sample_idx[i])
+        yield ctx.sstore(shared, i, v)
+    yield ctx.sync()
+
+    # Odd-even transposition network over the sample: s rounds, each a
+    # barrier — cheap per round, but ~s barriers on a ~0.1n sample is
+    # exactly the overhead §5.1 reports.
+    for r in range(s):
+        start = r % 2
+        left = start + 2 * tid
+        if left + 1 < s:
+            a = yield ctx.sload(shared, left)
+            b = yield ctx.sload(shared, left + 1)
+            yield ctx.alu(1)
+            if a > b:
+                yield ctx.sstore(shared, left, b)
+                yield ctx.sstore(shared, left + 1, a)
+            else:
+                yield ctx.sstore(shared, left, a)
+                yield ctx.sstore(shared, left + 1, b)
+        yield ctx.sync()
+
+    # Parallel splitter emission (coalesced across lanes).
+    for k in range(tid, q, bdim):
+        v = yield ctx.sload(shared, pick_idx[k])
+        yield ctx.gstore(d_split, ctx.block_idx.x * q + k, v)
+
+
+def bucketing_scan_kernel(ctx, shared, d_data, d_split, d_sizes, n, p):
+    """Phase 2 with a parallel (Hillis-Steele) scan of bucket counts.
+
+    Identical to :func:`repro.core.kernels.bucketing_kernel` except the
+    thread-0 serial exclusive scan is replaced by a log2(p)-step
+    block-level scan using a double buffer — the production choice when
+    p grows beyond a few dozen.
+    """
+    tid = ctx.thread_idx.x
+    base = ctx.block_idx.x * n
+    row = shared["row"]
+    sp = shared["splitters"]
+    scan_buf = shared["scan"]  # length 2 * p
+    q = p - 1
+
+    for i in range(tid, n, p):
+        v = yield ctx.gload(d_data, base + i)
+        yield ctx.sstore(row, i, v)
+    if tid == 0:
+        yield ctx.sstore(sp, 0, -math.inf)
+        yield ctx.sstore(sp, p, math.inf)
+    for k in range(tid, q, p):
+        v = yield ctx.gload(d_split, ctx.block_idx.x * q + k)
+        yield ctx.sstore(sp, k + 1, v)
+    yield ctx.sync()
+
+    lo = yield ctx.sload(sp, tid)
+    hi = yield ctx.sload(sp, tid + 1)
+
+    count = 0
+    for i in range(n):
+        v = yield ctx.sload(row, i)
+        yield ctx.alu(2)
+        if lo <= v < hi:
+            count += 1
+    yield ctx.gstore(d_sizes, ctx.block_idx.x * p + tid, count)
+    yield ctx.sstore(scan_buf, tid, count)
+    yield ctx.sync()
+
+    # Hillis-Steele inclusive scan over p counts, double-buffered.
+    buf = 0
+    stride = 1
+    while stride < p:
+        src, dst = buf, 1 - buf
+        cur = yield ctx.sload(scan_buf, src * p + tid)
+        if tid >= stride:
+            prev = yield ctx.sload(scan_buf, src * p + tid - stride)
+            yield ctx.alu(1)
+            cur = cur + prev
+        yield ctx.sstore(scan_buf, dst * p + tid, cur)
+        yield ctx.sync()
+        buf = dst
+        stride *= 2
+
+    # Exclusive offset for this thread = inclusive scan at tid-1.
+    if tid == 0:
+        offset = 0
+    else:
+        offset = yield ctx.sload(scan_buf, buf * p + tid - 1)
+    offset = int(offset)
+
+    write_pos = offset
+    for i in range(n):
+        v = yield ctx.sload(row, i)
+        yield ctx.alu(2)
+        if lo <= v < hi:
+            yield ctx.gstore(d_data, base + write_pos, v)
+            write_pos += 1
+
+
+def run_arraysort_optimized(
+    device: GpuDevice,
+    batch: np.ndarray,
+    config: SortConfig = DEFAULT_CONFIG,
+    *,
+    phase1_threads: int = 32,
+) -> Tuple[np.ndarray, PipelineReport]:
+    """The full pipeline with the optimized phase-1/2 kernels.
+
+    Same inputs/outputs as
+    :func:`repro.core.kernels.run_arraysort_on_device`; tests assert
+    byte-identical results, benches compare the modeled times.
+    """
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+    if batch.dtype.kind == "f" and np.isnan(batch).any():
+        raise ValueError("batch contains NaN; no total order")
+    N, n = batch.shape
+    dtype = np.dtype(config.dtype)
+    p = config.num_buckets(n)
+    q = p - 1
+    sample_idx = regular_sample_indices(n, config)
+    pick_idx = splitter_pick_indices(len(sample_idx), p)
+
+    pipeline = PipelineReport()
+    d_data = d_split = d_sizes = None
+    try:
+        d_data = device.memory.alloc_like(batch.astype(dtype).ravel(), name="data")
+        d_split = device.memory.alloc(max(N * q, 1), dtype, name="splitters")
+        d_sizes = device.memory.alloc(N * p, np.int32, name="sizes")
+        threads1 = min(
+            phase1_threads, device.spec.max_threads_per_block,
+            max(1, len(sample_idx) // 2 + 1),
+        )
+        pipeline.add(device.launch(
+            splitter_selection_parallel_kernel,
+            grid=N, block=threads1,
+            args=(d_data, d_split, n, q, sample_idx, pick_idx),
+            shared_setup=lambda sm: sm.alloc(len(sample_idx), dtype, "samples"),
+            name="phase1_parallel",
+        ))
+
+        def phase2_shared(sm):
+            return {
+                "row": sm.alloc(n, dtype, "row"),
+                "splitters": sm.alloc(p + 1, np.float64, "splitters"),
+                "scan": sm.alloc(2 * p, np.int64, "scan"),
+            }
+
+        pipeline.add(device.launch(
+            bucketing_scan_kernel,
+            grid=N, block=p,
+            args=(d_data, d_split, d_sizes, n, p),
+            shared_setup=phase2_shared,
+            name="phase2_parallel_scan",
+        ))
+
+        def phase3_shared(sm):
+            return {
+                "sizes": sm.alloc(p, np.int32, "sizes"),
+                "offsets": sm.alloc(p, np.int32, "offsets"),
+            }
+
+        pipeline.add(device.launch(
+            bucket_sort_kernel,
+            grid=N, block=p,
+            args=(d_data, d_sizes, n, p),
+            shared_setup=phase3_shared,
+            name="phase3_bucket_sort",
+        ))
+        sorted_host = d_data.copy_to_host().reshape(N, n)
+    finally:
+        for arr in (d_data, d_split, d_sizes):
+            if arr is not None:
+                device.memory.free(arr)
+    return sorted_host, pipeline

@@ -1,0 +1,117 @@
+"""Auto-tuning: pick the bucket size / sampling rate for a device and n.
+
+The paper hardcodes bucket size 20 and 10 % sampling after manual
+experiments on one GPU and one distribution.  A production library
+should do that search for the user: :func:`tune_config` sweeps candidate
+configurations through the calibrated performance model (instant — no
+data is sorted) and optionally refines the sampling rate against a
+pilot batch's measured bucket balance.
+
+>>> cfg = tune_config(1000)            # doctest: +SKIP
+>>> cfg.bucket_size                    # doctest: +SKIP
+20
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..gpusim.device import DeviceSpec, K40C
+from .config import DEFAULT_CONFIG, SortConfig
+
+__all__ = ["TuningResult", "tune_config", "sweep_bucket_sizes"]
+
+#: Candidate bucket sizes the sweep considers by default.
+DEFAULT_BUCKET_CANDIDATES: Sequence[int] = (5, 10, 15, 20, 30, 40, 60, 80, 120)
+
+#: Candidate sampling rates for the balance refinement.
+DEFAULT_RATE_CANDIDATES: Sequence[float] = (0.05, 0.10, 0.20)
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a tuning run."""
+
+    config: SortConfig
+    modeled_ms: float
+    candidates: List[tuple]  # (bucket_size, modeled_ms) pairs
+
+    @property
+    def bucket_size(self) -> int:
+        return self.config.bucket_size
+
+
+def sweep_bucket_sizes(
+    n: int,
+    *,
+    N: int = 100_000,
+    device: DeviceSpec = K40C,
+    candidates: Sequence[int] = DEFAULT_BUCKET_CANDIDATES,
+    base: SortConfig = DEFAULT_CONFIG,
+) -> List[tuple]:
+    """Modeled milliseconds per candidate bucket size (sorted by cost)."""
+    from ..analysis.perfmodel import model_arraysort_ms
+
+    if not candidates:
+        raise ValueError("need at least one candidate bucket size")
+    results = []
+    for bucket in candidates:
+        if bucket < 1:
+            raise ValueError("bucket sizes must be >= 1")
+        cfg = base.with_(bucket_size=bucket)
+        results.append((bucket, model_arraysort_ms(device, N, n, cfg)))
+    return sorted(results, key=lambda pair: pair[1])
+
+
+def tune_config(
+    n: int,
+    *,
+    N: int = 100_000,
+    device: DeviceSpec = K40C,
+    pilot: Optional[np.ndarray] = None,
+    bucket_candidates: Sequence[int] = DEFAULT_BUCKET_CANDIDATES,
+    rate_candidates: Sequence[float] = DEFAULT_RATE_CANDIDATES,
+    base: SortConfig = DEFAULT_CONFIG,
+) -> TuningResult:
+    """Choose a :class:`SortConfig` for arrays of size ``n`` on ``device``.
+
+    Bucket size comes from the model sweep (cheapest modeled time).
+    When a ``pilot`` batch is supplied, the sampling rate is refined
+    empirically: the smallest candidate rate whose bucket-size std is
+    within 1.5x of the largest candidate's (diminishing-returns rule).
+    On uniform pilots this reproduces the paper's own 10 % choice; on
+    clustered pilots it escalates.
+    """
+    sweep = sweep_bucket_sizes(
+        n, N=N, device=device, candidates=bucket_candidates, base=base
+    )
+    best_bucket, best_ms = sweep[0]
+    config = base.with_(bucket_size=best_bucket)
+
+    if pilot is not None:
+        from ..analysis.metrics import sampling_quality
+
+        pilot = np.asarray(pilot)
+        if pilot.ndim != 2:
+            raise ValueError("pilot must be a (N, n) batch")
+        rates = sorted(rate_candidates)
+        if not rates:
+            raise ValueError("need at least one candidate rate")
+        stds = {
+            rate: sampling_quality(
+                pilot, rate, bucket_size=config.bucket_size
+            ).std
+            for rate in rates
+        }
+        floor = stds[rates[-1]]
+        chosen = rates[-1]
+        for rate in rates:
+            if stds[rate] <= 1.5 * max(floor, 1e-12):
+                chosen = rate
+                break
+        config = config.with_(sampling_rate=chosen)
+
+    return TuningResult(config=config, modeled_ms=best_ms, candidates=sweep)

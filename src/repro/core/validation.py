@@ -1,0 +1,129 @@
+"""Correctness checkers for batch-sorting results.
+
+Sorting a batch of arrays has two separable invariants per array:
+
+* **sortedness** — the output row is non-decreasing (Definition 1 of the
+  paper: ``A'_i = {a1 <= a2 <= ... <= an}``);
+* **permutation** — the output row is a rearrangement of the input row
+  (nothing lost, nothing invented, multiplicities preserved).
+
+These are used pervasively by tests, and also exposed on the public API so
+downstream users can cheaply verify results (``verify=True`` on the
+sorter).  A third checker validates phase-2 bucket partitions before the
+phase-3 sort runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "is_sorted_rows",
+    "rows_are_permutations",
+    "assert_batch_sorted",
+    "check_bucket_partition",
+    "ValidationFailure",
+]
+
+
+class ValidationFailure(AssertionError):
+    """Raised when a batch-sorting invariant does not hold."""
+
+
+def is_sorted_rows(batch: np.ndarray) -> np.ndarray:
+    """Boolean mask: which rows of a 2-D batch are non-decreasing.
+
+    >>> is_sorted_rows(np.array([[1, 2, 3], [3, 2, 1]])).tolist()
+    [True, False]
+    """
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ValueError(f"expected 2-D batch, got shape {batch.shape}")
+    if batch.shape[1] < 2:
+        return np.ones(batch.shape[0], dtype=bool)
+    return np.all(batch[:, 1:] >= batch[:, :-1], axis=1)
+
+
+def rows_are_permutations(out: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """Boolean mask: which rows of ``out`` are permutations of rows of ``ref``.
+
+    Implemented by comparing row-sorted copies, which checks multiset
+    equality including duplicate multiplicities.
+    """
+    out = np.asarray(out)
+    ref = np.asarray(ref)
+    if out.shape != ref.shape:
+        raise ValueError(f"shape mismatch: {out.shape} vs {ref.shape}")
+    if out.ndim != 2:
+        raise ValueError(f"expected 2-D batches, got shape {out.shape}")
+    return np.all(np.sort(out, axis=1) == np.sort(ref, axis=1), axis=1)
+
+
+def assert_batch_sorted(out: np.ndarray, ref: Optional[np.ndarray] = None) -> None:
+    """Raise :class:`ValidationFailure` unless every row of ``out`` is sorted
+    (and, when ``ref`` is given, a permutation of the matching ``ref`` row).
+    """
+    sorted_mask = is_sorted_rows(out)
+    if not sorted_mask.all():
+        bad = np.flatnonzero(~sorted_mask)
+        raise ValidationFailure(
+            f"{bad.size} of {out.shape[0]} rows are not sorted "
+            f"(first bad row: {bad[0]})"
+        )
+    if ref is not None:
+        perm_mask = rows_are_permutations(out, ref)
+        if not perm_mask.all():
+            bad = np.flatnonzero(~perm_mask)
+            raise ValidationFailure(
+                f"{bad.size} of {out.shape[0]} rows are not permutations of "
+                f"their inputs (first bad row: {bad[0]})"
+            )
+
+
+def check_bucket_partition(
+    row: np.ndarray,
+    splitters: Sequence[float],
+    offsets: Sequence[int],
+) -> None:
+    """Validate a phase-2 result for one array.
+
+    ``offsets`` holds the start of each bucket plus a final end sentinel
+    (length ``p + 1``).  Checks:
+
+    * offsets are non-decreasing, start at 0, end at ``len(row)``,
+    * every element of bucket ``j`` lies in the half-open splitter range
+      ``[s_{j-1}, s_j)`` (with virtual -inf / +inf sentinels).
+
+    Raises :class:`ValidationFailure` on the first violated bucket.
+    """
+    row = np.asarray(row)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    splitters = np.asarray(splitters, dtype=np.float64)
+    p = offsets.size - 1
+    if p < 1:
+        raise ValidationFailure("offsets must contain at least two entries")
+    if offsets[0] != 0 or offsets[-1] != row.size:
+        raise ValidationFailure(
+            f"offsets must span [0, {row.size}], got [{offsets[0]}, {offsets[-1]}]"
+        )
+    if np.any(np.diff(offsets) < 0):
+        raise ValidationFailure("bucket offsets are not non-decreasing")
+    if splitters.size != p - 1:
+        raise ValidationFailure(
+            f"expected {p - 1} splitters for {p} buckets, got {splitters.size}"
+        )
+    lo = np.concatenate(([-np.inf], splitters))
+    hi = np.concatenate((splitters, [np.inf]))
+    for j in range(p):
+        seg = row[offsets[j] : offsets[j + 1]]
+        if seg.size == 0:
+            continue
+        too_low = np.any(seg < lo[j])
+        too_high = hi[j] != np.inf and np.any(seg >= hi[j])
+        if too_low or too_high:
+            raise ValidationFailure(
+                f"bucket {j} holds values outside [{lo[j]}, {hi[j]}): "
+                f"range [{seg.min()}, {seg.max()}]"
+            )

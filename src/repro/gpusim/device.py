@@ -1,0 +1,195 @@
+"""Device models for the GPU simulator.
+
+A :class:`DeviceSpec` captures the handful of hardware parameters that the
+paper's performance argument actually rests on: number of streaming
+multiprocessors, CUDA cores per SM, global-memory capacity, per-block shared
+memory, warp width, and the clock/latency figures used by the timing model.
+
+The catalog ships the NVIDIA Tesla K40c used in the paper's evaluation
+(15 SMs x 192 cores = 2880 CUDA cores, 11520 MB global memory, 48 KB shared
+memory per block) plus a couple of other generations so tests and ablations
+can vary the hardware envelope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+__all__ = ["DeviceSpec", "DEVICE_CATALOG", "get_device", "K40C"]
+
+#: Bytes in one MiB; device memory sizes are quoted in MiB like nvidia-smi.
+MIB = 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """Immutable description of a simulated CUDA device.
+
+    Parameters mirror ``cudaDeviceProp`` fields where a direct analog
+    exists.  All sizes are bytes unless noted.
+    """
+
+    name: str
+    #: Streaming multiprocessors on the device.
+    sm_count: int
+    #: CUDA cores per SM (192 for Kepler SMX).
+    cores_per_sm: int
+    #: Total global (device) memory in bytes.
+    global_mem_bytes: int
+    #: Shared memory available to one block, in bytes (48 KB on Kepler).
+    shared_mem_per_block: int
+    #: Threads per warp; 32 on every NVIDIA architecture to date.
+    warp_size: int = 32
+    #: Hardware limit on threads per block.
+    max_threads_per_block: int = 1024
+    #: Hardware limit on resident threads per SM.
+    max_threads_per_sm: int = 2048
+    #: Hardware limit on resident blocks per SM.
+    max_blocks_per_sm: int = 16
+    #: Maximum x-dimension of a grid (Kepler: 2^31-1).
+    max_grid_dim_x: int = 2**31 - 1
+    #: Core clock in MHz.  K40c base clock is 745 MHz.
+    clock_mhz: float = 745.0
+    #: Global-memory latency in cycles (Kepler ~ 400-600; we use the middle).
+    global_latency_cycles: float = 500.0
+    #: Shared-memory latency in cycles.  The paper's Section 3.3 uses the
+    #: common "about 100x faster than global" rule; ~5 cycles vs ~500.
+    shared_latency_cycles: float = 5.0
+    #: Width of one coalesced global-memory transaction, bytes (128B line).
+    transaction_bytes: int = 128
+    #: Peak global-memory bandwidth in GB/s (K40c: 288 GB/s).
+    mem_bandwidth_gbps: float = 288.0
+    #: Fraction of global memory usable by an application after the CUDA
+    #: context, ECC parity, and allocator overheads take their cut.
+    #: Calibrated once against the paper's Table 1 (see
+    #: repro.analysis.memory_model): 0.73 of the K40c's 11 520 MiB
+    #: reproduces 7 of the 8 published capacity cells exactly at the
+    #: paper's 50 000-array probing granularity, the eighth within one
+    #: step.  ECC alone costs ~6.25 % on Kepler; context + fragmentation
+    #: slack plausibly account for the rest.
+    usable_mem_fraction: float = 0.73
+
+    @property
+    def cuda_cores(self) -> int:
+        """Total CUDA cores on the device (``sm_count * cores_per_sm``)."""
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def usable_global_mem_bytes(self) -> int:
+        """Global memory available to allocations, after runtime overheads."""
+        return int(self.global_mem_bytes * self.usable_mem_fraction)
+
+    @property
+    def warps_per_block_limit(self) -> int:
+        """Maximum warps a single block may contain."""
+        return self.max_threads_per_block // self.warp_size
+
+    @property
+    def clock_hz(self) -> float:
+        """Core clock in Hz."""
+        return self.clock_mhz * 1e6
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count into modeled milliseconds at base clock."""
+        return cycles / self.clock_hz * 1e3
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the spec is internally inconsistent."""
+        if self.sm_count <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("SM and core counts must be positive")
+        if self.warp_size <= 0 or self.max_threads_per_block % self.warp_size:
+            raise ValueError(
+                "max_threads_per_block must be a positive multiple of warp_size"
+            )
+        if self.global_mem_bytes <= 0 or self.shared_mem_per_block <= 0:
+            raise ValueError("memory sizes must be positive")
+        if not 0.0 < self.usable_mem_fraction <= 1.0:
+            raise ValueError("usable_mem_fraction must be in (0, 1]")
+
+
+#: The device used for every experiment in the paper (Section 7.2).
+K40C = DeviceSpec(
+    name="Tesla K40c",
+    sm_count=15,
+    cores_per_sm=192,
+    global_mem_bytes=11520 * MIB,
+    shared_mem_per_block=48 * 1024,
+)
+
+#: A Fermi-generation card: the paper's Section 3 mentions compute
+#: capability 2.0 devices with 48 KB shared memory and far fewer cores.
+C2050 = DeviceSpec(
+    name="Tesla C2050",
+    sm_count=14,
+    cores_per_sm=32,
+    global_mem_bytes=3 * 1024 * MIB,
+    shared_mem_per_block=48 * 1024,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    clock_mhz=1150.0,
+    mem_bandwidth_gbps=144.0,
+)
+
+#: Dual-GPU board of the same Kepler generation; one logical device here
+#: (the paper's single-GPU setting), useful as a "slightly bigger K40".
+K80 = DeviceSpec(
+    name="Tesla K80 (one GK210)",
+    sm_count=13,
+    cores_per_sm=192,
+    global_mem_bytes=12 * 1024 * MIB,
+    shared_mem_per_block=48 * 1024,
+    clock_mhz=560.0,
+    mem_bandwidth_gbps=240.0,
+)
+
+#: A Pascal-generation data-center card: what a 2016 reader would have
+#: upgraded to.  More SMs of fewer cores, much more bandwidth.
+P100 = DeviceSpec(
+    name="Tesla P100",
+    sm_count=56,
+    cores_per_sm=64,
+    global_mem_bytes=16 * 1024 * MIB,
+    shared_mem_per_block=48 * 1024,
+    max_blocks_per_sm=32,
+    clock_mhz=1328.0,
+    global_latency_cycles=400.0,
+    mem_bandwidth_gbps=732.0,
+)
+
+#: A deliberately tiny device for fast exhaustive simulator tests.
+MICRO = DeviceSpec(
+    name="MicroSim",
+    sm_count=2,
+    cores_per_sm=32,
+    global_mem_bytes=8 * MIB,
+    shared_mem_per_block=16 * 1024,
+    max_threads_per_block=256,
+    max_threads_per_sm=512,
+    max_blocks_per_sm=4,
+    clock_mhz=1000.0,
+    mem_bandwidth_gbps=32.0,
+)
+
+DEVICE_CATALOG: Dict[str, DeviceSpec] = {
+    "k40c": K40C,
+    "k80": K80,
+    "p100": P100,
+    "c2050": C2050,
+    "micro": MICRO,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by catalog key (case-insensitive).
+
+    >>> get_device("K40C").cuda_cores
+    2880
+    """
+    try:
+        spec = DEVICE_CATALOG[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_CATALOG))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None
+    spec.validate()
+    return spec

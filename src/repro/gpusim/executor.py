@@ -1,0 +1,204 @@
+"""Kernel launcher: schedules blocks onto the simulated device.
+
+The executor owns the CUDA-like launch semantics:
+
+* validates the :class:`LaunchConfig` against the device limits,
+* creates one fresh :class:`SharedMemory` per block (``__shared__``
+  lifetime), optionally running a block-scope ``shared_setup`` callable so
+  all threads of the block see the same shared arrays,
+* packs threads into warps in linear-thread-id order (as hardware does),
+* advances warps in lock step, honoring ``__syncthreads()`` barriers,
+* rolls warp costs up into a :class:`LaunchReport` via the occupancy and
+  timing models.
+
+Blocks execute sequentially in the interpreter, but their *costs* combine
+as the hardware would run them: ``ceil(blocks / concurrent_blocks)`` waves
+of the worst block time.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, List, Optional, Sequence
+
+from .device import DeviceSpec, K40C
+from .errors import InvalidLaunchError, KernelFault
+from .grid import Idx3, LaunchConfig
+from .memory import GlobalMemory, SharedMemory
+from .occupancy import compute_occupancy
+from .profiler import LaunchReport
+from .thread import ThreadContext
+from .timing import CostModel, LaunchTiming, StepCost
+from .warp import LaneState, Warp
+
+__all__ = ["GpuDevice"]
+
+
+class GpuDevice:
+    """A simulated GPU: device spec + global memory + kernel launcher.
+
+    This is the object user code holds, playing the role of a CUDA context::
+
+        gpu = GpuDevice.k40c()
+        data = gpu.memory.alloc_like(host_array)
+        report = gpu.launch(my_kernel, grid=N, block=p, args=(data,))
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec = K40C,
+        *,
+        memory_capacity: Optional[int] = None,
+        latency_hiding: float = 0.85,
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self.memory = GlobalMemory(spec, capacity_bytes=memory_capacity)
+        self.cost_model = CostModel(spec, latency_hiding=latency_hiding)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def k40c(cls, **kwargs) -> "GpuDevice":
+        """The paper's evaluation device."""
+        return cls(K40C, **kwargs)
+
+    @classmethod
+    def micro(cls, **kwargs) -> "GpuDevice":
+        """A tiny device for fast exhaustive tests."""
+        from .device import MICRO
+
+        return cls(MICRO, **kwargs)
+
+    # -- launching --------------------------------------------------------------
+    def launch(
+        self,
+        kernel: Callable,
+        *,
+        grid,
+        block,
+        args: Sequence = (),
+        shared_setup: Optional[Callable[[SharedMemory], object]] = None,
+        name: Optional[str] = None,
+        trace=None,
+    ) -> LaunchReport:
+        """Run ``kernel`` over the grid and return its :class:`LaunchReport`.
+
+        ``kernel`` must be a generator function ``kernel(ctx, shared, *args)``
+        where ``shared`` is the return value of ``shared_setup`` (or ``None``).
+        ``trace`` (a :class:`repro.gpusim.tracing.Tracer`) records every
+        warp-step memory access when given.
+        """
+        if not inspect.isgeneratorfunction(kernel):
+            raise InvalidLaunchError(
+                f"kernel {getattr(kernel, '__name__', kernel)!r} must be a "
+                "generator function (it should 'yield' events)"
+            )
+        config = LaunchConfig.create(grid, block)
+        config.validate(self.spec)
+
+        kernel_name = name or getattr(kernel, "__name__", "kernel")
+        block_dim = config.block
+        grid_dim = config.grid
+
+        worst_block = StepCost()
+        worst_block_total = 0.0
+        all_warp_stats = []
+        max_shared_used = 0
+
+        for block_idx_tuple in grid_dim.indices():
+            block_idx = Idx3(*block_idx_tuple)
+            shared = SharedMemory(self.spec)
+            shared_state = shared_setup(shared) if shared_setup is not None else None
+
+            lanes: List[LaneState] = []
+            for thread_idx_tuple in block_dim.indices():
+                thread_idx = Idx3(*thread_idx_tuple)
+                ctx = ThreadContext(thread_idx, block_idx, block_dim, grid_dim, shared)
+                gen = kernel(ctx, shared_state, *args)
+                lanes.append(LaneState(gen=gen, thread_index=thread_idx_tuple))
+
+            warps = [
+                Warp(
+                    lanes[i : i + self.spec.warp_size],
+                    self.cost_model,
+                    trace_ctx=(
+                        (trace, kernel_name, block_idx_tuple,
+                         i // self.spec.warp_size)
+                        if trace is not None else None
+                    ),
+                )
+                for i in range(0, len(lanes), self.spec.warp_size)
+            ]
+            self._run_block(warps, block_idx_tuple, kernel_name)
+            max_shared_used = max(max_shared_used, shared.used_bytes)
+
+            block_cost = StepCost()
+            for warp in warps:
+                block_cost.merge_max(warp.cost)
+                all_warp_stats.append(warp.stats)
+            # A little per-resident-warp scheduling overhead so huge blocks
+            # aren't free; dominated by memory terms in realistic kernels.
+            sched_overhead = 2.0 * len(warps)
+            block_total = block_cost.total + sched_overhead
+            if block_total > worst_block_total:
+                worst_block_total = block_total
+                worst_block = block_cost
+
+        occ_config = LaunchConfig(grid_dim, block_dim, max_shared_used)
+        occupancy = compute_occupancy(self.spec, occ_config)
+        timing = LaunchTiming(
+            block_cycles=worst_block_total,
+            total_blocks=config.total_blocks,
+            concurrent_blocks=occupancy.concurrent_blocks,
+            device=self.spec,
+        )
+        return LaunchReport(
+            kernel_name=kernel_name,
+            grid_blocks=config.total_blocks,
+            threads_per_block=config.threads_per_block,
+            occupancy=occupancy,
+            timing=timing,
+            warp_stats=all_warp_stats,
+        )
+
+    # -- block execution -----------------------------------------------------------
+    def _run_block(self, warps: List[Warp], block_idx: tuple, kernel_name: str) -> None:
+        """Drive the warps of one block to completion, handling barriers."""
+        while True:
+            progressed = False
+            for warp in warps:
+                while warp.runnable:
+                    try:
+                        if warp.step():
+                            progressed = True
+                        else:
+                            break
+                    except KernelFault as fault:
+                        raise KernelFault(
+                            f"{kernel_name}: {fault}", block=block_idx, thread=(-1,)
+                        ) from fault
+            if all(w.finished for w in warps):
+                return
+            if all(w.all_parked_or_done for w in warps):
+                # Barrier satisfied: every live lane is parked -> release all.
+                for warp in warps:
+                    warp.release_barrier()
+                progressed = True
+            if not progressed:  # pragma: no cover - defensive
+                raise KernelFault(
+                    f"{kernel_name}: block made no progress (barrier deadlock?)",
+                    block=block_idx,
+                    thread=(-1,),
+                )
+
+    # -- convenience ------------------------------------------------------------------
+    def synchronize(self) -> None:
+        """No-op analog of ``cudaDeviceSynchronize`` (launches are eager)."""
+
+    def mem_info(self) -> dict:
+        """Free/total memory, like ``cudaMemGetInfo``."""
+        return {
+            "free": self.memory.free_bytes,
+            "total": self.memory.capacity_bytes,
+            "peak": self.memory.stats.peak_bytes,
+        }

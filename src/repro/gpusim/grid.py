@@ -1,0 +1,144 @@
+"""Grid, block, and launch-configuration primitives.
+
+CUDA launches are parameterized by a grid of blocks and threads per block,
+each up to three-dimensional.  GPU-ArraySort only ever needs 1-D launches
+(one block per array, one thread per bucket), but the simulator supports the
+full ``Dim3`` shape so the substrate is reusable and so tests can exercise
+the general scheduling math.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Tuple
+
+from .device import DeviceSpec
+from .errors import InvalidLaunchError, SharedMemoryExceededError
+
+__all__ = ["Dim3", "Idx3", "LaunchConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Idx3:
+    """A 0-based coordinate inside a :class:`Dim3` shape.
+
+    ``threadIdx`` / ``blockIdx`` analog: components may be zero, unlike
+    ``Dim3`` extents which must be >= 1.
+    """
+
+    x: int = 0
+    y: int = 0
+    z: int = 0
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.x, self.y, self.z)
+
+
+@dataclasses.dataclass(frozen=True)
+class Dim3:
+    """A CUDA ``dim3``: extents along x, y, z (all >= 1)."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis, value in (("x", self.x), ("y", self.y), ("z", self.z)):
+            if not isinstance(value, int):
+                raise TypeError(f"Dim3.{axis} must be an int, got {type(value).__name__}")
+            if value < 1:
+                raise ValueError(f"Dim3.{axis} must be >= 1, got {value}")
+
+    @property
+    def count(self) -> int:
+        """Total number of elements in this shape."""
+        return self.x * self.y * self.z
+
+    def linearize(self, idx: Tuple[int, int, int]) -> int:
+        """Flatten an ``(x, y, z)`` index using CUDA's x-fastest ordering."""
+        x, y, z = idx
+        return x + self.x * (y + self.y * z)
+
+    def indices(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate indices in linear order (x fastest, matching warp packing)."""
+        for z in range(self.z):
+            for y in range(self.y):
+                for x in range(self.x):
+                    yield (x, y, z)
+
+    @classmethod
+    def of(cls, value) -> "Dim3":
+        """Coerce an int, tuple, or Dim3 into a Dim3.
+
+        >>> Dim3.of(4)
+        Dim3(x=4, y=1, z=1)
+        """
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        if isinstance(value, (tuple, list)):
+            return cls(*value)
+        raise TypeError(f"cannot interpret {value!r} as Dim3")
+
+
+@dataclasses.dataclass(frozen=True)
+class LaunchConfig:
+    """A validated kernel launch configuration.
+
+    Combines grid and block shapes with the per-block dynamic shared-memory
+    request, exactly like the ``<<<grid, block, smem>>>`` launch syntax.
+    """
+
+    grid: Dim3
+    block: Dim3
+    shared_mem_bytes: int = 0
+
+    @classmethod
+    def create(cls, grid, block, shared_mem_bytes: int = 0) -> "LaunchConfig":
+        """Build a config from loosely-typed grid/block values."""
+        return cls(Dim3.of(grid), Dim3.of(block), int(shared_mem_bytes))
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block.count
+
+    @property
+    def total_blocks(self) -> int:
+        return self.grid.count
+
+    @property
+    def total_threads(self) -> int:
+        return self.total_blocks * self.threads_per_block
+
+    def warps_per_block(self, warp_size: int) -> int:
+        """Number of warps needed to cover one block (ceiling division)."""
+        return -(-self.threads_per_block // warp_size)
+
+    def validate(self, device: DeviceSpec) -> None:
+        """Check this launch against a device's hard limits.
+
+        Raises :class:`InvalidLaunchError` or
+        :class:`SharedMemoryExceededError` exactly as the CUDA runtime would
+        reject the launch.
+        """
+        if self.total_blocks < 1:
+            raise InvalidLaunchError("grid must contain at least one block")
+        if self.threads_per_block < 1:
+            raise InvalidLaunchError("block must contain at least one thread")
+        if self.threads_per_block > device.max_threads_per_block:
+            raise InvalidLaunchError(
+                f"{self.threads_per_block} threads per block exceeds the "
+                f"device limit of {device.max_threads_per_block}"
+            )
+        if self.grid.x > device.max_grid_dim_x:
+            raise InvalidLaunchError(
+                f"grid.x = {self.grid.x} exceeds device limit "
+                f"{device.max_grid_dim_x}"
+            )
+        if self.shared_mem_bytes < 0:
+            raise InvalidLaunchError("shared memory request must be >= 0")
+        if self.shared_mem_bytes > device.shared_mem_per_block:
+            raise SharedMemoryExceededError(
+                self.shared_mem_bytes, device.shared_mem_per_block
+            )

@@ -1,0 +1,74 @@
+"""Occupancy calculator: how many blocks run concurrently on the device.
+
+Occupancy decides how many blocks a launch can keep resident at once, which
+the timing model turns into the number of back-to-back "waves" a grid needs.
+The limits mirror the CUDA occupancy calculator: threads per SM, blocks per
+SM, and shared memory per SM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .device import DeviceSpec
+from .grid import LaunchConfig
+
+__all__ = ["Occupancy", "compute_occupancy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy figures for one launch on one device."""
+
+    blocks_per_sm: int
+    limiting_factor: str
+    device_sm_count: int
+    warps_per_block: int
+
+    @property
+    def concurrent_blocks(self) -> int:
+        """Blocks resident across the whole device at one time."""
+        return self.blocks_per_sm * self.device_sm_count
+
+    @property
+    def active_warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+
+def compute_occupancy(device: DeviceSpec, config: LaunchConfig) -> Occupancy:
+    """Compute per-SM residency for ``config`` on ``device``.
+
+    The shared-memory pool per SM is modeled as equal to the per-block limit
+    (true for Kepler's default 48 KB configuration), so a block using all
+    its shared memory runs alone on its SM — exactly the pressure
+    GPU-ArraySort faces when staging a 4000-element array in shared memory.
+    """
+    threads = config.threads_per_block
+    warps_per_block = config.warps_per_block(device.warp_size)
+
+    by_threads = device.max_threads_per_sm // max(
+        threads, device.warp_size
+    )  # partial warps still occupy a scheduling slot
+    by_blocks = device.max_blocks_per_sm
+    if config.shared_mem_bytes > 0:
+        by_smem = device.shared_mem_per_block // config.shared_mem_bytes
+    else:
+        by_smem = by_blocks
+
+    blocks_per_sm = max(1, min(by_threads, by_blocks, by_smem))
+    # Hardware never schedules zero blocks; a launch that fits (validated
+    # earlier) always gets at least one resident block per SM.
+    if by_smem <= min(by_threads, by_blocks) and config.shared_mem_bytes > 0:
+        limiting = "shared_memory"
+    elif by_threads <= by_blocks:
+        limiting = "threads"
+    else:
+        limiting = "blocks"
+    if min(by_threads, by_blocks, by_smem) < 1:
+        blocks_per_sm = 1
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        limiting_factor=limiting,
+        device_sm_count=device.sm_count,
+        warps_per_block=warps_per_block,
+    )

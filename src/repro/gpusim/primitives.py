@@ -1,0 +1,274 @@
+"""Reusable device-kernel primitives for the simulator.
+
+The building blocks every CUDA sorting paper leans on — block-wide
+reduction, block-wide prefix scan (the Harris/Sengupta/Owens scan the
+paper cites as [17]), grid-stride copy, and a block histogram — written
+as lock-step generator kernels against the :mod:`repro.gpusim` thread
+API.
+
+They serve three purposes:
+
+* substrate completeness: GPU-ArraySort's phase 2 needs an exclusive
+  scan of bucket counts; the production variant is here (the
+  paper-faithful kernel uses the single-thread scan its text describes);
+* executor validation: these primitives have closed-form answers and
+  known hardware behaviour (a conflict-free scan vs a naive one), so
+  they double as acceptance tests of the warp/coalescing machinery;
+* pedagogy: examples/device_profiling.py can show real primitives.
+
+Each primitive has a host-side ``run_*`` wrapper that launches it and
+returns the result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .executor import GpuDevice
+from .profiler import LaunchReport
+
+__all__ = [
+    "block_reduce_kernel",
+    "block_scan_kernel",
+    "grid_stride_copy_kernel",
+    "block_histogram_kernel",
+    "run_reduce",
+    "run_scan",
+    "run_copy",
+    "run_histogram",
+]
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+def block_reduce_kernel(ctx, shared, data, out, n):
+    """Tree reduction (sum) of one block's segment into ``out[block]``.
+
+    Each block owns ``block_dim`` elements starting at
+    ``block_idx * block_dim``; lanes beyond ``n`` contribute zero.  The
+    classic shared-memory tree: halving strides, one sync per level.
+    """
+    tid = ctx.thread_idx.x
+    width = ctx.block_dim.x
+    gid = ctx.block_idx.x * width + tid
+
+    if gid < n:
+        v = yield ctx.gload(data, gid)
+    else:
+        v = 0.0
+    yield ctx.sstore(shared, tid, v)
+    yield ctx.sync()
+
+    stride = width // 2
+    while stride >= 1:
+        if tid < stride:
+            a = yield ctx.sload(shared, tid)
+            b = yield ctx.sload(shared, tid + stride)
+            yield ctx.alu(1)
+            yield ctx.sstore(shared, tid, a + b)
+        yield ctx.sync()
+        stride //= 2
+
+    if tid == 0:
+        total = yield ctx.sload(shared, 0)
+        yield ctx.gstore(out, ctx.block_idx.x, total)
+
+
+def block_scan_kernel(ctx, shared, data, out, n, exclusive):
+    """Hillis-Steele inclusive/exclusive prefix scan over one block.
+
+    Doubling strides, double-buffered in shared memory (the buffer is
+    2x block width).  This is the scan primitive of the paper's ref
+    [17] (Harris et al., "Parallel prefix sum (scan) with CUDA").
+    """
+    tid = ctx.thread_idx.x
+    width = ctx.block_dim.x
+    gid = ctx.block_idx.x * width + tid
+
+    if gid < n:
+        v = yield ctx.gload(data, gid)
+    else:
+        v = 0.0
+    buf = 0
+    yield ctx.sstore(shared, buf * width + tid, v)
+    yield ctx.sync()
+
+    stride = 1
+    while stride < width:
+        src, dst = buf, 1 - buf
+        cur = yield ctx.sload(shared, src * width + tid)
+        if tid >= stride:
+            prev = yield ctx.sload(shared, src * width + tid - stride)
+            yield ctx.alu(1)
+            cur = cur + prev
+        yield ctx.sstore(shared, dst * width + tid, cur)
+        yield ctx.sync()
+        buf = dst
+        stride *= 2
+
+    result = yield ctx.sload(shared, buf * width + tid)
+    if exclusive:
+        if tid == 0:
+            result = 0.0
+        else:
+            result = yield ctx.sload(shared, buf * width + tid - 1)
+    if gid < n:
+        yield ctx.gstore(out, gid, result)
+
+
+def grid_stride_copy_kernel(ctx, shared, src, dst, n):
+    """The canonical grid-stride loop: each thread copies elements
+    ``gid, gid + total_threads, ...`` — perfectly coalesced at any n."""
+    total = ctx.grid_dim.x * ctx.block_dim.x
+    gid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+    i = gid
+    while i < n:
+        v = yield ctx.gload(src, i)
+        yield ctx.gstore(dst, i, v)
+        i += total
+
+
+def block_histogram_kernel(ctx, shared, data, hist, n, num_bins, lo, width):
+    """Shared-memory histogram with atomic bin updates, merged to global.
+
+    Each block histograms its segment into a shared-memory array with
+    ``atomic_add`` (bank collisions modeled), then lane-striped threads
+    merge into the global histogram atomically — the standard two-level
+    pattern.
+    """
+    tid = ctx.thread_idx.x
+    bdim = ctx.block_dim.x
+    gid = ctx.block_idx.x * bdim + tid
+
+    for b in range(tid, num_bins, bdim):
+        yield ctx.sstore(shared, b, 0)
+    yield ctx.sync()
+
+    i = gid
+    total = ctx.grid_dim.x * bdim
+    while i < n:
+        v = yield ctx.gload(data, i)
+        yield ctx.alu(2)
+        bin_idx = int((v - lo) / width)
+        if bin_idx < 0:
+            bin_idx = 0
+        elif bin_idx >= num_bins:
+            bin_idx = num_bins - 1
+        yield ctx.atomic_add(shared, bin_idx, 1)
+        i += total
+    yield ctx.sync()
+
+    for b in range(tid, num_bins, bdim):
+        count = yield ctx.sload(shared, b)
+        if count:
+            yield ctx.atomic_add(hist, b, int(count))
+
+
+# ---------------------------------------------------------------------------
+# host wrappers
+# ---------------------------------------------------------------------------
+
+def _pow2_at_least(x: int) -> int:
+    p = 1
+    while p < x:
+        p *= 2
+    return p
+
+
+def run_reduce(device: GpuDevice, host: np.ndarray,
+               block: int = 64) -> Tuple[float, LaunchReport]:
+    """Sum a host array on the device; returns (sum, report)."""
+    host = np.asarray(host, dtype=np.float64).ravel()
+    n = host.size
+    if n == 0:
+        raise ValueError("cannot reduce an empty array")
+    block = _pow2_at_least(min(block, device.spec.max_threads_per_block))
+    grid = -(-n // block)
+    data = device.memory.alloc_like(host)
+    partial = device.memory.alloc(grid, np.float64)
+    try:
+        report = device.launch(
+            block_reduce_kernel, grid=grid, block=block, args=(data, partial, n),
+            shared_setup=lambda sm: sm.alloc(block, np.float64),
+        )
+        total = float(partial.copy_to_host().sum())
+    finally:
+        device.memory.free(data)
+        device.memory.free(partial)
+    return total, report
+
+
+def run_scan(device: GpuDevice, host: np.ndarray, *, exclusive: bool = False,
+             block: Optional[int] = None) -> Tuple[np.ndarray, LaunchReport]:
+    """Prefix-scan a host array that fits one block; returns (scan, report)."""
+    host = np.asarray(host, dtype=np.float64).ravel()
+    n = host.size
+    if n == 0:
+        return host.copy(), None  # type: ignore[return-value]
+    width = block or _pow2_at_least(n)
+    if width > device.spec.max_threads_per_block:
+        raise ValueError(
+            f"single-block scan limited to {device.spec.max_threads_per_block} "
+            f"elements on this device, got {n}"
+        )
+    data = device.memory.alloc_like(host)
+    out = device.memory.alloc(n, np.float64)
+    try:
+        report = device.launch(
+            block_scan_kernel, grid=1, block=width,
+            args=(data, out, n, exclusive),
+            shared_setup=lambda sm: sm.alloc(2 * width, np.float64),
+        )
+        result = out.copy_to_host()
+    finally:
+        device.memory.free(data)
+        device.memory.free(out)
+    return result, report
+
+
+def run_copy(device: GpuDevice, host: np.ndarray, *, grid: int = 4,
+             block: int = 64) -> Tuple[np.ndarray, LaunchReport]:
+    """Round-trip a host array through the grid-stride copy kernel."""
+    host = np.asarray(host).ravel()
+    src = device.memory.alloc_like(host)
+    dst = device.memory.alloc(host.size, host.dtype)
+    try:
+        report = device.launch(
+            grid_stride_copy_kernel, grid=grid, block=block,
+            args=(src, dst, host.size),
+        )
+        out = dst.copy_to_host()
+    finally:
+        device.memory.free(src)
+        device.memory.free(dst)
+    return out, report
+
+
+def run_histogram(device: GpuDevice, host: np.ndarray, num_bins: int,
+                  *, lo: Optional[float] = None, hi: Optional[float] = None,
+                  grid: int = 2, block: int = 32) -> Tuple[np.ndarray, LaunchReport]:
+    """Histogram a host array on the device; returns (counts, report)."""
+    host = np.asarray(host, dtype=np.float64).ravel()
+    if host.size == 0 or num_bins < 1:
+        raise ValueError("need data and at least one bin")
+    lo = float(host.min() if lo is None else lo)
+    hi = float(host.max() if hi is None else hi)
+    width = (hi - lo) / num_bins if hi > lo else 1.0
+    data = device.memory.alloc_like(host)
+    hist = device.memory.alloc(num_bins, np.int64)
+    hist.fill(0)
+    try:
+        report = device.launch(
+            block_histogram_kernel, grid=grid, block=block,
+            args=(data, hist, host.size, num_bins, lo, width),
+            shared_setup=lambda sm: sm.alloc(num_bins, np.int64),
+        )
+        counts = hist.copy_to_host()
+    finally:
+        device.memory.free(data)
+        device.memory.free(hist)
+    return counts, report

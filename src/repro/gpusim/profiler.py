@@ -1,0 +1,144 @@
+"""Launch reports: what the profiler would tell you about a kernel run.
+
+A :class:`LaunchReport` aggregates per-warp statistics (transactions,
+divergence, bank conflicts, ALU ops) and the timing model's roll-up into
+the numbers the paper's Section 3 cares about: coalescing efficiency,
+branch divergence, shared-vs-global traffic, and modeled milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from .occupancy import Occupancy
+from .timing import LaunchTiming
+from .warp import WarpStats
+
+__all__ = ["LaunchReport", "PipelineReport"]
+
+
+@dataclasses.dataclass
+class LaunchReport:
+    """Everything observed about one kernel launch."""
+
+    kernel_name: str
+    grid_blocks: int
+    threads_per_block: int
+    occupancy: Occupancy
+    timing: LaunchTiming
+    warp_stats: List[WarpStats] = dataclasses.field(default_factory=list)
+
+    # -- aggregates -------------------------------------------------------
+    @property
+    def total_global_transactions(self) -> int:
+        return sum(w.global_transactions for w in self.warp_stats)
+
+    @property
+    def total_global_bytes(self) -> int:
+        return sum(w.global_bytes for w in self.warp_stats)
+
+    @property
+    def total_shared_accesses(self) -> int:
+        return sum(w.shared_accesses for w in self.warp_stats)
+
+    @property
+    def total_bank_conflicts(self) -> int:
+        return sum(w.bank_conflict_replays for w in self.warp_stats)
+
+    @property
+    def total_divergent_steps(self) -> int:
+        return sum(w.divergent_steps for w in self.warp_stats)
+
+    @property
+    def total_atomic_ops(self) -> int:
+        return sum(w.atomic_ops for w in self.warp_stats)
+
+    @property
+    def total_atomic_serializations(self) -> int:
+        """Replays caused by same-address atomic collisions — the cost
+        the paper's one-thread-per-bucket design avoids entirely."""
+        return sum(w.atomic_serializations for w in self.warp_stats)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(w.steps for w in self.warp_stats)
+
+    @property
+    def divergence_fraction(self) -> float:
+        """Fraction of warp steps that had to serialize divergent paths."""
+        steps = self.total_steps
+        return self.total_divergent_steps / steps if steps else 0.0
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        """Bytes requested / bytes moved by transactions (1.0 = perfect).
+
+        A fully scattered warp access moves a 128-byte line per lane for 4
+        useful bytes, scoring 1/32.
+        """
+        txns = self.total_global_transactions
+        if txns == 0:
+            return 1.0
+        device = self.timing.device
+        moved = txns * device.transaction_bytes
+        return min(1.0, self.total_global_bytes / moved)
+
+    @property
+    def milliseconds(self) -> float:
+        return self.timing.milliseconds
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline metrics, handy for tables and asserts."""
+        return {
+            "kernel": self.kernel_name,
+            "blocks": self.grid_blocks,
+            "threads_per_block": self.threads_per_block,
+            "concurrent_blocks": self.occupancy.concurrent_blocks,
+            "waves": self.timing.waves,
+            "cycles": self.timing.total_cycles,
+            "ms": self.milliseconds,
+            "global_transactions": self.total_global_transactions,
+            "global_bytes": self.total_global_bytes,
+            "shared_accesses": self.total_shared_accesses,
+            "bank_conflicts": self.total_bank_conflicts,
+            "divergence_fraction": self.divergence_fraction,
+            "coalescing_efficiency": self.coalescing_efficiency,
+        }
+
+
+@dataclasses.dataclass
+class PipelineReport:
+    """Roll-up across the launches of a multi-kernel algorithm.
+
+    GPU-ArraySort runs three kernels back to back; STA runs tag setup plus
+    two radix-sort sequences.  Total modeled time is the sum of launch
+    times (kernel launches on one stream serialize).
+    """
+
+    launches: List[LaunchReport] = dataclasses.field(default_factory=list)
+
+    def add(self, report: LaunchReport) -> None:
+        self.launches.append(report)
+
+    @property
+    def milliseconds(self) -> float:
+        return sum(l.milliseconds for l in self.launches)
+
+    @property
+    def total_global_transactions(self) -> int:
+        return sum(l.total_global_transactions for l in self.launches)
+
+    @property
+    def divergence_fraction(self) -> float:
+        steps = sum(l.total_steps for l in self.launches)
+        if not steps:
+            return 0.0
+        return sum(l.total_divergent_steps for l in self.launches) / steps
+
+    def by_kernel(self) -> Dict[str, float]:
+        """Modeled milliseconds per kernel name (phases of the algorithm)."""
+        out: Dict[str, float] = {}
+        for launch in self.launches:
+            out[launch.kernel_name] = out.get(launch.kernel_name, 0.0) + launch.milliseconds
+        return out

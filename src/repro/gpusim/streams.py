@@ -1,0 +1,225 @@
+"""CUDA streams, events, and copy engines — a discrete-event timeline.
+
+The paper's Section 9 plan ("hides data transfer latencies in runtime")
+is a streams-and-events program: H2D copies on one stream, kernels on
+another, D2H on a third, ordered by events.  This module simulates that
+scheduling layer:
+
+* a :class:`SimTimeline` owns three engines (H2D copy, compute, D2H
+  copy — Kepler's dual copy engines plus the SM array), each a resource
+  that processes one operation at a time;
+* :class:`Stream` issues operations in FIFO order (CUDA stream
+  semantics): an op starts when (a) its stream's previous op finished,
+  (b) its engine is free, and (c) every event it waits on has fired;
+* :class:`SimEvent` records a completion instant
+  (``cudaEventRecord`` / ``cudaStreamWaitEvent``).
+
+The timeline computes start/finish instants for every op, so a
+dual-buffered out-of-core schedule can be *constructed* (not just
+summed) and its makespan, per-engine utilization, and critical path
+inspected.  ``repro.core.pipeline`` offers a closed-form shortcut; this
+is the general mechanism and is cross-checked against it in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional
+
+__all__ = ["EngineKind", "SimEvent", "SimOp", "Stream", "SimTimeline"]
+
+
+class EngineKind:
+    """The three hardware engines a Kepler-class device exposes."""
+
+    H2D = "h2d"
+    COMPUTE = "compute"
+    D2H = "d2h"
+
+    ALL = (H2D, COMPUTE, D2H)
+
+
+@dataclasses.dataclass
+class SimEvent:
+    """A recordable marker; fires when the op it follows completes."""
+
+    name: str = ""
+    #: Set by the scheduler; None until the timeline is computed.
+    fired_at_ms: Optional[float] = None
+
+
+@dataclasses.dataclass
+class SimOp:
+    """One enqueued operation (copy or kernel)."""
+
+    engine: str
+    duration_ms: float
+    label: str = ""
+    waits_on: List[SimEvent] = dataclasses.field(default_factory=list)
+    records: Optional[SimEvent] = None
+    stream_name: str = ""
+    #: Scheduler outputs.
+    start_ms: float = 0.0
+    finish_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.engine not in EngineKind.ALL:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {EngineKind.ALL}"
+            )
+        if self.duration_ms < 0:
+            raise ValueError("duration must be >= 0")
+
+
+class Stream:
+    """A FIFO queue of operations, like ``cudaStream_t``."""
+
+    _counter = itertools.count()
+
+    def __init__(self, timeline: "SimTimeline", name: Optional[str] = None) -> None:
+        self.timeline = timeline
+        self.name = name or f"stream{next(self._counter)}"
+        self.ops: List[SimOp] = []
+
+    def enqueue(
+        self,
+        engine: str,
+        duration_ms: float,
+        *,
+        label: str = "",
+        waits_on: Optional[List[SimEvent]] = None,
+        record: Optional[SimEvent] = None,
+    ) -> SimOp:
+        """Append an op; returns it (start/finish filled in by run())."""
+        op = SimOp(
+            engine=engine,
+            duration_ms=float(duration_ms),
+            label=label or f"{engine}#{len(self.ops)}",
+            waits_on=list(waits_on or ()),
+            records=record,
+            stream_name=self.name,
+        )
+        self.ops.append(op)
+        self.timeline._register(op)
+        return op
+
+    # Convenience wrappers matching the CUDA API shape.
+    def copy_h2d(self, duration_ms: float, **kw) -> SimOp:
+        return self.enqueue(EngineKind.H2D, duration_ms, **kw)
+
+    def launch(self, duration_ms: float, **kw) -> SimOp:
+        return self.enqueue(EngineKind.COMPUTE, duration_ms, **kw)
+
+    def copy_d2h(self, duration_ms: float, **kw) -> SimOp:
+        return self.enqueue(EngineKind.D2H, duration_ms, **kw)
+
+
+class SimTimeline:
+    """Schedules all enqueued ops and reports the resulting timeline."""
+
+    def __init__(self) -> None:
+        self._ops: List[SimOp] = []
+        self._computed = False
+
+    def stream(self, name: Optional[str] = None) -> Stream:
+        return Stream(self, name)
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(name=name)
+
+    def _register(self, op: SimOp) -> None:
+        self._ops.append(op)
+        self._computed = False
+
+    # -- scheduling -----------------------------------------------------
+    def run(self) -> float:
+        """Compute start/finish for every op; returns the makespan (ms).
+
+        List scheduling in enqueue order with three constraints per op:
+        stream FIFO, engine exclusivity, event waits.  Enqueue order is
+        the tie-breaker, which matches the driver's submission order
+        semantics closely enough for modeling.
+
+        Raises ``ValueError`` if an op waits on an event that is never
+        recorded by any earlier-scheduled op (a deadlock in real CUDA).
+        """
+        engine_free: Dict[str, float] = {k: 0.0 for k in EngineKind.ALL}
+        stream_free: Dict[str, float] = {}
+        makespan = 0.0
+        for op in self._ops:
+            earliest = max(
+                engine_free[op.engine], stream_free.get(op.stream_name, 0.0)
+            )
+            for ev in op.waits_on:
+                if ev.fired_at_ms is None:
+                    raise ValueError(
+                        f"op {op.label!r} waits on event {ev.name!r} that no "
+                        "earlier op records (would deadlock)"
+                    )
+                earliest = max(earliest, ev.fired_at_ms)
+            op.start_ms = earliest
+            op.finish_ms = earliest + op.duration_ms
+            engine_free[op.engine] = op.finish_ms
+            stream_free[op.stream_name] = op.finish_ms
+            if op.records is not None:
+                op.records.fired_at_ms = op.finish_ms
+            makespan = max(makespan, op.finish_ms)
+        self._computed = True
+        return makespan
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def ops(self) -> List[SimOp]:
+        return list(self._ops)
+
+    def makespan(self) -> float:
+        if not self._computed:
+            return self.run()
+        return max((op.finish_ms for op in self._ops), default=0.0)
+
+    def engine_busy_ms(self) -> Dict[str, float]:
+        """Total busy time per engine (utilization numerator)."""
+        busy = {k: 0.0 for k in EngineKind.ALL}
+        for op in self._ops:
+            busy[op.engine] += op.duration_ms
+        return busy
+
+    def utilization(self) -> Dict[str, float]:
+        """Busy fraction per engine over the makespan."""
+        total = self.makespan()
+        if total == 0:
+            return {k: 0.0 for k in EngineKind.ALL}
+        return {k: v / total for k, v in self.engine_busy_ms().items()}
+
+
+def build_double_buffered_schedule(
+    timeline: SimTimeline,
+    upload_ms: List[float],
+    compute_ms: List[float],
+    download_ms: List[float],
+) -> float:
+    """Construct the classic dual-buffer schedule and return its makespan.
+
+    Chunk ``i``'s compute waits on its upload; its download waits on its
+    compute; copies and kernels ride separate streams so the engines
+    overlap across chunks — the schedule the paper's Section 9 sketches.
+    """
+    k = len(compute_ms)
+    if not (len(upload_ms) == len(download_ms) == k):
+        raise ValueError("stage lists must have equal length")
+    up_stream = timeline.stream("h2d")
+    kern_stream = timeline.stream("kernels")
+    down_stream = timeline.stream("d2h")
+    for i in range(k):
+        uploaded = timeline.event(f"up{i}")
+        computed = timeline.event(f"comp{i}")
+        up_stream.copy_h2d(upload_ms[i], label=f"H2D chunk{i}", record=uploaded)
+        kern_stream.launch(
+            compute_ms[i], label=f"sort chunk{i}",
+            waits_on=[uploaded], record=computed,
+        )
+        down_stream.copy_d2h(
+            download_ms[i], label=f"D2H chunk{i}", waits_on=[computed]
+        )
+    return timeline.run()

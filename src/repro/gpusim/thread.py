@@ -1,0 +1,258 @@
+"""Thread-side programming model: events and the :class:`ThreadContext`.
+
+Simulated kernels are Python *generator functions* with the signature::
+
+    def kernel(ctx: ThreadContext, *launch_args):
+        tid = ctx.thread_idx.x
+        x = yield ctx.gload(data, tid)        # global load
+        yield ctx.alu(1)                       # charge 1 arithmetic op
+        yield ctx.gstore(out, tid, x * 2)      # global store
+        yield ctx.sync()                       # __syncthreads()
+
+Every ``yield`` is one lock-step instruction slot.  The warp executor
+advances all 32 lanes of a warp together, coalesces the global accesses
+the lanes issued in the same slot, detects divergence when lanes issue
+different instructions, and feeds the costs to the timing model.
+
+``gload`` returns an event; the *value* of the load is delivered as the
+result of the ``yield`` (the executor ``send()``s it back), mirroring how a
+real load's destination register only becomes usable after the instruction
+completes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from .grid import Dim3, Idx3
+from .memory import DeviceArray, SharedMemory
+
+__all__ = [
+    "AtomicAdd",
+    "Event",
+    "GlobalLoad",
+    "GlobalStore",
+    "SharedLoad",
+    "SharedStore",
+    "AluOp",
+    "SyncBarrier",
+    "ThreadContext",
+]
+
+
+@dataclasses.dataclass
+class Event:
+    """Base class for one lane-instruction in a lock step."""
+
+    #: Short opcode used for divergence grouping ("GLD", "GST", ...).
+    op: str = dataclasses.field(init=False, default="NOP")
+
+    def signature(self) -> str:
+        """Lanes whose signatures differ in a step have diverged."""
+        return self.op
+
+
+@dataclasses.dataclass
+class GlobalLoad(Event):
+    array: DeviceArray
+    index: int
+
+    def __post_init__(self) -> None:
+        self.op = "GLD"
+
+    @property
+    def address(self) -> int:
+        return self.array.address_of(self.index)
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.itemsize
+
+
+@dataclasses.dataclass
+class GlobalStore(Event):
+    array: DeviceArray
+    index: int
+    value: Any
+
+    def __post_init__(self) -> None:
+        self.op = "GST"
+
+    @property
+    def address(self) -> int:
+        return self.array.address_of(self.index)
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.itemsize
+
+
+@dataclasses.dataclass
+class SharedLoad(Event):
+    array: DeviceArray
+    index: int
+
+    def __post_init__(self) -> None:
+        self.op = "SLD"
+
+    @property
+    def bank(self) -> int:
+        # 32 banks of 4-byte words on CC >= 2.0 devices.
+        return (self.array.address_of(self.index) // 4) % 32
+
+
+@dataclasses.dataclass
+class SharedStore(Event):
+    array: DeviceArray
+    index: int
+    value: Any
+
+    def __post_init__(self) -> None:
+        self.op = "SST"
+
+    @property
+    def bank(self) -> int:
+        return (self.array.address_of(self.index) // 4) % 32
+
+
+@dataclasses.dataclass
+class AluOp(Event):
+    ops: int = 1
+
+    def __post_init__(self) -> None:
+        self.op = "ALU"
+
+
+@dataclasses.dataclass
+class AtomicAdd(Event):
+    """Atomic read-modify-write on global or shared memory.
+
+    Yields the *old* value back to the lane (CUDA ``atomicAdd`` returns
+    the pre-update value).  Lanes of a warp hitting the same address in
+    the same step serialize — the hardware behaviour behind the paper's
+    observation that multi-thread bucketing "slows down the process
+    considerably" (Section 5.2).
+    """
+
+    array: DeviceArray = None  # type: ignore[assignment]
+    index: int = 0
+    value: Any = 0
+
+    def __post_init__(self) -> None:
+        self.op = "ATOM"
+
+    @property
+    def address(self) -> int:
+        return self.array.address_of(self.index)
+
+
+@dataclasses.dataclass
+class SyncBarrier(Event):
+    def __post_init__(self) -> None:
+        self.op = "SYNC"
+
+
+class ThreadContext:
+    """Per-thread view of the launch: indices, dims, and event builders.
+
+    One instance exists per simulated thread.  It owns no mutable state
+    besides its identity; all memory lives in :class:`DeviceArray` objects.
+    """
+
+    __slots__ = ("thread_idx", "block_idx", "block_dim", "grid_dim", "_shared")
+
+    def __init__(
+        self,
+        thread_idx: Idx3,
+        block_idx: Idx3,
+        block_dim: Dim3,
+        grid_dim: Dim3,
+        shared: Optional[SharedMemory],
+    ) -> None:
+        self.thread_idx = thread_idx
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self._shared = shared
+
+    # -- identity helpers ---------------------------------------------------
+    @property
+    def global_thread_id(self) -> int:
+        """Flattened thread id across the whole grid (x-major)."""
+        block_linear = self.grid_dim.linearize(
+            (self.block_idx.x, self.block_idx.y, self.block_idx.z)
+        )
+        thread_linear = self.block_dim.linearize(
+            (self.thread_idx.x, self.thread_idx.y, self.thread_idx.z)
+        )
+        return block_linear * self.block_dim.count + thread_linear
+
+    @property
+    def lane_id(self) -> int:
+        """Lane within the warp (thread_linear % 32)."""
+        thread_linear = self.block_dim.linearize(
+            (self.thread_idx.x, self.thread_idx.y, self.thread_idx.z)
+        )
+        return thread_linear % 32
+
+    # -- shared memory -------------------------------------------------------
+    def shared_alloc(self, length: int, dtype, name: str = "") -> DeviceArray:
+        """Allocate block-shared storage (same array visible to all threads).
+
+        The executor arranges that thread 0's allocations are replayed for
+        the block; calling this from any thread returns the block's arena.
+        """
+        if self._shared is None:
+            raise RuntimeError("thread context has no shared memory attached")
+        return self._shared.alloc(length, dtype, name=name)
+
+    # -- event builders -------------------------------------------------------
+    @staticmethod
+    def gload(array: DeviceArray, index: int) -> GlobalLoad:
+        """Global-memory load; yield it and receive the element."""
+        return GlobalLoad(array, int(index))
+
+    @staticmethod
+    def gstore(array: DeviceArray, index: int, value) -> GlobalStore:
+        """Global-memory store."""
+        return GlobalStore(array, int(index), value)
+
+    @staticmethod
+    def sload(array: DeviceArray, index: int) -> SharedLoad:
+        """Shared-memory load; yield it and receive the element."""
+        return SharedLoad(array, int(index))
+
+    @staticmethod
+    def sstore(array: DeviceArray, index: int, value) -> SharedStore:
+        """Shared-memory store."""
+        return SharedStore(array, int(index), value)
+
+    @staticmethod
+    def atomic_add(array: DeviceArray, index: int, value) -> AtomicAdd:
+        """Atomic add; yield it and receive the old value."""
+        return AtomicAdd(array, int(index), value)
+
+    @staticmethod
+    def alu(ops: int = 1) -> AluOp:
+        """Charge ``ops`` arithmetic instructions to this lane."""
+        return AluOp(int(ops))
+
+    @staticmethod
+    def sync() -> SyncBarrier:
+        """Block-wide barrier (``__syncthreads()``)."""
+        return SyncBarrier()
+
+    @staticmethod
+    def load(array: DeviceArray, index: int):
+        """Space-dispatching load event (global or shared by array space)."""
+        if array.space == "shared":
+            return SharedLoad(array, int(index))
+        return GlobalLoad(array, int(index))
+
+    @staticmethod
+    def store(array: DeviceArray, index: int, value):
+        """Space-dispatching store event."""
+        if array.space == "shared":
+            return SharedStore(array, int(index), value)
+        return GlobalStore(array, int(index), value)

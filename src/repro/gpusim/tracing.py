@@ -1,0 +1,128 @@
+"""Memory-access tracing: step-level records of what kernels touch.
+
+The launch reports aggregate (transactions, divergence); a trace keeps
+the *sequence* — one record per warp step with the op kind, the lane
+addresses, and the resulting transaction count.  Uses:
+
+* debugging kernels (why is this step 32 transactions?),
+* asserting access-pattern properties in tests (e.g. "phase 2's staging
+  loads are unit-stride"),
+* producing the pattern histograms in ``examples/device_profiling.py``.
+
+Tracing is opt-in (``GpuDevice.launch(..., trace=Tracer())``) because
+retaining every step of a big launch is memory-heavy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from .coalescing import classify_pattern, coalesce_transactions
+
+__all__ = ["AccessRecord", "Tracer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessRecord:
+    """One warp-step memory access."""
+
+    kernel: str
+    block: Tuple[int, int, int]
+    warp_index: int
+    step: int
+    op: str                      # GLD / GST / SLD / SST / ATOM
+    addresses: Tuple[int, ...]
+    transactions: int
+    #: Barrier epoch: how many __syncthreads() the issuing warp had
+    #: passed.  Accesses in different epochs of one block are ordered;
+    #: same-epoch accesses from different warps are concurrent (the
+    #: race-detection granularity of repro.gpusim.memcheck).
+    epoch: int = 0
+    #: "global" or "shared" -- which arena the addresses index into.
+    space: str = "global"
+
+    @property
+    def pattern(self) -> str:
+        return classify_pattern(self.addresses)
+
+    @property
+    def is_write(self) -> bool:
+        return self.op in ("GST", "SST", "ATOM")
+
+
+class Tracer:
+    """Collects :class:`AccessRecord` objects across launches.
+
+    Bounded by ``max_records``; when full, further records are dropped
+    and :attr:`overflowed` flips (silent truncation would make pattern
+    statistics lie).
+    """
+
+    def __init__(self, max_records: int = 100_000) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.max_records = max_records
+        self.records: List[AccessRecord] = []
+        self.overflowed = False
+
+    # -- recording (called by the warp executor) -----------------------------
+    def record(
+        self,
+        kernel: str,
+        block: Tuple[int, int, int],
+        warp_index: int,
+        step: int,
+        op: str,
+        addresses: List[int],
+        transaction_bytes: int,
+        epoch: int = 0,
+        space: str = "global",
+    ) -> None:
+        if len(self.records) >= self.max_records:
+            self.overflowed = True
+            return
+        self.records.append(
+            AccessRecord(
+                kernel=kernel,
+                block=block,
+                warp_index=warp_index,
+                step=step,
+                op=op,
+                addresses=tuple(int(a) for a in addresses),
+                transactions=coalesce_transactions(addresses, transaction_bytes),
+                epoch=epoch,
+                space=space,
+            )
+        )
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_op(self) -> Dict[str, int]:
+        """Record counts per opcode."""
+        return dict(Counter(r.op for r in self.records))
+
+    def pattern_histogram(self, op: Optional[str] = None) -> Dict[str, int]:
+        """How many accesses were coalesced / strided / scattered."""
+        records = self.records if op is None else [
+            r for r in self.records if r.op == op
+        ]
+        return dict(Counter(r.pattern for r in records))
+
+    def worst_accesses(self, k: int = 5) -> List[AccessRecord]:
+        """The k accesses needing the most transactions."""
+        return sorted(self.records, key=lambda r: -r.transactions)[:k]
+
+    def transactions_for(self, kernel: str) -> int:
+        """Total traced global transactions for one kernel name."""
+        return sum(
+            r.transactions for r in self.records
+            if r.kernel == kernel and r.op in ("GLD", "GST")
+        )
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.overflowed = False

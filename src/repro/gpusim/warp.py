@@ -1,0 +1,237 @@
+"""Warp state machine: lock-step execution of up to 32 lanes.
+
+A :class:`Warp` owns the generator objects for its lanes and advances them
+one instruction slot at a time.  In each step it:
+
+1. resumes every runnable lane (delivering the previous slot's load result),
+2. groups the yielded events by opcode signature — more than one group in a
+   step means the warp has *diverged* and the groups serialize (Section 3.2
+   of the paper),
+3. coalesces the global accesses of each group into memory transactions
+   (Section 3.1) and counts shared-memory bank conflicts,
+4. charges the step to the warp's :class:`~repro.gpusim.timing.StepCost`.
+
+Lanes that yield a :class:`SyncBarrier` park until the block-level executor
+releases the barrier; lanes whose generators return are finished.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Any, Dict, Generator, List
+
+from .coalescing import coalesce_transactions
+from .errors import KernelFault
+from .thread import Event, SyncBarrier
+from .timing import CostModel, StepCost
+
+__all__ = ["LaneState", "Warp", "WarpStats"]
+
+RUNNING = "running"
+AT_BARRIER = "at_barrier"
+FINISHED = "finished"
+
+
+@dataclasses.dataclass
+class LaneState:
+    """Execution state of a single lane (thread) inside a warp."""
+
+    gen: Generator[Event, Any, None]
+    thread_index: tuple
+    status: str = RUNNING
+    #: Value to deliver into the generator at the next resume.
+    inbox: Any = None
+
+
+@dataclasses.dataclass
+class WarpStats:
+    """Observable hardware behaviour of one warp, for the profiler."""
+
+    steps: int = 0
+    divergent_steps: int = 0
+    global_transactions: int = 0
+    global_bytes: int = 0
+    shared_accesses: int = 0
+    bank_conflict_replays: int = 0
+    alu_ops: int = 0
+    syncs: int = 0
+    atomic_ops: int = 0
+    atomic_serializations: int = 0
+
+
+class Warp:
+    """Lock-step interpreter for one warp of lanes.
+
+    ``trace_ctx`` (optional) is ``(tracer, kernel_name, block_idx,
+    warp_index)``; when present, every memory-access group is recorded
+    as an :class:`repro.gpusim.tracing.AccessRecord`.
+    """
+
+    def __init__(self, lanes: List[LaneState], cost_model: CostModel,
+                 trace_ctx=None) -> None:
+        if not lanes:
+            raise ValueError("a warp needs at least one lane")
+        self.lanes = lanes
+        self.cost = StepCost()
+        self.stats = WarpStats()
+        self._model = cost_model
+        self._trace_ctx = trace_ctx
+
+    def _trace(self, op: str, addresses: List[int], space: str = None) -> None:
+        if self._trace_ctx is None:
+            return
+        if space is None:
+            space = "shared" if op in ("SLD", "SST") else "global"
+        tracer, kernel, block, warp_index = self._trace_ctx
+        tracer.record(
+            kernel, block, warp_index, self.stats.steps, op, addresses,
+            self._model.device.transaction_bytes,
+            epoch=self.stats.syncs,
+            space=space,
+        )
+
+    # -- status ----------------------------------------------------------------
+    @property
+    def runnable(self) -> bool:
+        return any(l.status == RUNNING for l in self.lanes)
+
+    @property
+    def all_parked_or_done(self) -> bool:
+        return all(l.status in (AT_BARRIER, FINISHED) for l in self.lanes)
+
+    @property
+    def finished(self) -> bool:
+        return all(l.status == FINISHED for l in self.lanes)
+
+    def release_barrier(self) -> None:
+        """Return all barrier-parked lanes to the runnable state."""
+        for lane in self.lanes:
+            if lane.status == AT_BARRIER:
+                lane.status = RUNNING
+
+    # -- stepping ----------------------------------------------------------------
+    def step(self) -> bool:
+        """Advance every runnable lane one instruction slot.
+
+        Returns ``True`` if any lane made progress.  Raises
+        :class:`KernelFault` when user kernel code throws.
+        """
+        active: List[tuple] = []  # (lane, event)
+        for lane in self.lanes:
+            if lane.status != RUNNING:
+                continue
+            try:
+                event = lane.gen.send(lane.inbox)
+            except StopIteration:
+                lane.status = FINISHED
+                continue
+            except Exception as exc:  # noqa: BLE001 - surface with context
+                raise KernelFault(repr(exc), block=(-1,), thread=lane.thread_index) from exc
+            lane.inbox = None
+            if not isinstance(event, Event):
+                raise KernelFault(
+                    f"kernel yielded {type(event).__name__}, expected an Event",
+                    block=(-1,),
+                    thread=lane.thread_index,
+                )
+            if isinstance(event, SyncBarrier):
+                lane.status = AT_BARRIER
+                self.stats.syncs += 1
+                self.cost.sync_cycles += self._model.sync()
+                continue
+            active.append((lane, event))
+
+        if not active:
+            return False
+
+        self.stats.steps += 1
+        groups: Dict[str, List[tuple]] = defaultdict(list)
+        for lane, event in active:
+            groups[event.signature()].append((lane, event))
+        if len(groups) > 1:
+            self.stats.divergent_steps += 1
+            self.cost.divergence_cycles += self._model.divergence(len(groups))
+
+        # Each divergent group serializes: costs add across groups.
+        for signature, members in groups.items():
+            self._execute_group(signature, members)
+        return True
+
+    # -- group execution -----------------------------------------------------------
+    def _execute_group(self, signature: str, members: List[tuple]) -> None:
+        kind = signature
+        if kind == "GLD":
+            addrs = [ev.address for _, ev in members]
+            txns = coalesce_transactions(addrs, self._model.device.transaction_bytes)
+            self.stats.global_transactions += txns
+            self.stats.global_bytes += sum(ev.nbytes for _, ev in members)
+            self.cost.global_cycles += self._model.global_access(txns)
+            self._trace("GLD", addrs)
+            for lane, ev in members:
+                lane.inbox = ev.array.load(ev.index)
+        elif kind == "GST":
+            addrs = [ev.address for _, ev in members]
+            txns = coalesce_transactions(addrs, self._model.device.transaction_bytes)
+            self.stats.global_transactions += txns
+            self.stats.global_bytes += sum(ev.nbytes for _, ev in members)
+            self.cost.global_cycles += self._model.global_access(txns)
+            self._trace("GST", addrs)
+            for lane, ev in members:
+                ev.array.store(ev.index, ev.value)
+        elif kind in ("SLD", "SST"):
+            conflicts = self._bank_conflicts([ev for _, ev in members])
+            self.stats.shared_accesses += len(members)
+            self.stats.bank_conflict_replays += conflicts
+            self.cost.shared_cycles += self._model.shared_access(conflicts)
+            self._trace(kind, [ev.array.address_of(ev.index) for _, ev in members])
+            for lane, ev in members:
+                if kind == "SLD":
+                    lane.inbox = ev.array.load(ev.index)
+                else:
+                    ev.array.store(ev.index, ev.value)
+        elif kind == "ATOM":
+            # Same-address atomics from different lanes serialize: the
+            # step costs one memory round trip per distinct address plus
+            # one serialization replay per colliding lane.
+            by_addr: Dict[int, List[tuple]] = defaultdict(list)
+            for lane, ev in members:
+                by_addr[ev.address].append((lane, ev))
+            worst_collision = max(len(v) for v in by_addr.values())
+            self.stats.atomic_ops += len(members)
+            self.stats.atomic_serializations += worst_collision - 1
+            self._trace("ATOM", [ev.address for _, ev in members],
+                        space=members[0][1].array.space)
+            if members[0][1].array.space == "shared":
+                self.cost.shared_cycles += self._model.shared_access(0) * worst_collision
+            else:
+                txns = coalesce_transactions(
+                    [ev.address for _, ev in members],
+                    self._model.device.transaction_bytes,
+                )
+                self.stats.global_transactions += txns
+                self.cost.global_cycles += (
+                    self._model.global_access(txns) * worst_collision
+                )
+            # Execute in lane order (deterministic; hardware order is
+            # unspecified, any serial order is a valid outcome).
+            for lane, ev in members:
+                old = ev.array.load(ev.index)
+                ev.array.store(ev.index, old + ev.value)
+                lane.inbox = old
+        elif kind == "ALU":
+            ops = max(ev.ops for _, ev in members)
+            self.stats.alu_ops += ops
+            self.cost.alu_cycles += self._model.alu(ops)
+        else:  # pragma: no cover - future opcodes
+            raise KernelFault(f"unknown event signature {kind}", (-1,), (-1,))
+
+    @staticmethod
+    def _bank_conflicts(events: List) -> int:
+        """Replays required when multiple lanes hit the same bank at
+        different addresses (same-address broadcasts are free)."""
+        by_bank: Dict[int, set] = defaultdict(set)
+        for ev in events:
+            by_bank[ev.bank].add(ev.array.address_of(ev.index))
+        worst = max((len(addrs) for addrs in by_bank.values()), default=1)
+        return worst - 1

@@ -1,0 +1,47 @@
+"""``repro.workloads`` — dataset generators and batch containers."""
+
+from .datasets import ArrayBatch, RaggedBatch
+from .io import load_batch, read_mgf, read_mgf_ragged, save_batch, write_mgf
+from .generators import (
+    PAPER_VALUE_MAX,
+    adversarial_constant_arrays,
+    clustered_arrays,
+    duplicate_heavy_arrays,
+    exponential_arrays,
+    nearly_sorted_arrays,
+    normal_arrays,
+    reverse_sorted_arrays,
+    sorted_arrays,
+    uniform_arrays,
+    zipf_arrays,
+)
+from .spectra import MAX_PEAKS_PER_SPECTRUM, SpectrumBatch, generate_spectra
+from .suites import STANDARD_SUITE, WorkloadSpec, get_workload, list_workloads
+
+__all__ = [
+    "ArrayBatch",
+    "MAX_PEAKS_PER_SPECTRUM",
+    "PAPER_VALUE_MAX",
+    "RaggedBatch",
+    "SpectrumBatch",
+    "adversarial_constant_arrays",
+    "clustered_arrays",
+    "duplicate_heavy_arrays",
+    "exponential_arrays",
+    "zipf_arrays",
+    "generate_spectra",
+    "load_batch",
+    "nearly_sorted_arrays",
+    "read_mgf",
+    "read_mgf_ragged",
+    "save_batch",
+    "write_mgf",
+    "STANDARD_SUITE",
+    "WorkloadSpec",
+    "get_workload",
+    "list_workloads",
+    "normal_arrays",
+    "reverse_sorted_arrays",
+    "sorted_arrays",
+    "uniform_arrays",
+]

@@ -1,0 +1,136 @@
+"""Batch containers: uniform (N, n) batches and ragged batches.
+
+:class:`ArrayBatch` wraps the ``(N, n)`` matrix everything else consumes
+and remembers how it was generated (useful in benchmark reports).
+:class:`RaggedBatch` holds variable-length arrays in a flat buffer +
+offsets layout (the CSR-style layout segmented sorts use); the paper's
+algorithm assumes uniform sizes, so :meth:`RaggedBatch.padded` converts
+by padding with +inf, and :meth:`RaggedBatch.unpad` strips the padding
+after sorting (padding sorts to the tail, so unpadding is a slice).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ArrayBatch", "RaggedBatch"]
+
+
+@dataclasses.dataclass
+class ArrayBatch:
+    """A uniform batch of N arrays of n elements plus provenance."""
+
+    data: np.ndarray
+    description: str = ""
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.ndim != 2:
+            raise ValueError(f"expected (N, n) data, got shape {self.data.shape}")
+
+    @property
+    def num_arrays(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def array_size(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def copy(self) -> "ArrayBatch":
+        return ArrayBatch(self.data.copy(), self.description, self.seed)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.data)
+
+    def __len__(self) -> int:
+        return self.num_arrays
+
+
+class RaggedBatch:
+    """Variable-length arrays in flat-values + offsets (CSR) layout."""
+
+    def __init__(self, values: np.ndarray, offsets: np.ndarray) -> None:
+        self.values = np.asarray(values)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        if self.values.ndim != 1:
+            raise ValueError("values must be 1-D")
+        if (
+            self.offsets.ndim != 1
+            or self.offsets.size < 1
+            or self.offsets[0] != 0
+            or self.offsets[-1] != self.values.size
+            or np.any(np.diff(self.offsets) < 0)
+        ):
+            raise ValueError("offsets must be non-decreasing from 0 to len(values)")
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[np.ndarray]) -> "RaggedBatch":
+        """Build from a list of 1-D arrays (possibly different lengths)."""
+        arrays = [np.asarray(a).ravel() for a in arrays]
+        lengths = np.array([a.size for a in arrays], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        values = (
+            np.concatenate(arrays)
+            if arrays
+            else np.empty(0, dtype=np.float32)
+        )
+        return cls(values, offsets)
+
+    # -- shape ------------------------------------------------------------
+    @property
+    def num_arrays(self) -> int:
+        return self.offsets.size - 1
+
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def __len__(self) -> int:
+        return self.num_arrays
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self.values[self.offsets[i] : self.offsets[i + 1]]
+
+    def to_list(self) -> List[np.ndarray]:
+        return [self[i] for i in range(self.num_arrays)]
+
+    # -- conversion for the uniform-batch sorter --------------------------------
+    def padded(self, pad_value: Optional[float] = None) -> np.ndarray:
+        """Dense ``(N, max_len)`` matrix padded with ``pad_value``.
+
+        Defaults to +inf for float dtypes (pads sort to the tail) and the
+        dtype max for integers.
+        """
+        if self.num_arrays == 0:
+            return np.empty((0, 0), dtype=self.values.dtype)
+        max_len = int(self.lengths().max(initial=0))
+        if pad_value is None:
+            if self.values.dtype.kind == "f":
+                pad_value = np.inf
+            else:
+                pad_value = np.iinfo(self.values.dtype).max
+        out = np.full((self.num_arrays, max(max_len, 1)), pad_value, dtype=self.values.dtype)
+        for i in range(self.num_arrays):
+            seg = self[i]
+            out[i, : seg.size] = seg
+        return out
+
+    def unpad(self, dense: np.ndarray) -> "RaggedBatch":
+        """Recover a ragged batch from a (sorted) padded matrix.
+
+        Assumes the padding sorts to the tail (true for +inf / int max),
+        so row ``i``'s real data is its first ``lengths()[i]`` entries.
+        """
+        lengths = self.lengths()
+        parts = [dense[i, : lengths[i]] for i in range(self.num_arrays)]
+        return RaggedBatch.from_arrays(parts) if parts else RaggedBatch(
+            np.empty(0, dtype=self.values.dtype), np.zeros(1, dtype=np.int64)
+        )

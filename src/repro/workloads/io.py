@@ -1,0 +1,149 @@
+"""Dataset persistence: NPZ batches and MGF-style spectra files.
+
+Real proteomics pipelines exchange spectra as text (MGF — Mascot Generic
+Format — being the lingua franca).  To make the examples and benchmarks
+round-trippable against files, this module provides:
+
+* :func:`save_batch` / :func:`load_batch` — ``(N, n)`` batches with
+  provenance metadata in compressed ``.npz``;
+* :func:`write_mgf` / :func:`read_mgf` — a faithful-enough MGF subset
+  (``BEGIN IONS`` / ``TITLE`` / ``PEPMASS`` / peak list / ``END IONS``)
+  for :class:`~repro.workloads.spectra.SpectrumBatch` objects;
+* :func:`read_mgf_ragged` — MGF to a :class:`RaggedBatch` of
+  intensities (spectra in the wild have unequal peak counts).
+
+Everything is plain text / NumPy — no external dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from .datasets import ArrayBatch, RaggedBatch
+from .spectra import SpectrumBatch
+
+__all__ = [
+    "save_batch",
+    "load_batch",
+    "write_mgf",
+    "read_mgf",
+    "read_mgf_ragged",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_batch(path: PathLike, batch: ArrayBatch) -> None:
+    """Write an :class:`ArrayBatch` to compressed ``.npz`` with metadata."""
+    meta = json.dumps({
+        "description": batch.description,
+        "seed": batch.seed,
+    })
+    np.savez_compressed(path, data=batch.data, meta=np.array(meta))
+
+
+def load_batch(path: PathLike) -> ArrayBatch:
+    """Load an :class:`ArrayBatch` written by :func:`save_batch`."""
+    with np.load(path, allow_pickle=False) as archive:
+        data = archive["data"]
+        meta = json.loads(str(archive["meta"]))
+    return ArrayBatch(data, description=meta.get("description", ""),
+                      seed=meta.get("seed"))
+
+
+def write_mgf(path: PathLike, spectra: SpectrumBatch,
+              *, precursor_mz: Optional[np.ndarray] = None) -> None:
+    """Write a :class:`SpectrumBatch` as MGF text.
+
+    Peaks are emitted in stored (acquisition) order — MGF does not
+    require sorted peak lists, which is precisely why downstream tools
+    need a batch sorter.
+    """
+    path = Path(path)
+    N = spectra.num_spectra
+    if precursor_mz is None:
+        precursor_mz = spectra.mz.mean(axis=1) if N else np.empty(0)
+    lines: List[str] = []
+    for i in range(N):
+        lines.append("BEGIN IONS")
+        lines.append(f"TITLE=spectrum_{i}")
+        lines.append(f"PEPMASS={float(precursor_mz[i]):.4f}")
+        lines.append("CHARGE=2+")
+        for mz, inten in zip(spectra.mz[i], spectra.intensity[i]):
+            lines.append(f"{float(mz):.4f} {float(inten):.4f}")
+        lines.append("END IONS")
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def _parse_mgf(path: PathLike) -> List[Tuple[List[float], List[float]]]:
+    """Parse MGF into per-spectrum (mz list, intensity list) pairs."""
+    spectra: List[Tuple[List[float], List[float]]] = []
+    mz: List[float] = []
+    inten: List[float] = []
+    in_ions = False
+    for raw_line in Path(path).read_text().splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line == "BEGIN IONS":
+            if in_ions:
+                raise ValueError("nested BEGIN IONS")
+            in_ions = True
+            mz, inten = [], []
+        elif line == "END IONS":
+            if not in_ions:
+                raise ValueError("END IONS without BEGIN IONS")
+            spectra.append((mz, inten))
+            in_ions = False
+        elif in_ions:
+            if "=" in line:
+                continue  # TITLE= / PEPMASS= / CHARGE= headers
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed peak line: {raw_line!r}")
+            mz.append(float(parts[0]))
+            inten.append(float(parts[1]))
+    if in_ions:
+        raise ValueError("unterminated BEGIN IONS block")
+    return spectra
+
+
+def read_mgf(path: PathLike) -> SpectrumBatch:
+    """Read MGF into a uniform :class:`SpectrumBatch`.
+
+    All spectra in the file must have the same peak count (use
+    :func:`read_mgf_ragged` otherwise).
+    """
+    parsed = _parse_mgf(path)
+    if not parsed:
+        return SpectrumBatch(
+            mz=np.empty((0, 0), dtype=np.float32),
+            intensity=np.empty((0, 0), dtype=np.float32),
+        )
+    lengths = {len(mz) for mz, _ in parsed}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"spectra have differing peak counts {sorted(lengths)}; "
+            "use read_mgf_ragged"
+        )
+    mz = np.array([m for m, _ in parsed], dtype=np.float32)
+    inten = np.array([i for _, i in parsed], dtype=np.float32)
+    return SpectrumBatch(mz=mz, intensity=inten)
+
+
+def read_mgf_ragged(path: PathLike, *, view: str = "intensity") -> RaggedBatch:
+    """Read MGF with unequal peak counts into a :class:`RaggedBatch`.
+
+    ``view`` selects which column becomes the batch values
+    (``"intensity"`` or ``"mz"``).
+    """
+    if view not in ("intensity", "mz"):
+        raise ValueError(f"view must be 'intensity' or 'mz', got {view!r}")
+    parsed = _parse_mgf(path)
+    column = 0 if view == "mz" else 1
+    arrays = [np.asarray(pair[column], dtype=np.float32) for pair in parsed]
+    return RaggedBatch.from_arrays(arrays)

@@ -1,0 +1,132 @@
+"""Synthetic mass-spectrometry spectra (the paper's motivating workload).
+
+The paper's design targets proteomics datasets: "each spectrum can have up
+to 4000 peaks including the background noise and peaks due to impurities"
+(Section 4), and downstream algorithms "require these spectra to be sorted
+either with respect to intensities or mass to charge ratios" (Section 1).
+
+This generator produces a plausible synthetic stand-in (DESIGN.md section
+2's substitution table): each spectrum mixes
+
+* a few dozen *true peptide-fragment peaks* — high intensity, clustered
+  around fragment-ladder m/z positions,
+* *impurity peaks* — moderate intensity at random positions,
+* dense low-intensity *background noise* across the m/z range.
+
+Peaks arrive in acquisition (roughly m/z-interleaved) order, so neither
+the intensity view nor the m/z view is sorted — the batch sorter has real
+work on both.  Only distributional properties matter to the algorithm
+(value spread for splitter sampling, array length for shared-memory fit),
+and those are preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SpectrumBatch", "generate_spectra", "MAX_PEAKS_PER_SPECTRUM"]
+
+#: Paper Section 4: at most ~4000 peaks per spectrum.
+MAX_PEAKS_PER_SPECTRUM = 4000
+
+#: Typical m/z acquisition window of a tandem MS run (Thermo-style).
+MZ_RANGE = (200.0, 2000.0)
+
+
+@dataclasses.dataclass
+class SpectrumBatch:
+    """A batch of equally-sized synthetic spectra.
+
+    ``mz`` and ``intensity`` are parallel ``(N, n)`` matrices: column ``j``
+    of row ``i`` is one peak of spectrum ``i``.  Sorting "with respect to
+    intensities or mass to charge ratios" means row-sorting one matrix and
+    (in full pipelines) permuting the other alongside; for the sorting
+    benchmarks each view is sorted independently, as in the paper.
+    """
+
+    mz: np.ndarray
+    intensity: np.ndarray
+
+    @property
+    def num_spectra(self) -> int:
+        return self.mz.shape[0]
+
+    @property
+    def peaks_per_spectrum(self) -> int:
+        return self.mz.shape[1]
+
+    def view(self, by: str) -> np.ndarray:
+        """The matrix to sort: ``by`` is ``"mz"`` or ``"intensity"``."""
+        if by == "mz":
+            return self.mz
+        if by == "intensity":
+            return self.intensity
+        raise ValueError(f"unknown view {by!r}; use 'mz' or 'intensity'")
+
+
+def generate_spectra(
+    num_spectra: int,
+    peaks_per_spectrum: int = 2000,
+    *,
+    true_peak_fraction: float = 0.02,
+    impurity_fraction: float = 0.08,
+    seed: Optional[int] = None,
+) -> SpectrumBatch:
+    """Generate a batch of synthetic tandem-MS spectra.
+
+    Composition per spectrum: ``true_peak_fraction`` fragment peaks (high
+    intensity, lognormal), ``impurity_fraction`` impurity peaks (medium),
+    remainder background noise (low, exponential).  Fractions must sum to
+    less than 1.
+
+    >>> batch = generate_spectra(4, 100, seed=1)
+    >>> batch.mz.shape
+    (4, 100)
+    """
+    if peaks_per_spectrum < 1 or peaks_per_spectrum > MAX_PEAKS_PER_SPECTRUM:
+        raise ValueError(
+            f"peaks_per_spectrum must be in [1, {MAX_PEAKS_PER_SPECTRUM}], "
+            f"got {peaks_per_spectrum}"
+        )
+    if num_spectra < 0:
+        raise ValueError("num_spectra must be >= 0")
+    if true_peak_fraction < 0 or impurity_fraction < 0:
+        raise ValueError("fractions must be non-negative")
+    if true_peak_fraction + impurity_fraction >= 1.0:
+        raise ValueError("true + impurity fractions must be < 1")
+
+    rng = np.random.default_rng(seed)
+    N, n = num_spectra, peaks_per_spectrum
+    n_true = max(1, int(true_peak_fraction * n)) if n >= 1 else 0
+    n_imp = int(impurity_fraction * n)
+    n_noise = n - n_true - n_imp
+
+    lo, hi = MZ_RANGE
+
+    # Fragment-ladder peaks: clustered at multiples of an average residue
+    # mass (~110 Da) from a random precursor offset, with small jitter.
+    offsets = rng.uniform(lo, lo + 110.0, (N, 1))
+    ladder = offsets + 110.0 * rng.integers(0, int((hi - lo) / 110.0), (N, n_true))
+    mz_true = np.clip(ladder + rng.normal(0, 0.5, (N, n_true)), lo, hi)
+    int_true = rng.lognormal(mean=10.0, sigma=0.8, size=(N, n_true))
+
+    mz_imp = rng.uniform(lo, hi, (N, n_imp))
+    int_imp = rng.lognormal(mean=7.5, sigma=0.7, size=(N, n_imp))
+
+    mz_noise = rng.uniform(lo, hi, (N, n_noise))
+    int_noise = rng.exponential(scale=50.0, size=(N, n_noise))
+
+    mz = np.concatenate([mz_true, mz_imp, mz_noise], axis=1)
+    intensity = np.concatenate([int_true, int_imp, int_noise], axis=1)
+
+    # Acquisition interleave: peaks are reported in scan order, which is
+    # neither m/z- nor intensity-sorted. A fixed permutation per spectrum.
+    perm = rng.permuted(np.tile(np.arange(n), (max(N, 1), 1)), axis=1)[:N]
+    rows = np.arange(N)[:, None]
+    return SpectrumBatch(
+        mz=mz[rows, perm].astype(np.float32),
+        intensity=intensity[rows, perm].astype(np.float32),
+    )

@@ -1,0 +1,115 @@
+"""Workload suite registry: named, reproducible experiment inputs.
+
+Benchmarks, tests, the CLI and downstream users all need the same
+datasets by name.  A :class:`WorkloadSpec` couples a generator with its
+parameters and a documentation string; :data:`STANDARD_SUITE` covers the
+paper's evaluation recipes plus the stress families DESIGN.md calls out.
+
+>>> batch = get_workload("paper_uniform_small").generate(seed=1)
+>>> batch.data.shape[1]
+1000
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .datasets import ArrayBatch
+from . import generators
+from .spectra import generate_spectra
+
+__all__ = ["WorkloadSpec", "STANDARD_SUITE", "get_workload", "list_workloads"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, parameterized workload."""
+
+    name: str
+    description: str
+    builder: Callable[..., np.ndarray]
+    num_arrays: int
+    array_size: int
+    params: dict = dataclasses.field(default_factory=dict)
+
+    def generate(self, *, seed: Optional[int] = 0,
+                 num_arrays: Optional[int] = None,
+                 array_size: Optional[int] = None) -> ArrayBatch:
+        """Materialize the workload (shape overridable for scaling runs)."""
+        N = num_arrays if num_arrays is not None else self.num_arrays
+        n = array_size if array_size is not None else self.array_size
+        data = self.builder(N, n, seed=seed, **self.params)
+        return ArrayBatch(data, description=self.description, seed=seed)
+
+
+def _spectra_intensity(N: int, n: int, *, seed=None, **params) -> np.ndarray:
+    return generate_spectra(N, n, seed=seed, **params).intensity
+
+
+STANDARD_SUITE: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            "paper_uniform_small",
+            "Section 7.2 recipe at laptop scale: uniform floats in "
+            "[0, 2^31), n = 1000",
+            generators.uniform_arrays, 2_000, 1000,
+        ),
+        WorkloadSpec(
+            "paper_uniform_large_arrays",
+            "Section 7.2's biggest arrays (n = 4000, the shared-memory "
+            "limit of Section 4)",
+            generators.uniform_arrays, 500, 4000,
+        ),
+        WorkloadSpec(
+            "spectra_intensity",
+            "synthetic tandem-MS spectra, intensity view (the paper's "
+            "motivating data)",
+            _spectra_intensity, 1_000, 2000,
+        ),
+        WorkloadSpec(
+            "presorted",
+            "already-sorted rows: insertion-sort best case",
+            generators.sorted_arrays, 2_000, 1000,
+        ),
+        WorkloadSpec(
+            "reverse_sorted",
+            "descending rows: per-bucket insertion-sort worst case",
+            generators.reverse_sorted_arrays, 2_000, 1000,
+        ),
+        WorkloadSpec(
+            "nearly_sorted",
+            "sorted rows perturbed by pre-processing (Section 9's "
+            "motivation)",
+            generators.nearly_sorted_arrays, 2_000, 1000,
+        ),
+        WorkloadSpec(
+            "duplicate_heavy",
+            "8 distinct values: splitter-tie torture",
+            generators.duplicate_heavy_arrays, 2_000, 1000,
+        ),
+        WorkloadSpec(
+            "clustered",
+            "tight value clusters: regular-sampling stress (Section 9 "
+            "multi-sampling motivation)",
+            generators.clustered_arrays, 2_000, 1000,
+        ),
+    ]
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by name; raises with choices on a miss."""
+    try:
+        return STANDARD_SUITE[name]
+    except KeyError:
+        known = ", ".join(sorted(STANDARD_SUITE))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def list_workloads() -> Dict[str, str]:
+    """Mapping of workload name -> description."""
+    return {name: spec.description for name, spec in sorted(STANDARD_SUITE.items())}

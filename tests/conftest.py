@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuDevice
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def micro_gpu():
+    """A tiny simulated device for fast kernel tests."""
+    return GpuDevice.micro()
+
+
+@pytest.fixture
+def small_batch(rng):
+    """A small float32 batch in the paper's value range."""
+    return rng.uniform(0, 2**31 - 1, (20, 128)).astype(np.float32)
+
+
+@pytest.fixture
+def tiny_batch(rng):
+    """A micro batch for the (slow) lock-step sim engine."""
+    return rng.uniform(0, 1000.0, (4, 96)).astype(np.float32)

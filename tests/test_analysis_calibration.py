@@ -1,0 +1,74 @@
+"""Tests for the calibration utilities (and the shipped constants)."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    PAPER_CAPACITY_ANCHORS,
+    PAPER_TIME_ANCHORS,
+    Anchor,
+    fit_memory_fraction,
+    fit_time_calibration,
+)
+from repro.analysis.perfmodel import CALIBRATION
+from repro.gpusim.device import K40C
+
+
+class TestTimeCalibration:
+    def test_shipped_constant_matches_joint_fit(self):
+        """Refitting jointly on the documented anchors must reproduce the
+        shipped CALIBRATION — a regression guard on the model."""
+        result = fit_time_calibration(PAPER_TIME_ANCHORS)
+        assert result.value == pytest.approx(CALIBRATION, rel=0.02)
+
+    def test_all_anchors_within_reading_noise(self):
+        """Every figure reading must be within ~50 % of the jointly
+        calibrated model (plot readings themselves are +-20 % noisy)."""
+        result = fit_time_calibration(PAPER_TIME_ANCHORS)
+        assert result.within(0.5), result.residuals
+
+    def test_fig4_edges_balanced(self):
+        """The relative-LS joint fit splits the error between the two
+        Fig. 4 endpoints (GAS ~+10 %, STA ~-24 %) rather than letting
+        the large STA readings dominate; both must stay inside the
+        documented bands."""
+        result = fit_time_calibration(PAPER_TIME_ANCHORS)
+        assert abs(result.residuals["Fig 4 right edge (GAS)"]) < 0.15
+        assert abs(result.residuals["Fig 4 right edge (STA)"]) < 0.30
+
+    def test_single_anchor_fit_is_exact_on_itself(self):
+        result = fit_time_calibration([PAPER_TIME_ANCHORS[0]])
+        primary = result.residuals["Fig 4 right edge (GAS)"]
+        assert primary == pytest.approx(0.0, abs=1e-9)
+
+    def test_requires_anchor(self):
+        with pytest.raises(ValueError):
+            fit_time_calibration([])
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ValueError):
+            fit_time_calibration([Anchor(10, 10, 1.0, technique="bogo")])
+
+    def test_sta_anchor_fits_same_scale(self):
+        """Because both techniques share the calibration, fitting on the
+        STA anchor alone must give a constant of the same magnitude —
+        the internal-consistency check of the model (the residual gap is
+        the ~30 % by which the model's win factor trails the figures)."""
+        gas_fit = fit_time_calibration([PAPER_TIME_ANCHORS[0]])
+        sta_fit = fit_time_calibration([PAPER_TIME_ANCHORS[1]])
+        assert sta_fit.value == pytest.approx(gas_fit.value, rel=0.5)
+
+
+class TestMemoryCalibration:
+    def test_fitted_fraction_matches_shipped(self):
+        result = fit_memory_fraction()
+        assert result.value == pytest.approx(K40C.usable_mem_fraction, rel=0.08)
+
+    def test_rows_are_mutually_consistent(self):
+        # The paper's capacity rows imply similar usable-bytes values;
+        # coarse 50k probing explains the spread.
+        result = fit_memory_fraction()
+        assert result.within(0.25), result.residuals
+
+    def test_custom_anchor_rows(self):
+        result = fit_memory_fraction({1000: PAPER_CAPACITY_ANCHORS[1000]})
+        assert 0.5 < result.value < 1.0

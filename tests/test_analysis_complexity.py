@@ -1,0 +1,101 @@
+"""Tests for the paper's complexity model (Section 6 / Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    eq2_complexity,
+    eq3_complexity,
+    fit_scale,
+    phase_complexities,
+    theoretical_curve,
+)
+from repro.analysis.perfmodel import model_arraysort_ms
+from repro.core.config import SortConfig
+from repro.gpusim.device import K40C
+
+
+class TestComplexityForms:
+    def test_monotone_in_n(self):
+        values = [eq2_complexity(n) for n in range(100, 4001, 100)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_eq3_monotone_in_n(self):
+        values = [eq3_complexity(n) for n in range(100, 4001, 100)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_phase_terms_positive(self):
+        terms = phase_complexities(1000)
+        assert set(terms) == {"phase1", "phase2", "phase3"}
+        assert all(v > 0 for v in terms.values())
+
+    def test_phase2_constant_per_thread(self):
+        # n/p with p = n/20 -> 20 elements per bucket, constant.
+        t1 = phase_complexities(1000)["phase2"]
+        t2 = phase_complexities(4000)["phase2"]
+        assert t1 == pytest.approx(t2, rel=0.2)
+
+    def test_rejects_bad_n(self):
+        for fn in (eq2_complexity, eq3_complexity, phase_complexities):
+            with pytest.raises(ValueError):
+                fn(0)
+
+    def test_small_n_degenerate_ok(self):
+        # single-bucket regime must not blow up
+        assert eq2_complexity(1) > 0
+        assert eq3_complexity(5) > 0
+
+    def test_config_sensitivity(self):
+        # More sampling -> bigger phase-1 term.
+        lo = phase_complexities(1000, SortConfig(sampling_rate=0.05))["phase1"]
+        hi = phase_complexities(1000, SortConfig(sampling_rate=0.30))["phase1"]
+        assert hi > lo
+
+
+class TestFitScale:
+    def test_perfect_fit_of_own_curve(self):
+        sizes = list(range(100, 2001, 100))
+        measured = [3.5 * eq2_complexity(n) for n in sizes]
+        fit = fit_scale(sizes, measured)
+        assert fit.scale == pytest.approx(3.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_fig2_shape_agreement(self):
+        """The paper's Fig. 2 claim: model times follow the theory curve.
+
+        We fit the theory constant against the perf-model's times for
+        N = 50 000 and n in [100, 2000] and require R^2 > 0.97.
+        """
+        sizes = list(range(100, 2001, 100))
+        measured = [model_arraysort_ms(K40C, 50_000, n) for n in sizes]
+        fit = fit_scale(sizes, measured)
+        assert fit.r_squared > 0.97
+
+    def test_fit_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_scale([1, 2], [1.0])
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_scale([], [])
+
+    def test_noise_reduces_r2_but_fit_survives(self, rng):
+        sizes = list(range(100, 2001, 100))
+        clean = np.array([2.0 * eq2_complexity(n) for n in sizes])
+        noisy = clean * rng.uniform(0.9, 1.1, clean.size)
+        fit = fit_scale(sizes, noisy)
+        assert 0.9 < fit.r_squared <= 1.0
+        assert fit.scale == pytest.approx(2.0, rel=0.1)
+
+
+class TestTheoreticalCurve:
+    def test_matches_form_scaled(self):
+        sizes = [100, 500, 1000]
+        curve = theoretical_curve(sizes, scale=2.0)
+        expected = [2.0 * eq2_complexity(n) for n in sizes]
+        assert np.allclose(curve, expected)
+
+    def test_alternate_form(self):
+        sizes = [100, 500]
+        curve = theoretical_curve(sizes, form=eq3_complexity)
+        assert np.allclose(curve, [eq3_complexity(n) for n in sizes])

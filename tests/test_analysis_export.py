@@ -1,0 +1,63 @@
+"""Tests for the CSV series exporter."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_all,
+    export_claims,
+    export_figure_series,
+    export_table1,
+)
+
+
+def _read(path):
+    with path.open() as handle:
+        return list(csv.reader(handle))
+
+
+class TestExport:
+    def test_export_all_writes_everything(self, tmp_path):
+        out = export_all(tmp_path)
+        assert set(out) == {"fig2", "fig4", "fig5", "fig6", "fig7",
+                            "table1", "claims"}
+        for path in out.values():
+            assert path.exists()
+            assert len(_read(path)) > 1
+
+    def test_fig2_columns(self, tmp_path):
+        export_figure_series(tmp_path)
+        rows = _read(tmp_path / "fig2.csv")
+        assert rows[0] == ["n", "modeled_ms", "theory_ms"]
+        assert len(rows) == 11  # header + 10 sizes
+
+    def test_fig7_truncated_axis(self, tmp_path):
+        export_figure_series(tmp_path)
+        assert len(_read(tmp_path / "fig7.csv")) == 5   # header + 4 points
+        assert len(_read(tmp_path / "fig4.csv")) == 6   # header + 5 points
+
+    def test_series_values_parse_and_order(self, tmp_path):
+        export_figure_series(tmp_path)
+        rows = _read(tmp_path / "fig4.csv")[1:]
+        gas = [float(r[1]) for r in rows]
+        sta = [float(r[2]) for r in rows]
+        assert all(s > g for g, s in zip(gas, sta))
+        assert gas == sorted(gas)
+
+    def test_table1_contents(self, tmp_path):
+        path = export_table1(tmp_path)
+        rows = _read(path)
+        assert rows[1][0] == "1000"
+        assert rows[1][2] == "2000000"
+
+    def test_claims_all_pass(self, tmp_path):
+        path = export_claims(tmp_path)
+        rows = _read(path)[1:]
+        assert len(rows) == 7
+        assert all(r[1] == "PASS" for r in rows)
+
+    def test_directory_created(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        export_table1(nested)
+        assert (nested / "table1.csv").exists()

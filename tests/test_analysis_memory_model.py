@@ -1,0 +1,131 @@
+"""Tests for the memory model and the Table 1 capacity reproduction."""
+
+import pytest
+
+from repro.analysis.memory_model import (
+    PAPER_TABLE1,
+    arraysort_bytes_per_array,
+    capacity_analytic,
+    measure_capacity,
+    sta_bytes_per_array,
+    table1_rows,
+)
+from repro.core.config import SortConfig
+from repro.gpusim.device import K40C, MICRO
+
+
+class TestFootprints:
+    def test_arraysort_near_payload(self):
+        # In-place: total footprint within 15% of the raw data bytes.
+        for n in (1000, 2000, 3000, 4000):
+            payload = n * 4
+            assert payload < arraysort_bytes_per_array(n) < 1.15 * payload
+
+    def test_sta_about_3x_payload(self):
+        # Paper: "STA uses about 3 times more memory than may actually be
+        # required."
+        for n in (1000, 2000, 3000, 4000):
+            assert sta_bytes_per_array(n) == 3 * n * 4
+
+    def test_sta_conservative_4x(self):
+        assert sta_bytes_per_array(1000, conservative=True) == 4 * 1000 * 4
+
+    def test_memory_advantage_about_3x(self):
+        for n in (1000, 2000, 3000, 4000):
+            ratio = sta_bytes_per_array(n) / arraysort_bytes_per_array(n)
+            assert 2.5 < ratio < 3.0
+
+
+class TestCapacityAnalytic:
+    def test_basic_division(self):
+        cap = capacity_analytic(1000, 1000, MICRO)
+        assert cap == MICRO.usable_global_mem_bytes // 1000
+
+    def test_step_flooring(self):
+        cap = capacity_analytic(1000, 1000, MICRO, step=1000)
+        assert cap % 1000 == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            capacity_analytic(1000, 0, MICRO)
+        with pytest.raises(ValueError):
+            capacity_analytic(1000, 10, MICRO, step=0)
+
+
+class TestMeasureCapacity:
+    def test_matches_analytic_within_alignment(self):
+        # Against the micro device (fast binary search).
+        measured = measure_capacity("arraysort", 100, device_spec=MICRO)
+        analytic = capacity_analytic(
+            100, arraysort_bytes_per_array(100), MICRO
+        )
+        assert measured == pytest.approx(analytic, rel=0.02)
+
+    def test_sta_measured_below_arraysort(self):
+        gas = measure_capacity("arraysort", 100, device_spec=MICRO)
+        sta = measure_capacity("sta", 100, device_spec=MICRO)
+        assert sta < gas
+
+    def test_unknown_technique(self):
+        with pytest.raises(ValueError):
+            measure_capacity("bogosort", 100, device_spec=MICRO)
+
+    def test_measured_capacity_actually_fits(self):
+        from repro.gpusim.executor import GpuDevice
+        from repro.analysis.memory_model import _alloc_arraysort
+
+        n = 100
+        cap = measure_capacity("arraysort", n, device_spec=MICRO)
+        device = GpuDevice(MICRO)
+        allocs = _alloc_arraysort(device, cap, n, SortConfig())
+        for a in allocs:
+            device.memory.free(a)
+
+    def test_one_more_does_not_fit(self):
+        from repro.gpusim.errors import DeviceOutOfMemoryError
+        from repro.gpusim.executor import GpuDevice
+        from repro.analysis.memory_model import _alloc_arraysort
+
+        n = 100
+        cap = measure_capacity("arraysort", n, device_spec=MICRO)
+        device = GpuDevice(MICRO)
+        with pytest.raises(DeviceOutOfMemoryError):
+            _alloc_arraysort(device, cap + 50, n, SortConfig())
+
+
+class TestTable1:
+    """The headline Table 1 claims, against the analytic model."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1_rows(measure=False)
+
+    def test_covers_all_paper_sizes(self, rows):
+        assert [r.array_size for r in rows] == sorted(PAPER_TABLE1)
+
+    def test_arraysort_capacity_within_one_step(self, rows):
+        for r in rows:
+            assert abs(r.model_arraysort - r.paper_arraysort) <= 50_000, r
+
+    def test_sta_capacity_matches_paper_exactly(self, rows):
+        for r in rows:
+            assert r.model_sta == r.paper_sta, r
+
+    def test_2_million_arrays_headline(self, rows):
+        # Abstract: "we can sort up to 2 million arrays having 1000
+        # elements each".
+        assert rows[0].model_arraysort == 2_000_000
+
+    def test_three_times_more_data(self, rows):
+        # Abstract: "sorting three times more data".
+        for r in rows:
+            assert 2.5 < r.model_advantage < 3.6
+
+    def test_paper_advantage_consistency(self, rows):
+        for r in rows:
+            assert 2.5 < r.paper_advantage < 3.6
+
+    def test_empirical_measurement_runs_on_k40c(self):
+        # One full empirical probe at K40c scale (allocation-only, fast).
+        measured = measure_capacity("arraysort", 1000, step=50_000)
+        assert measured == 2_000_000

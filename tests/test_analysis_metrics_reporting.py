@@ -1,0 +1,113 @@
+"""Tests for analysis metrics and text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import bucket_balance, report_metrics, sampling_quality
+from repro.analysis.reporting import ascii_plot, format_ms, render_series, render_table
+from repro.workloads import clustered_arrays, uniform_arrays
+
+
+class TestBucketBalance:
+    def test_uniform_sizes_perfectly_balanced(self):
+        sizes = np.full((5, 10), 20)
+        bal = bucket_balance(sizes)
+        assert bal.straggler_factor == pytest.approx(1.0)
+        assert bal.empty_fraction == 0.0
+        assert bal.mean == 20
+
+    def test_skewed_sizes_detected(self):
+        sizes = np.zeros((1, 10), dtype=int)
+        sizes[0, 0] = 200
+        bal = bucket_balance(sizes)
+        assert bal.straggler_factor == pytest.approx(10.0)
+        assert bal.empty_fraction == pytest.approx(0.9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bucket_balance(np.empty((0, 0)))
+
+    def test_as_dict_roundtrip(self):
+        bal = bucket_balance(np.full((2, 2), 5))
+        d = bal.as_dict()
+        assert d["mean"] == 5
+
+
+class TestSamplingQuality:
+    def test_uniform_data_reasonably_balanced_at_10pct(self):
+        # The paper's claim behind "10% regular sampling": no empty
+        # buckets, bounded straggler tail, std below the mean.
+        batch = uniform_arrays(50, 1000, seed=3)
+        bal = sampling_quality(batch, 0.10)
+        assert bal.empty_fraction == 0.0
+        assert bal.straggler_factor < 8.0
+        assert bal.std < bal.mean
+
+    def test_more_sampling_tightens_balance(self):
+        batch = uniform_arrays(50, 1000, seed=3)
+        low = sampling_quality(batch, 0.05)
+        high = sampling_quality(batch, 0.30)
+        assert high.std < low.std
+
+    def test_duplicate_heavy_data_worse_than_uniform(self):
+        from repro.workloads import duplicate_heavy_arrays
+
+        uni = sampling_quality(uniform_arrays(30, 1000, seed=3), 0.10)
+        dup = sampling_quality(duplicate_heavy_arrays(30, 1000, seed=3), 0.10)
+        assert dup.std > 2 * uni.std
+        assert dup.empty_fraction > 0.5
+
+
+class TestReportMetrics:
+    def test_launch_report_summary(self, micro_gpu):
+        def k(ctx, shared):
+            yield ctx.alu(1)
+
+        rep = micro_gpu.launch(k, grid=1, block=32)
+        metrics = report_metrics(rep)
+        assert "ms" in metrics
+
+    def test_pipeline_report_summary(self, micro_gpu):
+        from repro.gpusim import PipelineReport
+
+        def k(ctx, shared):
+            yield ctx.alu(1)
+
+        pipe = PipelineReport()
+        pipe.add(micro_gpu.launch(k, grid=1, block=32))
+        metrics = report_metrics(pipe)
+        assert "milliseconds" in metrics
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["col", "x"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_render_table_title(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_render_series(self):
+        out = render_series("N", [1, 2], {"gas": [1.0, 2.0], "sta": [3.0, 4.0]})
+        assert "gas" in out and "sta" in out
+        assert "3.0" in out
+
+    def test_format_ms_scales(self):
+        assert format_ms(12_000) == "12.0 s"
+        assert format_ms(950) == "950 ms"
+        assert format_ms(0.5) == "500 us"
+
+    def test_ascii_plot_contains_markers(self):
+        out = ascii_plot([1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        assert "*" in out and "o" in out
+        assert "a" in out and "b" in out
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot([], {}) == "(empty plot)"
+
+    def test_ascii_plot_constant_series(self):
+        out = ascii_plot([1, 2], {"flat": [5.0, 5.0]})
+        assert "*" in out

@@ -1,0 +1,122 @@
+"""Tests for the calibrated performance model (Figs. 4-7 reproduction)."""
+
+import pytest
+
+from repro.analysis.perfmodel import (
+    model_arraysort_breakdown,
+    model_arraysort_ms,
+    model_sta_breakdown,
+    model_sta_ms,
+    win_factor,
+)
+from repro.core.config import SortConfig
+from repro.gpusim.device import K40C, C2050
+
+
+class TestShapeClaims:
+    """The paper's evaluation claims, asserted against the model."""
+
+    @pytest.mark.parametrize("n", [1000, 2000, 3000, 4000])
+    def test_arraysort_beats_sta_at_every_array_size(self, n):
+        # Figs. 4-7: "GPU-ArraySort out performs the STA technique for
+        # all the array sizes."
+        gas = model_arraysort_ms(K40C, 200_000, n)
+        sta = model_sta_ms(K40C, 200_000, n)
+        assert sta > 1.5 * gas
+
+    @pytest.mark.parametrize("n", [1000, 2000, 3000, 4000])
+    def test_win_factor_in_paper_band(self, n):
+        # Read off the figures, the gap is roughly 2.5-4x.
+        assert 1.8 <= win_factor(K40C, 200_000, n) <= 5.0
+
+    def test_linear_in_number_of_arrays(self):
+        # Figs. 4-7 are near-straight lines in N.
+        t1 = model_arraysort_ms(K40C, 50_000, 1000)
+        t2 = model_arraysort_ms(K40C, 100_000, 1000)
+        t4 = model_arraysort_ms(K40C, 200_000, 1000)
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+        assert t4 == pytest.approx(4 * t1, rel=0.05)
+
+    def test_sta_linear_in_n_too(self):
+        t1 = model_sta_ms(K40C, 50_000, 1000)
+        t4 = model_sta_ms(K40C, 200_000, 1000)
+        assert t4 == pytest.approx(4 * t1, rel=0.05)
+
+    def test_grows_with_array_size(self):
+        times = [model_arraysort_ms(K40C, 100_000, n) for n in (500, 1000, 2000, 4000)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_paper_headline_seconds_scale(self):
+        # "we can sort up to 2 million arrays having 1000 elements each,
+        # within few seconds" — the model must land in single-digit
+        # tens of seconds for the full 2M capacity load.
+        ms = model_arraysort_ms(K40C, 2_000_000, 1000)
+        assert 5_000 < ms < 60_000
+
+    def test_fig4_anchor_magnitude(self):
+        # Calibration anchor: ~2 s at N = 2e5, n = 1000 (read off Fig. 4).
+        ms = model_arraysort_ms(K40C, 200_000, 1000)
+        assert 1_500 < ms < 3_500
+
+    def test_sta_fig4_magnitude(self):
+        # STA reaches ~8 s at N = 2e5 in Fig. 4.
+        ms = model_sta_ms(K40C, 200_000, 1000)
+        assert 6_000 < ms < 10_000
+
+
+class TestModelInternals:
+    def test_breakdown_sums_to_total(self):
+        bd = model_arraysort_breakdown(K40C, 100_000, 1000)
+        assert bd.total_ms == pytest.approx(
+            model_arraysort_ms(K40C, 100_000, 1000)
+        )
+
+    def test_breakdown_has_three_phases(self):
+        bd = model_arraysort_breakdown(K40C, 1000, 1000)
+        assert set(bd.phases) == {"phase1", "phase2", "phase3"}
+
+    def test_sta_breakdown_stages(self):
+        bd = model_sta_breakdown(K40C, 1000, 1000)
+        assert set(bd.phases) == {
+            "tagging", "sort_by_tags_redundant", "sort_by_values",
+            "sort_by_tags_restore",
+        }
+
+    def test_sta_lean_variant_cheaper(self):
+        full = model_sta_ms(K40C, 100_000, 1000)
+        lean = model_sta_ms(K40C, 100_000, 1000, include_redundant_presort=False)
+        assert lean < full
+        assert lean == pytest.approx(full * 2 / 3, rel=0.1)
+
+    def test_zero_arrays_zero_time(self):
+        assert model_arraysort_ms(K40C, 0, 1000) == 0.0
+        assert model_sta_ms(K40C, 0, 1000) == 0.0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            model_arraysort_ms(K40C, -1, 1000)
+        with pytest.raises(ValueError):
+            model_sta_ms(K40C, 10, 0)
+
+    def test_weaker_device_slower(self):
+        k40 = model_arraysort_ms(K40C, 100_000, 1000)
+        fermi = model_arraysort_ms(C2050, 100_000, 1000)
+        assert fermi > k40
+
+    def test_bucket_size_tradeoff_exists(self):
+        """Ablation sanity: both very small and very large buckets cost
+        more than the paper's 20 (phase-3 quadratic vs occupancy/threads)."""
+        times = {
+            b: model_arraysort_ms(
+                K40C, 100_000, 1000, SortConfig(bucket_size=b)
+            )
+            for b in (2, 20, 500)
+        }
+        assert times[20] < times[500]
+        # tiny buckets explode thread counts; must not be cheapest either
+        assert times[20] <= times[2] * 1.5
+
+    def test_calibration_scales_linearly(self):
+        base = model_arraysort_ms(K40C, 1000, 1000, calibration=1.0)
+        double = model_arraysort_ms(K40C, 1000, 1000, calibration=2.0)
+        assert double == pytest.approx(2 * base)

@@ -1,0 +1,67 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.analysis.report import Claim, build_report, evaluate_claims
+from repro.cli import main
+from repro.gpusim.device import K40C, MICRO
+
+
+class TestClaims:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        return evaluate_claims()
+
+    def test_all_paper_claims_pass(self, claims):
+        failed = [c for c in claims if not c.passed]
+        assert not failed, [f"{c.claim_id}: {c.detail}" for c in failed]
+
+    def test_covers_the_headline_claims(self, claims):
+        ids = {c.claim_id for c in claims}
+        assert {"fig2-trend", "figs4-7-win", "figs4-7-linear",
+                "table1-capacity", "abstract-2m", "abstract-3x",
+                "abstract-seconds"} <= ids
+
+    def test_verdict_strings(self):
+        assert Claim("x", "s", True, "d").verdict == "PASS"
+        assert Claim("x", "s", False, "d").verdict == "FAIL"
+
+    def test_claims_fail_on_wrong_device(self):
+        """Sanity: the claims are not vacuous — a tiny device cannot hold
+        2M arrays, so the capacity claims must FAIL there."""
+        claims = evaluate_claims(device=MICRO)
+        by_id = {c.claim_id: c for c in claims}
+        assert not by_id["abstract-2m"].passed
+
+
+class TestBuildReport:
+    def test_contains_all_sections(self):
+        text = build_report()
+        assert "Claims" in text
+        assert "Fig 2 series" in text
+        assert "Fig 4 series" in text
+        assert "Fig 7 series" in text
+        assert "Table 1" in text
+        assert "7/7 claims reproduced" in text
+
+    def test_claims_only(self):
+        text = build_report(include_figures=False)
+        assert "Claims" in text
+        assert "Fig 4 series" not in text
+
+    def test_device_header(self):
+        text = build_report(include_figures=False, device=K40C)
+        assert "Tesla K40c" in text
+
+
+class TestReportCommand:
+    def test_stdout(self, capsys):
+        rc = main(["report", "--claims-only"])
+        assert rc == 0
+        assert "claims reproduced" in capsys.readouterr().out
+
+    def test_file_output(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        rc = main(["report", "-o", str(path), "--claims-only"])
+        assert rc == 0
+        assert "claims reproduced" in path.read_text()

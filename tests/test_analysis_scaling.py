@@ -1,0 +1,87 @@
+"""Unit tests for the device-scaling study module."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    device_comparison,
+    residency_knee,
+    sm_scaling_curve,
+)
+from repro.gpusim.device import DEVICE_CATALOG, K40C, P100
+
+
+class TestSmScaling:
+    def test_monotone_speedup(self):
+        points = sm_scaling_curve([1, 4, 15])
+        speedups = [p.speedup for p in points]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups == sorted(speedups)
+
+    def test_first_point_is_baseline(self):
+        points = sm_scaling_curve([2, 8])
+        assert points[0].speedup == pytest.approx(1.0)
+
+    def test_rejects_empty_and_bad(self):
+        with pytest.raises(ValueError):
+            sm_scaling_curve([])
+        with pytest.raises(ValueError):
+            sm_scaling_curve([0, 4])
+
+    def test_sublinear_at_high_sm_counts(self):
+        points = sm_scaling_curve([1, 120])
+        assert points[-1].speedup < 120
+
+
+class TestDeviceComparison:
+    def test_covers_catalog_minus_micro(self):
+        rows = device_comparison()
+        names = set(rows)
+        assert "Tesla K40c" in names
+        assert "Tesla P100" in names
+        assert all("Micro" not in n for n in names)
+
+    def test_rows_have_phases_and_total(self):
+        rows = device_comparison()
+        for row in rows.values():
+            assert {"phase1", "phase2", "phase3", "total"} <= set(row)
+            assert row["total"] == pytest.approx(
+                row["phase1"] + row["phase2"] + row["phase3"]
+            )
+
+    def test_pascal_beats_kepler(self):
+        rows = device_comparison()
+        assert rows["Tesla P100"]["total"] < rows["Tesla K40c"]["total"]
+
+    def test_custom_device_set(self):
+        rows = device_comparison(devices={"p100": P100})
+        assert list(rows) == ["Tesla P100"]
+
+
+class TestResidencyKnee:
+    def test_knee_positive_and_reasonable(self):
+        result = residency_knee()
+        # K40c: 15 SMs x <=16 blocks = at most 240 resident blocks.
+        assert 15 <= result["knee_arrays"] <= 240 * 1
+
+    def test_flat_below_knee(self):
+        times = residency_knee()["times_at_multiples"]
+        assert times[0.5] == pytest.approx(times[1.0], rel=0.01)
+
+    def test_staircase_above_knee(self):
+        times = residency_knee()["times_at_multiples"]
+        assert times[2.0] == pytest.approx(2 * times[1.0], rel=0.05)
+
+
+class TestNewCatalogEntries:
+    def test_catalog_lookup(self):
+        from repro.gpusim.device import get_device
+
+        assert get_device("k80").cores_per_sm == 192
+        assert get_device("P100").sm_count == 56
+
+    def test_all_entries_validate(self):
+        for spec in DEVICE_CATALOG.values():
+            spec.validate()
+
+    def test_p100_bandwidth_advantage(self):
+        assert P100.mem_bandwidth_gbps > 2 * K40C.mem_bandwidth_gbps

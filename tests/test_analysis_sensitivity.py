@@ -1,0 +1,98 @@
+"""Tests: the reproduced claims survive perturbation of model constants."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    DEFAULT_PERTURBATIONS,
+    sweep_capacity_advantage,
+    sweep_win_factor,
+)
+from repro.workloads import exponential_arrays, zipf_arrays
+
+
+class TestWinFactorRobustness:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_win_factor()
+
+    def test_gas_wins_across_all_perturbations(self, points):
+        """+-30% on any uncertain constant must not flip the winner."""
+        for p in points:
+            assert p.value > 1.3, f"{p.parameter} x{p.multiplier}: {p.value:.2f}"
+
+    def test_win_factor_band(self, points):
+        values = [p.value for p in points]
+        assert 1.3 < min(values)
+        assert max(values) < 6.0
+
+    def test_constants_restored_after_sweep(self):
+        from repro.analysis import perfmodel
+
+        before = (perfmodel.CACHED_READ_CYCLES,
+                  perfmodel.RADIX_SCATTER_EFFICIENCY,
+                  perfmodel.SORT_STEP_CYCLES)
+        sweep_win_factor()
+        after = (perfmodel.CACHED_READ_CYCLES,
+                 perfmodel.RADIX_SCATTER_EFFICIENCY,
+                 perfmodel.SORT_STEP_CYCLES)
+        assert before == after
+
+    def test_covers_every_constant(self, points):
+        assert {p.parameter for p in points} == {
+            "cached_read", "scatter_eff", "sort_step",
+        }
+        per_param = len(DEFAULT_PERTURBATIONS)
+        assert len(points) == 3 * per_param
+
+
+class TestCapacityRobustness:
+    def test_advantage_invariant_to_memory_fraction(self):
+        """The 3x capacity headline is a ratio — perturbing the usable
+        fraction must leave it (nearly) unchanged."""
+        sweep = sweep_capacity_advantage()
+        baseline = sweep[1.0]
+        for mult, advantages in sweep.items():
+            for a, b in zip(advantages, baseline):
+                assert a == pytest.approx(b, rel=0.02), mult
+
+    def test_advantage_stays_in_3x_band(self):
+        sweep = sweep_capacity_advantage()
+        for advantages in sweep.values():
+            for a in advantages:
+                assert 2.5 < a < 3.6
+
+
+class TestNewGenerators:
+    def test_zipf_heavy_tail(self):
+        batch = zipf_arrays(10, 5000, seed=1)
+        # Zipf: median tiny, max enormous.
+        assert np.median(batch) <= 2.0
+        assert batch.max() > 100 * np.median(batch)
+
+    def test_zipf_sorts_correctly(self):
+        from repro.core import sort_arrays
+
+        batch = zipf_arrays(20, 300, seed=2)
+        out = sort_arrays(batch, verify=True)
+        assert np.all(np.diff(out, axis=1) >= 0)
+
+    def test_zipf_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_arrays(2, 10, exponent=1.0)
+
+    def test_exponential_positive_and_skewed(self):
+        batch = exponential_arrays(10, 2000, seed=3)
+        assert batch.min() >= 0
+        assert batch.mean() > np.median(batch)  # right-skew
+
+    def test_exponential_sorts_correctly(self):
+        from repro.core import sort_arrays
+
+        batch = exponential_arrays(20, 300, seed=4)
+        out = sort_arrays(batch, verify=True)
+        assert np.all(np.diff(out, axis=1) >= 0)
+
+    def test_exponential_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            exponential_arrays(2, 10, scale=0)

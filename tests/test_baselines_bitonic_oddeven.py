@@ -1,0 +1,157 @@
+"""Tests for the bitonic and odd-even batch-sort baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitonic import (
+    bitonic_network,
+    bitonic_sort_batch,
+    compare_exchange_count,
+    run_bitonic_on_device,
+)
+from repro.baselines.oddeven import (
+    odd_even_sort_batch,
+    round_count,
+    run_odd_even_on_device,
+)
+from repro.gpusim import GpuDevice
+from repro.workloads import uniform_arrays
+
+
+class TestBitonicNetwork:
+    def test_stage_count_is_log_squared(self):
+        # log2(16) = 4 -> 4*5/2 = 10 (k,j) stages
+        assert len(list(bitonic_network(16))) == 10
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            list(bitonic_network(12))
+
+    def test_compare_exchange_asymptotics(self):
+        # n log^2 n growth: doubling n should grow the count by a bit
+        # more than 2x.
+        c1, c2 = compare_exchange_count(256), compare_exchange_count(512)
+        assert 2.0 < c2 / c1 < 3.0
+
+    def test_network_sorts_every_permutation_of_4(self):
+        from itertools import permutations
+
+        for perm in permutations(range(4)):
+            batch = np.array([perm], dtype=np.float32)
+            out = bitonic_sort_batch(batch)
+            assert out[0].tolist() == [0, 1, 2, 3], perm
+
+
+class TestBitonicBatch:
+    def test_matches_oracle(self):
+        batch = uniform_arrays(30, 100, seed=1)
+        assert np.array_equal(bitonic_sort_batch(batch), np.sort(batch, axis=1))
+
+    def test_pow2_sizes(self):
+        batch = uniform_arrays(10, 128, seed=2)
+        assert np.array_equal(bitonic_sort_batch(batch), np.sort(batch, axis=1))
+
+    def test_non_pow2_padding_invisible(self):
+        batch = uniform_arrays(10, 100, seed=3)
+        out = bitonic_sort_batch(batch)
+        assert out.shape == (10, 100)
+        assert np.isfinite(out).all()
+
+    def test_integer_dtype(self, rng):
+        batch = rng.integers(0, 1000, (5, 60)).astype(np.int32)
+        assert np.array_equal(bitonic_sort_batch(batch), np.sort(batch, axis=1))
+
+    def test_duplicates(self, rng):
+        batch = rng.integers(0, 3, (5, 64)).astype(np.float32)
+        assert np.array_equal(bitonic_sort_batch(batch), np.sort(batch, axis=1))
+
+    def test_single_element_rows(self):
+        batch = uniform_arrays(4, 1, seed=1)
+        assert np.array_equal(bitonic_sort_batch(batch), batch)
+
+    def test_empty(self):
+        batch = np.empty((0, 8), dtype=np.float32)
+        assert bitonic_sort_batch(batch).shape == (0, 8)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            bitonic_sort_batch(np.arange(4.0))
+
+
+class TestBitonicDevice:
+    def test_matches_oracle(self, rng):
+        gpu = GpuDevice.micro()
+        batch = rng.uniform(0, 1e6, (4, 64)).astype(np.float32)
+        out, _ = run_bitonic_on_device(gpu, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_non_pow2_on_device(self, rng):
+        gpu = GpuDevice.micro()
+        batch = rng.uniform(0, 100, (3, 50)).astype(np.float32)
+        out, _ = run_bitonic_on_device(gpu, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_divergence_free(self, rng):
+        """The bitonic selling point: data-independent network -> the
+        compare-exchange stages never split the warp."""
+        gpu = GpuDevice.micro()
+        batch = rng.uniform(0, 1, (2, 64)).astype(np.float32)
+        _, report = run_bitonic_on_device(gpu, batch)
+        assert report.divergence_fraction < 0.05
+
+    def test_no_leaks(self, rng):
+        gpu = GpuDevice.micro()
+        run_bitonic_on_device(gpu, rng.uniform(0, 1, (2, 32)).astype(np.float32))
+        assert gpu.memory.live_allocations() == 0
+
+
+class TestOddEven:
+    def test_round_count(self):
+        assert round_count(8) == 8
+        assert round_count(0) == 0
+
+    def test_matches_oracle(self):
+        batch = uniform_arrays(20, 75, seed=4)
+        assert np.array_equal(odd_even_sort_batch(batch), np.sort(batch, axis=1))
+
+    def test_worst_case_reverse(self):
+        batch = np.tile(np.arange(50, 0, -1, dtype=np.float32), (3, 1))
+        assert np.array_equal(odd_even_sort_batch(batch), np.sort(batch, axis=1))
+
+    def test_single_column(self):
+        batch = uniform_arrays(5, 1, seed=1)
+        assert np.array_equal(odd_even_sort_batch(batch), batch)
+
+    def test_device_matches_oracle(self, rng):
+        gpu = GpuDevice.micro()
+        batch = rng.uniform(0, 100, (3, 40)).astype(np.float32)
+        out, _ = run_odd_even_on_device(gpu, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_device_odd_length(self, rng):
+        gpu = GpuDevice.micro()
+        batch = rng.uniform(0, 100, (2, 33)).astype(np.float32)
+        out, _ = run_odd_even_on_device(gpu, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            odd_even_sort_batch(np.arange(4.0))
+
+
+class TestBaselineAgreement:
+    def test_five_way_agreement(self, rng):
+        """Every batch sorter in the repo produces the same answer."""
+        from repro.baselines import segmented_sort, sta_sort
+        from repro.core import sort_arrays
+
+        batch = rng.uniform(0, 1e6, (15, 90)).astype(np.float32)
+        results = [
+            sort_arrays(batch),
+            sta_sort(batch),
+            segmented_sort(batch),
+            bitonic_sort_batch(batch),
+            odd_even_sort_batch(batch),
+        ]
+        for out in results[1:]:
+            assert np.array_equal(results[0], out)

@@ -1,0 +1,93 @@
+"""Tests for the naive and segmented baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import (
+    numpy_rowwise_sort,
+    sequential_sort,
+    timed_sequential_sort,
+)
+from repro.baselines.segmented import segmented_sort, segmented_sort_ragged
+from repro.workloads import RaggedBatch, uniform_arrays
+
+
+class TestNaive:
+    def test_sequential_matches_oracle(self):
+        batch = uniform_arrays(30, 100, seed=1)
+        assert np.array_equal(sequential_sort(batch), numpy_rowwise_sort(batch))
+
+    def test_input_not_mutated(self):
+        batch = uniform_arrays(5, 50, seed=1)
+        snapshot = batch.copy()
+        sequential_sort(batch)
+        numpy_rowwise_sort(batch)
+        assert np.array_equal(batch, snapshot)
+
+    def test_timed_returns_metrics(self):
+        batch = uniform_arrays(10, 50, seed=1)
+        out, metrics = timed_sequential_sort(batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+        assert metrics["total_seconds"] >= 0
+        assert metrics["seconds_per_array"] >= 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            sequential_sort(np.arange(5.0))
+        with pytest.raises(ValueError):
+            numpy_rowwise_sort(np.arange(5.0))
+
+
+class TestSegmentedSort:
+    def test_matches_oracle(self):
+        batch = uniform_arrays(40, 130, seed=2)
+        assert np.array_equal(segmented_sort(batch), np.sort(batch, axis=1))
+
+    def test_empty_batch(self):
+        batch = np.empty((0, 5), dtype=np.float32)
+        assert segmented_sort(batch).shape == (0, 5)
+
+    def test_rows_stay_independent(self):
+        batch = np.array([[9.0, 8.0], [1.0, 0.0]], dtype=np.float32)
+        out = segmented_sort(batch)
+        assert out.tolist() == [[8.0, 9.0], [0.0, 1.0]]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            segmented_sort(np.arange(5.0))
+
+
+class TestSegmentedSortRagged:
+    def test_sorts_each_segment(self, rng):
+        arrays = [rng.uniform(0, 100, size).astype(np.float32)
+                  for size in (5, 0, 12, 3, 7)]
+        ragged = RaggedBatch.from_arrays(arrays)
+        out = segmented_sort_ragged(ragged.values, ragged.offsets)
+        pos = 0
+        for a in arrays:
+            seg = out[pos : pos + a.size]
+            assert np.array_equal(seg, np.sort(a))
+            pos += a.size
+
+    def test_empty_values(self):
+        out = segmented_sort_ragged(np.empty(0, dtype=np.float32), np.array([0]))
+        assert out.size == 0
+
+    def test_rejects_bad_offsets(self):
+        vals = np.arange(4.0)
+        with pytest.raises(ValueError):
+            segmented_sort_ragged(vals, np.array([0, 5]))
+        with pytest.raises(ValueError):
+            segmented_sort_ragged(vals, np.array([1, 4]))
+        with pytest.raises(ValueError):
+            segmented_sort_ragged(vals, np.array([0, 3, 2, 4]))
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError):
+            segmented_sort_ragged(np.zeros((2, 2)), np.array([0, 4]))
+
+    def test_adjacent_empty_segments(self):
+        vals = np.array([3.0, 1.0], dtype=np.float32)
+        offsets = np.array([0, 0, 0, 2])
+        out = segmented_sort_ragged(vals, offsets)
+        assert out.tolist() == [1.0, 3.0]

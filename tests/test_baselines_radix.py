@@ -1,0 +1,135 @@
+"""Unit tests for the LSD radix sort substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.radix import (
+    RadixStats,
+    float32_to_sortable_uint32,
+    radix_sort,
+    radix_sort_by_key,
+    sortable_uint32_to_float32,
+)
+
+
+class TestFloatKeyEncoding:
+    def test_order_preserved_on_mixed_signs(self, rng):
+        vals = rng.normal(0, 1e6, 1000).astype(np.float32)
+        keys = float32_to_sortable_uint32(vals)
+        order_vals = np.argsort(vals, kind="stable")
+        order_keys = np.argsort(keys, kind="stable")
+        assert np.array_equal(vals[order_vals], vals[order_keys])
+
+    def test_roundtrip(self, rng):
+        vals = rng.normal(0, 100, 256).astype(np.float32)
+        back = sortable_uint32_to_float32(float32_to_sortable_uint32(vals))
+        assert np.array_equal(back, vals)
+
+    def test_negative_zero_and_zero_adjacent(self):
+        keys = float32_to_sortable_uint32(np.array([-0.0, 0.0], dtype=np.float32))
+        # -0.0 encodes strictly below +0.0 -> total order is well-defined.
+        assert keys[0] < keys[1]
+
+    def test_extremes(self):
+        vals = np.array(
+            [np.finfo(np.float32).min, -1.0, 0.0, 1.0, np.finfo(np.float32).max],
+            dtype=np.float32,
+        )
+        keys = float32_to_sortable_uint32(vals).astype(np.uint64)
+        assert np.all(np.diff(keys.astype(np.int64)) > 0)
+
+
+class TestRadixSort:
+    def test_sorts_uint32(self, rng):
+        data = rng.integers(0, 2**32, 5000, dtype=np.uint32)
+        assert np.array_equal(radix_sort(data), np.sort(data))
+
+    def test_sorts_float32(self, rng):
+        data = rng.normal(0, 1e9, 5000).astype(np.float32)
+        assert np.array_equal(radix_sort(data), np.sort(data))
+
+    def test_sorts_int32_negative(self, rng):
+        data = rng.integers(-2**31, 2**31 - 1, 5000, dtype=np.int32)
+        assert np.array_equal(radix_sort(data), np.sort(data))
+
+    def test_empty(self):
+        out = radix_sort(np.empty(0, dtype=np.uint32))
+        assert out.size == 0
+
+    def test_single_element(self):
+        assert radix_sort(np.array([42], dtype=np.uint32)).tolist() == [42]
+
+    def test_all_equal(self):
+        data = np.full(100, 7, dtype=np.uint32)
+        assert np.array_equal(radix_sort(data), data)
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            radix_sort(np.zeros(4, dtype=np.float16))
+
+    def test_digit_bits_variants_agree(self, rng):
+        data = rng.integers(0, 2**32, 1000, dtype=np.uint32)
+        for bits in (1, 4, 8, 11, 16):
+            assert np.array_equal(
+                radix_sort(data, digit_bits=bits), np.sort(data)
+            ), bits
+
+    def test_rejects_bad_digit_bits(self):
+        with pytest.raises(ValueError):
+            radix_sort(np.zeros(4, dtype=np.uint32), digit_bits=0)
+        with pytest.raises(ValueError):
+            radix_sort(np.zeros(4, dtype=np.uint32), digit_bits=17)
+
+    def test_input_not_mutated(self, rng):
+        data = rng.integers(0, 100, 100, dtype=np.uint32)
+        snapshot = data.copy()
+        radix_sort(data)
+        assert np.array_equal(data, snapshot)
+
+
+class TestRadixSortByKey:
+    def test_payload_follows_keys(self, rng):
+        keys = rng.integers(0, 1000, 500, dtype=np.uint32)
+        vals = np.arange(500, dtype=np.int32)
+        sk, sv = radix_sort_by_key(keys, vals)
+        assert np.array_equal(sk, np.sort(keys))
+        assert np.array_equal(keys[sv], sk)
+
+    def test_stability(self):
+        # Equal keys keep payload order: the property STA's restore pass
+        # depends on (Section 7.1.1).
+        keys = np.array([1, 0, 1, 0, 1], dtype=np.uint32)
+        vals = np.array([10, 20, 11, 21, 12], dtype=np.int32)
+        sk, sv = radix_sort_by_key(keys, vals)
+        assert sv.tolist() == [20, 21, 10, 11, 12]
+
+    def test_float_keys_with_tag_payload(self, rng):
+        keys = rng.normal(0, 1e6, 1000).astype(np.float32)
+        tags = rng.integers(0, 50, 1000).astype(np.int32)
+        sk, sv = radix_sort_by_key(keys, tags)
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(sk, keys[order])
+        assert np.array_equal(sv, tags[order])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            radix_sort_by_key(
+                np.zeros(3, dtype=np.uint32), np.zeros(4, dtype=np.int32)
+            )
+
+    def test_stats_accounting(self, rng):
+        keys = rng.integers(0, 2**32, 1000, dtype=np.uint32)
+        vals = np.zeros(1000, dtype=np.int32)
+        stats = RadixStats()
+        radix_sort_by_key(keys, vals, stats=stats)
+        assert stats.passes == 4  # 32-bit keys / 8-bit digits
+        assert stats.elements == 1000
+        assert stats.element_moves == 4 * 4 * 1000  # (key+val) x (r+w) x passes
+        assert stats.scratch_bytes == keys.nbytes + vals.nbytes
+
+    def test_stats_accumulate_across_calls(self, rng):
+        keys = rng.integers(0, 100, 100, dtype=np.uint32)
+        stats = RadixStats()
+        radix_sort_by_key(keys, None, stats=stats)
+        radix_sort_by_key(keys, None, stats=stats)
+        assert stats.passes == 8

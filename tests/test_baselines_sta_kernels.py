@@ -1,0 +1,79 @@
+"""Tests for the device-kernel STA pipeline and the kernel-level duel."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sta_kernels import run_sta_on_device
+from repro.core.kernels import run_arraysort_on_device
+from repro.gpusim import GpuDevice
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice.micro()
+
+
+class TestStaDeviceKernels:
+    def test_sorts_batch(self, gpu, rng):
+        batch = rng.uniform(0, 1e6, (3, 40)).astype(np.float32)
+        out, _ = run_sta_on_device(gpu, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_matches_host_sta(self, gpu, rng):
+        from repro.baselines.sta import sta_sort
+
+        batch = rng.uniform(-100, 100, (2, 30)).astype(np.float32)
+        out, _ = run_sta_on_device(gpu, batch)
+        assert np.array_equal(out, sta_sort(batch))
+
+    def test_lean_variant(self, gpu, rng):
+        batch = rng.uniform(0, 100, (2, 25)).astype(np.float32)
+        out, pipeline = run_sta_on_device(
+            gpu, batch, include_redundant_presort=False
+        )
+        assert np.array_equal(out, np.sort(batch, axis=1))
+        # tagging + 2 sorts x 4 passes x 3 kernels = 25 launches
+        assert len(pipeline.launches) == 1 + 2 * 4 * 3
+
+    def test_full_variant_launch_count(self, gpu, rng):
+        batch = rng.uniform(0, 100, (2, 25)).astype(np.float32)
+        _, pipeline = run_sta_on_device(gpu, batch)
+        assert len(pipeline.launches) == 1 + 3 * 4 * 3
+
+    def test_no_leaks(self, gpu, rng):
+        run_sta_on_device(gpu, rng.uniform(0, 1, (2, 20)).astype(np.float32))
+        assert gpu.memory.live_allocations() == 0
+
+    def test_duplicates(self, gpu, rng):
+        batch = rng.integers(0, 4, (3, 30)).astype(np.float32)
+        out, _ = run_sta_on_device(gpu, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_rejects_1d(self, gpu):
+        with pytest.raises(ValueError):
+            run_sta_on_device(gpu, np.arange(8.0))
+
+
+class TestKernelLevelDuel:
+    """The paper's comparison at kernel granularity on identical data."""
+
+    def test_sta_moves_far_more_global_data(self, gpu, rng):
+        batch = rng.uniform(0, 1e6, (2, 64)).astype(np.float32)
+        _, gas = run_arraysort_on_device(gpu, batch)
+        _, sta = run_sta_on_device(gpu, batch)
+        # 12 radix passes each touching every element vs the three-phase
+        # constant number of sweeps: at least 3x the transactions.
+        assert sta.total_global_transactions > 3 * gas.total_global_transactions
+
+    def test_sta_needs_an_order_of_magnitude_more_launches(self, gpu, rng):
+        batch = rng.uniform(0, 1e6, (2, 40)).astype(np.float32)
+        _, gas = run_arraysort_on_device(gpu, batch)
+        _, sta = run_sta_on_device(gpu, batch)
+        assert len(gas.launches) == 3
+        assert len(sta.launches) >= 10 * len(gas.launches)
+
+    def test_both_reach_identical_results(self, gpu, rng):
+        batch = rng.uniform(-1e5, 1e5, (3, 48)).astype(np.float32)
+        gas_out, _ = run_arraysort_on_device(gpu, batch)
+        sta_out, _ = run_sta_on_device(gpu, batch)
+        assert np.array_equal(gas_out, sta_out)

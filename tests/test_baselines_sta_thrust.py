@@ -1,0 +1,183 @@
+"""Tests for the simulated Thrust layer and the STA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sta import StaSorter, sta_sort
+from repro.baselines.thrust import (
+    DeviceVector,
+    ThrustCallStats,
+    sequence,
+    stable_sort_by_key,
+)
+from repro.gpusim import DeviceOutOfMemoryError, GpuDevice
+from repro.workloads import uniform_arrays
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice.micro()
+
+
+class TestDeviceVector:
+    def test_from_host_data(self, gpu):
+        v = DeviceVector(gpu, np.arange(10, dtype=np.float32))
+        assert len(v) == 10
+        assert np.array_equal(v.to_host(), np.arange(10, dtype=np.float32))
+        v.free()
+
+    def test_by_size_needs_dtype(self, gpu):
+        with pytest.raises(ValueError):
+            DeviceVector(gpu, 10)
+
+    def test_context_manager_frees(self, gpu):
+        with DeviceVector(gpu, np.zeros(8, dtype=np.float32)):
+            assert gpu.memory.live_allocations() == 1
+        assert gpu.memory.live_allocations() == 0
+
+    def test_double_free_is_noop(self, gpu):
+        v = DeviceVector(gpu, np.zeros(8, dtype=np.float32))
+        v.free()
+        v.free()  # second free must not raise
+        assert gpu.memory.live_allocations() == 0
+
+    def test_sequence(self, gpu):
+        v = sequence(gpu, 6)
+        assert v.to_host().tolist() == [0, 1, 2, 3, 4, 5]
+        v.free()
+
+    def test_allocation_charged_to_device(self, gpu):
+        before = gpu.memory.free_bytes
+        v = DeviceVector(gpu, np.zeros(1000, dtype=np.float32))
+        assert gpu.memory.free_bytes < before
+        v.free()
+
+
+class TestStableSortByKey:
+    def test_sorts_and_permutes(self, gpu, rng):
+        keys_host = rng.normal(0, 1e6, 500).astype(np.float32)
+        vals_host = np.arange(500, dtype=np.int32)
+        keys = DeviceVector(gpu, keys_host)
+        vals = DeviceVector(gpu, vals_host)
+        stable_sort_by_key(keys, vals)
+        order = np.argsort(keys_host, kind="stable")
+        assert np.array_equal(keys.to_host(), keys_host[order])
+        assert np.array_equal(vals.to_host(), vals_host[order])
+        keys.free(); vals.free()
+
+    def test_scratch_freed_even_on_success(self, gpu, rng):
+        keys = DeviceVector(gpu, rng.random(100).astype(np.float32))
+        vals = DeviceVector(gpu, np.arange(100, dtype=np.int32))
+        stable_sort_by_key(keys, vals)
+        assert gpu.memory.live_allocations() == 2  # only keys+vals remain
+        keys.free(); vals.free()
+
+    def test_oom_when_scratch_does_not_fit(self, rng):
+        # Fill the device so the radix scratch cannot be allocated.
+        gpu = GpuDevice.micro()
+        quarter = gpu.memory.capacity_bytes // 4
+        n = int(quarter * 1.2) // 4
+        keys = DeviceVector(gpu, rng.random(n).astype(np.float32))
+        vals = DeviceVector(gpu, np.arange(n, dtype=np.int32))
+        with pytest.raises(DeviceOutOfMemoryError):
+            stable_sort_by_key(keys, vals)
+        keys.free(); vals.free()
+        assert gpu.memory.live_allocations() == 0
+
+    def test_length_mismatch(self, gpu):
+        keys = DeviceVector(gpu, np.zeros(4, dtype=np.float32))
+        vals = DeviceVector(gpu, np.zeros(5, dtype=np.int32))
+        with pytest.raises(ValueError):
+            stable_sort_by_key(keys, vals)
+        keys.free(); vals.free()
+
+    def test_stats_populated(self, gpu, rng):
+        keys = DeviceVector(gpu, rng.random(200).astype(np.float32))
+        vals = DeviceVector(gpu, np.arange(200, dtype=np.int32))
+        stats = ThrustCallStats()
+        stable_sort_by_key(keys, vals, stats=stats)
+        assert stats.elements == 200
+        assert stats.radix.passes == 4
+        assert stats.scratch_bytes == 200 * 8
+        keys.free(); vals.free()
+
+
+class TestStaHost:
+    def test_sorts_batch(self):
+        batch = uniform_arrays(40, 120, seed=8)
+        out = sta_sort(batch, verify=True)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_matches_arraysort(self):
+        from repro.core import sort_arrays
+
+        batch = uniform_arrays(30, 150, seed=9)
+        assert np.array_equal(sta_sort(batch), sort_arrays(batch))
+
+    def test_phase_breakdown_includes_redundant_presort(self):
+        res = StaSorter().sort(uniform_arrays(10, 50, seed=1))
+        assert "sort_by_tags_redundant" in res.phase_seconds
+        assert "sort_by_values" in res.phase_seconds
+        assert "sort_by_tags_restore" in res.phase_seconds
+
+    def test_lean_variant_skips_presort(self):
+        res = StaSorter(include_redundant_presort=False).sort(
+            uniform_arrays(10, 50, seed=1)
+        )
+        assert "sort_by_tags_redundant" not in res.phase_seconds
+        assert np.all(np.diff(res.batch, axis=1) >= 0)
+
+    def test_lean_and_full_same_result(self):
+        batch = uniform_arrays(15, 80, seed=2)
+        full = StaSorter().sort(batch).batch
+        lean = StaSorter(include_redundant_presort=False).sort(batch).batch
+        assert np.array_equal(full, lean)
+
+    def test_radix_stats_charge_three_sorts(self):
+        res = StaSorter().sort(uniform_arrays(5, 40, seed=1))
+        assert res.thrust_stats.radix.passes == 12  # 3 sorts x 4 passes
+
+    def test_footprint_about_4x_payload(self):
+        payload = 1000 * 1000 * 4
+        footprint = StaSorter.footprint_bytes(1000, 1000)
+        assert footprint == 4 * payload
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            sta_sort(np.arange(10.0))
+
+
+class TestStaDevice:
+    def test_device_run_matches_host(self, rng):
+        batch = uniform_arrays(20, 60, seed=3)
+        gpu = GpuDevice.micro()
+        dev = StaSorter(device=gpu).sort(batch)
+        host = StaSorter().sort(batch)
+        assert np.array_equal(dev.batch, host.batch)
+
+    def test_device_peak_includes_tags_and_scratch(self):
+        batch = uniform_arrays(20, 60, seed=3)
+        gpu = GpuDevice.micro()
+        res = StaSorter(device=gpu).sort(batch)
+        payload = batch.nbytes
+        # data + tags + 2 scratch buffers, aligned -> at least 4x payload.
+        assert res.peak_device_bytes >= 4 * payload
+
+    def test_device_memory_all_freed(self):
+        gpu = GpuDevice.micro()
+        StaSorter(device=gpu).sort(uniform_arrays(10, 40, seed=3))
+        assert gpu.memory.live_allocations() == 0
+
+    def test_in_place_advantage_vs_arraysort(self):
+        """The paper's memory headline: STA's peak is ~4x GPU-ArraySort's."""
+        from repro.core.kernels import run_arraysort_on_device
+
+        batch = uniform_arrays(20, 100, seed=4)
+        gpu_a = GpuDevice.micro()
+        run_arraysort_on_device(gpu_a, batch)
+        gas_peak = gpu_a.memory.stats.peak_bytes
+
+        gpu_b = GpuDevice.micro()
+        StaSorter(device=gpu_b).sort(batch)
+        sta_peak = gpu_b.memory.stats.peak_bytes
+        assert sta_peak > 3 * gas_peak

@@ -1,0 +1,210 @@
+"""Integration tests for the GpuArraySort orchestrator (all engines)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuArraySort, SortConfig, sort_arrays
+from repro.core.validation import ValidationFailure
+from repro.gpusim import GpuDevice
+from repro.gpusim.device import K40C
+from repro.workloads import (
+    adversarial_constant_arrays,
+    clustered_arrays,
+    duplicate_heavy_arrays,
+    nearly_sorted_arrays,
+    normal_arrays,
+    reverse_sorted_arrays,
+    sorted_arrays,
+    uniform_arrays,
+)
+
+
+class TestVectorizedEngine:
+    def test_sorts_uniform_batch(self):
+        batch = uniform_arrays(200, 500, seed=1)
+        out = sort_arrays(batch, verify=True)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            normal_arrays,
+            sorted_arrays,
+            reverse_sorted_arrays,
+            nearly_sorted_arrays,
+            duplicate_heavy_arrays,
+            clustered_arrays,
+        ],
+    )
+    def test_sorts_every_distribution(self, generator):
+        batch = generator(50, 300, seed=3)
+        out = sort_arrays(batch, verify=True)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_constant_arrays(self):
+        batch = adversarial_constant_arrays(10, 100)
+        out = sort_arrays(batch, verify=True)
+        assert np.array_equal(out, batch)
+
+    def test_single_array(self):
+        batch = uniform_arrays(1, 777, seed=5)
+        assert np.array_equal(sort_arrays(batch), np.sort(batch, axis=1))
+
+    def test_single_element_arrays(self):
+        batch = uniform_arrays(10, 1, seed=5)
+        assert np.array_equal(sort_arrays(batch), batch)
+
+    def test_empty_batch(self):
+        batch = np.empty((0, 100), dtype=np.float32)
+        out = sort_arrays(batch)
+        assert out.shape == (0, 100)
+
+    def test_tiny_arrays_below_bucket_size(self):
+        batch = uniform_arrays(20, 7, seed=2)
+        assert np.array_equal(sort_arrays(batch), np.sort(batch, axis=1))
+
+    def test_array_size_not_multiple_of_bucket_size(self):
+        batch = uniform_arrays(20, 1013, seed=2)
+        assert np.array_equal(sort_arrays(batch), np.sort(batch, axis=1))
+
+    def test_inplace_reuses_storage(self):
+        batch = uniform_arrays(10, 100, seed=0)
+        sorter = GpuArraySort()
+        res = sorter.sort(batch, inplace=True)
+        assert res.batch is batch
+        assert np.all(np.diff(batch, axis=1) >= 0)
+
+    def test_not_inplace_preserves_input(self):
+        batch = uniform_arrays(10, 100, seed=0)
+        snapshot = batch.copy()
+        GpuArraySort().sort(batch, inplace=False)
+        assert np.array_equal(batch, snapshot)
+
+    def test_float64_supported(self):
+        batch = uniform_arrays(10, 200, seed=0, dtype=np.float64)
+        cfg = SortConfig(dtype=np.float64)
+        out = sort_arrays(batch, config=cfg)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_integer_dtype_supported(self, rng):
+        batch = rng.integers(0, 2**31 - 1, (20, 300)).astype(np.int32)
+        out = sort_arrays(batch, config=SortConfig(dtype=np.int32))
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_phase_timings_populated(self):
+        res = GpuArraySort().sort(uniform_arrays(50, 200, seed=1))
+        assert set(res.phase_seconds) == {
+            "phase1_splitters", "phase2_bucketing", "phase3_sorting",
+        }
+        assert res.total_seconds >= 0
+
+    def test_result_exposes_phase_artifacts(self):
+        res = GpuArraySort().sort(uniform_arrays(5, 100, seed=1))
+        assert res.splitters is not None
+        assert res.buckets is not None
+        assert res.buckets.sizes.sum() == 5 * 100
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            sort_arrays(np.arange(10.0))
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            GpuArraySort(engine="quantum")
+
+    def test_verify_catches_bad_config_nan(self):
+        batch = uniform_arrays(5, 100, seed=1)
+        batch[2, 3] = np.nan
+        with pytest.raises(ValueError):
+            sort_arrays(batch)
+
+    def test_custom_bucket_sizes_all_work(self):
+        batch = uniform_arrays(30, 400, seed=9)
+        for bucket_size in (5, 10, 20, 40, 80, 400, 1000):
+            out = sort_arrays(batch, config=SortConfig(bucket_size=bucket_size))
+            assert np.array_equal(out, np.sort(batch, axis=1)), bucket_size
+
+    def test_custom_sampling_rates_all_work(self):
+        batch = uniform_arrays(30, 400, seed=9)
+        for rate in (0.02, 0.05, 0.1, 0.2, 0.5, 1.0):
+            out = sort_arrays(batch, config=SortConfig(sampling_rate=rate))
+            assert np.array_equal(out, np.sort(batch, axis=1)), rate
+
+
+class TestSimEngine:
+    def test_matches_numpy(self, tiny_batch):
+        sorter = GpuArraySort(engine="sim", device=GpuDevice.micro(), verify=True)
+        res = sorter.sort(tiny_batch)
+        assert np.array_equal(res.batch, np.sort(tiny_batch, axis=1))
+
+    def test_reports_three_launches(self, tiny_batch):
+        sorter = GpuArraySort(engine="sim", device=GpuDevice.micro())
+        res = sorter.sort(tiny_batch)
+        assert len(res.reports.launches) == 3
+        names = [l.kernel_name for l in res.reports.launches]
+        assert names == [
+            "phase1_splitter_selection", "phase2_bucketing", "phase3_bucket_sort",
+        ]
+
+    def test_modeled_time_positive(self, tiny_batch):
+        sorter = GpuArraySort(engine="sim", device=GpuDevice.micro())
+        res = sorter.sort(tiny_batch)
+        assert res.modeled_ms > 0
+
+    def test_no_device_memory_leak(self, tiny_batch):
+        gpu = GpuDevice.micro()
+        GpuArraySort(engine="sim", device=gpu).sort(tiny_batch)
+        assert gpu.memory.live_allocations() == 0
+
+    def test_requires_gpudevice(self, tiny_batch):
+        sorter = GpuArraySort(engine="sim", device="not a device")
+        with pytest.raises(TypeError):
+            sorter.sort(tiny_batch)
+
+    def test_default_device_is_k40c(self, tiny_batch):
+        res = GpuArraySort(engine="sim").sort(tiny_batch)
+        assert np.array_equal(res.batch, np.sort(tiny_batch, axis=1))
+
+
+class TestModelEngine:
+    def test_returns_sorted_and_modeled_time(self):
+        batch = uniform_arrays(100, 500, seed=4)
+        sorter = GpuArraySort(engine="model", device=K40C)
+        res = sorter.sort(batch)
+        assert np.array_equal(res.batch, np.sort(batch, axis=1))
+        assert res.modeled_ms > 0
+
+    def test_scales_to_paper_sizes_instantly(self):
+        # The whole point: model engine evaluates N = 2e6 without data.
+        batch = uniform_arrays(10, 1000, seed=4)  # small real data
+        sorter = GpuArraySort(engine="model")
+        res = sorter.sort(batch)
+        assert res.modeled_ms > 0
+
+    def test_accepts_gpudevice_wrapper(self):
+        batch = uniform_arrays(5, 100, seed=4)
+        res = GpuArraySort(engine="model", device=GpuDevice.k40c()).sort(batch)
+        assert res.modeled_ms > 0
+
+    def test_rejects_garbage_device(self):
+        sorter = GpuArraySort(engine="model", device=42)
+        with pytest.raises(TypeError):
+            sorter.sort(uniform_arrays(5, 100, seed=4))
+
+
+class TestEngineAgreement:
+    def test_sim_and_vectorized_agree_exactly(self, rng):
+        batch = rng.uniform(0, 1e6, (3, 80)).astype(np.float32)
+        vec = GpuArraySort(engine="vectorized").sort(batch)
+        sim = GpuArraySort(engine="sim", device=GpuDevice.micro()).sort(batch)
+        assert np.array_equal(vec.batch, sim.batch)
+
+    def test_all_engines_same_result(self, rng):
+        batch = rng.uniform(0, 1e6, (2, 64)).astype(np.float32)
+        outs = [
+            GpuArraySort(engine=e, device=GpuDevice.micro() if e == "sim" else None)
+            .sort(batch).batch
+            for e in GpuArraySort.ENGINES
+        ]
+        for out in outs[1:]:
+            assert np.array_equal(outs[0], out)

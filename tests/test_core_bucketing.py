@@ -1,0 +1,150 @@
+"""Unit tests for repro.core.bucketing (phase 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bucketing import (
+    bucket_ids_for_row,
+    bucketize,
+    exclusive_scan,
+)
+from repro.core.config import SortConfig
+from repro.core.splitters import select_splitters
+from repro.core.validation import check_bucket_partition
+
+
+class TestExclusiveScan:
+    def test_basic(self):
+        out = exclusive_scan(np.array([[2, 0, 3]]))
+        assert out.tolist() == [[0, 2, 2, 5]]
+
+    def test_end_sentinel_is_total(self, rng):
+        sizes = rng.integers(0, 10, (5, 8))
+        out = exclusive_scan(sizes)
+        assert np.array_equal(out[:, -1], sizes.sum(axis=1))
+
+    def test_monotone(self, rng):
+        sizes = rng.integers(0, 10, (5, 8))
+        out = exclusive_scan(sizes)
+        assert np.all(np.diff(out, axis=1) >= 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            exclusive_scan(np.array([1, 2, 3]))
+
+
+class TestBucketIdsForRow:
+    def test_half_open_semantics(self):
+        # bucket j owns [s_j, s_{j+1}): equal-to-splitter goes right.
+        splitters = np.array([10.0, 20.0])
+        row = np.array([5.0, 10.0, 15.0, 20.0, 25.0])
+        assert bucket_ids_for_row(row, splitters).tolist() == [0, 1, 1, 2, 2]
+
+    def test_no_splitters_single_bucket(self):
+        row = np.array([3.0, 1.0])
+        assert bucket_ids_for_row(row, np.empty(0)).tolist() == [0, 0]
+
+    def test_all_equal_splitters(self):
+        splitters = np.array([7.0, 7.0, 7.0])
+        row = np.array([6.0, 7.0, 8.0])
+        ids = bucket_ids_for_row(row, splitters)
+        assert ids.tolist() == [0, 3, 3]
+
+
+class TestBucketize:
+    def test_result_is_permutation(self, small_batch):
+        spl = select_splitters(small_batch)
+        res = bucketize(small_batch.copy(), spl.splitters)
+        assert np.array_equal(
+            np.sort(res.bucketed, axis=1), np.sort(small_batch, axis=1)
+        )
+
+    def test_sizes_sum_to_n(self, small_batch):
+        spl = select_splitters(small_batch)
+        res = bucketize(small_batch.copy(), spl.splitters)
+        assert np.all(res.sizes.sum(axis=1) == small_batch.shape[1])
+
+    def test_partition_invariant_every_row(self, small_batch):
+        spl = select_splitters(small_batch)
+        res = bucketize(small_batch.copy(), spl.splitters)
+        for i in range(small_batch.shape[0]):
+            check_bucket_partition(res.bucketed[i], spl.splitters[i], res.offsets[i])
+
+    def test_stability_within_buckets(self):
+        # Elements of the same bucket must keep their original order
+        # (each thread scans left to right).
+        row = np.array([[5.0, 1.0, 6.0, 2.0, 7.0, 3.0]], dtype=np.float32)
+        splitters = np.array([[4.0]], dtype=np.float32)
+        res = bucketize(row.copy(), splitters)
+        assert res.bucketed[0].tolist() == [1.0, 2.0, 3.0, 5.0, 6.0, 7.0]
+
+    def test_inplace_writeback(self, small_batch):
+        spl = select_splitters(small_batch)
+        work = small_batch.copy()
+        res = bucketize(work, spl.splitters, out=work)
+        assert res.bucketed is work  # same storage, like the device kernel
+
+    def test_offsets_shape(self, small_batch):
+        spl = select_splitters(small_batch)
+        res = bucketize(small_batch.copy(), spl.splitters)
+        assert res.offsets.shape == (small_batch.shape[0], res.num_buckets + 1)
+
+    def test_rejects_nan(self):
+        batch = np.array([[1.0, np.nan, 2.0]], dtype=np.float32)
+        with pytest.raises(ValueError, match="NaN"):
+            bucketize(batch, np.array([[1.5]], dtype=np.float32))
+
+    def test_rejects_row_mismatch(self, small_batch):
+        spl = select_splitters(small_batch)
+        with pytest.raises(ValueError):
+            bucketize(small_batch[:5].copy(), spl.splitters)
+
+    def test_rejects_bad_out_shape(self, small_batch):
+        spl = select_splitters(small_batch)
+        with pytest.raises(ValueError):
+            bucketize(small_batch.copy(), spl.splitters, out=np.empty((1, 1)))
+
+    def test_duplicate_heavy_rows_survive(self, rng):
+        # Fewer distinct values than buckets: many empty buckets, ties on
+        # splitters — correctness must hold.
+        palette = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        batch = palette[rng.integers(0, 3, (10, 200))]
+        spl = select_splitters(batch)
+        res = bucketize(batch.copy(), spl.splitters)
+        assert np.all(res.sizes.sum(axis=1) == 200)
+        for i in range(10):
+            check_bucket_partition(res.bucketed[i], spl.splitters[i], res.offsets[i])
+
+    def test_constant_rows_single_bucket_gets_all(self):
+        batch = np.full((3, 100), 9.0, dtype=np.float32)
+        spl = select_splitters(batch)
+        res = bucketize(batch.copy(), spl.splitters)
+        # All splitters equal 9.0; every element >= every splitter, so the
+        # last bucket owns everything.
+        assert np.all(res.sizes[:, -1] == 100)
+        assert np.all(res.sizes[:, :-1] == 0)
+
+    def test_small_row_chunk_equivalent(self, small_batch):
+        spl = select_splitters(small_batch)
+        a = bucketize(small_batch.copy(), spl.splitters, row_chunk=3)
+        b = bucketize(small_batch.copy(), spl.splitters, row_chunk=512)
+        assert np.array_equal(a.bucketed, b.bucketed)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_bucket_concatenation_bounds(self, small_batch):
+        # max of bucket j must be <= min of bucket j+1 (partition order).
+        spl = select_splitters(small_batch)
+        res = bucketize(small_batch.copy(), spl.splitters)
+        for i in range(small_batch.shape[0]):
+            prev_max = -np.inf
+            for j in range(res.num_buckets):
+                lo, hi = res.offsets[i, j], res.offsets[i, j + 1]
+                seg = res.bucketed[i, lo:hi]
+                if seg.size:
+                    assert seg.min() >= prev_max or np.isclose(seg.min(), prev_max)
+                    prev_max = seg.max()
+
+    def test_max_bucket_size_metric(self, small_batch):
+        spl = select_splitters(small_batch)
+        res = bucketize(small_batch.copy(), spl.splitters)
+        assert res.max_bucket_size() == int(res.sizes.max())

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.config."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, SortConfig
+
+
+class TestDefaults:
+    def test_paper_bucket_size(self):
+        # Section 5.1: "at least 20 elements per bucket"
+        assert DEFAULT_CONFIG.bucket_size == 20
+
+    def test_paper_sampling_rate(self):
+        # Section 5.1: "10% regular sampling gave most evenly balanced buckets"
+        assert DEFAULT_CONFIG.sampling_rate == pytest.approx(0.10)
+
+    def test_paper_dtype_is_float32(self):
+        # Section 7.2: "using float as the data type"
+        assert DEFAULT_CONFIG.dtype == np.float32
+
+
+class TestDerivedQuantities:
+    def test_bucket_count_definition_2(self):
+        # Definition 2: p = floor(n / 20)
+        assert DEFAULT_CONFIG.num_buckets(1000) == 50
+        assert DEFAULT_CONFIG.num_buckets(4000) == 200
+        assert DEFAULT_CONFIG.num_buckets(2019) == 100
+
+    def test_splitters_q_is_p_minus_1(self):
+        # Definition 3: q = p - 1
+        assert DEFAULT_CONFIG.num_splitters(1000) == 49
+
+    def test_sample_size_10_percent(self):
+        assert DEFAULT_CONFIG.sample_size(1000) == 100
+        assert DEFAULT_CONFIG.sample_size(4000) == 400
+
+    def test_sample_size_at_least_one(self):
+        assert DEFAULT_CONFIG.sample_size(1) == 1
+        assert DEFAULT_CONFIG.sample_size(5) == 1
+
+    def test_tiny_arrays_get_single_bucket(self):
+        for n in range(1, 20):
+            assert DEFAULT_CONFIG.num_buckets(n) == 1
+
+    def test_bucket_count_clamped_by_sample_size(self):
+        # With an extreme config, p must never exceed the sample size,
+        # otherwise there are not enough sample points to pick q splitters.
+        cfg = SortConfig(bucket_size=1, sampling_rate=0.05)
+        for n in (10, 50, 200):
+            assert cfg.num_buckets(n) <= cfg.sample_size(n)
+
+    def test_bucket_count_clamped_by_max_buckets(self):
+        cfg = SortConfig(bucket_size=1, sampling_rate=1.0, max_buckets=64)
+        assert cfg.num_buckets(10_000) == 64
+
+    def test_sample_stride_covers_array(self):
+        for n in (1, 7, 100, 1000, 4096):
+            stride = DEFAULT_CONFIG.sample_stride(n)
+            assert stride >= 1
+            assert (DEFAULT_CONFIG.sample_size(n) - 1) * stride < n
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.num_buckets(0)
+
+
+class TestValidation:
+    def test_rejects_zero_bucket_size(self):
+        with pytest.raises(ValueError):
+            SortConfig(bucket_size=0)
+
+    def test_rejects_bad_sampling_rate(self):
+        for rate in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                SortConfig(sampling_rate=rate)
+
+    def test_rejects_bad_max_buckets(self):
+        with pytest.raises(ValueError):
+            SortConfig(max_buckets=0)
+
+    def test_full_sampling_allowed(self):
+        cfg = SortConfig(sampling_rate=1.0)
+        assert cfg.sample_size(100) == 100
+
+
+class TestHelpers:
+    def test_with_updates_functionally(self):
+        cfg = DEFAULT_CONFIG.with_(bucket_size=40)
+        assert cfg.bucket_size == 40
+        assert DEFAULT_CONFIG.bucket_size == 20  # original untouched
+
+    def test_metadata_bytes_small_relative_to_data(self):
+        # The in-place story: metadata is O(n/20), not O(n).
+        n = 1000
+        data_bytes = n * 4
+        meta = DEFAULT_CONFIG.metadata_bytes_per_array(n)
+        assert meta < 0.15 * data_bytes
+
+    def test_metadata_bytes_formula(self):
+        n = 1000
+        expected = 49 * 4 + 50 * 4
+        assert DEFAULT_CONFIG.metadata_bytes_per_array(n) == expected
+
+    def test_dtype_coerced_to_np_dtype(self):
+        cfg = SortConfig(dtype="float64")
+        assert cfg.dtype == np.dtype(np.float64)

@@ -1,0 +1,75 @@
+"""Tests for descending order and argsort support."""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuArraySort
+from repro.workloads import uniform_arrays
+
+
+class TestDescending:
+    def test_descending_rows(self):
+        batch = uniform_arrays(20, 200, seed=1)
+        res = GpuArraySort().sort(batch, descending=True)
+        assert np.array_equal(res.batch, np.sort(batch, axis=1)[:, ::-1])
+
+    def test_descending_with_verify(self):
+        # verify checks ascending *before* the reversal; both must coexist.
+        batch = uniform_arrays(5, 100, seed=2)
+        res = GpuArraySort(verify=True).sort(batch, descending=True)
+        assert np.all(np.diff(res.batch, axis=1) <= 0)
+
+    def test_descending_inplace(self):
+        batch = uniform_arrays(5, 100, seed=3)
+        res = GpuArraySort().sort(batch, inplace=True, descending=True)
+        assert res.batch is batch
+        assert np.all(np.diff(batch, axis=1) <= 0)
+
+    def test_descending_model_engine(self):
+        batch = uniform_arrays(5, 100, seed=4)
+        res = GpuArraySort(engine="model").sort(batch, descending=True)
+        assert np.all(np.diff(res.batch, axis=1) <= 0)
+
+
+class TestArgsort:
+    def test_matches_numpy_argsort(self):
+        batch = uniform_arrays(15, 150, seed=5)
+        perm = GpuArraySort().argsort(batch)
+        expected = np.argsort(batch, axis=1, kind="stable")
+        assert np.array_equal(perm, expected)
+
+    def test_permutation_reorders_to_sorted(self):
+        batch = uniform_arrays(10, 120, seed=6)
+        perm = GpuArraySort().argsort(batch)
+        gathered = np.take_along_axis(batch, perm, axis=1)
+        assert np.array_equal(gathered, np.sort(batch, axis=1))
+
+    def test_stability_on_ties(self):
+        batch = np.array([[2.0, 1.0, 2.0, 1.0]], dtype=np.float32)
+        perm = GpuArraySort().argsort(batch)
+        # stable: first 1.0 (col 1) before second (col 3), same for 2.0s
+        assert perm[0].tolist() == [1, 3, 0, 2]
+
+    def test_descending_argsort(self):
+        batch = uniform_arrays(5, 80, seed=7)
+        perm = GpuArraySort().argsort(batch, descending=True)
+        gathered = np.take_along_axis(batch, perm, axis=1)
+        assert np.all(np.diff(gathered, axis=1) <= 0)
+
+    def test_companion_matrix_use_case(self):
+        """The proteomics pattern: argsort m/z, reorder intensity."""
+        from repro.workloads import generate_spectra
+
+        spectra = generate_spectra(10, 300, seed=8)
+        perm = GpuArraySort().argsort(spectra.mz)
+        mz_sorted = np.take_along_axis(spectra.mz, perm, axis=1)
+        intensity_reordered = np.take_along_axis(spectra.intensity, perm, axis=1)
+        assert np.all(np.diff(mz_sorted, axis=1) >= 0)
+        # The pairing is preserved: spot-check one row's multiset.
+        row_pairs = set(zip(spectra.mz[0].tolist(), spectra.intensity[0].tolist()))
+        out_pairs = set(zip(mz_sorted[0].tolist(), intensity_reordered[0].tolist()))
+        assert row_pairs == out_pairs
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            GpuArraySort().argsort(np.arange(5.0))

@@ -1,0 +1,167 @@
+"""Tests for key-value pair sorting and adaptive sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import SortConfig, sort_pairs
+from repro.core.adaptive import (
+    AdaptiveSampler,
+    choose_strategy,
+    probe_skew,
+    select_splitters_adaptive,
+)
+from repro.core.bucketing import bucketize
+from repro.core.splitters import select_splitters
+from repro.workloads import (
+    clustered_arrays,
+    duplicate_heavy_arrays,
+    generate_spectra,
+    uniform_arrays,
+)
+
+
+class TestSortPairs:
+    def test_sorts_keys_and_carries_values(self, rng):
+        keys = rng.uniform(0, 1e6, (30, 200)).astype(np.float32)
+        vals = rng.uniform(0, 1, (30, 200)).astype(np.float32)
+        res = sort_pairs(keys, vals, verify=True)
+        order = np.argsort(keys, axis=1, kind="stable")
+        assert np.array_equal(res.keys, np.take_along_axis(keys, order, axis=1))
+        assert np.array_equal(res.values, np.take_along_axis(vals, order, axis=1))
+
+    def test_stable_on_duplicate_keys(self):
+        keys = np.array([[1.0, 0.0, 1.0, 0.0]], dtype=np.float32)
+        vals = np.array([[10.0, 20.0, 11.0, 21.0]], dtype=np.float32)
+        res = sort_pairs(keys, vals, stable=True)
+        assert res.values[0].tolist() == [20.0, 21.0, 10.0, 11.0]
+
+    def test_unstable_variant_orders_values_within_ties(self):
+        keys = np.array([[5.0, 5.0, 5.0]], dtype=np.float32)
+        vals = np.array([[3.0, 1.0, 2.0]], dtype=np.float32)
+        res = sort_pairs(keys, vals, stable=False)
+        assert res.values[0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_mass_spec_pairs_scenario(self):
+        spectra = generate_spectra(20, 500, seed=4)
+        res = sort_pairs(spectra.mz, spectra.intensity, verify=True)
+        # m/z ordered, and the (mz, intensity) pairing preserved.
+        assert np.all(np.diff(res.keys, axis=1) >= 0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sort_pairs(rng.random((2, 5)), rng.random((2, 6)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            sort_pairs(np.arange(4.0), np.arange(4.0))
+
+    def test_nan_keys_rejected(self):
+        keys = np.array([[1.0, np.nan]], dtype=np.float32)
+        with pytest.raises(ValueError):
+            sort_pairs(keys, keys.copy())
+
+    def test_empty_batch(self):
+        keys = np.empty((0, 5), dtype=np.float32)
+        res = sort_pairs(keys, keys.copy())
+        assert res.keys.shape == (0, 5)
+
+    def test_exposes_phase_artifacts(self, rng):
+        keys = rng.uniform(0, 1, (5, 100)).astype(np.float32)
+        res = sort_pairs(keys, keys.copy())
+        assert res.splitters is not None
+        assert res.buckets.sizes.sum() == 500
+
+    def test_custom_config(self, rng):
+        keys = rng.uniform(0, 1, (10, 150)).astype(np.float32)
+        vals = rng.uniform(0, 1, (10, 150)).astype(np.float32)
+        res = sort_pairs(keys, vals, config=SortConfig(bucket_size=5),
+                         verify=True)
+        assert np.all(np.diff(res.keys, axis=1) >= 0)
+
+
+class TestSkewProbe:
+    def test_uniform_not_flagged(self):
+        probe = probe_skew(uniform_arrays(50, 500, seed=1))
+        assert not probe.is_duplicate_heavy
+        assert probe.duplicate_mass < 0.2
+
+    def test_duplicates_flagged(self):
+        probe = probe_skew(duplicate_heavy_arrays(50, 500, distinct_values=4,
+                                                  seed=1))
+        assert probe.is_duplicate_heavy
+
+    def test_clustered_has_higher_dispersion_than_uniform(self):
+        uni = probe_skew(uniform_arrays(50, 500, seed=1))
+        clu = probe_skew(clustered_arrays(50, 500, seed=1))
+        assert clu.gap_dispersion > uni.gap_dispersion
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            probe_skew(np.empty((0, 0)))
+
+    def test_strategy_mapping(self):
+        from repro.core.adaptive import SkewProbe
+
+        assert choose_strategy(SkewProbe(0.9, 1.0)) == "regular"
+        assert choose_strategy(SkewProbe(0.0, 5.0)) == "oversample"
+        assert choose_strategy(SkewProbe(0.0, 1.0)) == "regular"
+
+
+class TestAdaptiveSplitters:
+    @pytest.mark.parametrize("strategy", ["regular", "random", "oversample"])
+    def test_all_strategies_yield_valid_phase1(self, strategy, rng):
+        batch = rng.uniform(0, 1e6, (20, 300)).astype(np.float32)
+        res = select_splitters_adaptive(batch, strategy=strategy)
+        assert np.all(np.diff(res.splitters.astype(np.float64), axis=1) >= 0)
+        assert res.splitters.shape == (20, res.num_buckets - 1)
+        # Pipeline completes correctly regardless of strategy.
+        out = bucketize(batch.copy(), res.splitters)
+        assert np.all(out.sizes.sum(axis=1) == 300)
+
+    def test_regular_matches_published_phase1(self, rng):
+        batch = rng.uniform(0, 1, (10, 200)).astype(np.float32)
+        adaptive = select_splitters_adaptive(batch, strategy="regular")
+        published = select_splitters(batch)
+        assert np.array_equal(adaptive.splitters, published.splitters)
+
+    def test_oversample_balances_clustered_data_better(self):
+        """The point of Section 9's multi-sampling plan: tighter quantile
+        estimates on clustered data -> tighter bucket-size spread."""
+        from repro.analysis.metrics import bucket_balance
+
+        batch = clustered_arrays(60, 1000, num_clusters=3, seed=5)
+        stds = {}
+        for strategy in ("regular", "oversample"):
+            spl = select_splitters_adaptive(batch, strategy=strategy, seed=1)
+            res = bucketize(batch.copy(), spl.splitters)
+            stds[strategy] = bucket_balance(res.sizes).std
+        assert stds["oversample"] <= stds["regular"] * 1.05
+
+    def test_unknown_strategy_rejected(self, rng):
+        with pytest.raises(ValueError):
+            select_splitters_adaptive(rng.random((2, 30)), strategy="psychic")
+
+    def test_sampler_auto_resolution(self):
+        dup = duplicate_heavy_arrays(20, 300, distinct_values=3, seed=2)
+        clu = clustered_arrays(20, 300, cluster_std=10.0, seed=2)
+        sampler = AdaptiveSampler("auto")
+        assert sampler.resolve_strategy(dup) == "regular"
+        # clustered data with tiny clusters must trip the skew probe
+        assert sampler.resolve_strategy(clu) in ("oversample", "regular")
+
+    def test_sampler_explicit_strategy(self, rng):
+        batch = rng.uniform(0, 1, (5, 100)).astype(np.float32)
+        res = AdaptiveSampler("random", seed=3).select(batch)
+        assert res.splitters.shape[0] == 5
+
+    def test_sampler_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            AdaptiveSampler("bogus")
+
+    def test_sampler_plugs_into_gpu_arraysort(self, rng):
+        from repro.core import GpuArraySort
+
+        batch = clustered_arrays(20, 300, seed=7)
+        sorter = GpuArraySort(sampler=AdaptiveSampler("auto"), verify=True)
+        res = sorter.sort(batch)
+        assert np.array_equal(res.batch, np.sort(batch, axis=1))

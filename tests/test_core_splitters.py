@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.splitters (phase 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SortConfig
+from repro.core.splitters import (
+    regular_sample_indices,
+    select_splitters,
+    splitter_pick_indices,
+)
+
+
+class TestRegularSampleIndices:
+    def test_ten_percent_of_1000(self):
+        idx = regular_sample_indices(1000)
+        assert len(idx) == 100
+        assert idx[0] == 0
+        # Regular sampling: constant stride
+        assert len(set(np.diff(idx))) == 1
+
+    def test_indices_in_bounds(self):
+        for n in (1, 3, 19, 20, 999, 4000):
+            idx = regular_sample_indices(n)
+            assert np.all(idx >= 0)
+            assert np.all(idx < n)
+
+    def test_no_duplicate_indices(self):
+        for n in (10, 100, 1234):
+            idx = regular_sample_indices(n)
+            assert len(np.unique(idx)) == len(idx)
+
+    def test_custom_rate(self):
+        idx = regular_sample_indices(10, SortConfig(sampling_rate=0.3))
+        assert list(idx) == [0, 3, 6]
+
+    def test_full_sampling(self):
+        idx = regular_sample_indices(8, SortConfig(sampling_rate=1.0))
+        assert list(idx) == list(range(8))
+
+
+class TestSplitterPickIndices:
+    def test_count_is_q(self):
+        picks = splitter_pick_indices(100, 50)
+        assert len(picks) == 49
+
+    def test_single_bucket_no_splitters(self):
+        assert len(splitter_pick_indices(10, 1)) == 0
+
+    def test_picks_are_sorted_and_in_bounds(self):
+        picks = splitter_pick_indices(100, 50)
+        assert np.all(np.diff(picks) >= 0)
+        assert picks[0] >= 0
+        assert picks[-1] < 100
+
+    def test_regular_spacing(self):
+        picks = splitter_pick_indices(100, 10)
+        # Equally spaced: stride 10
+        assert list(np.diff(picks)) == [10] * 8
+
+    def test_degenerate_small_sample(self):
+        picks = splitter_pick_indices(2, 3)
+        assert len(picks) == 2
+        assert np.all(picks < 2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            splitter_pick_indices(10, 0)
+        with pytest.raises(ValueError):
+            splitter_pick_indices(0, 5)
+
+
+class TestSelectSplitters:
+    def test_shape_and_count(self, small_batch):
+        res = select_splitters(small_batch)
+        n = small_batch.shape[1]
+        cfg_p = 128 // 20
+        assert res.num_buckets == cfg_p
+        assert res.splitters.shape == (small_batch.shape[0], cfg_p - 1)
+
+    def test_splitters_sorted_per_row(self, small_batch):
+        res = select_splitters(small_batch)
+        assert np.all(np.diff(res.splitters, axis=1) >= 0)
+
+    def test_splitters_are_values_from_the_array(self, small_batch):
+        res = select_splitters(small_batch)
+        for i in range(small_batch.shape[0]):
+            assert np.all(np.isin(res.splitters[i], small_batch[i]))
+
+    def test_uniform_data_splitters_near_quantiles(self, rng):
+        # On uniform data with 10% regular sampling, splitters should land
+        # near the true quantiles (the load-balance claim of Section 5.1).
+        batch = rng.uniform(0, 1, (50, 2000)).astype(np.float32)
+        res = select_splitters(batch)
+        p = res.num_buckets
+        expected = np.arange(1, p) / p
+        err = np.abs(res.splitters - expected[None, :])
+        assert err.mean() < 0.05
+
+    def test_bucket_override(self, small_batch):
+        res = select_splitters(small_batch, num_buckets=4)
+        assert res.num_buckets == 4
+        assert res.splitters.shape[1] == 3
+
+    def test_single_bucket_gives_empty_splitters(self, small_batch):
+        res = select_splitters(small_batch, num_buckets=1)
+        assert res.splitters.shape == (small_batch.shape[0], 0)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            select_splitters(np.arange(10.0))
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ValueError):
+            select_splitters(np.empty((3, 0)))
+
+    def test_constant_rows_all_splitters_equal(self):
+        batch = np.full((2, 100), 5.0, dtype=np.float32)
+        res = select_splitters(batch)
+        assert np.all(res.splitters == 5.0)
+
+    def test_dtype_preserved(self, small_batch):
+        res = select_splitters(small_batch)
+        assert res.splitters.dtype == small_batch.dtype
+
+    def test_samples_sorted_ascending(self, small_batch):
+        res = select_splitters(small_batch)
+        assert np.all(np.diff(res.samples_sorted, axis=1) >= 0)

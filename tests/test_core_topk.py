@@ -1,0 +1,97 @@
+"""Tests for bucket-based batch Top-K selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.config import SortConfig
+from repro.core.topk import top_k, top_k_via_sort
+from repro.workloads import (
+    duplicate_heavy_arrays,
+    generate_spectra,
+    uniform_arrays,
+)
+
+
+class TestTopK:
+    def test_matches_sort_oracle(self):
+        batch = uniform_arrays(30, 500, seed=1)
+        for k in (1, 7, 50, 200, 500):
+            assert np.array_equal(top_k(batch, k), top_k_via_sort(batch, k)), k
+
+    def test_result_ascending(self):
+        batch = uniform_arrays(10, 300, seed=2)
+        out = top_k(batch, 50)
+        assert np.all(np.diff(out, axis=1) >= 0)
+
+    def test_duplicates_across_cut(self):
+        batch = duplicate_heavy_arrays(20, 200, distinct_values=3, seed=3)
+        for k in (1, 10, 100):
+            assert np.array_equal(top_k(batch, k), top_k_via_sort(batch, k)), k
+
+    def test_k_equals_n_is_full_sort(self):
+        batch = uniform_arrays(5, 100, seed=4)
+        assert np.array_equal(top_k(batch, 100), np.sort(batch, axis=1))
+
+    def test_k_one_is_row_max(self):
+        batch = uniform_arrays(10, 100, seed=5)
+        assert np.array_equal(top_k(batch, 1).ravel(), batch.max(axis=1))
+
+    def test_tiny_rows_single_bucket(self):
+        batch = uniform_arrays(5, 10, seed=6)
+        assert np.array_equal(top_k(batch, 3), top_k_via_sort(batch, 3))
+
+    def test_custom_config(self):
+        batch = uniform_arrays(10, 400, seed=7)
+        cfg = SortConfig(bucket_size=50)
+        assert np.array_equal(top_k(batch, 60, config=cfg),
+                              top_k_via_sort(batch, 60))
+
+    def test_verify_mode_passes(self):
+        batch = uniform_arrays(5, 200, seed=8)
+        top_k(batch, 20, verify=True)  # must not raise
+
+    def test_empty_batch(self):
+        batch = np.empty((0, 50), dtype=np.float32)
+        assert top_k(batch, 5).shape == (0, 5)
+
+    def test_rejects_bad_k(self):
+        batch = uniform_arrays(2, 10, seed=1)
+        with pytest.raises(ValueError):
+            top_k(batch, 0)
+        with pytest.raises(ValueError):
+            top_k(batch, 11)
+
+    def test_rejects_nan(self):
+        batch = np.array([[1.0, np.nan, 3.0]], dtype=np.float32)
+        with pytest.raises(ValueError):
+            top_k(batch, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            top_k(np.arange(5.0), 2)
+
+    def test_ms_reduce_scenario(self):
+        """The motivating pipeline: keep the 200 most intense peaks."""
+        spectra = generate_spectra(50, 2000, seed=9)
+        kept = top_k(spectra.intensity, 200)
+        oracle = np.sort(spectra.intensity, axis=1)[:, -200:]
+        assert np.array_equal(kept, oracle)
+
+    F32 = float(np.float32(1e30))
+
+    @given(
+        batch=hnp.arrays(
+            dtype=np.float32,
+            shape=st.tuples(st.integers(1, 6), st.integers(1, 80)),
+            elements=st.floats(min_value=-F32, max_value=F32,
+                               allow_nan=False, width=32),
+        ),
+        k_frac=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_oracle(self, batch, k_frac):
+        k = max(1, int(k_frac * batch.shape[1]))
+        assert np.array_equal(top_k(batch, k), top_k_via_sort(batch, k))

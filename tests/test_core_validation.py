@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import (
+    ValidationFailure,
+    assert_batch_sorted,
+    check_bucket_partition,
+    is_sorted_rows,
+    rows_are_permutations,
+)
+
+
+class TestIsSortedRows:
+    def test_mixed(self):
+        batch = np.array([[1, 2, 3], [3, 2, 1], [5, 5, 5]])
+        assert is_sorted_rows(batch).tolist() == [True, False, True]
+
+    def test_single_column_always_sorted(self):
+        assert is_sorted_rows(np.array([[4], [1]])).all()
+
+    def test_equal_neighbours_count_as_sorted(self):
+        assert is_sorted_rows(np.array([[1, 1, 2]])).all()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            is_sorted_rows(np.array([1, 2, 3]))
+
+
+class TestRowsArePermutations:
+    def test_true_permutation(self):
+        a = np.array([[3, 1, 2]])
+        b = np.array([[1, 2, 3]])
+        assert rows_are_permutations(a, b).all()
+
+    def test_multiplicity_matters(self):
+        a = np.array([[1, 1, 2]])
+        b = np.array([[1, 2, 2]])
+        assert not rows_are_permutations(a, b).any()
+
+    def test_value_swap_across_rows_detected(self):
+        a = np.array([[1, 2], [3, 4]])
+        b = np.array([[1, 3], [2, 4]])
+        assert not rows_are_permutations(a, b).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rows_are_permutations(np.ones((2, 2)), np.ones((2, 3)))
+
+
+class TestAssertBatchSorted:
+    def test_passes_on_sorted(self, rng):
+        ref = rng.uniform(0, 1, (5, 10))
+        assert_batch_sorted(np.sort(ref, axis=1), ref)
+
+    def test_fails_on_unsorted(self):
+        with pytest.raises(ValidationFailure, match="not sorted"):
+            assert_batch_sorted(np.array([[2.0, 1.0]]))
+
+    def test_fails_on_lost_element(self):
+        ref = np.array([[1.0, 2.0]])
+        out = np.array([[1.0, 1.0]])
+        with pytest.raises(ValidationFailure, match="permutation"):
+            assert_batch_sorted(out, ref)
+
+    def test_reference_optional(self):
+        assert_batch_sorted(np.array([[1.0, 2.0]]))
+
+    def test_reports_first_bad_row(self):
+        out = np.array([[1.0, 2.0], [9.0, 1.0], [4.0, 1.0]])
+        with pytest.raises(ValidationFailure, match="first bad row: 1"):
+            assert_batch_sorted(out)
+
+
+class TestCheckBucketPartition:
+    def test_valid_partition(self):
+        row = np.array([1.0, 2.0, 10.0, 11.0, 20.0])
+        check_bucket_partition(row, [10.0, 20.0], [0, 2, 4, 5])
+
+    def test_element_below_range_caught(self):
+        row = np.array([1.0, 2.0, 5.0, 11.0, 20.0])
+        with pytest.raises(ValidationFailure, match="bucket 1"):
+            check_bucket_partition(row, [10.0, 20.0], [0, 2, 4, 5])
+
+    def test_element_at_upper_splitter_caught(self):
+        # Half-open [s_j, s_{j+1}): value equal to upper splitter is wrong.
+        row = np.array([1.0, 10.0, 15.0, 25.0])
+        with pytest.raises(ValidationFailure):
+            check_bucket_partition(row, [10.0, 20.0], [0, 2, 3, 4])
+
+    def test_empty_buckets_fine(self):
+        row = np.array([1.0, 2.0])
+        check_bucket_partition(row, [10.0, 20.0], [0, 2, 2, 2])
+
+    def test_bad_offsets_span(self):
+        with pytest.raises(ValidationFailure, match="span"):
+            check_bucket_partition(np.array([1.0]), [], [0, 2])
+
+    def test_decreasing_offsets(self):
+        with pytest.raises(ValidationFailure, match="non-decreasing"):
+            check_bucket_partition(np.array([1.0, 2.0]), [5.0, 6.0], [0, 2, 1, 2])
+
+    def test_wrong_splitter_count(self):
+        with pytest.raises(ValidationFailure, match="splitters"):
+            check_bucket_partition(np.array([1.0, 2.0]), [5.0, 6.0], [0, 1, 2])

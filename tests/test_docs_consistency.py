@@ -1,0 +1,129 @@
+"""Meta-tests: documentation, exports, and CLI stay consistent with code.
+
+Production repositories rot at the seams — README references files that
+moved, ``__all__`` names that no longer resolve, CLI help that lies.
+These tests pin the seams.
+"""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.gpusim",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.analysis",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_exports_resolve(self, package):
+        mod = importlib.import_module(package)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{package}.__all__ lists missing {name!r}"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_public_callables_documented(self, package):
+        mod = importlib.import_module(package)
+        undocumented = []
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        assert not undocumented, f"{package}: no docstring on {undocumented}"
+
+    def test_version_consistent(self):
+        import repro
+
+        pyproject = (REPO / "pyproject.toml").read_text()
+        declared = re.search(r'version = "([^"]+)"', pyproject).group(1)
+        assert repro.__version__ == declared
+
+
+class TestDocumentsReferenceRealFiles:
+    def _referenced_paths(self, text):
+        # backtick-quoted repo-relative paths with known roots
+        for match in re.finditer(
+            r"`((?:src|tests|benchmarks|examples|docs)/[\w./-]+)`", text
+        ):
+            yield match.group(1)
+
+    @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+                                     "CONTRIBUTING.md"])
+    def test_paths_exist(self, doc):
+        text = (REPO / doc).read_text()
+        missing = [p for p in self._referenced_paths(text)
+                   if not (REPO / p).exists()]
+        assert not missing, f"{doc} references missing paths: {missing}"
+
+    def test_readme_examples_table_matches_directory(self):
+        text = (REPO / "README.md").read_text()
+        listed = set(re.findall(r"`examples/(\w+\.py)`", text))
+        actual = {p.name for p in (REPO / "examples").glob("*.py")}
+        assert listed == actual, (
+            f"README examples table out of sync: "
+            f"missing {actual - listed}, stale {listed - actual}"
+        )
+
+    def test_design_module_map_matches_source_tree(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for pkg in ("core", "gpusim", "baselines", "workloads", "analysis"):
+            actual = {
+                p.name for p in (REPO / "src/repro" / pkg).glob("*.py")
+                if p.name != "__init__.py"
+            }
+            for module in actual:
+                assert module in text, f"DESIGN.md omits src/repro/{pkg}/{module}"
+
+    def test_experiments_covers_every_paper_artifact(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for artifact in ("Fig. 2", "Figs. 4–7", "Table 1"):
+            assert artifact in text
+
+    def test_benchmarks_exist_per_artifact(self):
+        bench = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        for required in (
+            "bench_fig2_complexity.py",
+            "bench_fig4_runtime_n1000.py",
+            "bench_fig5_runtime_n2000.py",
+            "bench_fig6_runtime_n3000.py",
+            "bench_fig7_runtime_n4000.py",
+            "bench_table1_capacity.py",
+            "bench_ablations.py",
+        ):
+            assert required in bench
+
+
+class TestCliSurface:
+    def test_help_lists_all_subcommands(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        for command in ("sort", "figures", "table1", "devices", "pairs",
+                        "outofcore", "calibrate", "workloads", "report",
+                        "topk"):
+            assert command in out
+
+    def test_console_script_declared(self):
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert 'gpu-arraysort = "repro.cli:main"' in pyproject
+
+
+class TestExamplesAreSelfContained:
+    @pytest.mark.parametrize(
+        "script", sorted(p.name for p in (REPO / "examples").glob("*.py"))
+    )
+    def test_has_main_guard_and_docstring(self, script):
+        text = (REPO / "examples" / script).read_text()
+        assert '__name__ == "__main__"' in text, script
+        assert text.lstrip().startswith(('#!/usr/bin/env python\n"""', '"""')), script

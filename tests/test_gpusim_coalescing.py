@@ -1,0 +1,64 @@
+"""Unit tests for repro.gpusim.coalescing."""
+
+import pytest
+
+from repro.gpusim.coalescing import classify_pattern, coalesce_transactions
+
+
+class TestCoalesceTransactions:
+    def test_consecutive_4byte_lanes_one_transaction(self):
+        # 32 lanes x 4 bytes = 128 bytes = one transaction (Section 3.1)
+        addrs = [i * 4 for i in range(32)]
+        assert coalesce_transactions(addrs) == 1
+
+    def test_fully_scattered_one_per_lane(self):
+        addrs = [i * 128 for i in range(32)]
+        assert coalesce_transactions(addrs) == 32
+
+    def test_stride_two_doubles_transactions(self):
+        addrs = [i * 8 for i in range(32)]  # 256-byte span
+        assert coalesce_transactions(addrs) == 2
+
+    def test_same_address_broadcast_is_one(self):
+        assert coalesce_transactions([64] * 32) == 1
+
+    def test_empty_access_is_zero(self):
+        assert coalesce_transactions([]) == 0
+
+    def test_single_lane(self):
+        assert coalesce_transactions([1000]) == 1
+
+    def test_unaligned_span_crossing_boundary(self):
+        # 4-byte accesses straddling a 128-byte line boundary
+        addrs = [124, 128]
+        assert coalesce_transactions(addrs) == 2
+
+    def test_custom_transaction_size(self):
+        addrs = [0, 32, 64]
+        assert coalesce_transactions(addrs, transaction_bytes=32) == 3
+        assert coalesce_transactions(addrs, transaction_bytes=128) == 1
+
+    def test_rejects_nonpositive_transaction_size(self):
+        with pytest.raises(ValueError):
+            coalesce_transactions([0], transaction_bytes=0)
+
+    def test_order_independent(self):
+        addrs = [12, 4, 8, 0]
+        assert coalesce_transactions(addrs) == coalesce_transactions(sorted(addrs))
+
+
+class TestClassifyPattern:
+    def test_unit_stride_is_coalesced(self):
+        assert classify_pattern([0, 4, 8, 12]) == "coalesced"
+
+    def test_constant_stride_is_strided(self):
+        assert classify_pattern([0, 8, 16, 24]) == "strided"
+
+    def test_random_is_scattered(self):
+        assert classify_pattern([0, 52, 8, 1000]) == "scattered"
+
+    def test_single_access_is_coalesced(self):
+        assert classify_pattern([40]) == "coalesced"
+
+    def test_empty_is_coalesced(self):
+        assert classify_pattern([]) == "coalesced"

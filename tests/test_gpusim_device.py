@@ -1,0 +1,112 @@
+"""Unit tests for repro.gpusim.device."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim.device import (
+    DEVICE_CATALOG,
+    K40C,
+    MICRO,
+    C2050,
+    DeviceSpec,
+    get_device,
+)
+
+
+class TestK40cSpec:
+    """The paper's evaluation hardware (Section 7.2)."""
+
+    def test_total_cuda_cores_match_paper(self):
+        # "a total number of CUDA cores equal to 2880"
+        assert K40C.cuda_cores == 2880
+
+    def test_sm_count_matches_paper(self):
+        # "it consists of 15 Multiprocessors"
+        assert K40C.sm_count == 15
+
+    def test_cores_per_sm_matches_paper(self):
+        # "each Multiprocessor consisted of 192 CUDA cores"
+        assert K40C.cores_per_sm == 192
+
+    def test_global_memory_matches_paper(self):
+        # "Total global memory available on the device was 11520 MBytes"
+        assert K40C.global_mem_bytes == 11520 * 1024 * 1024
+
+    def test_shared_memory_matches_paper(self):
+        # "the shared memory of 48 KBytes was available per block"
+        assert K40C.shared_mem_per_block == 48 * 1024
+
+    def test_usable_memory_is_less_than_total(self):
+        assert 0 < K40C.usable_global_mem_bytes < K40C.global_mem_bytes
+
+    def test_shared_latency_about_100x_faster_than_global(self):
+        # Section 3.3: "shared memory is about 100x faster"
+        ratio = K40C.global_latency_cycles / K40C.shared_latency_cycles
+        assert 50 <= ratio <= 200
+
+    def test_warp_size_is_32(self):
+        assert K40C.warp_size == 32
+
+
+class TestDeviceSpecDerived:
+    def test_warps_per_block_limit(self):
+        assert K40C.warps_per_block_limit == 1024 // 32
+
+    def test_clock_hz(self):
+        assert K40C.clock_hz == pytest.approx(745e6)
+
+    def test_cycles_to_ms_roundtrip(self):
+        # one full second of cycles -> 1000 ms
+        assert K40C.cycles_to_ms(K40C.clock_hz) == pytest.approx(1000.0)
+
+    def test_cycles_to_ms_zero(self):
+        assert K40C.cycles_to_ms(0) == 0.0
+
+
+class TestValidation:
+    def test_valid_specs_pass(self):
+        for spec in (K40C, C2050, MICRO):
+            spec.validate()  # must not raise
+
+    def test_rejects_nonpositive_sm_count(self):
+        bad = dataclasses.replace(K40C, sm_count=0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_threads_not_multiple_of_warp(self):
+        bad = dataclasses.replace(K40C, max_threads_per_block=1000)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_nonpositive_memory(self):
+        bad = dataclasses.replace(K40C, global_mem_bytes=0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_bad_usable_fraction(self):
+        for frac in (0.0, -0.5, 1.5):
+            bad = dataclasses.replace(K40C, usable_mem_fraction=frac)
+            with pytest.raises(ValueError):
+                bad.validate()
+
+
+class TestCatalog:
+    def test_catalog_contains_paper_device(self):
+        assert "k40c" in DEVICE_CATALOG
+
+    def test_get_device_case_insensitive(self):
+        assert get_device("K40C") is K40C
+        assert get_device("k40c") is K40C
+
+    def test_get_device_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="k40c"):
+            get_device("gtx9000")
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            K40C.sm_count = 1  # type: ignore[misc]
+
+    def test_micro_is_smaller_than_k40c(self):
+        assert MICRO.cuda_cores < K40C.cuda_cores
+        assert MICRO.global_mem_bytes < K40C.global_mem_bytes

@@ -1,0 +1,57 @@
+"""Run the kernel pipelines on every catalog device.
+
+The device specs differ in warp residency, shared-memory size, block
+limits, and clocks; the algorithms must be correct on all of them and
+the modeled times must order sensibly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import run_arraysort_on_device
+from repro.gpusim import GpuDevice
+from repro.gpusim.device import DEVICE_CATALOG
+
+DEVICES = sorted(DEVICE_CATALOG)
+
+
+class TestPipelinePerDevice:
+    @pytest.mark.parametrize("device_key", DEVICES)
+    def test_arraysort_correct_on_every_device(self, device_key, rng):
+        gpu = GpuDevice(DEVICE_CATALOG[device_key])
+        batch = rng.uniform(0, 1e6, (3, 80)).astype(np.float32)
+        out, pipeline = run_arraysort_on_device(gpu, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1)), device_key
+        assert pipeline.milliseconds > 0
+        assert gpu.memory.live_allocations() == 0
+
+    @pytest.mark.parametrize("device_key", DEVICES)
+    def test_primitives_on_every_device(self, device_key, rng):
+        from repro.gpusim.primitives import run_reduce, run_scan
+
+        gpu = GpuDevice(DEVICE_CATALOG[device_key])
+        data = rng.uniform(0, 1, 100)
+        total, _ = run_reduce(gpu, data)
+        assert total == pytest.approx(data.sum())
+        scan, _ = run_scan(gpu, data[:32])
+        assert np.allclose(scan, np.cumsum(data[:32]))
+
+    def test_faster_devices_model_faster(self, rng):
+        batch = rng.uniform(0, 1e6, (4, 64)).astype(np.float32)
+        times = {}
+        for key in ("c2050", "k40c", "p100"):
+            gpu = GpuDevice(DEVICE_CATALOG[key])
+            _, pipeline = run_arraysort_on_device(gpu, batch)
+            times[key] = pipeline.milliseconds
+        assert times["p100"] < times["k40c"]
+
+    def test_micro_device_occupancy_constrained(self, rng):
+        """The tiny device fits fewer concurrent blocks, so the same
+        launch needs more waves than on the K40c."""
+        batch = rng.uniform(0, 1e6, (8, 64)).astype(np.float32)
+        waves = {}
+        for key in ("micro", "k40c"):
+            gpu = GpuDevice(DEVICE_CATALOG[key])
+            _, pipeline = run_arraysort_on_device(gpu, batch)
+            waves[key] = pipeline.launches[0].timing.waves
+        assert waves["micro"] >= waves["k40c"]

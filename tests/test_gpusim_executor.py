@@ -1,0 +1,232 @@
+"""Integration tests for the lock-step kernel executor."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuDevice, InvalidLaunchError, KernelFault
+from repro.gpusim.errors import MemoryAccessError
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice.micro()
+
+
+class TestBasicExecution:
+    def test_identity_kernel(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(64, dtype=np.float32))
+        out = gpu.memory.alloc(64, np.float32)
+
+        def copy_kernel(ctx, shared, src, dst):
+            tid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+            v = yield ctx.gload(src, tid)
+            yield ctx.gstore(dst, tid, v)
+
+        gpu.launch(copy_kernel, grid=2, block=32, args=(data, out))
+        assert np.array_equal(out.copy_to_host(), np.arange(64, dtype=np.float32))
+
+    def test_grid_block_indices_cover_domain(self, gpu):
+        out = gpu.memory.alloc(96, np.int32)
+
+        def mark_kernel(ctx, shared, dst):
+            tid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+            yield ctx.gstore(dst, tid, tid)
+
+        gpu.launch(mark_kernel, grid=3, block=32, args=(out,))
+        assert np.array_equal(out.copy_to_host(), np.arange(96, dtype=np.int32))
+
+    def test_global_thread_id_matches_manual(self, gpu):
+        out = gpu.memory.alloc(64, np.int32)
+
+        def gid_kernel(ctx, shared, dst):
+            yield ctx.gstore(dst, ctx.global_thread_id, ctx.global_thread_id)
+
+        gpu.launch(gid_kernel, grid=2, block=32, args=(out,))
+        assert np.array_equal(out.copy_to_host(), np.arange(64, dtype=np.int32))
+
+    def test_non_generator_kernel_rejected(self, gpu):
+        def not_a_kernel(ctx, shared):
+            return 42
+
+        with pytest.raises(InvalidLaunchError):
+            gpu.launch(not_a_kernel, grid=1, block=1)
+
+    def test_partial_warp(self, gpu):
+        # 5 threads: less than a warp, still executes correctly.
+        out = gpu.memory.alloc(5, np.int32)
+
+        def k(ctx, shared, dst):
+            yield ctx.gstore(dst, ctx.thread_idx.x, ctx.thread_idx.x * 10)
+
+        gpu.launch(k, grid=1, block=5, args=(out,))
+        assert np.array_equal(out.copy_to_host(), np.array([0, 10, 20, 30, 40]))
+
+
+class TestSharedMemoryAndBarriers:
+    def test_block_reverse_via_shared(self, gpu):
+        host = np.arange(32, dtype=np.float32)
+        data = gpu.memory.alloc_like(host)
+        out = gpu.memory.alloc(32, np.float32)
+
+        def reverse_kernel(ctx, shared, src, dst):
+            tid = ctx.thread_idx.x
+            v = yield ctx.gload(src, tid)
+            yield ctx.sstore(shared, tid, v)
+            yield ctx.sync()
+            w = yield ctx.sload(shared, 31 - tid)
+            yield ctx.gstore(dst, tid, w)
+
+        gpu.launch(
+            reverse_kernel, grid=1, block=32, args=(data, out),
+            shared_setup=lambda sm: sm.alloc(32, np.float32),
+        )
+        assert np.array_equal(out.copy_to_host(), host[::-1])
+
+    def test_barrier_across_multiple_warps(self, gpu):
+        # 64 threads = 2 warps; warp 1 writes what warp 0 staged.
+        host = np.arange(64, dtype=np.float32)
+        data = gpu.memory.alloc_like(host)
+        out = gpu.memory.alloc(64, np.float32)
+
+        def k(ctx, shared, src, dst):
+            tid = ctx.thread_idx.x
+            if tid < 32:
+                v = yield ctx.gload(src, tid)
+                yield ctx.sstore(shared, tid, v)
+            yield ctx.sync()
+            if tid >= 32:
+                w = yield ctx.sload(shared, tid - 32)
+                yield ctx.gstore(dst, tid, w)
+
+        gpu.launch(k, grid=1, block=64, args=(data, out),
+                   shared_setup=lambda sm: sm.alloc(32, np.float32))
+        assert np.array_equal(out.copy_to_host()[32:], host[:32])
+
+    def test_shared_state_fresh_per_block(self, gpu):
+        # Each block increments shared[0]; blocks must not see each other.
+        out = gpu.memory.alloc(4, np.float32)
+
+        def k(ctx, shared, dst):
+            if ctx.thread_idx.x == 0:
+                v = yield ctx.sload(shared, 0)
+                yield ctx.sstore(shared, 0, v + 1)
+                w = yield ctx.sload(shared, 0)
+                yield ctx.gstore(dst, ctx.block_idx.x, w)
+
+        gpu.launch(k, grid=4, block=8, args=(out,),
+                   shared_setup=lambda sm: sm.alloc(1, np.float32))
+        assert np.array_equal(out.copy_to_host(), np.ones(4, dtype=np.float32))
+
+
+class TestHardwareBehaviour:
+    def test_coalesced_vs_scattered_transactions(self, gpu):
+        n = 32
+        data = gpu.memory.alloc_like(np.arange(n * 32, dtype=np.float32))
+        out = gpu.memory.alloc(n, np.float32)
+
+        def coalesced(ctx, shared, src, dst):
+            tid = ctx.thread_idx.x
+            v = yield ctx.gload(src, tid)
+            yield ctx.gstore(dst, tid, v)
+
+        def scattered(ctx, shared, src, dst):
+            tid = ctx.thread_idx.x
+            v = yield ctx.gload(src, tid * 32)  # 128-byte stride
+            yield ctx.gstore(dst, tid, v)
+
+        rep_c = gpu.launch(coalesced, grid=1, block=32, args=(data, out))
+        rep_s = gpu.launch(scattered, grid=1, block=32, args=(data, out))
+        assert rep_s.total_global_transactions > rep_c.total_global_transactions
+        assert rep_c.coalescing_efficiency == pytest.approx(1.0)
+        assert rep_s.coalescing_efficiency < 0.25
+
+    def test_divergence_detected_and_costed(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(32, dtype=np.float32))
+        out = gpu.memory.alloc(32, np.float32)
+
+        def divergent(ctx, shared, src, dst):
+            tid = ctx.thread_idx.x
+            if tid % 2 == 0:
+                v = yield ctx.gload(src, tid)
+            else:
+                yield ctx.alu(1)
+                v = -1.0
+            yield ctx.gstore(dst, tid, v)
+
+        def uniform(ctx, shared, src, dst):
+            tid = ctx.thread_idx.x
+            v = yield ctx.gload(src, tid)
+            yield ctx.gstore(dst, tid, v)
+
+        rep_d = gpu.launch(divergent, grid=1, block=32, args=(data, out))
+        rep_u = gpu.launch(uniform, grid=1, block=32, args=(data, out))
+        assert rep_d.total_divergent_steps > 0
+        assert rep_u.total_divergent_steps == 0
+
+    def test_bank_conflicts_counted(self, gpu):
+        def conflicting(ctx, shared, _):
+            tid = ctx.thread_idx.x
+            # All lanes hit bank 0 at distinct addresses: 32-way conflict.
+            yield ctx.sstore(shared, tid * 32, float(tid))
+
+        def conflict_free(ctx, shared, _):
+            tid = ctx.thread_idx.x
+            yield ctx.sstore(shared, tid, float(tid))
+
+        dummy = gpu.memory.alloc(1, np.float32)
+        rep_c = gpu.launch(conflicting, grid=1, block=32, args=(dummy,),
+                           shared_setup=lambda sm: sm.alloc(32 * 32, np.float32))
+        rep_f = gpu.launch(conflict_free, grid=1, block=32, args=(dummy,),
+                           shared_setup=lambda sm: sm.alloc(32, np.float32))
+        assert rep_c.total_bank_conflicts > 0
+        assert rep_f.total_bank_conflicts == 0
+
+    def test_broadcast_same_address_no_conflict(self, gpu):
+        def broadcast(ctx, shared, _):
+            v = yield ctx.sload(shared, 0)
+            yield ctx.alu(1)
+
+        dummy = gpu.memory.alloc(1, np.float32)
+        rep = gpu.launch(broadcast, grid=1, block=32, args=(dummy,),
+                         shared_setup=lambda sm: sm.alloc(4, np.float32))
+        assert rep.total_bank_conflicts == 0
+
+    def test_waves_scale_timing(self, gpu):
+        def k(ctx, shared):
+            yield ctx.alu(10)
+
+        few = gpu.launch(k, grid=2, block=32)
+        many = gpu.launch(k, grid=64, block=32)
+        assert many.timing.waves > few.timing.waves
+        assert many.milliseconds > few.milliseconds
+
+
+class TestFaults:
+    def test_kernel_exception_becomes_fault(self, gpu):
+        def bad(ctx, shared):
+            yield ctx.alu(1)
+            raise RuntimeError("boom")
+
+        with pytest.raises(KernelFault, match="boom"):
+            gpu.launch(bad, grid=1, block=1)
+
+    def test_out_of_bounds_access_faults(self, gpu):
+        arr = gpu.memory.alloc(4, np.float32)
+
+        def oob(ctx, shared, a):
+            v = yield ctx.gload(a, 100)
+
+        with pytest.raises((KernelFault, MemoryAccessError)):
+            gpu.launch(oob, grid=1, block=1, args=(arr,))
+
+    def test_yielding_non_event_faults(self, gpu):
+        def wrong(ctx, shared):
+            yield "not an event"
+
+        with pytest.raises(KernelFault):
+            gpu.launch(wrong, grid=1, block=1)
+
+    def test_mem_info_shape(self, gpu):
+        info = gpu.mem_info()
+        assert set(info) == {"free", "total", "peak"}
+        assert info["free"] <= info["total"]

@@ -1,0 +1,101 @@
+"""Unit tests for repro.gpusim.grid."""
+
+import pytest
+
+from repro.gpusim.device import K40C, MICRO
+from repro.gpusim.errors import InvalidLaunchError, SharedMemoryExceededError
+from repro.gpusim.grid import Dim3, Idx3, LaunchConfig
+
+
+class TestDim3:
+    def test_defaults_to_unit(self):
+        d = Dim3()
+        assert (d.x, d.y, d.z) == (1, 1, 1)
+
+    def test_count(self):
+        assert Dim3(4, 3, 2).count == 24
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Dim3(2, -1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Dim3(2.5)  # type: ignore[arg-type]
+
+    def test_of_int(self):
+        assert Dim3.of(7) == Dim3(7)
+
+    def test_of_tuple(self):
+        assert Dim3.of((2, 3)) == Dim3(2, 3)
+
+    def test_of_dim3_identity(self):
+        d = Dim3(5)
+        assert Dim3.of(d) is d
+
+    def test_of_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            Dim3.of("4")  # type: ignore[arg-type]
+
+    def test_linearize_x_fastest(self):
+        d = Dim3(4, 3, 2)
+        # x varies fastest, matching CUDA warp packing
+        assert d.linearize((0, 0, 0)) == 0
+        assert d.linearize((1, 0, 0)) == 1
+        assert d.linearize((0, 1, 0)) == 4
+        assert d.linearize((0, 0, 1)) == 12
+
+    def test_indices_cover_all_in_linear_order(self):
+        d = Dim3(3, 2, 2)
+        idxs = list(d.indices())
+        assert len(idxs) == d.count
+        assert [d.linearize(i) for i in idxs] == list(range(d.count))
+
+
+class TestIdx3:
+    def test_zero_allowed(self):
+        assert Idx3(0, 0, 0).as_tuple() == (0, 0, 0)
+
+    def test_default_is_origin(self):
+        assert Idx3().as_tuple() == (0, 0, 0)
+
+
+class TestLaunchConfig:
+    def test_create_coerces(self):
+        cfg = LaunchConfig.create(10, 64)
+        assert cfg.total_blocks == 10
+        assert cfg.threads_per_block == 64
+        assert cfg.total_threads == 640
+
+    def test_warps_per_block_rounds_up(self):
+        cfg = LaunchConfig.create(1, 33)
+        assert cfg.warps_per_block(32) == 2
+
+    def test_validate_accepts_paper_shapes(self):
+        # one block per array, one thread per bucket (p = 200 for n = 4000)
+        LaunchConfig.create(200_000, 200).validate(K40C)
+
+    def test_rejects_too_many_threads(self):
+        cfg = LaunchConfig.create(1, K40C.max_threads_per_block + 1)
+        with pytest.raises(InvalidLaunchError):
+            cfg.validate(K40C)
+
+    def test_rejects_excess_shared_memory(self):
+        cfg = LaunchConfig.create(1, 32, K40C.shared_mem_per_block + 1)
+        with pytest.raises(SharedMemoryExceededError):
+            cfg.validate(K40C)
+
+    def test_rejects_negative_shared_memory(self):
+        cfg = LaunchConfig.create(1, 32, -1)
+        with pytest.raises(InvalidLaunchError):
+            cfg.validate(K40C)
+
+    def test_micro_device_tighter_thread_limit(self):
+        cfg = LaunchConfig.create(1, 512)
+        with pytest.raises(InvalidLaunchError):
+            cfg.validate(MICRO)
+        cfg.validate(K40C)  # but fine on the big device

@@ -1,0 +1,184 @@
+"""Deep tests of the lock-step execution semantics.
+
+These pin down the simulator's contract in the corners: barrier
+interaction with early-exiting lanes, multi-warp reconvergence, loop
+divergence accounting, event delivery order, and determinism — the
+semantics kernels (and the paper-claim tests built on them) rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuDevice
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice.micro()
+
+
+class TestBarrierSemantics:
+    def test_exited_lanes_do_not_block_barrier(self, gpu):
+        """Threads that return before a barrier must not deadlock it
+        (modern CUDA semantics: exited threads are not counted)."""
+        out = gpu.memory.alloc(8, np.int32)
+        out.fill(0)
+
+        def k(ctx, shared, dst):
+            tid = ctx.thread_idx.x
+            if tid >= 4:
+                return  # early exit, never syncs
+            yield ctx.sstore(shared, tid, tid)
+            yield ctx.sync()
+            v = yield ctx.sload(shared, 3 - tid)
+            yield ctx.gstore(dst, tid, v)
+
+        gpu.launch(k, grid=1, block=8, args=(out,),
+                   shared_setup=lambda sm: sm.alloc(4, np.int32))
+        assert out.copy_to_host()[:4].tolist() == [3, 2, 1, 0]
+
+    def test_multiple_sequential_barriers(self, gpu):
+        out = gpu.memory.alloc(4, np.float32)
+
+        def k(ctx, shared, dst):
+            tid = ctx.thread_idx.x
+            for round_idx in range(3):
+                yield ctx.sstore(shared, tid, float(round_idx * 10 + tid))
+                yield ctx.sync()
+                v = yield ctx.sload(shared, (tid + 1) % 4)
+                yield ctx.sync()
+            yield ctx.gstore(dst, tid, v)
+
+        gpu.launch(k, grid=1, block=4, args=(out,),
+                   shared_setup=lambda sm: sm.alloc(4, np.float32))
+        assert out.copy_to_host().tolist() == [21.0, 22.0, 23.0, 20.0]
+
+    def test_barrier_orders_cross_warp_communication(self, gpu):
+        """Warp 1 must observe warp 0's pre-barrier stores."""
+        out = gpu.memory.alloc(64, np.float32)
+        out.fill(-1)
+
+        def k(ctx, shared, dst):
+            tid = ctx.thread_idx.x
+            if tid < 32:
+                yield ctx.sstore(shared, tid, float(tid * 2))
+            yield ctx.sync()
+            if tid >= 32:
+                v = yield ctx.sload(shared, tid - 32)
+                yield ctx.gstore(dst, tid, v)
+
+        gpu.launch(k, grid=1, block=64, args=(out,),
+                   shared_setup=lambda sm: sm.alloc(32, np.float32))
+        assert np.array_equal(
+            out.copy_to_host()[32:], np.arange(32, dtype=np.float32) * 2
+        )
+
+
+class TestDivergenceAccounting:
+    def test_uniform_loop_counts_no_divergence(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(32, dtype=np.float32))
+
+        def k(ctx, shared, src):
+            total = 0.0
+            for i in range(4):  # same trip count on all lanes
+                v = yield ctx.gload(src, ctx.thread_idx.x)
+                total += v
+            yield ctx.alu(1)
+
+        rep = gpu.launch(k, grid=1, block=32, args=(data,))
+        assert rep.total_divergent_steps == 0
+
+    def test_variable_trip_count_diverges(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(64, dtype=np.float32))
+
+        def k(ctx, shared, src):
+            # lane t loops t % 4 + 1 times: lanes finish at different
+            # steps, so late iterations mix loads with ALU from other
+            # lanes' epilogues.
+            for i in range(ctx.thread_idx.x % 4 + 1):
+                v = yield ctx.gload(src, ctx.thread_idx.x)
+            yield ctx.alu(1)
+
+        rep = gpu.launch(k, grid=1, block=32, args=(data,))
+        assert rep.total_divergent_steps > 0
+
+    def test_divergence_is_per_warp_not_per_block(self, gpu):
+        """Lanes in different warps never 'diverge' against each other."""
+        data = gpu.memory.alloc_like(np.arange(64, dtype=np.float32))
+
+        def k(ctx, shared, src):
+            tid = ctx.thread_idx.x
+            if tid < 32:  # whole warp 0 takes this path
+                v = yield ctx.gload(src, tid)
+            else:         # whole warp 1 takes that path
+                yield ctx.alu(5)
+
+        rep = gpu.launch(k, grid=1, block=64, args=(data,))
+        assert rep.total_divergent_steps == 0
+
+
+class TestLoadDelivery:
+    def test_load_value_is_pre_step_snapshot_within_warp(self, gpu):
+        """All lanes of one warp step load *then* store: a same-step
+        exchange must read the pre-step values (lock-step RAW safety)."""
+        data = gpu.memory.alloc_like(np.arange(32, dtype=np.float32))
+
+        def swap_neighbor(ctx, shared, arr):
+            tid = ctx.thread_idx.x
+            partner = tid ^ 1
+            v = yield ctx.gload(arr, partner)   # all lanes load first
+            yield ctx.gstore(arr, tid, v)       # then all store
+
+        gpu.launch(swap_neighbor, grid=1, block=32, args=(data,))
+        expected = np.arange(32, dtype=np.float32).reshape(16, 2)[:, ::-1].ravel()
+        assert np.array_equal(data.copy_to_host(), expected)
+
+    def test_deterministic_across_runs(self, gpu, rng):
+        host = rng.uniform(0, 1, 64).astype(np.float32)
+
+        def k(ctx, shared, src, dst):
+            tid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+            v = yield ctx.gload(src, tid)
+            yield ctx.atomic_add(dst, 0, float(v))
+
+        results = []
+        for _ in range(2):
+            src = gpu.memory.alloc_like(host)
+            acc = gpu.memory.alloc(1, np.float64)
+            acc.fill(0)
+            gpu.launch(k, grid=2, block=32, args=(src, acc))
+            results.append(acc.copy_to_host()[0])
+            gpu.memory.free(src)
+            gpu.memory.free(acc)
+        assert results[0] == results[1]
+
+
+class TestGridShapes:
+    def test_2d_grid_and_block(self, gpu):
+        out = gpu.memory.alloc(36, np.int32)
+
+        def k(ctx, shared, dst):
+            linear = (
+                ctx.grid_dim.linearize(
+                    (ctx.block_idx.x, ctx.block_idx.y, ctx.block_idx.z)
+                ) * ctx.block_dim.count
+                + ctx.block_dim.linearize(
+                    (ctx.thread_idx.x, ctx.thread_idx.y, ctx.thread_idx.z)
+                )
+            )
+            yield ctx.gstore(dst, linear, linear)
+
+        gpu.launch(k, grid=(3, 2), block=(3, 2), args=(out,))
+        assert np.array_equal(out.copy_to_host(), np.arange(36, dtype=np.int32))
+
+    def test_lane_id_within_warp(self, gpu):
+        out = gpu.memory.alloc(48, np.int32)
+
+        def k(ctx, shared, dst):
+            gid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+            yield ctx.gstore(dst, gid, ctx.lane_id)
+
+        gpu.launch(k, grid=1, block=48, args=(out,))
+        lanes = out.copy_to_host()
+        assert np.array_equal(lanes[:32], np.arange(32))
+        assert np.array_equal(lanes[32:], np.arange(16))

@@ -1,0 +1,206 @@
+"""Unit tests for repro.gpusim.memory."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import MICRO
+from repro.gpusim.errors import (
+    AllocationError,
+    DeviceOutOfMemoryError,
+    MemoryAccessError,
+    SharedMemoryExceededError,
+)
+from repro.gpusim.memory import ALLOC_ALIGN, GlobalMemory, SharedMemory
+
+
+@pytest.fixture
+def gmem():
+    return GlobalMemory(MICRO)
+
+
+class TestGlobalAllocation:
+    def test_alloc_returns_typed_array(self, gmem):
+        arr = gmem.alloc(10, np.float32)
+        assert len(arr) == 10
+        assert arr.dtype == np.float32
+        assert arr.space == "global"
+
+    def test_alloc_like_copies_data(self, gmem):
+        host = np.arange(16, dtype=np.int32)
+        arr = gmem.alloc_like(host)
+        assert np.array_equal(arr.copy_to_host(), host)
+
+    def test_allocations_are_aligned(self, gmem):
+        a = gmem.alloc(1, np.uint8)
+        b = gmem.alloc(1, np.uint8)
+        assert a.byte_offset % ALLOC_ALIGN == 0
+        assert b.byte_offset % ALLOC_ALIGN == 0
+        assert a.byte_offset != b.byte_offset
+
+    def test_oom_raises_with_sizes(self, gmem):
+        with pytest.raises(DeviceOutOfMemoryError) as exc:
+            gmem.alloc(gmem.capacity_bytes, np.uint8)
+        assert exc.value.requested > exc.value.free
+
+    def test_oom_counted_in_stats(self, gmem):
+        with pytest.raises(DeviceOutOfMemoryError):
+            gmem.alloc(gmem.capacity_bytes * 2, np.uint8)
+        assert gmem.stats.failed_allocations == 1
+
+    def test_negative_length_rejected(self, gmem):
+        with pytest.raises(AllocationError):
+            gmem.alloc(-1, np.float32)
+
+    def test_zero_length_allowed(self, gmem):
+        arr = gmem.alloc(0, np.float32)
+        assert len(arr) == 0
+
+    def test_free_returns_capacity(self, gmem):
+        before = gmem.free_bytes
+        arr = gmem.alloc(1000, np.float64)
+        assert gmem.free_bytes < before
+        gmem.free(arr)
+        assert gmem.free_bytes == before
+
+    def test_double_free_rejected(self, gmem):
+        arr = gmem.alloc(10, np.float32)
+        gmem.free(arr)
+        with pytest.raises(AllocationError):
+            gmem.free(arr)
+
+    def test_use_after_free_rejected(self, gmem):
+        arr = gmem.alloc(10, np.float32)
+        gmem.free(arr)
+        with pytest.raises(MemoryAccessError):
+            arr.load(0)
+        with pytest.raises(MemoryAccessError):
+            arr.copy_to_host()
+
+    def test_free_coalesces_spans(self, gmem):
+        # Allocate everything in chunks, free all, then the full arena
+        # must be allocatable again in one piece.
+        chunk = gmem.capacity_bytes // 4
+        arrs = [gmem.alloc(chunk, np.uint8) for _ in range(3)]
+        for a in arrs:
+            gmem.free(a)
+        big = gmem.alloc(gmem.capacity_bytes - ALLOC_ALIGN, np.uint8)
+        assert len(big) > 0
+
+    def test_peak_tracking(self, gmem):
+        a = gmem.alloc(1000, np.float32)
+        peak_after_a = gmem.stats.peak_bytes
+        gmem.free(a)
+        b = gmem.alloc(10, np.float32)
+        assert gmem.stats.peak_bytes == peak_after_a
+        gmem.free(b)
+
+    def test_live_allocations_counts(self, gmem):
+        a = gmem.alloc(4, np.float32)
+        b = gmem.alloc(4, np.float32)
+        assert gmem.live_allocations() == 2
+        gmem.free(a)
+        assert gmem.live_allocations() == 1
+        gmem.free(b)
+        assert gmem.live_allocations() == 0
+
+    def test_reset_clears_everything(self, gmem):
+        arr = gmem.alloc(100, np.float32)
+        gmem.reset()
+        assert gmem.live_allocations() == 0
+        assert gmem.free_bytes == gmem.capacity_bytes
+        with pytest.raises(MemoryAccessError):
+            arr.load(0)
+
+    def test_custom_capacity(self):
+        g = GlobalMemory(MICRO, capacity_bytes=4096)
+        assert g.capacity_bytes == 4096
+        with pytest.raises(DeviceOutOfMemoryError):
+            g.alloc(4097, np.uint8)
+
+
+class TestDeviceArrayAccess:
+    def test_load_store_roundtrip(self, gmem):
+        arr = gmem.alloc(8, np.float32)
+        arr.store(3, 1.5)
+        assert arr.load(3) == pytest.approx(1.5)
+
+    def test_out_of_bounds_load(self, gmem):
+        arr = gmem.alloc(8, np.float32)
+        with pytest.raises(MemoryAccessError):
+            arr.load(8)
+        with pytest.raises(MemoryAccessError):
+            arr.load(-1)
+
+    def test_out_of_bounds_store(self, gmem):
+        arr = gmem.alloc(8, np.float32)
+        with pytest.raises(MemoryAccessError):
+            arr.store(100, 0.0)
+
+    def test_address_of_accounts_for_itemsize(self, gmem):
+        arr = gmem.alloc(8, np.float64)
+        assert arr.address_of(2) - arr.address_of(0) == 16
+
+    def test_copy_from_host_size_mismatch(self, gmem):
+        arr = gmem.alloc(8, np.float32)
+        with pytest.raises(MemoryAccessError):
+            arr.copy_from_host(np.zeros(9, dtype=np.float32))
+
+    def test_fill(self, gmem):
+        arr = gmem.alloc(5, np.int32)
+        arr.fill(7)
+        assert np.all(arr.copy_to_host() == 7)
+
+    def test_as_ndarray_is_view(self, gmem):
+        arr = gmem.alloc(4, np.float32)
+        view = arr.as_ndarray()
+        view[0] = 9.0
+        assert arr.load(0) == pytest.approx(9.0)
+
+    def test_dtype_conversion_on_h2d(self, gmem):
+        arr = gmem.alloc(4, np.float32)
+        arr.copy_from_host(np.arange(4))  # int host data coerced
+        assert arr.copy_to_host().dtype == np.float32
+
+
+class TestSharedMemory:
+    def test_alloc_within_limit(self):
+        sm = SharedMemory(MICRO)
+        arr = sm.alloc(100, np.float32)
+        assert len(arr) == 100
+        assert arr.space == "shared"
+
+    def test_exceeding_limit_raises(self):
+        sm = SharedMemory(MICRO)
+        with pytest.raises(SharedMemoryExceededError):
+            sm.alloc(MICRO.shared_mem_per_block, np.float32)
+
+    def test_bump_allocation_no_overlap(self):
+        sm = SharedMemory(MICRO)
+        a = sm.alloc(10, np.float32)
+        b = sm.alloc(10, np.float32)
+        a.fill(1.0)
+        b.fill(2.0)
+        assert np.all(a.copy_to_host() == 1.0)
+
+    def test_used_and_free_bytes(self):
+        sm = SharedMemory(MICRO)
+        sm.alloc(10, np.float32)
+        assert sm.used_bytes >= 40
+        assert sm.used_bytes + sm.free_bytes == sm.limit
+
+    def test_custom_limit_must_fit_device(self):
+        with pytest.raises(SharedMemoryExceededError):
+            SharedMemory(MICRO, limit_bytes=MICRO.shared_mem_per_block + 1)
+
+    def test_negative_length_rejected(self):
+        sm = SharedMemory(MICRO)
+        with pytest.raises(AllocationError):
+            sm.alloc(-5, np.float32)
+
+    def test_paper_array_fits_k40c_shared(self):
+        # Section 4: a 4000-peak spectrum (float32) fits 48 KB shared memory.
+        from repro.gpusim.device import K40C
+
+        sm = SharedMemory(K40C)
+        arr = sm.alloc(4000, np.float32)
+        assert len(arr) == 4000

@@ -1,0 +1,108 @@
+"""Tests for the device-kernel primitive library."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuDevice
+from repro.gpusim.primitives import run_copy, run_histogram, run_reduce, run_scan
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice.micro()
+
+
+class TestReduce:
+    def test_matches_numpy_sum(self, gpu, rng):
+        data = rng.uniform(-10, 10, 500)
+        total, _ = run_reduce(gpu, data)
+        assert total == pytest.approx(data.sum())
+
+    def test_single_element(self, gpu):
+        total, _ = run_reduce(gpu, np.array([42.0]))
+        assert total == 42.0
+
+    def test_non_multiple_of_block(self, gpu, rng):
+        data = rng.uniform(0, 1, 173)
+        total, _ = run_reduce(gpu, data)
+        assert total == pytest.approx(data.sum())
+
+    def test_empty_rejected(self, gpu):
+        with pytest.raises(ValueError):
+            run_reduce(gpu, np.empty(0))
+
+    def test_no_leaks(self, gpu, rng):
+        run_reduce(gpu, rng.uniform(0, 1, 100))
+        assert gpu.memory.live_allocations() == 0
+
+    def test_tree_uses_shared_memory(self, gpu, rng):
+        _, report = run_reduce(gpu, rng.uniform(0, 1, 256))
+        assert report.total_shared_accesses > 0
+
+
+class TestScan:
+    def test_inclusive_matches_cumsum(self, gpu, rng):
+        data = rng.uniform(0, 1, 64)
+        out, _ = run_scan(gpu, data)
+        assert np.allclose(out, np.cumsum(data))
+
+    def test_exclusive(self, gpu, rng):
+        data = rng.uniform(0, 1, 64)
+        out, _ = run_scan(gpu, data, exclusive=True)
+        expected = np.concatenate([[0.0], np.cumsum(data)[:-1]])
+        assert np.allclose(out, expected)
+
+    def test_non_pow2_length(self, gpu, rng):
+        data = rng.uniform(0, 1, 45)
+        out, _ = run_scan(gpu, data)
+        assert np.allclose(out, np.cumsum(data))
+
+    def test_single_element(self, gpu):
+        out, _ = run_scan(gpu, np.array([7.0]))
+        assert out.tolist() == [7.0]
+
+    def test_too_large_for_one_block(self, gpu):
+        with pytest.raises(ValueError):
+            run_scan(gpu, np.zeros(10_000))
+
+    def test_empty(self, gpu):
+        out, _ = run_scan(gpu, np.empty(0))
+        assert out.size == 0
+
+
+class TestGridStrideCopy:
+    def test_roundtrip_any_size(self, gpu, rng):
+        for n in (1, 31, 256, 777):
+            data = rng.uniform(0, 1, n).astype(np.float32)
+            out, _ = run_copy(gpu, data)
+            assert np.array_equal(out, data), n
+
+    def test_perfectly_coalesced(self, gpu, rng):
+        data = rng.uniform(0, 1, 512).astype(np.float32)
+        _, report = run_copy(gpu, data)
+        assert report.coalescing_efficiency == pytest.approx(1.0)
+        assert report.total_divergent_steps <= 2  # tail-iteration edge only
+
+
+class TestHistogram:
+    def test_matches_numpy(self, gpu, rng):
+        data = rng.uniform(0, 1, 300)
+        counts, _ = run_histogram(gpu, data, 8, lo=0.0, hi=1.0)
+        expected = np.histogram(data, bins=8, range=(0, 1))[0]
+        assert np.array_equal(counts, expected)
+
+    def test_total_preserved(self, gpu, rng):
+        data = rng.normal(0, 5, 400)
+        counts, _ = run_histogram(gpu, data, 16)
+        assert counts.sum() == 400
+
+    def test_uses_atomics(self, gpu, rng):
+        data = rng.uniform(0, 1, 200)
+        _, report = run_histogram(gpu, data, 4, lo=0.0, hi=1.0)
+        assert report.total_atomic_ops > 0
+
+    def test_rejects_bad_args(self, gpu):
+        with pytest.raises(ValueError):
+            run_histogram(gpu, np.empty(0), 4)
+        with pytest.raises(ValueError):
+            run_histogram(gpu, np.ones(4), 0)

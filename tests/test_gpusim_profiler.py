@@ -1,0 +1,100 @@
+"""Unit tests for LaunchReport / PipelineReport aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuDevice, PipelineReport
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice.micro()
+
+
+def _launch_copy(gpu, name="copy", grid=1, stride=1):
+    data = gpu.memory.alloc_like(np.arange(1024, dtype=np.float32))
+    out = gpu.memory.alloc(1024, np.float32)
+
+    def k(ctx, shared, src, dst):
+        tid = ctx.block_idx.x * ctx.block_dim.x + ctx.thread_idx.x
+        v = yield ctx.gload(src, (tid * stride) % 1024)
+        yield ctx.gstore(dst, tid, v)
+
+    report = gpu.launch(k, grid=grid, block=32, args=(data, out), name=name)
+    gpu.memory.free(data)
+    gpu.memory.free(out)
+    return report
+
+
+class TestLaunchReport:
+    def test_summary_keys(self, gpu):
+        summary = _launch_copy(gpu).summary()
+        for key in ("kernel", "blocks", "threads_per_block", "ms", "cycles",
+                    "global_transactions", "coalescing_efficiency",
+                    "divergence_fraction", "waves", "concurrent_blocks"):
+            assert key in summary
+
+    def test_kernel_name_propagates(self, gpu):
+        assert _launch_copy(gpu, name="mycopy").kernel_name == "mycopy"
+
+    def test_byte_accounting(self, gpu):
+        rep = _launch_copy(gpu)
+        # 32 lanes x 4 bytes x (1 load + 1 store)
+        assert rep.total_global_bytes == 32 * 4 * 2
+
+    def test_coalescing_efficiency_bounds(self, gpu):
+        perfect = _launch_copy(gpu, stride=1)
+        awful = _launch_copy(gpu, stride=32)
+        assert perfect.coalescing_efficiency == pytest.approx(1.0)
+        assert 0.0 < awful.coalescing_efficiency < 0.1
+
+    def test_divergence_fraction_zero_without_steps(self):
+        from repro.gpusim.occupancy import Occupancy
+        from repro.gpusim.profiler import LaunchReport
+        from repro.gpusim.timing import LaunchTiming
+        from repro.gpusim.device import MICRO
+
+        rep = LaunchReport(
+            kernel_name="empty", grid_blocks=1, threads_per_block=1,
+            occupancy=Occupancy(1, "blocks", 1, 1),
+            timing=LaunchTiming(0.0, 1, 1, MICRO),
+            warp_stats=[],
+        )
+        assert rep.divergence_fraction == 0.0
+        assert rep.coalescing_efficiency == 1.0
+
+    def test_milliseconds_consistent_with_timing(self, gpu):
+        rep = _launch_copy(gpu)
+        assert rep.milliseconds == pytest.approx(rep.timing.milliseconds)
+
+
+class TestPipelineReport:
+    def test_sums_across_launches(self, gpu):
+        pipe = PipelineReport()
+        pipe.add(_launch_copy(gpu, name="a"))
+        pipe.add(_launch_copy(gpu, name="b"))
+        assert pipe.milliseconds == pytest.approx(
+            sum(l.milliseconds for l in pipe.launches)
+        )
+        assert pipe.total_global_transactions == sum(
+            l.total_global_transactions for l in pipe.launches
+        )
+
+    def test_by_kernel_merges_same_names(self, gpu):
+        pipe = PipelineReport()
+        pipe.add(_launch_copy(gpu, name="same"))
+        pipe.add(_launch_copy(gpu, name="same"))
+        breakdown = pipe.by_kernel()
+        assert list(breakdown) == ["same"]
+        assert breakdown["same"] == pytest.approx(pipe.milliseconds)
+
+    def test_divergence_fraction_weighted(self, gpu):
+        pipe = PipelineReport()
+        pipe.add(_launch_copy(gpu))
+        assert pipe.divergence_fraction == 0.0
+
+    def test_empty_pipeline(self):
+        pipe = PipelineReport()
+        assert pipe.milliseconds == 0.0
+        assert pipe.divergence_fraction == 0.0
+        assert pipe.by_kernel() == {}

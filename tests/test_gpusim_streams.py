@@ -1,0 +1,134 @@
+"""Tests for the streams/events/copy-engine timeline simulator."""
+
+import pytest
+
+from repro.core.pipeline import pipeline_timeline
+from repro.gpusim.streams import (
+    EngineKind,
+    SimTimeline,
+    build_double_buffered_schedule,
+)
+
+
+class TestBasicScheduling:
+    def test_single_stream_serializes(self):
+        tl = SimTimeline()
+        s = tl.stream()
+        s.copy_h2d(10)
+        s.launch(20)
+        s.copy_d2h(5)
+        assert tl.run() == 35
+
+    def test_two_streams_on_different_engines_overlap(self):
+        tl = SimTimeline()
+        a = tl.stream("a")
+        b = tl.stream("b")
+        a.copy_h2d(10)
+        b.launch(10)
+        assert tl.run() == 10  # full overlap: distinct engines
+
+    def test_same_engine_is_exclusive(self):
+        tl = SimTimeline()
+        a = tl.stream("a")
+        b = tl.stream("b")
+        a.launch(10)
+        b.launch(10)
+        assert tl.run() == 20  # one compute engine
+
+    def test_event_ordering(self):
+        tl = SimTimeline()
+        copies = tl.stream("copies")
+        kernels = tl.stream("kernels")
+        uploaded = tl.event("uploaded")
+        copies.copy_h2d(10, record=uploaded)
+        kernels.launch(5, waits_on=[uploaded])
+        tl.run()
+        kernel_op = tl.ops[1]
+        assert kernel_op.start_ms == 10
+        assert kernel_op.finish_ms == 15
+
+    def test_wait_on_unrecorded_event_raises(self):
+        tl = SimTimeline()
+        s = tl.stream()
+        ghost = tl.event("never-recorded")
+        s.launch(5, waits_on=[ghost])
+        with pytest.raises(ValueError, match="deadlock"):
+            tl.run()
+
+    def test_rejects_bad_engine(self):
+        tl = SimTimeline()
+        s = tl.stream()
+        with pytest.raises(ValueError):
+            s.enqueue("tensor-core", 5)
+
+    def test_rejects_negative_duration(self):
+        tl = SimTimeline()
+        s = tl.stream()
+        with pytest.raises(ValueError):
+            s.launch(-1)
+
+    def test_empty_timeline(self):
+        tl = SimTimeline()
+        assert tl.makespan() == 0.0
+
+
+class TestReporting:
+    def test_engine_busy_accounting(self):
+        tl = SimTimeline()
+        s = tl.stream()
+        s.copy_h2d(10)
+        s.launch(20)
+        s.copy_d2h(30)
+        busy = tl.engine_busy_ms()
+        assert busy == {EngineKind.H2D: 10, EngineKind.COMPUTE: 20,
+                        EngineKind.D2H: 30}
+
+    def test_utilization_fractions(self):
+        tl = SimTimeline()
+        a, b = tl.stream("a"), tl.stream("b")
+        a.launch(10)
+        b.copy_h2d(5)
+        tl.run()
+        util = tl.utilization()
+        assert util[EngineKind.COMPUTE] == pytest.approx(1.0)
+        assert util[EngineKind.H2D] == pytest.approx(0.5)
+
+    def test_utilization_empty(self):
+        assert SimTimeline().utilization()[EngineKind.COMPUTE] == 0.0
+
+
+class TestDoubleBufferedSchedule:
+    def test_matches_closed_form_pipeline(self):
+        """The constructed stream schedule must equal the closed-form
+        recurrence in repro.core.pipeline for the same stage durations."""
+        cases = [
+            ([3, 3, 3], [5, 5, 5], [2, 2, 2]),
+            ([10, 1], [1, 10], [5, 5]),
+            ([1] * 8, [4] * 8, [1] * 8),
+            ([7], [2], [9]),
+        ]
+        for up, comp, down in cases:
+            tl = SimTimeline()
+            makespan = build_double_buffered_schedule(tl, up, comp, down)
+            closed = pipeline_timeline(up, comp, down, overlap=True)
+            assert makespan == pytest.approx(closed), (up, comp, down)
+
+    def test_overlap_beats_serial(self):
+        up, comp, down = [4.0] * 6, [4.0] * 6, [4.0] * 6
+        tl = SimTimeline()
+        overlapped = build_double_buffered_schedule(tl, up, comp, down)
+        serial = sum(up) + sum(comp) + sum(down)
+        assert overlapped < serial
+        # steady state: one chunk per stage period -> ~ k*stage + 2 edges
+        assert overlapped == pytest.approx(4.0 * 8)
+
+    def test_compute_engine_saturated_when_compute_bound(self):
+        up, comp, down = [1.0] * 10, [10.0] * 10, [1.0] * 10
+        tl = SimTimeline()
+        build_double_buffered_schedule(tl, up, comp, down)
+        util = tl.utilization()
+        assert util[EngineKind.COMPUTE] > 0.95
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            build_double_buffered_schedule(SimTimeline(), [1], [1, 2], [1])

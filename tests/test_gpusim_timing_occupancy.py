@@ -1,0 +1,118 @@
+"""Unit tests for repro.gpusim.timing and repro.gpusim.occupancy."""
+
+import pytest
+
+from repro.gpusim.device import K40C, MICRO
+from repro.gpusim.grid import LaunchConfig
+from repro.gpusim.occupancy import compute_occupancy
+from repro.gpusim.timing import CostModel, LaunchTiming, StepCost
+
+
+class TestCostModel:
+    def test_shared_much_cheaper_than_global(self):
+        # The premise of Section 3.3: exploit shared memory.
+        model = CostModel(K40C)
+        assert model.shared_access() < model.global_access(1) / 5
+
+    def test_global_cost_scales_with_transactions(self):
+        model = CostModel(K40C)
+        assert model.global_access(32) > model.global_access(1)
+
+    def test_bank_conflicts_multiply_shared_cost(self):
+        model = CostModel(K40C)
+        assert model.shared_access(3) == pytest.approx(4 * model.shared_access(0))
+
+    def test_divergence_penalty_zero_for_uniform(self):
+        model = CostModel(K40C)
+        assert model.divergence(1) == 0.0
+
+    def test_divergence_penalty_grows_with_paths(self):
+        model = CostModel(K40C)
+        assert model.divergence(3) > model.divergence(2) > 0
+
+    def test_latency_hiding_bounds(self):
+        with pytest.raises(ValueError):
+            CostModel(K40C, latency_hiding=1.0)
+        with pytest.raises(ValueError):
+            CostModel(K40C, latency_hiding=-0.1)
+
+    def test_more_hiding_cheaper_global(self):
+        lo = CostModel(K40C, latency_hiding=0.5)
+        hi = CostModel(K40C, latency_hiding=0.95)
+        assert hi.global_access(1) < lo.global_access(1)
+
+    def test_alu_cost_linear(self):
+        model = CostModel(K40C)
+        assert model.alu(10) == pytest.approx(10 * model.alu(1))
+
+
+class TestStepCost:
+    def test_total_sums_components(self):
+        c = StepCost(alu_cycles=1, global_cycles=2, shared_cycles=3,
+                     divergence_cycles=4, sync_cycles=5)
+        assert c.total == 15
+
+    def test_merge_max_takes_componentwise_max(self):
+        a = StepCost(alu_cycles=10, global_cycles=1)
+        b = StepCost(alu_cycles=2, global_cycles=8)
+        a.merge_max(b)
+        assert a.alu_cycles == 10
+        assert a.global_cycles == 8
+
+
+class TestLaunchTiming:
+    def test_single_wave(self):
+        t = LaunchTiming(block_cycles=100, total_blocks=10,
+                         concurrent_blocks=16, device=K40C)
+        assert t.waves == 1
+        assert t.total_cycles == 100
+
+    def test_multiple_waves_round_up(self):
+        t = LaunchTiming(block_cycles=100, total_blocks=33,
+                         concurrent_blocks=16, device=K40C)
+        assert t.waves == 3
+        assert t.total_cycles == 300
+
+    def test_milliseconds_positive(self):
+        t = LaunchTiming(block_cycles=K40C.clock_hz / 1000, total_blocks=1,
+                         concurrent_blocks=1, device=K40C)
+        assert t.milliseconds == pytest.approx(1.0)
+
+
+class TestOccupancy:
+    def test_single_thread_blocks_limited_by_block_slots(self):
+        # Phase 1's 1-thread blocks: 16 blocks/SM on Kepler.
+        occ = compute_occupancy(K40C, LaunchConfig.create(1000, 1))
+        assert occ.blocks_per_sm == K40C.max_blocks_per_sm
+        assert occ.concurrent_blocks == 16 * 15
+
+    def test_fat_blocks_limited_by_threads(self):
+        occ = compute_occupancy(K40C, LaunchConfig.create(10, 1024))
+        assert occ.blocks_per_sm == 2048 // 1024
+        assert occ.limiting_factor == "threads"
+
+    def test_shared_memory_limits_residency(self):
+        # A block staging a 4000-float row uses 16 KB -> 3 blocks/SM.
+        cfg = LaunchConfig.create(100, 200, 16_000)
+        occ = compute_occupancy(K40C, cfg)
+        assert occ.blocks_per_sm == 48 * 1024 // 16_000
+        assert occ.limiting_factor == "shared_memory"
+
+    def test_full_shared_memory_runs_alone(self):
+        cfg = LaunchConfig.create(100, 32, K40C.shared_mem_per_block)
+        occ = compute_occupancy(K40C, cfg)
+        assert occ.blocks_per_sm == 1
+
+    def test_at_least_one_block_resident(self):
+        cfg = LaunchConfig.create(1, 1024, K40C.shared_mem_per_block)
+        occ = compute_occupancy(K40C, cfg)
+        assert occ.blocks_per_sm >= 1
+
+    def test_active_warps(self):
+        occ = compute_occupancy(K40C, LaunchConfig.create(100, 64))
+        assert occ.warps_per_block == 2
+        assert occ.active_warps_per_sm == occ.blocks_per_sm * 2
+
+    def test_micro_device_scales_down(self):
+        occ = compute_occupancy(MICRO, LaunchConfig.create(100, 32))
+        assert occ.concurrent_blocks <= MICRO.max_blocks_per_sm * MICRO.sm_count

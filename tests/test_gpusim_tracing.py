@@ -1,0 +1,134 @@
+"""Tests for the memory-access tracer."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuDevice, Tracer
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice.micro()
+
+
+def _copy_kernel(ctx, shared, src, dst):
+    tid = ctx.thread_idx.x
+    v = yield ctx.gload(src, tid)
+    yield ctx.gstore(dst, tid, v)
+
+
+def _strided_kernel(ctx, shared, src, dst):
+    tid = ctx.thread_idx.x
+    v = yield ctx.gload(src, tid * 32)
+    yield ctx.gstore(dst, tid, v)
+
+
+class TestTracer:
+    def test_records_loads_and_stores(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(32, dtype=np.float32))
+        out = gpu.memory.alloc(32, np.float32)
+        tracer = Tracer()
+        gpu.launch(_copy_kernel, grid=1, block=32, args=(data, out),
+                   trace=tracer)
+        assert tracer.by_op() == {"GLD": 1, "GST": 1}
+
+    def test_pattern_classification(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(32 * 32, dtype=np.float32))
+        out = gpu.memory.alloc(32, np.float32)
+        tracer = Tracer()
+        gpu.launch(_copy_kernel, grid=1, block=32, args=(data, out),
+                   trace=tracer)
+        gpu.launch(_strided_kernel, grid=1, block=32, args=(data, out),
+                   trace=tracer)
+        hist = tracer.pattern_histogram("GLD")
+        assert hist.get("coalesced", 0) >= 1
+        assert hist.get("strided", 0) >= 1
+
+    def test_worst_accesses_surface_the_strided_load(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(32 * 32, dtype=np.float32))
+        out = gpu.memory.alloc(32, np.float32)
+        tracer = Tracer()
+        gpu.launch(_strided_kernel, grid=1, block=32, args=(data, out),
+                   trace=tracer)
+        worst = tracer.worst_accesses(1)[0]
+        assert worst.op == "GLD"
+        assert worst.transactions == 32
+
+    def test_transactions_for_kernel(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(32, dtype=np.float32))
+        out = gpu.memory.alloc(32, np.float32)
+        tracer = Tracer()
+        report = gpu.launch(_copy_kernel, grid=1, block=32, args=(data, out),
+                            trace=tracer, name="traced_copy")
+        assert tracer.transactions_for("traced_copy") == \
+            report.total_global_transactions
+
+    def test_overflow_flag(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(32, dtype=np.float32))
+        out = gpu.memory.alloc(32, np.float32)
+        tracer = Tracer(max_records=1)
+        gpu.launch(_copy_kernel, grid=1, block=32, args=(data, out),
+                   trace=tracer)
+        assert len(tracer) == 1
+        assert tracer.overflowed
+
+    def test_clear(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(32, dtype=np.float32))
+        out = gpu.memory.alloc(32, np.float32)
+        tracer = Tracer()
+        gpu.launch(_copy_kernel, grid=1, block=32, args=(data, out),
+                   trace=tracer)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert not tracer.overflowed
+
+    def test_no_tracer_no_overhead_records(self, gpu):
+        data = gpu.memory.alloc_like(np.arange(32, dtype=np.float32))
+        out = gpu.memory.alloc(32, np.float32)
+        report = gpu.launch(_copy_kernel, grid=1, block=32, args=(data, out))
+        assert report.total_global_transactions > 0  # runs fine untraced
+
+    def test_rejects_bad_max_records(self):
+        with pytest.raises(ValueError):
+            Tracer(max_records=0)
+
+    def test_phase2_staging_is_coalesced(self, gpu, rng):
+        """Trace the paper's phase-2 kernel: its cooperative staging
+        loads must classify as coalesced (Section 3.1 compliance)."""
+        from repro.core.config import SortConfig
+        from repro.core.kernels import run_arraysort_on_device
+
+        # Route the launch through a traced device: re-run just phase 2
+        # via the orchestrator with tracing by monkey-launching is
+        # overkill; instead sort a tiny batch with trace plumbed through
+        # a manual launch of the bucketing kernel.
+        import numpy as np
+        from repro.core.kernels import bucketing_kernel
+        from repro.core.splitters import select_splitters
+
+        batch = rng.uniform(0, 1e6, (2, 64)).astype(np.float32)
+        cfg = SortConfig()
+        p = cfg.num_buckets(64)
+        spl = select_splitters(batch, cfg)
+        d_data = gpu.memory.alloc_like(batch.ravel())
+        d_split = gpu.memory.alloc_like(spl.splitters.ravel())
+        d_sizes = gpu.memory.alloc(2 * p, np.int32)
+        tracer = Tracer()
+
+        def phase2_shared(sm):
+            return {
+                "row": sm.alloc(64, np.float32, "row"),
+                "splitters": sm.alloc(p + 1, np.float64, "splitters"),
+                "counts": sm.alloc(p, np.int32, "counts"),
+                "offsets": sm.alloc(p, np.int32, "offsets"),
+            }
+
+        gpu.launch(
+            bucketing_kernel, grid=2, block=p,
+            args=(d_data, d_split, d_sizes, 64, p),
+            shared_setup=phase2_shared, trace=tracer, name="phase2",
+        )
+        gld = [r for r in tracer.records if r.op == "GLD"]
+        assert gld, "no global loads traced"
+        coalesced = sum(1 for r in gld if r.pattern == "coalesced")
+        assert coalesced / len(gld) > 0.5

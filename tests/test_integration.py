@@ -1,0 +1,134 @@
+"""End-to-end integration tests crossing subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import segmented_sort, sta_sort
+from repro.core import GpuArraySort, SortConfig, sort_arrays
+from repro.core.pipeline import OutOfCoreSorter
+from repro.gpusim import GpuDevice
+from repro.workloads import RaggedBatch, generate_spectra, uniform_arrays
+
+
+class TestThreeWayCrossCheck:
+    """Three independently-written implementations must agree exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_arraysort_sta_segmented_agree(self, seed):
+        batch = uniform_arrays(60, 250, seed=seed)
+        a = sort_arrays(batch)
+        b = sta_sort(batch)
+        c = segmented_sort(batch)
+        assert np.array_equal(a, b)
+        assert np.array_equal(b, c)
+
+    def test_agreement_on_spectra(self):
+        spectra = generate_spectra(40, 500, seed=7)
+        for view in ("mz", "intensity"):
+            data = spectra.view(view)
+            assert np.array_equal(sort_arrays(data), sta_sort(data))
+
+
+class TestMassSpecScenario:
+    """The paper's motivating workload end to end (Sections 1 and 4)."""
+
+    def test_sort_spectra_by_intensity_and_mz(self):
+        spectra = generate_spectra(100, 1000, seed=11)
+        by_mz = sort_arrays(spectra.mz, verify=True)
+        by_intensity = sort_arrays(spectra.intensity, verify=True)
+        assert np.all(np.diff(by_mz, axis=1) >= 0)
+        assert np.all(np.diff(by_intensity, axis=1) >= 0)
+
+    def test_4000_peak_spectra_fit_paper_limits(self):
+        # Section 4: up to 4000 peaks fit in shared memory; the sorter's
+        # default config must handle that size.
+        spectra = generate_spectra(5, 4000, seed=11)
+        out = sort_arrays(spectra.intensity, verify=True)
+        assert out.shape == (5, 4000)
+
+    def test_ragged_spectra_via_padding(self, rng):
+        # Real runs have variable peak counts; the ragged container
+        # bridges them onto the uniform-batch sorter.
+        arrays = [
+            rng.uniform(0, 1e5, rng.integers(100, 400)).astype(np.float32)
+            for _ in range(25)
+        ]
+        ragged = RaggedBatch.from_arrays(arrays)
+        out = ragged.unpad(sort_arrays(ragged.padded()))
+        for orig, got in zip(arrays, out.to_list()):
+            assert np.array_equal(np.sort(orig), got)
+
+
+class TestDeviceEndToEnd:
+    def test_sim_engine_full_stack(self, rng):
+        """Host data -> device alloc -> 3 kernels -> host, with reports."""
+        gpu = GpuDevice.micro()
+        batch = rng.uniform(0, 2**31 - 1, (5, 120)).astype(np.float32)
+        sorter = GpuArraySort(engine="sim", device=gpu, verify=True)
+        res = sorter.sort(batch)
+        assert np.array_equal(res.batch, np.sort(batch, axis=1))
+        assert res.reports.milliseconds > 0
+        assert gpu.memory.live_allocations() == 0
+
+    def test_sim_vs_sta_device_memory_story(self, rng):
+        """GPU-ArraySort's peak device memory ~ payload; STA's ~ 4x."""
+        from repro.baselines.sta import StaSorter
+        from repro.core.kernels import run_arraysort_on_device
+
+        batch = rng.uniform(0, 1e6, (20, 120)).astype(np.float32)
+        payload = batch.nbytes
+
+        gpu1 = GpuDevice.micro()
+        run_arraysort_on_device(gpu1, batch)
+        gas_peak = gpu1.memory.stats.peak_bytes
+
+        gpu2 = GpuDevice.micro()
+        StaSorter(device=gpu2).sort(batch)
+        sta_peak = gpu2.memory.stats.peak_bytes
+
+        assert gas_peak < 1.3 * payload
+        assert sta_peak > 3.5 * payload
+
+    def test_sim_timing_favors_arraysort_scaling(self, rng):
+        """Modeled per-launch time grows with N slower than linearly when
+        blocks fit in one wave (the data-parallel payoff)."""
+        gpu = GpuDevice.micro()
+        small = rng.uniform(0, 1, (1, 64)).astype(np.float32)
+        large = rng.uniform(0, 1, (8, 64)).astype(np.float32)
+        r_small = GpuArraySort(engine="sim", device=gpu).sort(small)
+        r_large = GpuArraySort(engine="sim", device=gpu).sort(large)
+        # 8x blocks but same wave count -> much less than 8x modeled time.
+        assert r_large.modeled_ms < 4 * r_small.modeled_ms
+
+
+class TestOutOfCoreEndToEnd:
+    def test_huge_host_batch_through_small_device(self):
+        from repro.gpusim.device import DeviceSpec
+
+        tiny = DeviceSpec(
+            name="tiny", sm_count=2, cores_per_sm=32,
+            global_mem_bytes=512 * 1024, shared_mem_per_block=16 * 1024,
+            usable_mem_fraction=1.0,
+        )
+        batch = uniform_arrays(2000, 50, seed=13)  # 400 KB > device budget
+        res = OutOfCoreSorter(device=tiny).sort(batch)
+        assert res.plan.num_chunks > 1
+        assert np.array_equal(res.batch, np.sort(batch, axis=1))
+        assert res.overlap_speedup >= 1.0
+
+
+class TestPublicApiSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        assert callable(repro.sort_arrays)
+        assert repro.__version__
+        cfg = repro.SortConfig(bucket_size=30)
+        assert cfg.bucket_size == 30
+
+    def test_quickstart_snippet_from_readme(self):
+        import repro
+
+        batch = np.random.default_rng(0).uniform(0, 2**31 - 1, (1000, 500))
+        out = repro.sort_arrays(batch.astype(np.float32))
+        assert np.all(np.diff(out, axis=1) >= 0)

@@ -1,0 +1,77 @@
+"""Cross-product correctness grid: engine x workload x dtype x config.
+
+One systematic sweep over the public configuration space, complementing
+the targeted unit tests.  Every cell asserts exact agreement with the
+NumPy oracle — the matrix a release manager wants green before tagging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuArraySort, SortConfig
+from repro.gpusim import GpuDevice
+from repro.workloads import (
+    clustered_arrays,
+    duplicate_heavy_arrays,
+    exponential_arrays,
+    nearly_sorted_arrays,
+    reverse_sorted_arrays,
+    uniform_arrays,
+    zipf_arrays,
+)
+
+GENERATORS = {
+    "uniform": uniform_arrays,
+    "reverse": reverse_sorted_arrays,
+    "nearly_sorted": nearly_sorted_arrays,
+    "duplicates": duplicate_heavy_arrays,
+    "clustered": clustered_arrays,
+    "zipf": zipf_arrays,
+    "exponential": exponential_arrays,
+}
+
+
+class TestVectorizedGrid:
+    @pytest.mark.parametrize("workload", sorted(GENERATORS))
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_workload_dtype(self, workload, dtype):
+        batch = GENERATORS[workload](25, 256, seed=31).astype(dtype)
+        cfg = SortConfig(dtype=dtype)
+        out = GpuArraySort(cfg, verify=True).sort(batch)
+        assert np.array_equal(out.batch, np.sort(batch, axis=1))
+
+    @pytest.mark.parametrize("workload", sorted(GENERATORS))
+    @pytest.mark.parametrize("bucket_size", [5, 20, 100])
+    def test_workload_bucket_size(self, workload, bucket_size):
+        batch = GENERATORS[workload](20, 200, seed=32)
+        cfg = SortConfig(bucket_size=bucket_size)
+        out = GpuArraySort(cfg).sort(batch)
+        assert np.array_equal(out.batch, np.sort(batch, axis=1))
+
+    @pytest.mark.parametrize("workload", sorted(GENERATORS))
+    @pytest.mark.parametrize("rate", [0.02, 0.10, 0.5])
+    def test_workload_sampling_rate(self, workload, rate):
+        batch = GENERATORS[workload](20, 200, seed=33)
+        cfg = SortConfig(sampling_rate=rate)
+        out = GpuArraySort(cfg).sort(batch)
+        assert np.array_equal(out.batch, np.sort(batch, axis=1))
+
+
+class TestSimEngineGrid:
+    @pytest.mark.parametrize("workload", sorted(GENERATORS))
+    def test_sim_engine_per_workload(self, workload):
+        batch = GENERATORS[workload](2, 72, seed=34).astype(np.float32)
+        sorter = GpuArraySort(engine="sim", device=GpuDevice.micro())
+        out = sorter.sort(batch)
+        assert np.array_equal(out.batch, np.sort(batch, axis=1))
+
+
+class TestShapeEdgeGrid:
+    @pytest.mark.parametrize("shape", [
+        (1, 1), (1, 19), (1, 20), (1, 21), (1, 4000),
+        (2, 2), (7, 64), (64, 7), (100, 39), (3, 1023),
+    ])
+    def test_shape_edges(self, shape):
+        batch = uniform_arrays(*shape, seed=35)
+        out = GpuArraySort(verify=True).sort(batch)
+        assert np.array_equal(out.batch, np.sort(batch, axis=1))

@@ -1,0 +1,216 @@
+"""Property-based tests for the second wave of components.
+
+Covers: bitonic network algebra, odd-even correctness, pair sorting,
+adaptive-strategy correctness, the streams scheduler, and MGF round
+trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.bitonic import bitonic_network, bitonic_sort_batch
+from repro.baselines.oddeven import odd_even_sort_batch
+from repro.core.adaptive import SAMPLING_STRATEGIES, select_splitters_adaptive
+from repro.core.bucketing import bucketize
+from repro.core.pairs import sort_pairs
+from repro.gpusim.streams import SimTimeline, build_double_buffered_schedule
+
+F32_BOUND = float(np.float32(1e30))
+finite_f32 = st.floats(min_value=-F32_BOUND, max_value=F32_BOUND,
+                       allow_nan=False, width=32)
+
+small_batches = hnp.arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 100)),
+    elements=finite_f32,
+)
+
+
+class TestNetworkSorts:
+    @given(batch=small_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_bitonic_equals_npsort(self, batch):
+        assert np.array_equal(bitonic_sort_batch(batch), np.sort(batch, axis=1))
+
+    @given(batch=small_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_odd_even_equals_npsort(self, batch):
+        assert np.array_equal(odd_even_sort_batch(batch), np.sort(batch, axis=1))
+
+    @given(log_n=st.integers(0, 7))
+    @settings(max_examples=8)
+    def test_bitonic_network_is_a_sorting_network(self, log_n):
+        """0-1 principle: a comparator network sorts all inputs iff it
+        sorts all 0-1 inputs.  Exhaustive for n <= 2^7 would be 2^128;
+        we verify on all 0-1 vectors for n <= 16 and random ones above."""
+        n = 2 ** log_n
+        if n <= 16:
+            vectors = np.array(
+                [[(i >> b) & 1 for b in range(n)] for i in range(2 ** n)],
+                dtype=np.float32,
+            ) if n <= 12 else None
+            if vectors is None:
+                rng = np.random.default_rng(n)
+                vectors = rng.integers(0, 2, (512, n)).astype(np.float32)
+        else:
+            rng = np.random.default_rng(n)
+            vectors = rng.integers(0, 2, (256, n)).astype(np.float32)
+        out = bitonic_sort_batch(vectors)
+        assert np.array_equal(out, np.sort(vectors, axis=1))
+
+    @given(log_n=st.integers(1, 8))
+    @settings(max_examples=8)
+    def test_network_stage_count(self, log_n):
+        n = 2 ** log_n
+        stages = list(bitonic_network(n))
+        assert len(stages) == log_n * (log_n + 1) // 2
+
+
+class TestPairProperties:
+    @given(batch=small_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_keys_sorted_and_pairing_preserved(self, batch):
+        values = np.arange(batch.size, dtype=np.float32).reshape(batch.shape)
+        res = sort_pairs(batch, values)
+        assert np.all(np.diff(res.keys, axis=1) >= 0)
+        for i in range(batch.shape[0]):
+            got = sorted(zip(res.keys[i].tolist(), res.values[i].tolist()))
+            want = sorted(zip(batch[i].tolist(), values[i].tolist()))
+            assert got == want
+
+    @given(batch=small_batches)
+    @settings(max_examples=30, deadline=None)
+    def test_pairs_stable_matches_numpy(self, batch):
+        values = np.arange(batch.size, dtype=np.int64).reshape(batch.shape)
+        res = sort_pairs(batch, values, stable=True)
+        order = np.argsort(batch, axis=1, kind="stable")
+        assert np.array_equal(res.values, np.take_along_axis(values, order, axis=1))
+
+
+class TestAdaptiveProperties:
+    @given(
+        batch=small_batches,
+        strategy=st.sampled_from(SAMPLING_STRATEGIES),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_strategy_yields_valid_partition(self, batch, strategy, seed):
+        spl = select_splitters_adaptive(batch, strategy=strategy, seed=seed)
+        res = bucketize(batch.copy(), spl.splitters)
+        assert np.all(res.sizes.sum(axis=1) == batch.shape[1])
+        # splitters sorted
+        assert np.all(np.diff(spl.splitters.astype(np.float64), axis=1) >= 0)
+
+
+class TestStreamsProperties:
+    stage_lists = st.integers(1, 8).flatmap(
+        lambda k: st.tuples(
+            st.lists(st.floats(0, 50), min_size=k, max_size=k),
+            st.lists(st.floats(0, 50), min_size=k, max_size=k),
+            st.lists(st.floats(0, 50), min_size=k, max_size=k),
+        )
+    )
+
+    @given(stages=stage_lists)
+    @settings(max_examples=50)
+    def test_schedule_equals_closed_form(self, stages):
+        from repro.core.pipeline import pipeline_timeline
+
+        up, comp, down = stages
+        tl = SimTimeline()
+        makespan = build_double_buffered_schedule(tl, up, comp, down)
+        assert makespan == pytest.approx(
+            pipeline_timeline(up, comp, down, overlap=True)
+        )
+
+    @given(stages=stage_lists)
+    @settings(max_examples=50)
+    def test_no_engine_overlaps_itself(self, stages):
+        up, comp, down = stages
+        tl = SimTimeline()
+        build_double_buffered_schedule(tl, up, comp, down)
+        by_engine = {}
+        for op in tl.ops:
+            by_engine.setdefault(op.engine, []).append((op.start_ms, op.finish_ms))
+        for intervals in by_engine.values():
+            intervals.sort()
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert s2 >= f1 - 1e-9
+
+
+class TestTopKProperties:
+    @given(batch=small_batches, k_frac=st.floats(0.05, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_topk_is_suffix_of_full_sort(self, batch, k_frac):
+        from repro.core.topk import top_k
+
+        k = max(1, int(k_frac * batch.shape[1]))
+        out = top_k(batch, k)
+        assert np.array_equal(out, np.sort(batch, axis=1)[:, -k:])
+
+    @given(batch=small_batches)
+    @settings(max_examples=25, deadline=None)
+    def test_topk_full_k_equals_sort(self, batch):
+        from repro.core.topk import top_k
+
+        out = top_k(batch, batch.shape[1])
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+
+class TestStreamingProperties:
+    @given(
+        total=st.integers(1, 60),
+        batch_arrays=st.integers(1, 20),
+        cut_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_slab_partition_equals_full_sort(self, total, batch_arrays,
+                                                 cut_seed):
+        """However the stream is chopped into pushes, the concatenated
+        output equals sorting the whole input."""
+        from repro.core.streaming import StreamingSorter
+
+        rng = np.random.default_rng(cut_seed)
+        data = rng.uniform(0, 1e6, (total, 24)).astype(np.float32)
+        sorter = StreamingSorter(24, batch_arrays=batch_arrays)
+        offset = 0
+        while offset < total:
+            take = int(rng.integers(1, total - offset + 1))
+            sorter.push_slab(data[offset : offset + take])
+            offset += take
+        sorter.flush()
+        assert np.array_equal(np.vstack(sorter.results),
+                              np.sort(data, axis=1))
+        assert sorter.stats.arrays_out == total
+
+
+class TestMergeSortProperties:
+    @given(batch=small_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_npsort(self, batch):
+        from repro.baselines.mergesort import merge_sort_batch
+
+        assert np.array_equal(merge_sort_batch(batch), np.sort(batch, axis=1))
+
+
+class TestMgfProperties:
+    @given(
+        num=st.integers(0, 5),
+        peaks=st.integers(1, 30),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mgf_roundtrip_any_shape(self, num, peaks, seed, tmp_path_factory):
+        from repro.workloads import generate_spectra, read_mgf, write_mgf
+
+        path = tmp_path_factory.mktemp("mgf") / "f.mgf"
+        spectra = generate_spectra(num, peaks, seed=seed)
+        write_mgf(path, spectra)
+        loaded = read_mgf(path)
+        assert loaded.num_spectra == num
+        if num:
+            assert np.allclose(loaded.mz, spectra.mz, atol=1e-3)

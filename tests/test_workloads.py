@@ -1,0 +1,224 @@
+"""Tests for workload generators, spectra, and batch containers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ArrayBatch,
+    PAPER_VALUE_MAX,
+    RaggedBatch,
+    adversarial_constant_arrays,
+    clustered_arrays,
+    duplicate_heavy_arrays,
+    generate_spectra,
+    nearly_sorted_arrays,
+    normal_arrays,
+    reverse_sorted_arrays,
+    sorted_arrays,
+    uniform_arrays,
+)
+
+
+class TestUniformArrays:
+    def test_shape_and_dtype(self):
+        batch = uniform_arrays(10, 100, seed=0)
+        assert batch.shape == (10, 100)
+        assert batch.dtype == np.float32
+
+    def test_paper_value_range(self):
+        # Section 7.2: uniform between 0 and 2^31 - 1.
+        batch = uniform_arrays(100, 1000, seed=0)
+        assert batch.min() >= 0
+        assert batch.max() <= PAPER_VALUE_MAX
+
+    def test_deterministic_with_seed(self):
+        a = uniform_arrays(5, 10, seed=7)
+        b = uniform_arrays(5, 10, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = uniform_arrays(5, 10, seed=7)
+        b = uniform_arrays(5, 10, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            uniform_arrays(-1, 10)
+        with pytest.raises(ValueError):
+            uniform_arrays(10, 0)
+
+    def test_roughly_uniform(self):
+        batch = uniform_arrays(10, 10_000, seed=0)
+        mean = batch.mean() / PAPER_VALUE_MAX
+        assert 0.45 < mean < 0.55
+
+
+class TestOtherDistributions:
+    def test_sorted_rows_are_sorted(self):
+        batch = sorted_arrays(10, 100, seed=1)
+        assert np.all(np.diff(batch, axis=1) >= 0)
+
+    def test_reverse_rows_are_descending(self):
+        batch = reverse_sorted_arrays(10, 100, seed=1)
+        assert np.all(np.diff(batch, axis=1) <= 0)
+
+    def test_nearly_sorted_mostly_ordered(self):
+        batch = nearly_sorted_arrays(10, 200, swap_fraction=0.05, seed=1)
+        frac_ordered = np.mean(np.diff(batch, axis=1) >= 0)
+        assert frac_ordered > 0.85
+
+    def test_nearly_sorted_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            nearly_sorted_arrays(2, 10, swap_fraction=1.5)
+
+    def test_duplicate_heavy_few_distinct(self):
+        batch = duplicate_heavy_arrays(5, 500, distinct_values=4, seed=1)
+        assert len(np.unique(batch)) <= 4
+
+    def test_duplicate_heavy_rejects_zero_palette(self):
+        with pytest.raises(ValueError):
+            duplicate_heavy_arrays(5, 10, distinct_values=0)
+
+    def test_clustered_within_range(self):
+        batch = clustered_arrays(5, 500, seed=1)
+        assert batch.min() >= 0
+        assert batch.max() <= PAPER_VALUE_MAX
+
+    def test_clustered_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            clustered_arrays(5, 10, num_clusters=0)
+
+    def test_constant_arrays(self):
+        batch = adversarial_constant_arrays(3, 10, value=1.5)
+        assert np.all(batch == 1.5)
+
+    def test_normal_shape(self):
+        assert normal_arrays(4, 8, seed=0).shape == (4, 8)
+
+
+class TestSpectra:
+    def test_shapes(self):
+        batch = generate_spectra(8, 500, seed=1)
+        assert batch.mz.shape == (8, 500)
+        assert batch.intensity.shape == (8, 500)
+        assert batch.num_spectra == 8
+        assert batch.peaks_per_spectrum == 500
+
+    def test_mz_within_acquisition_window(self):
+        batch = generate_spectra(5, 300, seed=1)
+        assert batch.mz.min() >= 200.0
+        assert batch.mz.max() <= 2000.0
+
+    def test_intensities_positive(self):
+        batch = generate_spectra(5, 300, seed=1)
+        assert batch.intensity.min() >= 0
+
+    def test_not_presorted(self):
+        # Acquisition interleave: rows must not arrive sorted.
+        batch = generate_spectra(5, 300, seed=1)
+        assert not np.all(np.diff(batch.mz, axis=1) >= 0)
+        assert not np.all(np.diff(batch.intensity, axis=1) >= 0)
+
+    def test_view_selector(self):
+        batch = generate_spectra(2, 50, seed=1)
+        assert batch.view("mz") is batch.mz
+        assert batch.view("intensity") is batch.intensity
+        with pytest.raises(ValueError):
+            batch.view("charge")
+
+    def test_peak_cap_enforced(self):
+        # Section 4: at most ~4000 peaks per spectrum.
+        with pytest.raises(ValueError):
+            generate_spectra(1, 4001)
+
+    def test_deterministic(self):
+        a = generate_spectra(3, 100, seed=5)
+        b = generate_spectra(3, 100, seed=5)
+        assert np.array_equal(a.mz, b.mz)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            generate_spectra(1, 100, true_peak_fraction=0.6, impurity_fraction=0.5)
+        with pytest.raises(ValueError):
+            generate_spectra(1, 100, true_peak_fraction=-0.1)
+
+    def test_true_peaks_brighter_than_noise(self):
+        batch = generate_spectra(20, 1000, seed=2)
+        # The brightest 1% of peaks should far outshine the median (the
+        # lognormal fragment peaks vs the exponential noise floor).
+        bright = np.quantile(batch.intensity, 0.99)
+        assert bright > 20 * np.median(batch.intensity)
+
+
+class TestArrayBatch:
+    def test_wraps_and_reports(self):
+        data = uniform_arrays(4, 9, seed=0)
+        ab = ArrayBatch(data, description="test", seed=0)
+        assert ab.num_arrays == 4
+        assert ab.array_size == 9
+        assert ab.nbytes == data.nbytes
+        assert len(ab) == 4
+
+    def test_iteration(self):
+        ab = ArrayBatch(uniform_arrays(3, 5, seed=0))
+        rows = list(ab)
+        assert len(rows) == 3
+
+    def test_copy_is_independent(self):
+        ab = ArrayBatch(uniform_arrays(2, 4, seed=0))
+        cp = ab.copy()
+        cp.data[0, 0] = -1
+        assert ab.data[0, 0] != -1
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ArrayBatch(np.arange(5.0))
+
+
+class TestRaggedBatch:
+    def test_from_arrays_roundtrip(self, rng):
+        arrays = [rng.uniform(0, 1, k).astype(np.float32) for k in (3, 0, 7)]
+        rb = RaggedBatch.from_arrays(arrays)
+        assert rb.num_arrays == 3
+        assert rb.lengths().tolist() == [3, 0, 7]
+        for orig, back in zip(arrays, rb.to_list()):
+            assert np.array_equal(orig, back)
+
+    def test_padded_pads_with_inf(self, rng):
+        arrays = [np.array([3.0, 1.0]), np.array([5.0])]
+        rb = RaggedBatch.from_arrays(arrays)
+        dense = rb.padded()
+        assert dense.shape == (2, 2)
+        assert dense[1, 1] == np.inf
+
+    def test_pad_sort_unpad_pipeline(self, rng):
+        from repro.core import sort_arrays
+
+        arrays = [rng.uniform(0, 100, k).astype(np.float32) for k in (30, 25, 40)]
+        rb = RaggedBatch.from_arrays(arrays)
+        dense = rb.padded()
+        sorted_dense = sort_arrays(dense)
+        out = rb.unpad(sorted_dense)
+        for orig, got in zip(arrays, out.to_list()):
+            assert np.array_equal(np.sort(orig), got)
+
+    def test_integer_padding_uses_dtype_max(self):
+        rb = RaggedBatch.from_arrays([np.array([3, 1], dtype=np.int32),
+                                      np.array([5], dtype=np.int32)])
+        dense = rb.padded()
+        assert dense[1, 1] == np.iinfo(np.int32).max
+
+    def test_empty_batch(self):
+        rb = RaggedBatch.from_arrays([])
+        assert rb.num_arrays == 0
+        assert rb.padded().shape == (0, 0)
+
+    def test_getitem(self):
+        rb = RaggedBatch.from_arrays([np.array([1.0]), np.array([2.0, 3.0])])
+        assert rb[1].tolist() == [2.0, 3.0]
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(ValueError):
+            RaggedBatch(np.arange(4.0), np.array([0, 2]))
+        with pytest.raises(ValueError):
+            RaggedBatch(np.arange(4.0), np.array([0, 3, 2, 4]))

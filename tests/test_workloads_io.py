@@ -1,0 +1,131 @@
+"""Tests for dataset persistence (NPZ batches, MGF spectra)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ArrayBatch,
+    generate_spectra,
+    load_batch,
+    read_mgf,
+    read_mgf_ragged,
+    save_batch,
+    uniform_arrays,
+    write_mgf,
+)
+
+
+class TestNpzBatch:
+    def test_roundtrip(self, tmp_path):
+        batch = ArrayBatch(uniform_arrays(5, 20, seed=1), "roundtrip test", 1)
+        path = tmp_path / "batch.npz"
+        save_batch(path, batch)
+        loaded = load_batch(path)
+        assert np.array_equal(loaded.data, batch.data)
+        assert loaded.description == "roundtrip test"
+        assert loaded.seed == 1
+
+    def test_dtype_preserved(self, tmp_path):
+        batch = ArrayBatch(uniform_arrays(2, 8, seed=1, dtype=np.float64))
+        path = tmp_path / "b.npz"
+        save_batch(path, batch)
+        assert load_batch(path).data.dtype == np.float64
+
+    def test_empty_metadata_fields(self, tmp_path):
+        batch = ArrayBatch(uniform_arrays(2, 8, seed=None))
+        path = tmp_path / "b.npz"
+        save_batch(path, batch)
+        loaded = load_batch(path)
+        assert loaded.seed is None
+        assert loaded.description == ""
+
+
+class TestMgf:
+    def test_roundtrip(self, tmp_path):
+        spectra = generate_spectra(4, 50, seed=7)
+        path = tmp_path / "run.mgf"
+        write_mgf(path, spectra)
+        loaded = read_mgf(path)
+        assert loaded.num_spectra == 4
+        assert loaded.peaks_per_spectrum == 50
+        # 4-decimal text format: compare with matching tolerance
+        assert np.allclose(loaded.mz, spectra.mz, atol=1e-3)
+        assert np.allclose(loaded.intensity, spectra.intensity, atol=1e-3)
+
+    def test_file_structure(self, tmp_path):
+        spectra = generate_spectra(2, 5, seed=7)
+        path = tmp_path / "run.mgf"
+        write_mgf(path, spectra)
+        text = path.read_text()
+        assert text.count("BEGIN IONS") == 2
+        assert text.count("END IONS") == 2
+        assert "TITLE=spectrum_0" in text
+        assert "PEPMASS=" in text
+
+    def test_empty_batch(self, tmp_path):
+        from repro.workloads.spectra import SpectrumBatch
+
+        empty = SpectrumBatch(
+            mz=np.empty((0, 0), dtype=np.float32),
+            intensity=np.empty((0, 0), dtype=np.float32),
+        )
+        path = tmp_path / "empty.mgf"
+        write_mgf(path, empty)
+        loaded = read_mgf(path)
+        assert loaded.num_spectra == 0
+
+    def test_ragged_read(self, tmp_path):
+        path = tmp_path / "ragged.mgf"
+        path.write_text(
+            "BEGIN IONS\nTITLE=a\n100.0 5.0\n200.0 3.0\nEND IONS\n"
+            "BEGIN IONS\nTITLE=b\n150.0 9.0\nEND IONS\n"
+        )
+        ragged = read_mgf_ragged(path)
+        assert ragged.num_arrays == 2
+        assert ragged.lengths().tolist() == [2, 1]
+        assert ragged[0].tolist() == [5.0, 3.0]
+
+    def test_ragged_mz_view(self, tmp_path):
+        path = tmp_path / "ragged.mgf"
+        path.write_text("BEGIN IONS\n100.0 5.0\nEND IONS\n")
+        ragged = read_mgf_ragged(path, view="mz")
+        assert ragged[0].tolist() == [100.0]
+
+    def test_ragged_bad_view(self, tmp_path):
+        path = tmp_path / "x.mgf"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_mgf_ragged(path, view="charge")
+
+    def test_uniform_reader_rejects_ragged(self, tmp_path):
+        path = tmp_path / "ragged.mgf"
+        path.write_text(
+            "BEGIN IONS\n1.0 1.0\n2.0 2.0\nEND IONS\n"
+            "BEGIN IONS\n1.0 1.0\nEND IONS\n"
+        )
+        with pytest.raises(ValueError, match="read_mgf_ragged"):
+            read_mgf(path)
+
+    def test_malformed_files(self, tmp_path):
+        cases = {
+            "nested": "BEGIN IONS\nBEGIN IONS\n",
+            "unterminated": "BEGIN IONS\n1.0 2.0\n",
+            "stray_end": "END IONS\n",
+            "bad_peak": "BEGIN IONS\n1.0\nEND IONS\n",
+        }
+        for name, content in cases.items():
+            path = tmp_path / f"{name}.mgf"
+            path.write_text(content)
+            with pytest.raises(ValueError):
+                read_mgf(path)
+
+    def test_end_to_end_sort_from_file(self, tmp_path):
+        """File -> batch -> GPU-ArraySort -> verified, the OSS user path."""
+        from repro.core import sort_arrays
+
+        spectra = generate_spectra(6, 40, seed=3)
+        path = tmp_path / "run.mgf"
+        write_mgf(path, spectra)
+        loaded = read_mgf(path)
+        out = sort_arrays(loaded.intensity, verify=True)
+        assert np.all(np.diff(out, axis=1) >= 0)

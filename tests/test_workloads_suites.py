@@ -1,0 +1,62 @@
+"""Tests for the workload suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import sort_arrays
+from repro.workloads import STANDARD_SUITE, get_workload, list_workloads
+
+
+class TestRegistry:
+    def test_paper_recipes_present(self):
+        assert "paper_uniform_small" in STANDARD_SUITE
+        assert "paper_uniform_large_arrays" in STANDARD_SUITE
+        assert "spectra_intensity" in STANDARD_SUITE
+
+    def test_get_workload_miss_lists_choices(self):
+        with pytest.raises(KeyError, match="paper_uniform_small"):
+            get_workload("nope")
+
+    def test_list_workloads_descriptions(self):
+        listing = list_workloads()
+        assert len(listing) == len(STANDARD_SUITE)
+        assert all(desc for desc in listing.values())
+
+    def test_every_workload_generates_and_sorts(self):
+        for name, spec in STANDARD_SUITE.items():
+            batch = spec.generate(seed=1, num_arrays=20, array_size=100)
+            assert batch.data.shape == (20, 100), name
+            out = sort_arrays(batch.data, verify=True)
+            assert np.all(np.diff(out, axis=1) >= 0), name
+
+    def test_generation_deterministic(self):
+        spec = get_workload("paper_uniform_small")
+        a = spec.generate(seed=9, num_arrays=5, array_size=50)
+        b = spec.generate(seed=9, num_arrays=5, array_size=50)
+        assert np.array_equal(a.data, b.data)
+
+    def test_default_shapes(self):
+        spec = get_workload("paper_uniform_large_arrays")
+        batch = spec.generate(seed=0)
+        assert batch.array_size == 4000
+
+    def test_shape_overrides(self):
+        spec = get_workload("clustered")
+        batch = spec.generate(seed=0, num_arrays=7, array_size=33)
+        assert batch.data.shape == (7, 33)
+
+    def test_provenance_recorded(self):
+        spec = get_workload("presorted")
+        batch = spec.generate(seed=4, num_arrays=3, array_size=30)
+        assert batch.seed == 4
+        assert batch.description == spec.description
+
+    def test_presorted_actually_sorted(self):
+        batch = get_workload("presorted").generate(seed=1, num_arrays=5,
+                                                   array_size=40)
+        assert np.all(np.diff(batch.data, axis=1) >= 0)
+
+    def test_spectra_workload_within_peak_cap(self):
+        spec = get_workload("spectra_intensity")
+        batch = spec.generate(seed=1, num_arrays=4, array_size=100)
+        assert batch.data.min() >= 0
