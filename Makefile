@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-claims report examples figures table1 clean
+.PHONY: install test test-resilience bench bench-claims report examples figures table1 clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-resilience:
+	$(PYTHON) -m pytest tests/ -m faultinject -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

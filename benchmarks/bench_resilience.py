@@ -1,0 +1,126 @@
+"""Resilience bench (ours): sort throughput under injected fault rates.
+
+The paper's Section 8 pitch is continuous acquisition, where transient
+device faults are routine.  This bench streams a fixed workload through
+:class:`~repro.resilience.ResilientSorter` while a seeded
+:class:`~repro.gpusim.faults.FaultPlan` injects transient kernel faults
+(and, in the second sweep, ECC-style output corruption), and reports the
+throughput cost of the retry/verify machinery plus the recovery
+counters.  Backoff runs on a no-op clock so the numbers isolate compute
+overhead; ``backoff_seconds`` reports what a real clock would have
+added.
+
+Correctness bar (same as the acceptance scenario in ISSUE.md): every
+emitted row must be sorted and a permutation of its input — faults may
+cost time, never data.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import render_series
+from repro.core import StreamingSorter
+from repro.core.config import SortConfig
+from repro.core.validation import is_sorted_rows, rows_are_permutations
+from repro.gpusim.faults import FaultPlan
+from repro.resilience import ResilientSorter
+from repro.workloads import uniform_arrays
+
+ARRAY_SIZE = 200
+TOTAL = 1500
+BATCH_ARRAYS = 250
+FAULT_RATES = [0.0, 0.1, 0.2, 0.4]
+
+
+def _run_stream(data: np.ndarray, plan: FaultPlan | None) -> tuple[float, StreamingSorter, ResilientSorter]:
+    sorter = ResilientSorter(
+        SortConfig(), engine="vectorized", fault_plan=plan, sleep=None
+    )
+    streamer = StreamingSorter(
+        ARRAY_SIZE, batch_arrays=BATCH_ARRAYS, sorter=sorter
+    )
+    t0 = time.perf_counter()
+    streamer.push_slab(data)
+    streamer.flush()
+    wall = time.perf_counter() - t0
+    return wall, streamer, sorter
+
+
+class TestFaultRateSweep:
+    def test_fault_rate_sweep(self):
+        data = uniform_arrays(TOTAL, ARRAY_SIZE, seed=23)
+        clean_sorted = np.sort(data, axis=1)
+        wall_tp, retries, recovered, backoff = [], [], [], []
+        for rate in FAULT_RATES:
+            plan = FaultPlan(31, kernel_fault_rate=rate) if rate else None
+            wall, streamer, sorter = _run_stream(data, plan)
+            emitted = np.vstack(streamer.results)
+            # Faults may cost time, never data.
+            assert emitted.shape == data.shape
+            assert np.array_equal(emitted, clean_sorted)
+            assert streamer.stats.arrays_quarantined == 0
+            wall_tp.append(TOTAL / wall)
+            retries.append(sorter.stats.retries)
+            recovered.append(sorter.stats.rows_recovered)
+            backoff.append(round(sorter.stats.backoff_seconds, 3))
+        print()
+        print(render_series(
+            "fault_rate", FAULT_RATES,
+            {
+                "wall_arrays_per_s": wall_tp,
+                "retries": retries,
+                "rows_recovered": recovered,
+                "skipped_backoff_s": backoff,
+            },
+            title=f"Resilient streaming, {TOTAL} arrays x {ARRAY_SIZE}",
+        ))
+        # Retries must actually engage as the fault rate climbs.
+        assert retries[-1] > retries[0]
+
+    def test_corruption_sweep(self):
+        data = uniform_arrays(TOTAL, ARRAY_SIZE, seed=29)
+        rates = [0.0, 0.2, 0.5]
+        detected, quarantined, emitted_rows = [], [], []
+        for rate in rates:
+            plan = FaultPlan(37, corruption_rate=rate) if rate else None
+            _, streamer, sorter = _run_stream(data, plan)
+            emitted = np.vstack(streamer.results) if streamer.results else np.empty((0, ARRAY_SIZE))
+            # Nothing corrupted may reach the consumer.
+            assert bool(np.all(is_sorted_rows(emitted)))
+            detected.append(sorter.stats.corrupt_rows_detected)
+            quarantined.append(streamer.stats.arrays_quarantined)
+            emitted_rows.append(emitted.shape[0])
+            assert emitted.shape[0] + streamer.stats.arrays_quarantined == TOTAL
+        print()
+        print(render_series(
+            "corruption_rate", rates,
+            {
+                "corrupt_rows_detected": detected,
+                "rows_quarantined": quarantined,
+                "rows_emitted": emitted_rows,
+            },
+            title="Verify-after-sort vs injected corruption",
+        ))
+        assert detected[0] == 0 and detected[-1] > 0
+
+    @pytest.mark.parametrize("fault_rate", [0.0, 0.2])
+    def test_wall_resilient_stream(self, benchmark, fault_rate):
+        data = uniform_arrays(800, ARRAY_SIZE, seed=41)
+        reference = np.sort(data, axis=1)
+
+        def run():
+            plan = (
+                FaultPlan(43, kernel_fault_rate=fault_rate)
+                if fault_rate
+                else None
+            )
+            _, streamer, _ = _run_stream(data, plan)
+            return streamer
+
+        streamer = benchmark(run)
+        emitted = np.vstack(streamer.results)
+        assert bool(np.all(rows_are_permutations(emitted, reference)))

@@ -33,11 +33,16 @@ from .core import (
     sort_pairs,
     top_k,
 )
+from .gpusim.faults import FaultPlan
+from .resilience import ResilienceStats, ResilientSorter
 
 __all__ = [
     "DEFAULT_CONFIG",
+    "FaultPlan",
     "GpuArraySort",
     "PairSortResult",
+    "ResilienceStats",
+    "ResilientSorter",
     "SortConfig",
     "SortResult",
     "__version__",

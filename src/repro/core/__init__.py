@@ -21,9 +21,9 @@ from .adaptive import (
     probe_skew,
     select_splitters_adaptive,
 )
-from .array_sort import GpuArraySort, SortResult, sort_arrays
+from .array_sort import GpuArraySort, SortResult, sort_arrays, validate_batch
 from .pairs import PairSortResult, sort_pairs
-from .streaming import StreamingSorter, StreamStats
+from .streaming import StreamCheckpoint, StreamingSorter, StreamStats
 from .topk import top_k, top_k_via_sort
 from .tuning import TuningResult, sweep_bucket_sizes, tune_config
 from .bucketing import BucketResult, bucket_ids_for_row, bucketize, exclusive_scan
@@ -59,6 +59,7 @@ __all__ = [
     "probe_skew",
     "select_splitters_adaptive",
     "sort_pairs",
+    "StreamCheckpoint",
     "StreamingSorter",
     "StreamStats",
     "TuningResult",
@@ -86,4 +87,5 @@ __all__ = [
     "sort_buckets",
     "sort_buckets_rowwise",
     "splitter_pick_indices",
+    "validate_batch",
 ]

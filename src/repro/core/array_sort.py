@@ -31,7 +31,29 @@ from .insertion import sort_buckets
 from .splitters import SplitterResult, select_splitters
 from .validation import assert_batch_sorted
 
-__all__ = ["GpuArraySort", "SortResult", "sort_arrays"]
+__all__ = ["GpuArraySort", "SortResult", "sort_arrays", "validate_batch"]
+
+
+def validate_batch(batch) -> np.ndarray:
+    """Boundary validation shared by :meth:`GpuArraySort.sort`/``argsort``.
+
+    Rejects the malformed inputs that used to fail deep inside phase 1
+    with obscure indexing errors: non-2-D shapes, zero-column batches,
+    and non-numeric dtypes.  Returns the input as an ``ndarray``.
+    """
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+    if batch.dtype.kind not in "biuf":
+        raise ValueError(
+            "batch dtype must be numeric (bool, integer, or float), got "
+            f"{batch.dtype!r}"
+        )
+    if batch.shape[0] > 0 and batch.shape[1] == 0:
+        raise ValueError(
+            "arrays must have at least one element, got a 0-column batch"
+        )
+    return batch
 
 
 @dataclasses.dataclass
@@ -116,23 +138,38 @@ class GpuArraySort:
         in-place on the device; on the host this controls whether we copy
         first).  ``descending=True`` reverses the order (internally: sort
         ascending, reverse each row — one extra coalesced pass, exactly
-        how a device implementation would do it).  The input must be 2-D
-        with at least one column; NaNs are rejected by phase 2.
+        how a device implementation would do it).  The input must be 2-D,
+        numeric, with at least one column (see :func:`validate_batch`).
+
+        NaN handling follows ``config.nan_policy``: ``"raise"`` rejects
+        the batch here at the boundary; ``"sort_to_end"`` sorts
+        NaN-containing rows on a host path with ``np.sort`` semantics
+        (NaNs after every finite value and +inf) while NaN-free rows run
+        the normal pipeline — in that case ``splitters``/``buckets`` on
+        the result describe only the NaN-free rows.
         """
-        batch = np.asarray(batch)
-        if batch.ndim != 2:
-            raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+        batch = validate_batch(batch)
         if batch.shape[0] == 0:
             return SortResult(batch=batch.copy() if not inplace else batch)
         work = batch if inplace else batch.astype(batch.dtype, copy=True)
         reference = batch.copy() if self.verify else None
 
-        if self.engine == "vectorized":
-            result = self._sort_vectorized(work)
-        elif self.engine == "sim":
-            result = self._sort_sim(work)
+        nan_mask = None
+        if work.dtype.kind == "f":
+            row_has_nan = np.isnan(work).any(axis=1)
+            if row_has_nan.any():
+                if self.config.nan_policy == "raise":
+                    raise ValueError(
+                        f"{int(row_has_nan.sum())} of {work.shape[0]} rows "
+                        "contain NaN; no total order (use "
+                        "SortConfig(nan_policy='sort_to_end') to keep them)"
+                    )
+                nan_mask = row_has_nan
+
+        if nan_mask is not None:
+            result = self._sort_with_nan_rows(work, nan_mask)
         else:
-            result = self._sort_model(work)
+            result = self._dispatch(work)
 
         if self.verify:
             assert_batch_sorted(result.batch, reference)
@@ -150,9 +187,7 @@ class GpuArraySort:
         """
         from .pairs import sort_pairs
 
-        batch = np.asarray(batch)
-        if batch.ndim != 2:
-            raise ValueError(f"expected (N, n) batch, got shape {batch.shape}")
+        batch = validate_batch(batch)
         idx = np.broadcast_to(
             np.arange(batch.shape[1], dtype=np.int64), batch.shape
         ).copy()
@@ -163,6 +198,39 @@ class GpuArraySort:
         return perm
 
     # -- engines ----------------------------------------------------------------
+    def _dispatch(self, work: np.ndarray) -> SortResult:
+        if self.engine == "vectorized":
+            return self._sort_vectorized(work)
+        if self.engine == "sim":
+            return self._sort_sim(work)
+        return self._sort_model(work)
+
+    def _sort_with_nan_rows(self, work: np.ndarray, nan_mask: np.ndarray) -> SortResult:
+        """``nan_policy="sort_to_end"``: split the batch by poisoning.
+
+        NaN-free rows run the configured engine as one (smaller) batch;
+        NaN-carrying rows are sorted on the host with ``np.sort``, whose
+        NaN-to-the-end order is the policy's contract.  The engine cannot
+        take them: NaN defeats the splitter range comparisons (every
+        ``lo <= v < hi`` is false), and the sim kernels would silently
+        drop the element during write-back.
+        """
+        clean_mask = ~nan_mask
+        sub = None
+        if clean_mask.any():
+            clean = np.ascontiguousarray(work[clean_mask])
+            sub = self._dispatch(clean)
+            work[clean_mask] = sub.batch
+        work[nan_mask] = np.sort(work[nan_mask], axis=1)
+        return SortResult(
+            batch=work,
+            splitters=sub.splitters if sub is not None else None,
+            buckets=sub.buckets if sub is not None else None,
+            phase_seconds=dict(sub.phase_seconds) if sub is not None else {},
+            reports=sub.reports if sub is not None else None,
+            modeled_ms=sub.modeled_ms if sub is not None else None,
+        )
+
     def _sort_vectorized(self, work: np.ndarray) -> SortResult:
         t0 = time.perf_counter()
         if self.sampler is not None:

@@ -38,6 +38,15 @@ class SortConfig:
     dtype: np.dtype = dataclasses.field(default=np.dtype(np.float32))
     #: Hard cap on buckets per array so one thread per bucket fits a block.
     max_buckets: int = 1024
+    #: What to do with float rows containing NaN.  ``"raise"`` (default)
+    #: rejects the batch at the API boundary — NaN has no total order, so
+    #: the splitter comparisons would silently mis-bucket it.
+    #: ``"sort_to_end"`` routes NaN-containing rows through a host path
+    #: with ``np.sort`` semantics: NaNs land after every other value
+    #: (including +inf); the NaN-free rows still run the normal pipeline.
+    nan_policy: str = "raise"
+
+    NAN_POLICIES = ("raise", "sort_to_end")
 
     def __post_init__(self) -> None:
         if self.bucket_size < 1:
@@ -48,6 +57,11 @@ class SortConfig:
             )
         if self.max_buckets < 1:
             raise ValueError("max_buckets must be >= 1")
+        if self.nan_policy not in self.NAN_POLICIES:
+            raise ValueError(
+                f"nan_policy must be one of {self.NAN_POLICIES}, "
+                f"got {self.nan_policy!r}"
+            )
         object.__setattr__(self, "dtype", np.dtype(self.dtype))
 
     # -- derived quantities ---------------------------------------------------

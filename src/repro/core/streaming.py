@@ -9,11 +9,29 @@ adapts the batch algorithm to that shape:
 * a staging buffer accumulates until a device-sized batch is full, then
   one three-phase sort runs and the sorted batch is emitted to the
   consumer callback (or an internal queue);
-* ``flush()`` drains the partial tail batch at end of acquisition;
+* ``flush()`` drains the partial tail batch at end of acquisition, and
+  ``close()`` ends the session explicitly (both idempotent);
 * throughput accounting (arrays/s in, batches out, modeled device
   milliseconds per batch via the perf model) exposes whether the sorter
   keeps up with the instrument — the "GPU boost" integration the paper
   pitches for existing software.
+
+Resilience plumbing for long-running acquisition sessions:
+
+* every emitted batch carries a **monotonic batch id** (recorded on
+  ``emitted_batch_ids`` in emission order);
+* emission is **at-least-once**: if the sorter or the consumer callback
+  raises, the staging buffer and the pending batch id are retained, and
+  the next ``push``/``flush`` retries the same batch under the same id —
+  a consumer that dedups by id sees effectively-once delivery;
+* ``checkpoint()``/``restore()`` snapshot the producer-side state
+  (staging buffer, fill level, batch-id counters, stats) so a crashed
+  session can resume without losing buffered arrays;
+* when the injected ``sorter`` is a
+  :class:`repro.resilience.ResilientSorter`, rows it quarantines are
+  diverted to ``dead_letters`` (a
+  :class:`repro.resilience.DeadLetterQueue`) instead of aborting the
+  session — they never appear in an emitted batch.
 
 Pure composition: no new algorithm, just the arrival-side plumbing a
 production adopter writes first.
@@ -31,7 +49,7 @@ from ..gpusim.device import DeviceSpec, K40C
 from .array_sort import GpuArraySort
 from .config import DEFAULT_CONFIG, SortConfig
 
-__all__ = ["StreamingSorter", "StreamStats"]
+__all__ = ["StreamingSorter", "StreamStats", "StreamCheckpoint"]
 
 
 @dataclasses.dataclass
@@ -41,12 +59,13 @@ class StreamStats:
     arrays_in: int = 0
     batches_out: int = 0
     arrays_out: int = 0
+    arrays_quarantined: int = 0
     wall_seconds_sorting: float = 0.0
     modeled_device_ms: float = 0.0
 
     @property
     def arrays_pending(self) -> int:
-        return self.arrays_in - self.arrays_out
+        return self.arrays_in - self.arrays_out - self.arrays_quarantined
 
     @property
     def modeled_throughput_arrays_per_s(self) -> float:
@@ -54,6 +73,26 @@ class StreamStats:
         if self.modeled_device_ms == 0:
             return 0.0
         return self.arrays_out / (self.modeled_device_ms / 1e3)
+
+
+@dataclasses.dataclass
+class StreamCheckpoint:
+    """Producer-side snapshot of a :class:`StreamingSorter` session.
+
+    Holds copies of the staging buffer's filled prefix, the batch-id
+    counters, and the stats — everything needed to resume ingestion
+    after a crash.  Consumer-side state (``results``, ``dead_letters``)
+    is deliberately excluded: re-emission after a restore is the
+    at-least-once path, and the consumer dedups by batch id.
+    """
+
+    array_size: int
+    staging: np.ndarray
+    fill: int
+    next_batch_id: int
+    pending_batch_id: Optional[int]
+    closed: bool
+    stats: StreamStats
 
 
 class StreamingSorter:
@@ -70,7 +109,14 @@ class StreamingSorter:
         double buffering).
     on_batch:
         Callback receiving each sorted ``(B, n)`` matrix.  When omitted,
-        sorted batches are collected on ``results``.
+        sorted batches are collected on ``results``.  Ids of emitted
+        batches land on ``emitted_batch_ids`` in the same order.
+    sorter:
+        Sorter to run on each full batch — any object whose ``sort(batch)``
+        returns a result with a ``batch`` attribute.  Defaults to
+        :class:`GpuArraySort`; pass a
+        :class:`repro.resilience.ResilientSorter` to get retry/fallback
+        behavior and quarantine-to-dead-letter instead of session aborts.
     """
 
     def __init__(
@@ -82,6 +128,7 @@ class StreamingSorter:
         batch_arrays: Optional[int] = None,
         on_batch: Optional[Callable[[np.ndarray], None]] = None,
         dtype=None,
+        sorter=None,
     ) -> None:
         if array_size < 1:
             raise ValueError("array_size must be >= 1")
@@ -102,15 +149,43 @@ class StreamingSorter:
         self.batch_arrays = int(batch_arrays)
         self.on_batch = on_batch
         self.results: List[np.ndarray] = []
+        self.emitted_batch_ids: List[int] = []
         self.stats = StreamStats()
-        self._sorter = GpuArraySort(config)
+        self.dead_letters = None  # lazily a repro.resilience.DeadLetterQueue
+        self._sorter = sorter if sorter is not None else GpuArraySort(config)
         self._staging = np.empty((self.batch_arrays, self.array_size), self.dtype)
         self._fill = 0
+        self._next_batch_id = 0
+        self._pending_batch_id: Optional[int] = None
         self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once the session has been flushed/closed."""
+        return self._closed
+
+    def close(self) -> int:
+        """Drain any buffered arrays and end the session.
+
+        Idempotent: calling it again (or after a successful ``flush()``)
+        returns 0.  Returns the number of batches emitted by the drain.
+        """
+        return self.flush()
+
+    def __enter__(self) -> "StreamingSorter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Don't mask an in-flight exception with a drain attempt.
+        if exc_type is None:
+            self.close()
 
     # -- producing side ---------------------------------------------------
     def push(self, array: np.ndarray) -> int:
         """Add one arriving array; returns batches emitted as a result."""
+        if self._closed:
+            raise RuntimeError("streaming session already flushed/closed")
         return self.push_slab(np.asarray(array).reshape(1, -1))
 
     def push_slab(self, slab: np.ndarray) -> int:
@@ -126,7 +201,14 @@ class StreamingSorter:
             )
         emitted = 0
         offset = 0
-        while offset < slab.shape[0]:
+        while True:
+            if self._fill == self.batch_arrays:
+                # Also retries a batch whose previous emission failed
+                # (at-least-once: same staging content, same batch id).
+                self._emit_staged(self.batch_arrays)
+                emitted += 1
+            if offset >= slab.shape[0]:
+                break
             take = min(self.batch_arrays - self._fill, slab.shape[0] - offset)
             self._staging[self._fill : self._fill + take] = slab[
                 offset : offset + take
@@ -134,37 +216,113 @@ class StreamingSorter:
             self._fill += take
             offset += take
             self.stats.arrays_in += take
-            if self._fill == self.batch_arrays:
-                self._emit(self._staging)
-                self._fill = 0
-                emitted += 1
         return emitted
 
     def flush(self) -> int:
-        """Sort and emit the partial tail batch; ends the session."""
+        """Sort and emit the buffered tail batch; ends the session.
+
+        Idempotent: once a flush succeeds (or the session is closed),
+        further calls return 0.  If the emission fails, the session
+        stays open and buffered, so a later ``flush()`` retries it.
+        """
         if self._closed:
             return 0
         emitted = 0
         if self._fill:
-            self._emit(self._staging[: self._fill])
-            self._fill = 0
+            self._emit_staged(self._fill)
             emitted = 1
         self._closed = True
         return emitted
 
+    # -- checkpoint / restore ---------------------------------------------
+    def checkpoint(self) -> StreamCheckpoint:
+        """Snapshot producer-side state for crash recovery."""
+        return StreamCheckpoint(
+            array_size=self.array_size,
+            staging=self._staging[: self._fill].copy(),
+            fill=self._fill,
+            next_batch_id=self._next_batch_id,
+            pending_batch_id=self._pending_batch_id,
+            closed=self._closed,
+            stats=dataclasses.replace(self.stats),
+        )
+
+    def restore(self, cp: StreamCheckpoint) -> None:
+        """Restore producer-side state from :meth:`checkpoint`.
+
+        The sorter must have the same ``array_size`` and at least the
+        checkpoint's fill level of staging capacity.  Batches emitted
+        between the checkpoint and the restore will be emitted again
+        with the same batch ids — the at-least-once contract.
+        """
+        if cp.array_size != self.array_size:
+            raise ValueError(
+                f"checkpoint is for array_size {cp.array_size}, "
+                f"this session uses {self.array_size}"
+            )
+        if cp.fill > self.batch_arrays:
+            raise ValueError(
+                f"checkpoint holds {cp.fill} staged arrays, this session "
+                f"stages at most {self.batch_arrays}"
+            )
+        self._staging[: cp.fill] = cp.staging
+        self._fill = cp.fill
+        self._next_batch_id = cp.next_batch_id
+        self._pending_batch_id = cp.pending_batch_id
+        self._closed = cp.closed
+        self.stats = dataclasses.replace(cp.stats)
+
     # -- internals -----------------------------------------------------------
-    def _emit(self, batch: np.ndarray) -> None:
+    def _emit_staged(self, count: int) -> None:
         from ..analysis.perfmodel import model_arraysort_ms
+
+        if self._pending_batch_id is None:
+            self._pending_batch_id = self._next_batch_id
+            self._next_batch_id += 1
+        batch_id = self._pending_batch_id
+        batch = self._staging[:count]
 
         t0 = time.perf_counter()
         result = self._sorter.sort(batch)  # copies: staging is reused
-        self.stats.wall_seconds_sorting += time.perf_counter() - t0
+        wall = time.perf_counter() - t0
+
+        out = result.batch
+        quarantined = np.asarray(
+            getattr(result, "quarantined", ()), dtype=np.int64
+        )
+        if quarantined.size:
+            keep = np.ones(count, dtype=bool)
+            keep[quarantined] = False
+            out = out[keep]
+
+        # Deliver first: if the consumer raises, no counters move and the
+        # staging buffer stays pending, so the retry re-emits this id.
+        if self.on_batch is not None:
+            self.on_batch(out)
+        else:
+            self.results.append(out)
+
+        if quarantined.size:
+            reasons = getattr(result, "quarantine_reasons", None) or {}
+            if self.dead_letters is None:
+                from ..resilience.quarantine import DeadLetterQueue
+
+                self.dead_letters = DeadLetterQueue()
+            for row in quarantined:
+                self.dead_letters.add(
+                    batch_id=batch_id,
+                    row_index=int(row),
+                    payload=self._staging[int(row)].copy(),
+                    reason=reasons.get(int(row), "validation-failed"),
+                )
+            self.stats.arrays_quarantined += int(quarantined.size)
+
+        self.stats.wall_seconds_sorting += wall
         self.stats.modeled_device_ms += model_arraysort_ms(
-            self.device, batch.shape[0], self.array_size, self.config
+            self.device, count, self.array_size, self.config
         )
         self.stats.batches_out += 1
-        self.stats.arrays_out += batch.shape[0]
-        if self.on_batch is not None:
-            self.on_batch(result.batch)
-        else:
-            self.results.append(result.batch)
+        self.stats.arrays_out += count - int(quarantined.size)
+        self.emitted_batch_ids.append(batch_id)
+        self._pending_batch_id = None
+        self._fill = 0

@@ -35,6 +35,10 @@ class ValidationFailure(AssertionError):
 def is_sorted_rows(batch: np.ndarray) -> np.ndarray:
     """Boolean mask: which rows of a 2-D batch are non-decreasing.
 
+    NaN-aware, matching ``np.sort`` semantics: a float row counts as
+    sorted when its non-NaN prefix is non-decreasing and every NaN sits
+    at the end (``[1, 2, nan]`` is sorted, ``[nan, 1, 2]`` is not).
+
     >>> is_sorted_rows(np.array([[1, 2, 3], [3, 2, 1]])).tolist()
     [True, False]
     """
@@ -43,14 +47,22 @@ def is_sorted_rows(batch: np.ndarray) -> np.ndarray:
         raise ValueError(f"expected 2-D batch, got shape {batch.shape}")
     if batch.shape[1] < 2:
         return np.ones(batch.shape[0], dtype=bool)
-    return np.all(batch[:, 1:] >= batch[:, :-1], axis=1)
+    pairwise = batch[:, 1:] >= batch[:, :-1]
+    if batch.dtype.kind == "f":
+        # A pair is in order when the right element is NaN (NaN belongs
+        # at the end); a non-NaN right of a NaN left stays out of order
+        # because `x >= nan` is already False.
+        pairwise |= np.isnan(batch[:, 1:])
+    return np.all(pairwise, axis=1)
 
 
 def rows_are_permutations(out: np.ndarray, ref: np.ndarray) -> np.ndarray:
     """Boolean mask: which rows of ``out`` are permutations of rows of ``ref``.
 
     Implemented by comparing row-sorted copies, which checks multiset
-    equality including duplicate multiplicities.
+    equality including duplicate multiplicities.  NaN-aware: matching
+    NaN counts compare equal (``NaN != NaN`` would otherwise fail every
+    row that legitimately carries NaN under ``nan_policy="sort_to_end"``).
     """
     out = np.asarray(out)
     ref = np.asarray(ref)
@@ -58,7 +70,14 @@ def rows_are_permutations(out: np.ndarray, ref: np.ndarray) -> np.ndarray:
         raise ValueError(f"shape mismatch: {out.shape} vs {ref.shape}")
     if out.ndim != 2:
         raise ValueError(f"expected 2-D batches, got shape {out.shape}")
-    return np.all(np.sort(out, axis=1) == np.sort(ref, axis=1), axis=1)
+    out_sorted = np.sort(out, axis=1)
+    ref_sorted = np.sort(ref, axis=1)
+    equal = out_sorted == ref_sorted
+    if out_sorted.dtype.kind == "f" and ref_sorted.dtype.kind == "f":
+        # np.sort parks NaNs at the tail of both sides, so positional
+        # NaN/NaN matches are exactly "same NaN multiplicity".
+        equal |= np.isnan(out_sorted) & np.isnan(ref_sorted)
+    return np.all(equal, axis=1)
 
 
 def assert_batch_sorted(out: np.ndarray, ref: Optional[np.ndarray] = None) -> None:

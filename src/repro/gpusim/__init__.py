@@ -31,6 +31,7 @@ from .errors import (
     SynchronizationError,
 )
 from .executor import GpuDevice
+from .faults import FaultPlan, FaultStats
 from .grid import Dim3, LaunchConfig
 from .memcheck import MemcheckReport, RaceFinding, check_races
 from .memory import DeviceArray, GlobalMemory, MemoryStats, SharedMemory
@@ -56,6 +57,8 @@ __all__ = [
     "DeviceOutOfMemoryError",
     "DeviceSpec",
     "Dim3",
+    "FaultPlan",
+    "FaultStats",
     "GlobalMemory",
     "GpuDevice",
     "GpuSimError",

@@ -50,11 +50,16 @@ class GpuDevice:
         *,
         memory_capacity: Optional[int] = None,
         latency_hiding: float = 0.85,
+        fault_plan=None,
     ) -> None:
         spec.validate()
         self.spec = spec
         self.memory = GlobalMemory(spec, capacity_bytes=memory_capacity)
         self.cost_model = CostModel(spec, latency_hiding=latency_hiding)
+        #: Optional :class:`repro.gpusim.faults.FaultPlan` consulted on
+        #: every launch: may raise a transient fault before the kernel
+        #: runs, and may corrupt one output element after it completes.
+        self.fault_plan = fault_plan
 
     # -- constructors ---------------------------------------------------------
     @classmethod
@@ -97,6 +102,11 @@ class GpuDevice:
         config.validate(self.spec)
 
         kernel_name = name or getattr(kernel, "__name__", "kernel")
+        fault_launch_index = None
+        if self.fault_plan is not None:
+            # May raise KernelFault / DeviceOutOfMemoryError before any
+            # block runs — a transient launch failure leaves memory as-is.
+            fault_launch_index = self.fault_plan.begin_launch(kernel_name)
         block_dim = config.block
         grid_dim = config.grid
 
@@ -143,6 +153,11 @@ class GpuDevice:
             if block_total > worst_block_total:
                 worst_block_total = block_total
                 worst_block = block_cost
+
+        if self.fault_plan is not None:
+            # ECC-style event: the launch "succeeded" but one element of
+            # a device-resident argument buffer took a bit flip.
+            self.fault_plan.corrupt_flat(args, fault_launch_index)
 
         occ_config = LaunchConfig(grid_dim, block_dim, max_shared_used)
         occupancy = compute_occupancy(self.spec, occ_config)

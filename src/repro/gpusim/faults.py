@@ -1,0 +1,256 @@
+"""Deterministic fault injection for the simulator.
+
+Long-running acquisition deployments (the paper's Section 8 pitch) see
+transient device faults as a matter of course: a kernel launch that
+times out, an allocator briefly starved by a co-tenant, an ECC event
+flipping a bit of an output buffer.  Real hardware makes those faults
+non-reproducible; the simulator can do better.  A :class:`FaultPlan` is
+a *seed-driven schedule* of faults that the :class:`~repro.gpusim.executor.GpuDevice`
+(and the resilience layer above it) consults on every launch, so a
+robustness scenario — "20 % transient kernel-fault rate, an OOM
+pressure window over launches 10-20, occasional row corruption" — is
+byte-identical across reruns and therefore testable.
+
+Every decision is keyed by ``(seed, stream, launch_index)`` through a
+counter-based RNG, so decisions are independent of query order: the
+only mutable state is the monotonically increasing launch counter.
+
+Three fault classes are modeled:
+
+* **transient kernel faults** — the launch raises
+  :class:`~repro.gpusim.errors.KernelFault` (a retry may succeed);
+* **OOM-pressure windows** — launches inside configured
+  ``[start, stop)`` launch-index windows raise
+  :class:`~repro.gpusim.errors.DeviceOutOfMemoryError`, modeling a
+  co-tenant temporarily starving the allocator;
+* **ECC-style corruption** — after a "successful" launch, one element
+  of the output buffer gets a bit flipped (exponent bit for floats, so
+  the damage is large and detectable — silent small perturbations are a
+  different threat model).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import DeviceOutOfMemoryError, KernelFault
+
+__all__ = ["FaultPlan", "FaultStats"]
+
+# RNG stream salts: one independent decision stream per fault class.
+_STREAM_KERNEL_FAULT = 1
+_STREAM_CORRUPT_DECISION = 2
+_STREAM_CORRUPT_POSITION = 3
+
+
+@dataclasses.dataclass
+class FaultStats:
+    """Counters of what a :class:`FaultPlan` actually injected."""
+
+    launches_seen: int = 0
+    kernel_faults: int = 0
+    oom_faults: int = 0
+    rows_corrupted: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return self.kernel_faults + self.oom_faults + self.rows_corrupted
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class FaultPlan:
+    """A deterministic, seed-driven schedule of injected device faults.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Two plans with the same seed and rates inject the
+        identical fault sequence.
+    kernel_fault_rate:
+        Per-launch probability of a transient :class:`KernelFault`.
+    oom_windows:
+        Iterable of ``(start, stop)`` half-open launch-index ranges; any
+        launch whose index falls inside a window raises
+        :class:`DeviceOutOfMemoryError`.
+    corruption_rate:
+        Per-launch probability that one element of the output buffer is
+        bit-flipped after the launch completes.
+
+    A plan can be consulted at two altitudes, but use only one per plan
+    instance (each consultation consumes a launch index):
+
+    * attached to a :class:`~repro.gpusim.executor.GpuDevice`
+      (``GpuDevice(..., fault_plan=plan)``) — every kernel launch is one
+      fault opportunity;
+    * held by a :class:`repro.resilience.ResilientSorter` — every sort
+      *attempt* is one fault opportunity, uniformly across engines.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        kernel_fault_rate: float = 0.0,
+        oom_windows: Iterable[Tuple[int, int]] = (),
+        corruption_rate: float = 0.0,
+    ) -> None:
+        for name, rate in (
+            ("kernel_fault_rate", kernel_fault_rate),
+            ("corruption_rate", corruption_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        windows = []
+        for window in oom_windows:
+            start, stop = int(window[0]), int(window[1])
+            if start < 0 or stop < start:
+                raise ValueError(f"bad OOM window [{start}, {stop})")
+            windows.append((start, stop))
+        self.seed = int(seed)
+        self.kernel_fault_rate = float(kernel_fault_rate)
+        self.corruption_rate = float(corruption_rate)
+        self.oom_windows: Tuple[Tuple[int, int], ...] = tuple(windows)
+        self.stats = FaultStats()
+        self._launch_index = 0
+
+    # -- deterministic decision streams ------------------------------------
+    def _rng(self, stream: int, launch_index: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, stream, launch_index])
+
+    def _unit(self, stream: int, launch_index: int) -> float:
+        return float(self._rng(stream, launch_index).random())
+
+    def _in_oom_window(self, launch_index: int) -> bool:
+        return any(start <= launch_index < stop for start, stop in self.oom_windows)
+
+    # -- consultation API --------------------------------------------------
+    @property
+    def next_launch_index(self) -> int:
+        """The launch index the next :meth:`begin_launch` will consume."""
+        return self._launch_index
+
+    def begin_launch(self, name: str = "kernel") -> int:
+        """Consume one launch index; raise the fault scheduled for it.
+
+        Returns the launch index (pass it to :meth:`corrupt_rows` /
+        :meth:`corrupt_flat` after the launch completes).  Raises
+        :class:`DeviceOutOfMemoryError` inside an OOM window, or
+        :class:`KernelFault` when the per-launch draw comes up faulty.
+        """
+        index = self._launch_index
+        self._launch_index += 1
+        self.stats.launches_seen += 1
+        if self._in_oom_window(index):
+            self.stats.oom_faults += 1
+            raise DeviceOutOfMemoryError(0, 0, 0)
+        if (
+            self.kernel_fault_rate > 0.0
+            and self._unit(_STREAM_KERNEL_FAULT, index) < self.kernel_fault_rate
+        ):
+            self.stats.kernel_faults += 1
+            raise KernelFault(
+                f"injected transient fault ({name}, launch {index})",
+                block=(-1,),
+                thread=(-1,),
+            )
+        return index
+
+    def begin_trusted_launch(self, name: str = "host") -> int:
+        """Consume one launch index without raising device-side faults.
+
+        The resilience layer uses this for its host-side ``np.sort``
+        last resort: transient kernel faults and OOM windows model
+        *device* events and must not make the last resort unreliable,
+        but the launch still advances the schedule and its output buffer
+        remains eligible for :meth:`corrupt_rows` (memory corruption is
+        not device-specific).
+        """
+        index = self._launch_index
+        self._launch_index += 1
+        self.stats.launches_seen += 1
+        return index
+
+    def corrupt_rows(self, batch: np.ndarray, launch_index: int) -> np.ndarray:
+        """Maybe flip one bit of a 2-D output batch; returns corrupted rows.
+
+        At most one element per launch is hit (an ECC event is rare and
+        local); the returned int array holds the affected row indices,
+        empty when the launch drew clean.
+        """
+        batch = np.asarray(batch)
+        if (
+            self.corruption_rate == 0.0
+            or batch.size == 0
+            or self._unit(_STREAM_CORRUPT_DECISION, launch_index)
+            >= self.corruption_rate
+        ):
+            return np.empty(0, dtype=np.int64)
+        rng = self._rng(_STREAM_CORRUPT_POSITION, launch_index)
+        row = int(rng.integers(batch.shape[0]))
+        col = int(rng.integers(batch.shape[1]))
+        batch[row, col] = _flip_bit(batch[row, col], batch.dtype)
+        self.stats.rows_corrupted += 1
+        return np.array([row], dtype=np.int64)
+
+    def corrupt_flat(self, arrays: Sequence, launch_index: int) -> Optional[int]:
+        """Device-level variant: hit one element of one writable
+        :class:`~repro.gpusim.memory.DeviceArray` among ``arrays``.
+
+        Returns the element index corrupted, or ``None``.  Used by the
+        executor after a launch so sim-engine pipelines see the same ECC
+        model the host-level resilience layer does.
+        """
+        from .memory import DeviceArray
+
+        candidates = [a for a in arrays if isinstance(a, DeviceArray) and len(a)]
+        if (
+            self.corruption_rate == 0.0
+            or not candidates
+            or self._unit(_STREAM_CORRUPT_DECISION, launch_index)
+            >= self.corruption_rate
+        ):
+            return None
+        rng = self._rng(_STREAM_CORRUPT_POSITION, launch_index)
+        target = candidates[int(rng.integers(len(candidates)))]
+        index = int(rng.integers(len(target)))
+        target.store(index, _flip_bit(target.load(index), target.dtype))
+        self.stats.rows_corrupted += 1
+        return index
+
+    def reset(self) -> None:
+        """Rewind the launch counter and zero the stats (fresh replay)."""
+        self._launch_index = 0
+        self.stats = FaultStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, "
+            f"kernel_fault_rate={self.kernel_fault_rate}, "
+            f"oom_windows={self.oom_windows}, "
+            f"corruption_rate={self.corruption_rate})"
+        )
+
+
+def _flip_bit(value, dtype) -> object:
+    """Flip one high bit of a scalar — an ECC double-bit-error stand-in.
+
+    For floats the highest exponent bit is flipped, so the corrupted
+    value differs wildly (possibly inf/NaN) and a verify pass can catch
+    it; integers get their second-highest bit flipped (the sign bit
+    would be UB-ish for unsigned).
+    """
+    dtype = np.dtype(dtype)
+    scalar = np.array([value], dtype=dtype)
+    if dtype.kind == "f":
+        as_int = scalar.view({2: np.uint16, 4: np.uint32, 8: np.uint64}[dtype.itemsize])
+        as_int[0] ^= np.array(1, as_int.dtype) << (8 * dtype.itemsize - 2)
+    elif dtype.kind in "iu":
+        scalar[0] ^= np.array(1, dtype) << (8 * dtype.itemsize - 2)
+    else:  # booleans and friends: invert
+        scalar[0] = not scalar[0]
+    return scalar[0]

@@ -1,0 +1,35 @@
+"""``repro.resilience`` — the self-healing sort pipeline.
+
+Graceful degradation for long-running deployments: deterministic fault
+injection lives in :mod:`repro.gpusim.faults`; this package supplies the
+recovery side —
+
+* :class:`~repro.resilience.sorter.ResilientSorter` — verify-after-sort,
+  bounded retries with capped exponential backoff, an engine fallback
+  chain ending in per-row ``np.sort``, degeneracy re-sampling, and
+  quarantine of unsortable rows;
+* :class:`~repro.resilience.retry.RetryPolicy` — the backoff schedule on
+  an injectable clock;
+* :class:`~repro.resilience.quarantine.DeadLetterQueue` — where
+  quarantined rows go instead of killing a streaming session;
+* :class:`~repro.resilience.stats.ResilienceStats` — the observability
+  record the CLI and benchmarks surface.
+
+See docs/resilience.md for the fault model and semantics.
+"""
+
+from .quarantine import DeadLetter, DeadLetterQueue
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from .sorter import ResilientSorter, ResilientSortResult, sort_arrays_resilient
+from .stats import ResilienceStats
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "ResilienceStats",
+    "ResilientSorter",
+    "ResilientSortResult",
+    "RetryPolicy",
+    "sort_arrays_resilient",
+]

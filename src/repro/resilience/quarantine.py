@@ -1,0 +1,103 @@
+"""Dead-letter queue: where unsortable rows go instead of killing a session.
+
+A streaming acquisition session must not abort because one spectrum
+arrived poisoned (NaN) or one row kept failing verification under a
+hostile fault pattern.  Those rows are *quarantined*: pulled out of the
+emitted batch, preserved verbatim with their provenance (batch id, row
+index, reason), and left for offline inspection — the standard
+dead-letter-queue pattern from message brokers, applied to arrays.
+
+This module intentionally imports nothing from :mod:`repro.core` so the
+streaming sorter can use it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["DeadLetter", "DeadLetterQueue"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined row with its provenance."""
+
+    #: Monotonic id of the batch the row was part of.
+    batch_id: int
+    #: Row index inside that batch.
+    row_index: int
+    #: Why the row was quarantined (e.g. ``"nan-input"``,
+    #: ``"validation-failed"``).
+    reason: str
+    #: The original, unsorted row as it arrived.
+    payload: np.ndarray
+
+
+class DeadLetterQueue:
+    """Append-only store of quarantined rows.
+
+    ``capacity`` bounds memory in unattended sessions: beyond it the
+    payloads of the *oldest* entries are dropped (the provenance counters
+    survive), matching broker DLQs that age out bodies but keep receipts.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.capacity = capacity
+        self._letters: List[DeadLetter] = []
+        self._dropped = 0
+
+    def add(
+        self,
+        *,
+        batch_id: int,
+        row_index: int,
+        payload: np.ndarray,
+        reason: str = "validation-failed",
+    ) -> DeadLetter:
+        letter = DeadLetter(
+            batch_id=int(batch_id),
+            row_index=int(row_index),
+            reason=str(reason),
+            payload=np.array(payload, copy=True),
+        )
+        self._letters.append(letter)
+        if self.capacity is not None and len(self._letters) > self.capacity:
+            overflow = len(self._letters) - self.capacity
+            self._letters = self._letters[overflow:]
+            self._dropped += overflow
+        return letter
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._letters)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._letters)
+
+    @property
+    def dropped(self) -> int:
+        """Letters aged out by the capacity bound."""
+        return self._dropped
+
+    def payloads(self) -> np.ndarray:
+        """All quarantined rows stacked into one matrix (empty-safe)."""
+        if not self._letters:
+            return np.empty((0, 0))
+        return np.vstack([letter.payload for letter in self._letters])
+
+    def reasons(self) -> Dict[str, int]:
+        """Histogram of quarantine reasons."""
+        histogram: Dict[str, int] = {}
+        for letter in self._letters:
+            histogram[letter.reason] = histogram.get(letter.reason, 0) + 1
+        return histogram
+
+    def drain(self) -> List[DeadLetter]:
+        """Return all letters and empty the queue (reprocessing hook)."""
+        letters, self._letters = self._letters, []
+        return letters

@@ -1,0 +1,60 @@
+"""Bounded retry with capped exponential backoff, on an injectable clock.
+
+A transient device fault (timeout, OOM pressure from a co-tenant, ECC
+event) usually clears within milliseconds; retrying immediately can
+re-hit the same pressure window, so each retry waits
+``base * multiplier**attempt`` seconds, capped.  The *schedule* is pure
+arithmetic — deterministic and unit-testable — while the *waiting* goes
+through a pluggable ``sleep`` callable so tests and benchmarks replace
+real sleeping with a fake clock and still observe identical
+``backoff_seconds`` in the stats.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed sort attempt, and how long to wait."""
+
+    #: Retries after the first attempt (0 disables retrying).
+    max_retries: int = 3
+    #: Backoff before the first retry, seconds.
+    base_backoff_s: float = 0.05
+    #: Growth factor per retry.
+    multiplier: float = 2.0
+    #: Ceiling on any single backoff, seconds.
+    max_backoff_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_backoff_s < 0:
+            raise ValueError("base_backoff_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("max_backoff_s must be >= base_backoff_s")
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Seconds to wait before retry ``retry_index`` (0-based).
+
+        >>> RetryPolicy(base_backoff_s=0.1, multiplier=2.0, max_backoff_s=0.3).backoff_for(2)
+        0.3
+        """
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        return min(self.base_backoff_s * self.multiplier**retry_index,
+                   self.max_backoff_s)
+
+    def schedule(self):
+        """The full backoff sequence, one entry per allowed retry."""
+        return [self.backoff_for(i) for i in range(self.max_retries)]
+
+
+#: Paper-deployment default: 3 retries, 50 ms -> 100 ms -> 200 ms.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -1,0 +1,68 @@
+"""Observability record for the self-healing sort pipeline.
+
+One :class:`ResilienceStats` accumulates across every sort a
+:class:`~repro.resilience.sorter.ResilientSorter` runs (a session-level
+view: the CLI and benchmarks print it), and each
+:class:`~repro.resilience.sorter.ResilientSortResult` also carries the
+delta recorded during that one call.  All fields are filled
+deterministically — with a seeded
+:class:`~repro.gpusim.faults.FaultPlan` and a fake clock, two identical
+runs produce identical stats, which is what makes resilience behavior
+assertable in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+__all__ = ["ResilienceStats"]
+
+
+@dataclasses.dataclass
+class ResilienceStats:
+    """Counters of what the resilient pipeline saw and did."""
+
+    #: Sort attempts issued (primary tries + retries + fallback tries).
+    attempts: int = 0
+    #: Transient kernel faults observed (injected or real).
+    faults_seen: int = 0
+    #: Device OOM conditions observed.
+    oom_seen: int = 0
+    #: Retries performed after a fault or a failed verification.
+    retries: int = 0
+    #: Total backoff accumulated (seconds the injectable clock slept).
+    backoff_seconds: float = 0.0
+    #: Phase-1 re-sampling escalations on degenerate/skewed splitters.
+    resamples: int = 0
+    #: Fallbacks taken, keyed by the engine fallen back *to*.
+    fallbacks: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Output rows that failed verification (corruption detected).
+    corrupt_rows_detected: int = 0
+    #: Rows that eventually verified after a retry or fallback.
+    rows_recovered: int = 0
+    #: Rows abandoned to the dead-letter queue.
+    quarantined_rows: int = 0
+
+    def record_fallback(self, engine: str) -> None:
+        self.fallbacks[engine] = self.fallbacks.get(engine, 0) + 1
+
+    def merge(self, other: "ResilienceStats") -> None:
+        """Accumulate ``other`` into this record (session roll-up)."""
+        self.attempts += other.attempts
+        self.faults_seen += other.faults_seen
+        self.oom_seen += other.oom_seen
+        self.retries += other.retries
+        self.backoff_seconds += other.backoff_seconds
+        self.resamples += other.resamples
+        for engine, count in other.fallbacks.items():
+            self.fallbacks[engine] = self.fallbacks.get(engine, 0) + count
+        self.corrupt_rows_detected += other.corrupt_rows_detected
+        self.rows_recovered += other.rows_recovered
+        self.quarantined_rows += other.quarantined_rows
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (stable key order) for printing and equality."""
+        data = dataclasses.asdict(self)
+        data["fallbacks"] = dict(sorted(self.fallbacks.items()))
+        return data

@@ -1,11 +1,55 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus a per-test timeout guard.
+
+The timeout guard exists for the resilience suite: a regression in the
+retry loop (e.g. a fault plan that always faults combined with a broken
+fallback) would otherwise hang the tier-1 run instead of failing it.
+``pytest-timeout`` is not a dependency, so a SIGALRM-based hook stands
+in; override the default with ``@pytest.mark.timeout(seconds)``.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro.gpusim import GpuDevice
+
+#: Per-test wall-clock budget (seconds); generous because the lock-step
+#: sim engine is slow by design.
+DEFAULT_TEST_TIMEOUT_S = 120.0
+
+_SIGALRM_USABLE = hasattr(signal, "SIGALRM")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    timeout = DEFAULT_TEST_TIMEOUT_S
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        timeout = float(marker.args[0])
+    if (
+        not _SIGALRM_USABLE
+        or timeout <= 0
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        pytest.fail(
+            f"test exceeded its {timeout:g}s timeout", pytrace=False
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

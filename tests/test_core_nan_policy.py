@@ -1,0 +1,124 @@
+"""NaN policy and batch-boundary validation.
+
+NaN has no total order, so the bucketing comparisons would silently
+mis-place it — the seed behavior (reject loudly) stays the default.
+``nan_policy="sort_to_end"`` opts poisoned rows into ``np.sort``
+semantics (NaN after everything, including +inf) without giving up the
+device path for the clean rows.  The boundary checks make malformed
+batches fail with precise errors instead of deep-pipeline surprises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuArraySort, SortConfig, sort_arrays
+from repro.core.array_sort import validate_batch
+from repro.core.validation import is_sorted_rows, rows_are_permutations
+from repro.workloads import uniform_arrays
+
+
+class TestNanPolicyConfig:
+    def test_default_is_raise(self):
+        assert SortConfig().nan_policy == "raise"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="nan_policy"):
+            SortConfig(nan_policy="ignore")
+
+    def test_raise_policy_error_mentions_escape_hatch(self):
+        batch = uniform_arrays(4, 50, seed=1)
+        batch[2, 7] = np.nan
+        with pytest.raises(ValueError, match="NaN") as exc:
+            sort_arrays(batch)
+        assert "sort_to_end" in str(exc.value)
+
+
+class TestSortToEnd:
+    def test_matches_numpy_semantics(self):
+        batch = uniform_arrays(6, 80, seed=2)
+        batch[1, 3] = np.nan
+        batch[4, [0, 10, 79]] = np.nan
+        out = GpuArraySort(SortConfig(nan_policy="sort_to_end")).sort(batch).batch
+        assert np.array_equal(out, np.sort(batch, axis=1), equal_nan=True)
+
+    def test_nan_lands_after_inf(self):
+        batch = uniform_arrays(2, 40, seed=3)
+        batch[0, 5] = np.inf
+        batch[0, 6] = np.nan
+        out = GpuArraySort(SortConfig(nan_policy="sort_to_end")).sort(batch).batch
+        assert np.isnan(out[0, -1])
+        assert out[0, -2] == np.inf
+
+    def test_clean_rows_unaffected_by_policy(self):
+        batch = uniform_arrays(10, 120, seed=4)
+        strict = GpuArraySort(SortConfig()).sort(batch).batch
+        lenient = GpuArraySort(SortConfig(nan_policy="sort_to_end")).sort(batch).batch
+        assert np.array_equal(strict, lenient)
+
+    def test_all_nan_rows(self):
+        batch = np.full((3, 16), np.nan, dtype=np.float32)
+        out = GpuArraySort(SortConfig(nan_policy="sort_to_end")).sort(batch).batch
+        assert np.isnan(out).all()
+
+    def test_integer_batches_never_consult_policy(self):
+        batch = np.array([[3, 1, 2], [9, 7, 8]], dtype=np.int32)
+        out = GpuArraySort(SortConfig(nan_policy="sort_to_end")).sort(batch).batch
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+
+class TestNanAwareValidators:
+    def test_sorted_with_trailing_nan_accepted(self):
+        batch = np.array([[1.0, 2.0, np.nan, np.nan]])
+        assert is_sorted_rows(batch).tolist() == [True]
+
+    def test_nan_mid_row_not_sorted(self):
+        batch = np.array([[1.0, np.nan, 2.0, 3.0]])
+        assert is_sorted_rows(batch).tolist() == [False]
+
+    def test_permutation_check_matches_nan(self):
+        out = np.array([[1.0, 2.0, np.nan]])
+        ref = np.array([[np.nan, 2.0, 1.0]])
+        assert rows_are_permutations(out, ref).tolist() == [True]
+
+    def test_permutation_check_counts_nans(self):
+        out = np.array([[1.0, np.nan, np.nan]])
+        ref = np.array([[1.0, 2.0, np.nan]])
+        assert rows_are_permutations(out, ref).tolist() == [False]
+
+
+class TestBatchBoundary:
+    def test_three_dimensional_rejected(self):
+        with pytest.raises(ValueError, match=r"\(N, n\) batch"):
+            sort_arrays(np.zeros((2, 3, 4), dtype=np.float32))
+
+    def test_zero_column_batch_rejected(self):
+        with pytest.raises(ValueError, match="0-column"):
+            sort_arrays(np.empty((5, 0), dtype=np.float32))
+
+    def test_object_dtype_rejected(self):
+        batch = np.array([[object(), object()]], dtype=object)
+        with pytest.raises(ValueError, match="numeric"):
+            sort_arrays(batch)
+
+    def test_complex_dtype_rejected(self):
+        batch = np.zeros((2, 4), dtype=np.complex128)
+        with pytest.raises(ValueError, match="numeric"):
+            sort_arrays(batch)
+
+    def test_integer_batch_sorts(self):
+        batch = np.array([[5, 1, 4], [2, 9, 0]], dtype=np.int64)
+        assert np.array_equal(sort_arrays(batch), np.sort(batch, axis=1))
+
+    def test_empty_row_batch_passes_through(self):
+        out = sort_arrays(np.empty((0, 8), dtype=np.float32))
+        assert out.shape == (0, 8)
+
+    def test_validate_batch_returns_ndarray(self):
+        batch = [[3.0, 1.0], [2.0, 4.0]]
+        out = validate_batch(batch)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2, 2)
+
+    def test_argsort_shares_the_boundary(self):
+        with pytest.raises(ValueError, match=r"\(N, n\) batch"):
+            GpuArraySort().argsort(np.zeros(4, dtype=np.float32))

@@ -1,0 +1,177 @@
+"""FaultPlan unit tests: the injected faults are deterministic and loud.
+
+The whole resilience story rests on :class:`FaultPlan` being a *seeded
+schedule*: a fault trajectory that differs between reruns is untestable.
+These tests pin the determinism contract (same seed, same trace; reset
+replays; decisions keyed by launch index, not call history) and the
+integration with :class:`GpuDevice` launches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuDevice
+from repro.gpusim.errors import DeviceOutOfMemoryError, KernelFault
+from repro.gpusim.faults import FaultPlan, FaultStats
+
+pytestmark = pytest.mark.faultinject
+
+
+def fault_trace(plan: FaultPlan, launches: int) -> list:
+    """Classify each of ``launches`` consultations of ``plan``."""
+    trace = []
+    for _ in range(launches):
+        try:
+            plan.begin_launch()
+            trace.append("ok")
+        except DeviceOutOfMemoryError:
+            trace.append("oom")
+        except KernelFault:
+            trace.append("fault")
+    return trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = fault_trace(FaultPlan(7, kernel_fault_rate=0.3), 200)
+        b = fault_trace(FaultPlan(7, kernel_fault_rate=0.3), 200)
+        assert a == b
+        assert "fault" in a and "ok" in a
+
+    def test_different_seed_different_trace(self):
+        a = fault_trace(FaultPlan(7, kernel_fault_rate=0.3), 200)
+        b = fault_trace(FaultPlan(8, kernel_fault_rate=0.3), 200)
+        assert a != b
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan(7, kernel_fault_rate=0.3, corruption_rate=0.5)
+        a = fault_trace(plan, 100)
+        stats_a = plan.stats.as_dict()
+        plan.reset()
+        assert plan.next_launch_index == 0
+        b = fault_trace(plan, 100)
+        assert a == b
+        assert plan.stats.as_dict() == stats_a
+
+    def test_corruption_keyed_by_launch_index(self):
+        """The bit-flip position depends only on (seed, launch index)."""
+        batches = []
+        for _ in range(2):
+            plan = FaultPlan(11, corruption_rate=1.0)
+            batch = np.arange(40, dtype=np.float32).reshape(4, 10)
+            index = plan.begin_launch()
+            rows = plan.corrupt_rows(batch, index)
+            assert rows.size == 1
+            batches.append(batch)
+        assert np.array_equal(batches[0], batches[1])
+
+
+class TestFaultClasses:
+    def test_rate_zero_never_faults(self):
+        assert fault_trace(FaultPlan(3), 50) == ["ok"] * 50
+
+    def test_rate_one_always_faults(self):
+        assert fault_trace(FaultPlan(3, kernel_fault_rate=1.0), 50) == ["fault"] * 50
+
+    def test_oom_window_is_half_open(self):
+        plan = FaultPlan(3, oom_windows=[(2, 4)])
+        assert fault_trace(plan, 6) == ["ok", "ok", "oom", "oom", "ok", "ok"]
+        assert plan.stats.oom_faults == 2
+
+    def test_oom_window_beats_kernel_fault(self):
+        plan = FaultPlan(3, kernel_fault_rate=1.0, oom_windows=[(0, 1)])
+        assert fault_trace(plan, 2) == ["oom", "fault"]
+
+    def test_kernel_fault_names_the_launch(self):
+        plan = FaultPlan(3, kernel_fault_rate=1.0)
+        with pytest.raises(KernelFault, match=r"phase1.*launch 0"):
+            plan.begin_launch("phase1")
+
+    def test_corrupt_rows_flips_exactly_one_element(self):
+        plan = FaultPlan(5, corruption_rate=1.0)
+        batch = np.linspace(1, 2, 60, dtype=np.float64).reshape(6, 10)
+        pristine = batch.copy()
+        rows = plan.corrupt_rows(batch, plan.begin_launch())
+        diffs = np.argwhere(batch != pristine)
+        assert diffs.shape[0] == 1
+        assert rows.tolist() == [int(diffs[0, 0])]
+        assert plan.stats.rows_corrupted == 1
+
+    def test_corrupt_rows_rate_zero_is_noop(self):
+        plan = FaultPlan(5)
+        batch = np.ones((3, 3), dtype=np.float32)
+        assert plan.corrupt_rows(batch, plan.begin_launch()).size == 0
+        assert np.all(batch == 1)
+
+    def test_trusted_launch_never_faults(self):
+        plan = FaultPlan(
+            5, kernel_fault_rate=1.0, oom_windows=[(0, 100)], corruption_rate=1.0
+        )
+        for expected_index in range(10):
+            assert plan.begin_trusted_launch() == expected_index
+        assert plan.stats.launches_seen == 10
+        assert plan.stats.kernel_faults == 0
+        assert plan.stats.oom_faults == 0
+        # ...but corruption still applies to trusted launches' output.
+        batch = np.ones((2, 8), dtype=np.float32)
+        index = plan.begin_trusted_launch()
+        assert plan.corrupt_rows(batch, index).size == 1
+
+
+class TestValidationAndStats:
+    @pytest.mark.parametrize("kwargs", [
+        {"kernel_fault_rate": -0.1},
+        {"kernel_fault_rate": 1.5},
+        {"corruption_rate": 2.0},
+        {"oom_windows": [(-1, 3)]},
+        {"oom_windows": [(5, 2)]},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(0, **kwargs)
+
+    def test_total_faults_rolls_up(self):
+        stats = FaultStats(kernel_faults=2, oom_faults=3, rows_corrupted=4)
+        assert stats.total_faults == 9
+        assert stats.as_dict()["oom_faults"] == 3
+
+
+class TestDeviceIntegration:
+    def _noop_kernel(self):
+        def k(ctx, shared, *args):
+            yield ctx.alu(1)
+        return k
+
+    def test_launch_raises_injected_fault(self):
+        gpu = GpuDevice.micro(fault_plan=FaultPlan(1, kernel_fault_rate=1.0))
+        with pytest.raises(KernelFault, match="injected transient fault"):
+            gpu.launch(self._noop_kernel(), grid=1, block=4)
+
+    def test_launch_oom_window_then_recovers(self):
+        gpu = GpuDevice.micro(fault_plan=FaultPlan(1, oom_windows=[(0, 2)]))
+        kernel = self._noop_kernel()
+        for _ in range(2):
+            with pytest.raises(DeviceOutOfMemoryError):
+                gpu.launch(kernel, grid=1, block=4)
+        report = gpu.launch(kernel, grid=1, block=4)
+        assert report.grid_blocks == 1
+        assert gpu.fault_plan.stats.oom_faults == 2
+
+    def test_launch_corrupts_device_buffer(self):
+        gpu = GpuDevice.micro(fault_plan=FaultPlan(2, corruption_rate=1.0))
+        host = np.linspace(1, 2, 64, dtype=np.float32)
+        arr = gpu.memory.alloc_like(host)
+        gpu.launch(self._noop_kernel(), grid=1, block=4, args=(arr,))
+        corrupted = arr.copy_to_host()
+        assert (corrupted != host).sum() == 1
+        assert gpu.fault_plan.stats.rows_corrupted == 1
+        gpu.memory.free(arr)
+
+    def test_clean_plan_leaves_launches_untouched(self):
+        gpu = GpuDevice.micro(fault_plan=FaultPlan(2))
+        host = np.linspace(1, 2, 64, dtype=np.float32)
+        arr = gpu.memory.alloc_like(host)
+        gpu.launch(self._noop_kernel(), grid=1, block=4, args=(arr,))
+        assert np.array_equal(arr.copy_to_host(), host)
+        assert gpu.fault_plan.stats.launches_seen == 1
+        gpu.memory.free(arr)

@@ -1,0 +1,287 @@
+"""Streaming resilience: lifecycle, at-least-once emission, checkpoints, DLQ.
+
+Also hosts the ISSUE.md acceptance scenario: a 500-array streaming
+session under a 20 % transient-fault plan must complete with zero
+corrupted emitted rows and replay identical stats from the same seed.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import SortConfig, StreamingSorter
+from repro.core.validation import is_sorted_rows, rows_are_permutations
+from repro.gpusim.faults import FaultPlan
+from repro.resilience import ResilientSorter
+from repro.workloads import uniform_arrays
+
+ARRAY_SIZE = 64
+
+
+def resilient_streamer(plan=None, *, batch_arrays=8, on_batch=None, config=None):
+    config = config or SortConfig()
+    sorter = ResilientSorter(
+        config, engine="vectorized", fault_plan=plan, sleep=None
+    )
+    return StreamingSorter(
+        ARRAY_SIZE,
+        config=config,
+        batch_arrays=batch_arrays,
+        on_batch=on_batch,
+        sorter=sorter,
+    )
+
+
+class TestLifecycle:
+    def test_flush_is_idempotent(self):
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        s.push_slab(uniform_arrays(3, ARRAY_SIZE, seed=1))
+        assert s.flush() == 1
+        assert s.flush() == 0
+        assert s.closed
+
+    def test_close_is_idempotent_alias(self):
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        s.push(uniform_arrays(1, ARRAY_SIZE, seed=2)[0])
+        assert s.close() == 1
+        assert s.close() == 0
+
+    def test_close_with_empty_buffer_emits_nothing(self):
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        assert s.close() == 0
+        assert s.closed and s.results == []
+
+    def test_push_after_close_rejected(self):
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        s.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            s.push(np.zeros(ARRAY_SIZE, dtype=np.float32))
+        with pytest.raises(RuntimeError, match="closed"):
+            s.push_slab(np.zeros((2, ARRAY_SIZE), dtype=np.float32))
+
+    def test_context_manager_closes(self):
+        data = uniform_arrays(3, ARRAY_SIZE, seed=3)
+        with StreamingSorter(ARRAY_SIZE, batch_arrays=4) as s:
+            s.push_slab(data)
+        assert s.closed
+        assert np.array_equal(np.vstack(s.results), np.sort(data, axis=1))
+
+    def test_context_manager_does_not_mask_exceptions(self):
+        with pytest.raises(KeyError):
+            with StreamingSorter(ARRAY_SIZE, batch_arrays=4) as s:
+                s.push(np.zeros(ARRAY_SIZE, dtype=np.float32))
+                raise KeyError("boom")
+        # The in-flight exception aborted the session without a drain.
+        assert not s.closed
+        assert s.results == []
+
+    def test_batch_ids_are_monotonic(self):
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        s.push_slab(uniform_arrays(18, ARRAY_SIZE, seed=4))
+        s.flush()
+        assert s.emitted_batch_ids == [0, 1, 2, 3, 4]
+
+
+class _FlakyConsumer:
+    """Consumer that fails the first delivery of selected batch numbers."""
+
+    def __init__(self, fail_on: set):
+        self.fail_on = set(fail_on)
+        self.deliveries = 0
+        self.batches = []
+
+    def __call__(self, batch: np.ndarray) -> None:
+        self.deliveries += 1
+        if self.deliveries in self.fail_on:
+            raise IOError("consumer hiccup")
+        self.batches.append(batch.copy())
+
+
+class TestAtLeastOnce:
+    def test_failed_consumer_delivery_is_retried_same_id(self):
+        data = uniform_arrays(8, ARRAY_SIZE, seed=5)
+        consumer = _FlakyConsumer(fail_on={1})
+        s = StreamingSorter(
+            ARRAY_SIZE, batch_arrays=4, on_batch=consumer
+        )
+        s.push_slab(data[:3])
+        with pytest.raises(IOError):
+            s.push(data[3])  # fills the batch; its emission fails
+        assert s.emitted_batch_ids == []
+        assert s.stats.batches_out == 0
+        # Retry: same staging content re-emitted under the same id.
+        s.push_slab(data[4:])
+        s.flush()
+        assert s.emitted_batch_ids == [0, 1]
+        assert consumer.deliveries == 3  # batch 0 twice, batch 1 once
+        assert np.array_equal(
+            np.vstack(consumer.batches), np.sort(data, axis=1)
+        )
+
+    def test_failed_flush_keeps_session_open_then_retries(self):
+        data = uniform_arrays(3, ARRAY_SIZE, seed=6)
+        consumer = _FlakyConsumer(fail_on={1})
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=8, on_batch=consumer)
+        s.push_slab(data)
+        with pytest.raises(IOError):
+            s.flush()
+        assert not s.closed
+        assert s.flush() == 1
+        assert s.closed
+        assert s.emitted_batch_ids == [0]
+
+    def test_flaky_sorter_is_retried_same_id(self):
+        class FlakySorter:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def sort(self, batch):
+                self.calls += 1
+                if self.calls == 1:
+                    raise RuntimeError("device wedged")
+                return self.inner.sort(batch)
+
+        from repro.core import GpuArraySort
+
+        data = uniform_arrays(4, ARRAY_SIZE, seed=7)
+        flaky = FlakySorter(GpuArraySort(SortConfig()))
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=4, sorter=flaky)
+        with pytest.raises(RuntimeError):
+            s.push_slab(data)
+        s.flush()
+        assert s.emitted_batch_ids == [0]
+        assert np.array_equal(np.vstack(s.results), np.sort(data, axis=1))
+
+
+class TestCheckpointRestore:
+    def test_restore_resumes_identically(self):
+        data = uniform_arrays(11, ARRAY_SIZE, seed=8)
+        original = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        original.push_slab(data[:6])
+        cp = original.checkpoint()
+
+        original.push_slab(data[6:])
+        original.flush()
+
+        resumed = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        resumed.restore(cp)
+        resumed.push_slab(data[6:])
+        resumed.flush()
+
+        # The resumed session re-emits only the batches after the
+        # checkpoint — ids and contents line up with the original's tail.
+        assert resumed.emitted_batch_ids == original.emitted_batch_ids[1:]
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(resumed.results, original.results[1:])
+        )
+        assert resumed.stats.arrays_in == original.stats.arrays_in
+
+    def test_checkpoint_is_a_deep_snapshot(self):
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        s.push_slab(uniform_arrays(2, ARRAY_SIZE, seed=9))
+        cp = s.checkpoint()
+        s.push_slab(uniform_arrays(2, ARRAY_SIZE, seed=10))
+        assert cp.fill == 2
+        assert cp.stats.arrays_in == 2
+        assert s.stats.arrays_in == 4
+
+    def test_restore_validates_shape(self):
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=8)
+        s.push_slab(uniform_arrays(6, ARRAY_SIZE, seed=11))
+        cp = s.checkpoint()
+        other = StreamingSorter(ARRAY_SIZE + 1, batch_arrays=8)
+        with pytest.raises(ValueError, match="array_size"):
+            other.restore(cp)
+        small = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        with pytest.raises(ValueError, match="stages at most"):
+            small.restore(cp)
+
+    def test_restored_closed_session_stays_closed(self):
+        s = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        s.close()
+        cp = s.checkpoint()
+        fresh = StreamingSorter(ARRAY_SIZE, batch_arrays=4)
+        fresh.restore(cp)
+        assert fresh.closed
+
+
+@pytest.mark.faultinject
+class TestQuarantineIntegration:
+    def test_quarantined_rows_never_emitted_and_nothing_lost(self):
+        data = uniform_arrays(24, ARRAY_SIZE, seed=12)
+        plan = FaultPlan(21, corruption_rate=1.0)
+        s = resilient_streamer(plan, batch_arrays=8)
+        s.push_slab(data)
+        s.flush()
+        assert s.dead_letters is not None and len(s.dead_letters) > 0
+        assert s.stats.arrays_quarantined == len(s.dead_letters)
+
+        emitted = np.vstack(s.results)
+        assert emitted.shape[0] == 24 - len(s.dead_letters)
+        assert bool(np.all(is_sorted_rows(emitted)))
+        # Multiset completeness: emitted + dead-lettered == input.
+        recombined = np.vstack([emitted, s.dead_letters.payloads()])
+        assert np.array_equal(
+            np.sort(np.sort(recombined, axis=1), axis=0),
+            np.sort(np.sort(data, axis=1), axis=0),
+        )
+        for letter in s.dead_letters:
+            # Provenance points at the exact input row.
+            row = letter.batch_id * 8 + letter.row_index
+            assert np.array_equal(letter.payload, data[row])
+            assert letter.reason == "validation-failed"
+
+    def test_nan_rows_dead_lettered_with_reason(self):
+        data = uniform_arrays(8, ARRAY_SIZE, seed=13)
+        data[3, 5] = np.nan
+        s = resilient_streamer(batch_arrays=8)
+        s.push_slab(data)
+        s.flush()
+        assert len(s.dead_letters) == 1
+        letter = next(iter(s.dead_letters))
+        assert letter.reason == "nan-input"
+        assert letter.row_index == 3
+        assert np.vstack(s.results).shape[0] == 7
+
+
+@pytest.mark.faultinject
+class TestAcceptanceScenario:
+    """The ISSUE.md acceptance bar, verbatim."""
+
+    N, SIZE, BATCH = 500, 128, 100
+    SEED = 2016
+
+    def _run(self):
+        data = uniform_arrays(self.N, self.SIZE, seed=self.SEED)
+        plan = FaultPlan(self.SEED, kernel_fault_rate=0.2)
+        sorter = ResilientSorter(
+            SortConfig(), engine="vectorized", fault_plan=plan, sleep=None
+        )
+        streamer = StreamingSorter(
+            self.SIZE, batch_arrays=self.BATCH, sorter=sorter
+        )
+        streamer.push_slab(data)
+        streamer.flush()
+        return data, streamer, sorter
+
+    def test_completes_with_zero_corrupted_rows(self):
+        data, streamer, sorter = self._run()
+        emitted = np.vstack(streamer.results)
+        assert emitted.shape == data.shape
+        assert streamer.stats.arrays_quarantined == 0
+        assert bool(np.all(is_sorted_rows(emitted)))
+        assert bool(np.all(rows_are_permutations(emitted, data)))
+        assert streamer.emitted_batch_ids == list(range(self.N // self.BATCH))
+        # The fault plan actually fired, and the sorter reports the
+        # recovery work it did.
+        assert sorter.stats.faults_seen > 0
+        assert sorter.stats.retries > 0
+        assert sorter.stats.attempts > self.N // self.BATCH
+
+    def test_same_seed_reproduces_identical_stats(self):
+        _, _, first = self._run()
+        _, _, second = self._run()
+        assert first.stats.as_dict() == second.stats.as_dict()
