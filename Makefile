@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-resilience bench bench-claims report examples figures table1 clean
+.PHONY: install test test-resilience bench bench-claims bench-smoke bench-gate bench-hotpath report examples figures table1 clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,26 @@ bench:
 
 bench-claims:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -s
+
+# Tiny grid + schema self-check; finishes in seconds.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid smoke \
+		--repeats 2 --out BENCH_hotpath_smoke.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py \
+		--check-schema BENCH_hotpath_smoke.json
+
+# Perf-regression gate: fails if the fused path is slower than the
+# unfused path anywhere on the reference grid.
+bench-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid reference \
+		--repeats 3 --gate --out BENCH_hotpath.json
+
+# Full artifact including the paper's Fig. 4 anchor (N=1e5, n=1000,
+# float32); several minutes — this is what the committed
+# BENCH_hotpath.json was produced with.
+bench-hotpath:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid fig4 \
+		--repeats 3 --gate --out BENCH_hotpath.json
 
 report:
 	$(PYTHON) -m repro report

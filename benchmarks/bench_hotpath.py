@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""Hot-path perf harness: fused vs unfused, serial vs sharded.
+
+Standalone (no pytest-benchmark): measures the vectorized engine's two
+code paths over a dtype × (N, n) grid and emits ``BENCH_hotpath.json``
+(schema ``bench-hotpath/v1``) — the artifact ``make bench-gate`` checks.
+
+Grids
+-----
+``smoke``      tiny shapes, finishes in seconds — schema/plumbing check
+               (``make bench-smoke``);
+``reference``  the gate grid: mid-size shapes where both paths finish
+               quickly enough to repeat (``make bench-gate``);
+``fig4``       the paper's Fig. 4 anchor config — N=100000, n=1000,
+               float32 — plus the reference grid (used to produce the
+               committed ``BENCH_hotpath.json``).
+
+Gate
+----
+``--gate`` exits non-zero unless the fused path is at least
+``--min-speedup``× (default 1.0 — "fused must never be slower") faster
+than the unfused path on **every** grid cell.  The committed artifact
+additionally records the Fig. 4 fused-vs-unfused speedup, pinned ≥ 2 by
+``tests/test_bench_hotpath.py``.
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --grid smoke
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --grid reference --gate
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --grid fig4 --out BENCH_hotpath.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check-schema BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+# Runnable straight from a checkout: python benchmarks/bench_hotpath.py
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.core import GpuArraySort, SortConfig
+
+SCHEMA = "bench-hotpath/v1"
+
+# (name, dtype, N, n) cells.  Shapes chosen so the unfused path stays
+# tractable on one host core — the fused/unfused ratio, not absolute
+# time, is what the gate consumes.
+GRIDS = {
+    "smoke": [
+        ("smoke-f32", "float32", 200, 200),
+        ("smoke-f64", "float64", 200, 200),
+        ("smoke-i64", "int64", 100, 400),
+    ],
+    "reference": [
+        ("ref-f32-small", "float32", 1000, 500),
+        ("ref-f32-mid", "float32", 5000, 1000),
+        ("ref-f64-mid", "float64", 2000, 1000),
+        ("ref-i32-mid", "int32", 2000, 1000),
+        ("ref-i64-small", "int64", 1000, 500),
+    ],
+    "fig4": [
+        ("ref-f32-small", "float32", 1000, 500),
+        ("ref-f32-mid", "float32", 5000, 1000),
+        ("ref-f64-mid", "float64", 2000, 1000),
+        ("ref-i32-mid", "int32", 2000, 1000),
+        ("ref-i64-small", "int64", 1000, 500),
+        ("fig4-f32", "float32", 100_000, 1000),
+    ],
+}
+
+
+def _make_batch(dtype: str, num_arrays: int, array_size: int) -> np.ndarray:
+    rng = np.random.default_rng(20160814)  # the paper's year+venue, fixed
+    if np.dtype(dtype).kind == "f":
+        return rng.uniform(0.0, 1e6, (num_arrays, array_size)).astype(dtype)
+    return rng.integers(0, 2**30, (num_arrays, array_size)).astype(dtype)
+
+
+def _median_ms(sorter: GpuArraySort, batch: np.ndarray, repeats: int):
+    """Median wall ms per repeat, plus median per-phase ms."""
+    totals, phases = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = sorter.sort(batch)  # sort() copies; batch is reusable
+        totals.append((time.perf_counter() - t0) * 1e3)
+        phases.append({k: v * 1e3 for k, v in result.phase_seconds.items()})
+    median_phases = {
+        key: statistics.median(p[key] for p in phases) for key in phases[0]
+    }
+    return statistics.median(totals), median_phases
+
+
+def run_grid(grid: str, repeats: int, workers: int) -> dict:
+    cells = GRIDS[grid]
+    results = []
+    for name, dtype, num_arrays, array_size in cells:
+        batch = _make_batch(dtype, num_arrays, array_size)
+        fused_ms, fused_phases = _median_ms(
+            GpuArraySort(SortConfig(fuse_phases=True)), batch, repeats
+        )
+        unfused_ms, unfused_phases = _median_ms(
+            GpuArraySort(SortConfig(fuse_phases=False)), batch, repeats
+        )
+        sharded_ms, _ = _median_ms(
+            GpuArraySort(parallel="thread", workers=workers), batch, repeats
+        )
+        results.append(
+            {
+                "name": name,
+                "dtype": dtype,
+                "num_arrays": num_arrays,
+                "array_size": array_size,
+                "repeats": repeats,
+                "fused_ms": fused_ms,
+                "unfused_ms": unfused_ms,
+                "sharded_ms": sharded_ms,
+                "fused_phase_ms": fused_phases,
+                "unfused_phase_ms": unfused_phases,
+                "speedup_fused_vs_unfused": unfused_ms / fused_ms,
+                "speedup_sharded_vs_serial": fused_ms / sharded_ms,
+            }
+        )
+        print(
+            f"  {name:16s} {dtype:8s} N={num_arrays:<7d} n={array_size:<5d}"
+            f"  fused {fused_ms:9.1f} ms  unfused {unfused_ms:9.1f} ms"
+            f"  ({unfused_ms / fused_ms:.1f}x)",
+            flush=True,
+        )
+    speedups = [r["speedup_fused_vs_unfused"] for r in results]
+    return {
+        "schema": SCHEMA,
+        "grid": grid,
+        "workers": workers,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+        "speedups": {
+            "fused_vs_unfused_min": min(speedups),
+            "fused_vs_unfused_median": statistics.median(speedups),
+            "sharded_vs_serial_median": statistics.median(
+                r["speedup_sharded_vs_serial"] for r in results
+            ),
+        },
+    }
+
+
+def check_schema(report: dict) -> list:
+    """Return a list of schema violations (empty == valid)."""
+    errors = []
+    if report.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {report.get('schema')!r}")
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("results must be a non-empty list")
+        results = []
+    required = {
+        "name": str,
+        "dtype": str,
+        "num_arrays": int,
+        "array_size": int,
+        "repeats": int,
+        "fused_ms": (int, float),
+        "unfused_ms": (int, float),
+        "sharded_ms": (int, float),
+        "fused_phase_ms": dict,
+        "unfused_phase_ms": dict,
+        "speedup_fused_vs_unfused": (int, float),
+        "speedup_sharded_vs_serial": (int, float),
+    }
+    for i, cell in enumerate(results):
+        for key, typ in required.items():
+            if not isinstance(cell.get(key), typ):
+                errors.append(f"results[{i}].{key} missing or not {typ}")
+        for key in ("fused_ms", "unfused_ms", "sharded_ms"):
+            value = cell.get(key)
+            if isinstance(value, (int, float)) and value <= 0:
+                errors.append(f"results[{i}].{key} must be > 0")
+    speedups = report.get("speedups")
+    if not isinstance(speedups, dict):
+        errors.append("speedups must be a dict")
+    else:
+        for key in (
+            "fused_vs_unfused_min",
+            "fused_vs_unfused_median",
+            "sharded_vs_serial_median",
+        ):
+            if not isinstance(speedups.get(key), (int, float)):
+                errors.append(f"speedups.{key} missing or non-numeric")
+    if "gate" in report:
+        gate = report["gate"]
+        if not isinstance(gate, dict) or not isinstance(
+            gate.get("passed"), bool
+        ):
+            errors.append("gate must be a dict with a boolean 'passed'")
+    return errors
+
+
+def apply_gate(report: dict, min_speedup: float) -> bool:
+    failures = [
+        f"{r['name']}: fused {r['fused_ms']:.1f} ms vs unfused "
+        f"{r['unfused_ms']:.1f} ms ({r['speedup_fused_vs_unfused']:.2f}x "
+        f"< {min_speedup:.2f}x)"
+        for r in report["results"]
+        if r["speedup_fused_vs_unfused"] < min_speedup
+    ]
+    report["gate"] = {
+        "min_speedup": min_speedup,
+        "passed": not failures,
+        "failures": failures,
+    }
+    return not failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", choices=sorted(GRIDS), default="reference")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="thread workers for the sharded column (0 = cpu count)",
+    )
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 if fused is slower than --min-speedup x unfused anywhere",
+    )
+    parser.add_argument("--min-speedup", type=float, default=1.0)
+    parser.add_argument(
+        "--check-schema", type=Path, metavar="JSON",
+        help="validate an existing report file and exit (no benchmarking)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check_schema is not None:
+        report = json.loads(args.check_schema.read_text())
+        errors = check_schema(report)
+        for err in errors:
+            print(f"schema error: {err}", file=sys.stderr)
+        print(f"{args.check_schema}: " + ("INVALID" if errors else "ok"))
+        return 1 if errors else 0
+
+    workers = args.workers or (os.cpu_count() or 1)
+    print(f"bench_hotpath grid={args.grid} repeats={args.repeats} "
+          f"workers={workers}", flush=True)
+    report = run_grid(args.grid, max(1, args.repeats), workers)
+    ok = apply_gate(report, args.min_speedup) if args.gate else True
+
+    errors = check_schema(report)
+    if errors:  # self-check: the emitter must satisfy its own schema
+        for err in errors:
+            print(f"schema error: {err}", file=sys.stderr)
+        return 2
+
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+    if args.gate:
+        gate = report["gate"]
+        for failure in gate["failures"]:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        print(f"gate: {'passed' if ok else 'FAILED'} "
+              f"(min_speedup={gate['min_speedup']})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument("--bucket-size", type=int, default=20)
     p_sort.add_argument("--sampling-rate", type=float, default=0.10)
     p_sort.add_argument("--verify", action="store_true")
+    p_sort.add_argument(
+        "--workers", type=int, default=0, metavar="K",
+        help="sharded execution with K workers (0 = serial, the default)",
+    )
+    p_sort.add_argument(
+        "--parallel", choices=["thread", "process"], default="thread",
+        help="executor used when --workers > 0 (vectorized engine only)",
+    )
+    p_sort.add_argument(
+        "--no-fuse", action="store_true",
+        help="run the paper-faithful separate phase 2/3 passes instead of "
+             "the fused single-pass engine",
+    )
 
     p_fig = sub.add_parser("figures", help="print model-reproduced figure series")
     p_fig.add_argument(
@@ -126,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--max-retries", type=int, default=3)
     p_res.add_argument("--real-backoff", action="store_true",
                        help="actually sleep the backoff (default: record only)")
+    p_res.add_argument(
+        "--workers", type=int, default=0, metavar="K",
+        help="sharded vectorized execution with K thread workers "
+             "(0 = serial)",
+    )
 
     p_mc = sub.add_parser(
         "memcheck",
@@ -177,17 +195,40 @@ def _cmd_sort(args) -> int:
 
     batch = _make_batch(args)
     ref = batch.copy() if args.verify else None
-    config = SortConfig(bucket_size=args.bucket_size, sampling_rate=args.sampling_rate)
+    config = SortConfig(
+        bucket_size=args.bucket_size,
+        sampling_rate=args.sampling_rate,
+        fuse_phases=not args.no_fuse,
+    )
 
     t0 = time.perf_counter()
     if args.technique == "arraysort":
-        sorter = GpuArraySort(config, engine=args.engine)
+        parallel = args.parallel if args.workers > 1 else None
+        if parallel is not None and args.engine != "vectorized":
+            print("--workers applies to the vectorized engine only",
+                  file=sys.stderr)
+            return 2
+        sorter = GpuArraySort(
+            config, engine=args.engine, parallel=parallel,
+            workers=args.workers or None,
+        )
         result = sorter.sort(batch)
         out = result.batch
         elapsed = time.perf_counter() - t0
-        print(f"GPU-ArraySort ({args.engine}) on {batch.shape}: {elapsed:.3f} s wall")
+        # fuse_phases only selects a path inside the vectorized engine
+        label = args.engine
+        if args.engine == "vectorized":
+            label += ", fused" if config.fuse_phases else ", unfused"
+        print(f"GPU-ArraySort ({label}) on {batch.shape}: "
+              f"{elapsed:.3f} s wall")
         for phase, secs in result.phase_seconds.items():
             print(f"  {phase}: {secs:.3f} s")
+        info = getattr(result, "parallel_info", None)
+        if info is not None:
+            print(f"  sharded: {info['engine']} x{info['workers']} "
+                  f"({info['shards']} shards"
+                  + (", fell back to serial)" if info["fell_back_to_serial"]
+                     else ")"))
         if result.modeled_ms is not None:
             print(f"  modeled device time: {result.modeled_ms:.1f} ms")
     elif args.technique == "sta":
@@ -493,6 +534,8 @@ def _cmd_resilience(args) -> int:
         fault_plan=plan,
         retry_policy=RetryPolicy(max_retries=args.max_retries),
         sleep=_time.sleep if args.real_backoff else None,
+        parallel="thread" if args.workers > 1 else None,
+        workers=args.workers or None,
     )
     streamer = StreamingSorter(
         batch.shape[1], batch_arrays=args.batch_arrays, sorter=resilient

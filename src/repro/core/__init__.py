@@ -8,6 +8,9 @@ Public surface:
 * phase building blocks (:mod:`~repro.core.splitters`,
   :mod:`~repro.core.bucketing`, :mod:`~repro.core.insertion`) for users who
   want to compose the pipeline themselves;
+* :mod:`~repro.core.fused` — the fused phases-2+3 fast path
+  (``SortConfig.fuse_phases``) and the batched row-wise ``searchsorted``
+  primitive behind it;
 * :mod:`~repro.core.kernels` — the per-thread kernels for the gpusim engine;
 * :mod:`~repro.core.pipeline` — the out-of-core extension (paper Section 9);
 * :mod:`~repro.core.validation` — result checkers.
@@ -26,16 +29,25 @@ from .pairs import PairSortResult, sort_pairs
 from .streaming import StreamCheckpoint, StreamingSorter, StreamStats
 from .topk import top_k, top_k_via_sort
 from .tuning import TuningResult, sweep_bucket_sizes, tune_config
-from .bucketing import BucketResult, bucket_ids_for_row, bucketize, exclusive_scan
+from .bucketing import (
+    BucketResult,
+    adaptive_row_chunk,
+    bucket_ids_for_row,
+    bucketize,
+    exclusive_scan,
+)
 from .config import DEFAULT_CONFIG, SortConfig
+from .fused import bucket_ids_rows, fused_bucket_sort, searchsorted_rows
 from .insertion import (
     insertion_sort,
     insertion_sort_inplace,
+    segment_base,
     sort_buckets,
     sort_buckets_rowwise,
 )
 from .splitters import (
     SplitterResult,
+    clear_index_plan_cache,
     regular_sample_indices,
     select_splitters,
     splitter_pick_indices,
@@ -72,16 +84,22 @@ __all__ = [
     "SortResult",
     "SplitterResult",
     "ValidationFailure",
+    "adaptive_row_chunk",
     "assert_batch_sorted",
     "bucket_ids_for_row",
+    "bucket_ids_rows",
     "bucketize",
     "check_bucket_partition",
+    "clear_index_plan_cache",
     "exclusive_scan",
+    "fused_bucket_sort",
     "insertion_sort",
     "insertion_sort_inplace",
     "is_sorted_rows",
     "regular_sample_indices",
     "rows_are_permutations",
+    "searchsorted_rows",
+    "segment_base",
     "select_splitters",
     "sort_arrays",
     "sort_buckets",

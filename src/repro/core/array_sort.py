@@ -100,6 +100,14 @@ class GpuArraySort:
         paper's K40c.
     verify:
         When true, assert sortedness + permutation after every run.
+    parallel:
+        Multicore sharded execution for the vectorized engine: ``None``
+        (serial, the default), ``"thread"``, ``"process"``, or an
+        executor instance from :mod:`repro.parallel`.  Row shards are
+        data-independent (phase 1 is per-row), so the output is
+        deterministic regardless of worker count.
+    workers:
+        Worker count for ``parallel``; defaults to the machine's cores.
     """
 
     ENGINES = ("vectorized", "sim", "model")
@@ -112,6 +120,8 @@ class GpuArraySort:
         device=None,
         verify: bool = False,
         sampler=None,
+        parallel=None,
+        workers: Optional[int] = None,
     ) -> None:
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
@@ -123,6 +133,16 @@ class GpuArraySort:
         #: regular sampling (vectorized engine only; the paper's Section 9
         #: multi-sampling plan).
         self.sampler = sampler
+        self._executor = None
+        if parallel is not None:
+            if engine != "vectorized":
+                raise ValueError(
+                    "parallel execution requires engine='vectorized' "
+                    f"(got engine={engine!r})"
+                )
+            from ..parallel import resolve_executor  # local: optional subsystem
+
+            self._executor = resolve_executor(parallel, workers=workers)
 
     # -- public API ----------------------------------------------------------
     def sort(
@@ -232,12 +252,35 @@ class GpuArraySort:
         )
 
     def _sort_vectorized(self, work: np.ndarray) -> SortResult:
+        # Sharded multicore path: row shards are data-independent, so the
+        # executor's output is identical to the serial path.  A custom
+        # sampler is host-side state the workers cannot share; fall back
+        # to serial for it.
+        if self._executor is not None and self.sampler is None:
+            return self._executor.sort_batch(work, self.config)
+
         t0 = time.perf_counter()
         if self.sampler is not None:
             spl = self.sampler.select(work)
         else:
             spl = select_splitters(work, self.config)
         t1 = time.perf_counter()
+
+        if self.config.fuse_phases:
+            from .fused import fused_bucket_sort  # local: keeps import cheap
+
+            buckets = fused_bucket_sort(work, spl.splitters, spl.num_buckets)
+            t2 = time.perf_counter()
+            return SortResult(
+                batch=work,
+                splitters=spl,
+                buckets=buckets,
+                phase_seconds={
+                    "phase1_splitters": t1 - t0,
+                    "phase23_fused": t2 - t1,
+                },
+            )
+
         buckets = bucketize(work, spl.splitters, self.config, out=work)
         t2 = time.perf_counter()
         sort_buckets(work, buckets.offsets)

@@ -35,7 +35,41 @@ import numpy as np
 
 from .config import DEFAULT_CONFIG, SortConfig
 
-__all__ = ["BucketResult", "bucket_ids_for_row", "bucketize", "exclusive_scan"]
+__all__ = [
+    "BucketResult",
+    "BUCKETIZE_ELEMENT_BUDGET",
+    "adaptive_row_chunk",
+    "bucket_ids_for_row",
+    "bucketize",
+    "exclusive_scan",
+]
+
+#: Scratch budget (in *elements*, not bytes) that one bucket-id chunk may
+#: touch.  The unfused path's per-chunk temporaries scale with ``n * q``
+#: (the boolean-cube strategy materializes exactly that; the binary-search
+#: strategy stays well under it), so the adaptive chunk is derived from
+#: this budget instead of the old fixed 512 rows — 512 rows was far too
+#: small for short arrays (Python-loop overhead) and too large for wide
+#: ones (hundreds of MB of cube per chunk).  2**25 elements ~ 128 MiB of
+#: float32 scratch.
+BUCKETIZE_ELEMENT_BUDGET = 1 << 25
+
+
+def adaptive_row_chunk(n: int, q: int, budget: int = BUCKETIZE_ELEMENT_BUDGET) -> int:
+    """Rows per bucket-id chunk so the chunk scratch stays within ``budget``.
+
+    Derived from the ``n * q`` element footprint of one row's bucket-id
+    computation (the boolean-cube bound; the binary-search strategy's
+    ``O(n log q)`` footprint is strictly smaller, so the bound is safe for
+    both).  Clamped to at least 1 row.
+
+    >>> adaptive_row_chunk(1000, 49, budget=1 << 20)
+    21
+    """
+    if n < 1:
+        raise ValueError(f"array size must be >= 1, got {n}")
+    per_row = n * max(int(q), 1)
+    return max(1, int(budget) // per_row)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,26 +124,46 @@ def bucket_ids_for_row(row: np.ndarray, splitters: np.ndarray) -> np.ndarray:
     return np.searchsorted(np.asarray(splitters), np.asarray(row), side="right")
 
 
-def _batch_bucket_ids(batch: np.ndarray, splitters: np.ndarray, row_chunk: int) -> np.ndarray:
+#: Below this splitter count the O(n·q) boolean cube beats the
+#: O(n·log q) batched binary search (lower constant, no gathers).
+_CUBE_MAX_SPLITTERS = 8
+
+
+def _batch_bucket_ids(
+    batch: np.ndarray, splitters: np.ndarray, row_chunk: Optional[int] = None
+) -> np.ndarray:
     """Vectorized bucket ids for the whole batch, chunked to bound memory.
 
-    Broadcasting ``(rows, n, 1) >= (rows, 1, q)`` materializes a boolean
-    cube; chunking rows keeps it within ~tens of MB regardless of N.
+    Strategy is chosen per call: for a handful of splitters the
+    broadcast cube ``(rows, n, 1) >= (rows, 1, q)`` wins; beyond that the
+    batched per-row binary search of
+    :func:`repro.core.fused.bucket_ids_rows` is O(n·log q) per row
+    instead of O(n·q).  ``row_chunk=None`` (the default) derives the
+    chunk from :func:`adaptive_row_chunk`'s element budget instead of the
+    old fixed 512 rows.
     """
+    from .fused import bucket_ids_rows  # local: fused imports this module
+
     n_rows = batch.shape[0]
     q = splitters.shape[1]
     out = np.empty(batch.shape, dtype=np.int32)
     if q == 0:
         out[:] = 0
         return out
+    if row_chunk is None:
+        row_chunk = adaptive_row_chunk(batch.shape[1], q)
+    use_cube = q <= _CUBE_MAX_SPLITTERS
     for start in range(0, n_rows, row_chunk):
         stop = min(start + row_chunk, n_rows)
         chunk = batch[start:stop]
-        # sum over splitter axis of (x >= s) == count of splitters <= x
-        # (for floats, >= and <= agree except on NaN, which we reject).
-        out[start:stop] = (chunk[:, :, None] >= splitters[start:stop, None, :]).sum(
-            axis=2, dtype=np.int32
-        )
+        if use_cube:
+            # sum over splitter axis of (x >= s) == count of splitters <= x
+            # (for floats, >= and <= agree except on NaN, which we reject).
+            out[start:stop] = (
+                chunk[:, :, None] >= splitters[start:stop, None, :]
+            ).sum(axis=2, dtype=np.int32)
+        else:
+            out[start:stop] = bucket_ids_rows(chunk, splitters[start:stop])
     return out
 
 
@@ -119,13 +173,15 @@ def bucketize(
     config: SortConfig = DEFAULT_CONFIG,
     *,
     out: Optional[np.ndarray] = None,
-    row_chunk: int = 512,
+    row_chunk: Optional[int] = None,
 ) -> BucketResult:
     """Run phase 2 on a batch given phase-1 splitters.
 
     When ``out`` is the batch itself the write-back is genuinely in place
     (the default engine passes the device-resident matrix here); otherwise
-    a new matrix is produced.
+    a new matrix is produced.  ``row_chunk`` bounds the bucket-id scratch;
+    the default ``None`` adapts it to :data:`BUCKETIZE_ELEMENT_BUDGET`
+    (see :func:`adaptive_row_chunk`).
 
     NaNs are rejected: the splitter comparison network, like the hardware
     kernel's ``<`` comparisons, has no total order for NaN.  Infinities

@@ -45,6 +45,13 @@ class SortConfig:
     #: with ``np.sort`` semantics: NaNs land after every other value
     #: (including +inf); the NaN-free rows still run the normal pipeline.
     nan_policy: str = "raise"
+    #: Vectorized engine only: fuse phases 2+3 into one in-place key sort
+    #: (:mod:`repro.core.fused`) instead of the paper-faithful separate
+    #: bucket-id / grouping / segmented-lexsort passes.  Output, ``sizes``
+    #: and ``offsets`` are identical either way (property-tested); the
+    #: fused path is the fast default, ``False`` keeps the phase
+    #: boundaries for ablations and sim cross-checks.
+    fuse_phases: bool = True
 
     NAN_POLICIES = ("raise", "sort_to_end")
 

@@ -1,0 +1,154 @@
+"""Fused phases 2+3 — the single-pass fast path of the vectorized engine.
+
+The paper-faithful vectorized pipeline runs four separate passes over the
+``(N, n)`` batch: a bucket-id pass (phase 2), a stable argsort +
+``take_along_axis`` grouping pass (phase 2's write-back), an
+``np.add.at`` scatter for the bucket sizes, and a final flat ``lexsort``
+keyed by ``(bucket segment, value)`` (phase 3).  That phase separation is
+what the simulator cross-checks, but on the host it is pure overhead:
+GPU Sample Sort (Leischner et al.) and GPU Multisplit (Ashkiani et al.)
+both win by *fusing* the bucket-id/scatter/sort passes into one key sort.
+
+This module is that fusion.  The load-bearing identity: within one row,
+the bucket id is a **non-decreasing function of the value** (bucket ``j``
+owns ``s_j <= x < s_{j+1}`` with sorted splitters), so the stable sort by
+the fused key ``(bucket_id, value)`` orders elements exactly as a sort by
+``value`` alone.  The whole phase-2 grouping + phase-3 segmented lexsort
+therefore collapses to **one in-place row sort** — and the per-element
+bucket ids (phase 2's boolean-cube broadcast in the unfused path) are
+never materialized at all.  The bucket metadata the pipeline still owes
+its callers (Definition 4's ``Z`` sizes, the exclusive-scan offsets) is
+recovered *after* the sort by locating each splitter inside its sorted
+row with a batched binary search: ``offsets[i, b] = #{x in row i : x <
+s_{b-1}}``, which equals the exclusive scan of the bincount over the
+fused ``row * p + bucket_id`` index the unfused path computes — the same
+numbers at O(N·q·log n) instead of O(N·n·q).
+
+:func:`searchsorted_rows` is the batched binary search (a row-wise
+``np.searchsorted`` with no Python-level per-row loop); it is shared with
+the unfused path's bucket-id computation (:mod:`repro.core.bucketing`)
+and with the payload-carrying pair sorter.
+
+Select the unfused, paper-faithful phase boundaries with
+``SortConfig(fuse_phases=False)`` — ablations and the sim cross-checks
+exercise them; equivalence is pinned by
+``tests/test_fused_equivalence.py`` (byte-identical batches, identical
+sizes/offsets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bucketing import BucketResult
+
+__all__ = ["searchsorted_rows", "bucket_ids_rows", "fused_bucket_sort"]
+
+
+def searchsorted_rows(a: np.ndarray, v: np.ndarray, side: str = "left") -> np.ndarray:
+    """Row-wise ``np.searchsorted``: insertion positions of ``v[i]`` in ``a[i]``.
+
+    ``a`` is ``(N, n)`` with every row sorted (non-decreasing); ``v`` is
+    ``(N, q)``.  Returns an int64 ``(N, q)`` matrix ``pos`` with
+    ``pos[i, k] == np.searchsorted(a[i], v[i, k], side=side)``.
+
+    Implemented as a vectorized binary search over the row axis —
+    ``ceil(log2(n)) + 1`` rounds of one gather + one compare on ``(N, q)``
+    state — so the cost is O(N·q·log n) with no Python-level per-row loop
+    and O(N·q) scratch.  This is the batched primitive the fused engine
+    uses to recover bucket offsets from sorted rows, and what replaces the
+    O(N·n·q) boolean-cube broadcast when roles are flipped
+    (:func:`bucket_ids_rows`).
+
+    >>> searchsorted_rows(np.array([[1., 3., 5.]]), np.array([[3., 6.]])).tolist()
+    [[1, 3]]
+    """
+    a = np.asarray(a)
+    v = np.asarray(v)
+    if a.ndim != 2 or v.ndim != 2:
+        raise ValueError("searchsorted_rows expects 2-D a and v")
+    if a.shape[0] != v.shape[0]:
+        raise ValueError(
+            f"row count mismatch: a has {a.shape[0]} rows, v has {v.shape[0]}"
+        )
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    n_rows, n = a.shape
+    lo = np.zeros(v.shape, dtype=np.int64)
+    if n == 0 or v.shape[1] == 0:
+        return lo
+    hi = np.full(v.shape, n, dtype=np.int64)
+    rows = np.arange(n_rows, dtype=np.int64)[:, None]
+    # Classic [lo, hi) bisection, all rows in lock step.  The loop bound
+    # is exact: every round halves hi - lo.
+    for _ in range(int(np.ceil(np.log2(n))) + 1 if n > 1 else 1):
+        active = lo < hi
+        if not np.any(active):
+            break
+        mid = (lo + hi) >> 1
+        # Converged lanes can sit at lo == hi == n; clamp their (unused)
+        # gather index and mask them out of the update.
+        picked = a[rows, np.minimum(mid, n - 1)]
+        go_right = (picked < v) if side == "left" else (picked <= v)
+        go_right &= active
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(go_right | ~active, hi, mid)
+    return lo
+
+
+def bucket_ids_rows(batch: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+    """Bucket id of every element: per-row searchsorted into the splitters.
+
+    The transpose of :func:`searchsorted_rows`'s usual orientation: here
+    the *splitters* ``(N, q)`` are the sorted rows searched, and every
+    batch element is a query.  ``side='right'`` counts splitters ``<= x``
+    — exactly the half-open ``s_j <= x < s_{j+1}`` bucket rule of
+    :func:`repro.core.bucketing.bucket_ids_for_row`, vectorized over the
+    whole batch at O(N·n·log q) instead of the O(N·n·q) boolean cube.
+
+    Returns int32 ids in ``[0, q]`` (``q + 1 == p`` buckets).
+    """
+    pos = searchsorted_rows(np.asarray(splitters), np.asarray(batch), side="right")
+    return pos.astype(np.int32, copy=False)
+
+
+def fused_bucket_sort(
+    work: np.ndarray, splitters: np.ndarray, num_buckets: int
+) -> BucketResult:
+    """Phases 2+3 in one pass: sort ``work`` rows in place, derive metadata.
+
+    The single stable key sort by ``(bucket_id, value)`` described above
+    degenerates to one in-place ``ndarray.sort(axis=1)`` (bucket id is
+    monotone in value), after which the bucket boundaries are recovered
+    with one batched binary search of the ``q`` splitters into each
+    sorted row.  Returns a :class:`~repro.core.bucketing.BucketResult`
+    whose ``bucketed`` aliases ``work`` (now fully sorted) and whose
+    ``sizes``/``offsets`` are element-identical to the unfused phase-2
+    output: ``offsets[i, b]`` = number of elements of row ``i`` strictly
+    below splitter ``b-1`` = the exclusive scan of the fused-index
+    bincount.
+    """
+    work = np.asarray(work)
+    if work.ndim != 2:
+        raise ValueError(f"expected (N, n) batch, got shape {work.shape}")
+    splitters = np.asarray(splitters)
+    n_rows, n = work.shape
+    p = int(num_buckets)
+    q = splitters.shape[1]
+    if q != p - 1:
+        raise ValueError(
+            f"splitter count {q} inconsistent with num_buckets {p}"
+        )
+
+    # The fused sort: one pass, in place, no per-element bucket ids.
+    work.sort(axis=1)
+
+    offsets = np.zeros((n_rows, p + 1), dtype=np.int64)
+    offsets[:, p] = n
+    if q:
+        # x == s_{b-1} belongs to bucket b-1's right neighbour's range
+        # start, i.e. bucket b starts at the first element >= s_{b-1}:
+        # side='left'.  Duplicate splitters yield empty buckets for free.
+        offsets[:, 1:p] = searchsorted_rows(work, splitters, side="left")
+    sizes = np.diff(offsets)
+    return BucketResult(bucketed=work, sizes=sizes, offsets=offsets)

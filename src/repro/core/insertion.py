@@ -23,7 +23,31 @@ from typing import MutableSequence
 
 import numpy as np
 
-__all__ = ["insertion_sort", "insertion_sort_inplace", "sort_buckets", "sort_buckets_rowwise"]
+__all__ = [
+    "insertion_sort",
+    "insertion_sort_inplace",
+    "segment_base",
+    "sort_buckets",
+    "sort_buckets_rowwise",
+]
+
+
+def segment_base(n_rows: int, num_buckets: int) -> np.ndarray:
+    """Global segment-id base per row: ``row * (p + 1)``, always int64.
+
+    The flat segmented lexsort of :func:`sort_buckets` keys every element
+    by ``row_base + bucket``; the product ``n_rows * (p + 1)`` overflows
+    int32 once the batch passes ~2·10⁹ segments (e.g. 2 M arrays at the
+    1024-bucket cap), which would silently interleave rows.  Computing the
+    base in int64 from the start makes the key space exact for any batch
+    that fits in memory — and on platforms where ``np.arange`` defaults to
+    int32 (Windows) this is the only correct choice, not an optimization.
+    """
+    if n_rows < 0:
+        raise ValueError(f"n_rows must be >= 0, got {n_rows}")
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    return np.arange(n_rows, dtype=np.int64) * np.int64(num_buckets + 1)
 
 
 def insertion_sort(values) -> list:
@@ -67,12 +91,14 @@ def sort_buckets(bucketed: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     p = offsets.shape[1] - 1
 
     # Segment id of each element: row-major bucket index. Rebuild it from
-    # offsets by marking bucket starts and cumsumming.
-    starts = np.zeros((n_rows, n + 1), dtype=np.int32)
-    row_idx = np.repeat(np.arange(n_rows), p)
+    # offsets by marking bucket starts and cumsumming.  int64 throughout:
+    # seg_global spans [0, n_rows * (p + 1)), past int32 for large batches
+    # (see segment_base).
+    starts = np.zeros((n_rows, n + 1), dtype=np.int64)
+    row_idx = np.repeat(np.arange(n_rows, dtype=np.int64), p)
     np.add.at(starts, (row_idx, offsets[:, :-1].ravel()), 1)
     seg_within_row = np.cumsum(starts[:, :n], axis=1)
-    seg_global = seg_within_row + (np.arange(n_rows)[:, None] * (p + 1))
+    seg_global = seg_within_row + segment_base(n_rows, p)[:, None]
 
     flat_vals = bucketed.ravel()
     flat_segs = seg_global.ravel()

@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from .bucketing import BucketResult, _batch_bucket_ids, exclusive_scan
+from .insertion import segment_base
 from .config import DEFAULT_CONFIG, SortConfig
 from .splitters import SplitterResult, select_splitters
 
@@ -80,7 +81,7 @@ def sort_pairs(
     spl = select_splitters(keys, config)
 
     # Phase 2: compute the stable bucket permutation once, apply to both.
-    ids = _batch_bucket_ids(keys, spl.splitters, row_chunk=512)
+    ids = _batch_bucket_ids(keys, spl.splitters)
     order = np.argsort(ids, axis=1, kind="stable")
     keys_b = np.take_along_axis(keys, order, axis=1)
     values_b = np.take_along_axis(values, order, axis=1)
@@ -96,12 +97,12 @@ def sort_pairs(
     # over the flattened batch, like repro.core.insertion.sort_buckets,
     # but carrying the value payload through the same permutation.
     n_rows, n = keys_b.shape
-    starts = np.zeros((n_rows, n + 1), dtype=np.int32)
-    row_idx = np.repeat(np.arange(n_rows), p)
+    starts = np.zeros((n_rows, n + 1), dtype=np.int64)
+    row_idx = np.repeat(np.arange(n_rows, dtype=np.int64), p)
     np.add.at(starts, (row_idx, offsets[:, :-1].ravel()), 1)
-    seg = np.cumsum(starts[:, :n], axis=1) + (
-        np.arange(n_rows)[:, None] * (p + 1)
-    )
+    # int64 segment ids: n_rows * (p + 1) overflows int32 at scale (see
+    # repro.core.insertion.segment_base).
+    seg = np.cumsum(starts[:, :n], axis=1) + segment_base(n_rows, p)[:, None]
 
     flat_keys = keys_b.ravel()
     flat_vals = values_b.ravel()

@@ -20,13 +20,20 @@ loops) lives in :mod:`repro.core.kernels`.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Optional
 
 import numpy as np
 
 from .config import DEFAULT_CONFIG, SortConfig
 
-__all__ = ["SplitterResult", "regular_sample_indices", "splitter_pick_indices", "select_splitters"]
+__all__ = [
+    "SplitterResult",
+    "clear_index_plan_cache",
+    "regular_sample_indices",
+    "splitter_pick_indices",
+    "select_splitters",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,6 +54,39 @@ class SplitterResult:
         return self.splitters.shape[1]
 
 
+@functools.lru_cache(maxsize=128)
+def _cached_sample_indices(n: int, size: int, stride: int) -> np.ndarray:
+    """Materialize one sample-index plan; cached, returned read-only.
+
+    Keyed on the primitive quantities (``n``, sample size, stride) rather
+    than the config object so two configs that derive the same plan share
+    one cache entry.  The array is frozen (``writeable=False``) because
+    every caller receives the *same* object.
+    """
+    idx = np.arange(size) * stride
+    idx = idx[idx < n]
+    idx.setflags(write=False)
+    return idx
+
+
+@functools.lru_cache(maxsize=128)
+def _cached_pick_indices(sample_size: int, num_buckets: int) -> np.ndarray:
+    """Materialize one splitter-pick plan; cached, returned read-only."""
+    q = num_buckets - 1
+    positions = np.round(
+        np.arange(1, q + 1) * sample_size / num_buckets
+    ).astype(np.int64)
+    positions = np.clip(positions, 0, sample_size - 1)
+    positions.setflags(write=False)
+    return positions
+
+
+def clear_index_plan_cache() -> None:
+    """Drop the cached phase-1 index plans (tests / memory pressure)."""
+    _cached_sample_indices.cache_clear()
+    _cached_pick_indices.cache_clear()
+
+
 def regular_sample_indices(n: int, config: SortConfig = DEFAULT_CONFIG) -> np.ndarray:
     """Column indices selected by regular sampling for arrays of size ``n``.
 
@@ -55,13 +95,14 @@ def regular_sample_indices(n: int, config: SortConfig = DEFAULT_CONFIG) -> np.nd
     batch, which is what makes the batch phase vectorizable — and, on real
     hardware, what makes the sample reads predictable.
 
+    Plans depend only on ``(n, sampling config)``, so repeated same-shape
+    sorts — every batch of a streaming session — hit a small keyed LRU
+    instead of recomputing.  The returned array is read-only (shared).
+
     >>> regular_sample_indices(10, SortConfig(sampling_rate=0.3)).tolist()
     [0, 3, 6]
     """
-    size = config.sample_size(n)
-    stride = config.sample_stride(n)
-    idx = np.arange(size) * stride
-    return idx[idx < n]
+    return _cached_sample_indices(n, config.sample_size(n), config.sample_stride(n))
 
 
 def splitter_pick_indices(sample_size: int, num_buckets: int) -> np.ndarray:
@@ -72,17 +113,16 @@ def splitter_pick_indices(sample_size: int, num_buckets: int) -> np.ndarray:
     positions ``round((j+1) * size / p)`` for ``j in [0, q)``, clipped into
     range, which is the regular-interval traversal the pseudocode
     describes and degrades gracefully when ``q`` approaches the sample
-    size.
+    size.  LRU-cached like :func:`regular_sample_indices`; the returned
+    array is read-only (shared).
     """
     if num_buckets < 1:
         raise ValueError("num_buckets must be >= 1")
-    q = num_buckets - 1
-    if q == 0:
+    if num_buckets == 1:
         return np.empty(0, dtype=np.int64)
     if sample_size < 1:
         raise ValueError("sample_size must be >= 1")
-    positions = np.round(np.arange(1, q + 1) * sample_size / num_buckets).astype(np.int64)
-    return np.clip(positions, 0, sample_size - 1)
+    return _cached_pick_indices(sample_size, num_buckets)
 
 
 def select_splitters(

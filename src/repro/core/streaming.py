@@ -117,6 +117,12 @@ class StreamingSorter:
         :class:`GpuArraySort`; pass a
         :class:`repro.resilience.ResilientSorter` to get retry/fallback
         behavior and quarantine-to-dead-letter instead of session aborts.
+    parallel / workers:
+        Sharded multicore execution for the default sorter (see
+        :mod:`repro.parallel`); ignored when an explicit ``sorter`` is
+        injected (configure that sorter directly instead).  Streaming
+        batches all share one shape, so the executor's shard plan and the
+        phase-1 index-plan cache are reused batch after batch.
     """
 
     def __init__(
@@ -129,6 +135,8 @@ class StreamingSorter:
         on_batch: Optional[Callable[[np.ndarray], None]] = None,
         dtype=None,
         sorter=None,
+        parallel=None,
+        workers: Optional[int] = None,
     ) -> None:
         if array_size < 1:
             raise ValueError("array_size must be >= 1")
@@ -152,7 +160,12 @@ class StreamingSorter:
         self.emitted_batch_ids: List[int] = []
         self.stats = StreamStats()
         self.dead_letters = None  # lazily a repro.resilience.DeadLetterQueue
-        self._sorter = sorter if sorter is not None else GpuArraySort(config)
+        if sorter is not None:
+            self._sorter = sorter
+        else:
+            self._sorter = GpuArraySort(
+                config, parallel=parallel, workers=workers
+            )
         self._staging = np.empty((self.batch_arrays, self.array_size), self.dtype)
         self._fill = 0
         self._next_batch_id = 0

@@ -1,0 +1,97 @@
+"""Shard planning: split an ``(N, n)`` batch into independent row ranges.
+
+GPU-ArraySort's three phases are all *per-row*: phase 1 samples and picks
+splitters within one array, phases 2+3 bucket and sort within one array.
+A row shard is therefore a complete, self-contained sub-problem — the
+sorted output and the per-row ``sizes``/``offsets`` metadata of a shard
+do not depend on which shard boundaries were chosen.  That property is
+what makes the sharded executors of :mod:`repro.parallel.executors`
+**deterministic**: any worker count produces byte-identical results.
+
+The planner's only real decisions are balance and granularity:
+
+* shards differ in size by at most one row (remainder rows go to the
+  leading shards), so no worker is left with a straggler shard;
+* ``min_rows_per_shard`` stops the plan from slicing tiny batches into
+  per-row crumbs where pool dispatch overhead would dominate — the same
+  reasoning the paper applies when it refuses complex phase-1 kernels for
+  tiny samples (§5.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Tuple
+
+__all__ = ["Shard", "ShardPlan", "plan_shards"]
+
+#: Default floor on shard granularity; below this the per-task overhead
+#: (future + pickle + attach) outweighs any overlap.
+DEFAULT_MIN_ROWS_PER_SHARD = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class Shard:
+    """Half-open row range ``[start, stop)`` owned by one worker task."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.stop - self.start
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"invalid shard range [{self.start}, {self.stop})")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """Ordered, disjoint, covering decomposition of ``num_rows`` rows."""
+
+    num_rows: int
+    shards: Tuple[Shard, ...]
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+def plan_shards(
+    num_rows: int,
+    workers: int,
+    *,
+    min_rows_per_shard: int = DEFAULT_MIN_ROWS_PER_SHARD,
+) -> ShardPlan:
+    """Deterministic row decomposition into at most ``workers`` shards.
+
+    Shard sizes differ by at most one row; the shard count is reduced
+    below ``workers`` when ``min_rows_per_shard`` would be violated.  A
+    zero-row batch yields an empty plan.
+
+    >>> [(s.start, s.stop) for s in plan_shards(10, 3, min_rows_per_shard=1)]
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if min_rows_per_shard < 1:
+        raise ValueError(
+            f"min_rows_per_shard must be >= 1, got {min_rows_per_shard}"
+        )
+    if num_rows < 0:
+        raise ValueError(f"num_rows must be >= 0, got {num_rows}")
+    if num_rows == 0:
+        return ShardPlan(num_rows=0, shards=())
+    count = min(workers, max(1, num_rows // min_rows_per_shard))
+    base, extra = divmod(num_rows, count)
+    shards = []
+    start = 0
+    for i in range(count):
+        stop = start + base + (1 if i < extra else 0)
+        shards.append(Shard(index=i, start=start, stop=stop))
+        start = stop
+    return ShardPlan(num_rows=num_rows, shards=tuple(shards))

@@ -118,6 +118,11 @@ class ResilientSorter:
     degeneracy_threshold:
         Fraction of duplicated splitters in a row that counts as
         degenerate.
+    parallel / workers:
+        Sharded multicore execution (see :mod:`repro.parallel`), applied
+        whenever the ``"vectorized"`` engine runs — as the primary or as
+        a fallback link.  Sharding is deterministic, so retries and
+        verification behave identically to serial execution.
     """
 
     def __init__(
@@ -132,6 +137,8 @@ class ResilientSorter:
         sleep: Optional[Callable[[float], None]] = time.sleep,
         max_resample_boosts: int = 2,
         degeneracy_threshold: float = 0.5,
+        parallel=None,
+        workers: Optional[int] = None,
     ) -> None:
         if engine not in _DEFAULT_CHAINS:
             raise ValueError(
@@ -158,6 +165,8 @@ class ResilientSorter:
         self.fallback_chain: Tuple[str, ...] = chain
         self.max_resample_boosts = int(max_resample_boosts)
         self.degeneracy_threshold = float(degeneracy_threshold)
+        self.parallel = parallel
+        self.workers = workers
         self._sleep = sleep
         #: Session-level roll-up across every :meth:`sort` call.
         self.stats = ResilienceStats()
@@ -297,7 +306,14 @@ class ResilientSorter:
         if engine == "numpy":
             # Host-side last resort: per-row np.sort, no device involved.
             return np.sort(rows, axis=1)
-        sorter = GpuArraySort(config, engine=engine, device=self.device)
+        sorter = GpuArraySort(
+            config,
+            engine=engine,
+            device=self.device,
+            # Sharded execution only exists for the vectorized engine.
+            parallel=self.parallel if engine == "vectorized" else None,
+            workers=self.workers,
+        )
         return sorter.sort(rows).batch
 
     def _resample_if_degenerate(

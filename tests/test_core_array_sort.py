@@ -92,7 +92,16 @@ class TestVectorizedEngine:
         assert np.array_equal(out, np.sort(batch, axis=1))
 
     def test_phase_timings_populated(self):
+        # The default (fused) engine collapses phases 2+3 into one pass.
         res = GpuArraySort().sort(uniform_arrays(50, 200, seed=1))
+        assert set(res.phase_seconds) == {
+            "phase1_splitters", "phase23_fused",
+        }
+        assert res.total_seconds >= 0
+
+    def test_phase_timings_populated_unfused(self):
+        cfg = SortConfig(fuse_phases=False)
+        res = GpuArraySort(cfg).sort(uniform_arrays(50, 200, seed=1))
         assert set(res.phase_seconds) == {
             "phase1_splitters", "phase2_bucketing", "phase3_sorting",
         }

@@ -148,3 +148,64 @@ class TestBucketize:
         spl = select_splitters(small_batch)
         res = bucketize(small_batch.copy(), spl.splitters)
         assert res.max_bucket_size() == int(res.sizes.max())
+
+
+class TestAdaptiveRowChunk:
+    """Satellite: the bucket-id pass sizes its own chunks from n*q."""
+
+    def test_budget_bound_respected(self):
+        from repro.core.bucketing import adaptive_row_chunk
+
+        chunk = adaptive_row_chunk(1000, 49, budget=1 << 20)
+        assert chunk == (1 << 20) // (1000 * 49) == 21
+        # The chosen chunk's scratch never exceeds the budget.
+        assert chunk * 1000 * 49 <= 1 << 20
+
+    def test_clamped_to_one_row_minimum(self):
+        from repro.core.bucketing import adaptive_row_chunk
+
+        assert adaptive_row_chunk(10**6, 10**4, budget=1) == 1
+
+    def test_zero_splitters_treated_as_one(self):
+        from repro.core.bucketing import adaptive_row_chunk
+
+        assert adaptive_row_chunk(100, 0, budget=1000) == 10
+
+    def test_default_budget_constant(self):
+        from repro.core.bucketing import (
+            BUCKETIZE_ELEMENT_BUDGET,
+            adaptive_row_chunk,
+        )
+
+        assert adaptive_row_chunk(1000, 49) == (
+            BUCKETIZE_ELEMENT_BUDGET // (1000 * 49)
+        )
+
+    def test_rejects_empty_rows(self):
+        from repro.core.bucketing import adaptive_row_chunk
+
+        with pytest.raises(ValueError):
+            adaptive_row_chunk(0, 5)
+
+    def test_bucketize_adaptive_equals_explicit_chunks(self, rng):
+        batch = rng.uniform(0, 100, (80, 300)).astype(np.float32)
+        from repro.core.splitters import select_splitters
+
+        spl = select_splitters(batch)
+        auto = bucketize(batch.copy(), spl.splitters)  # row_chunk=None
+        explicit = bucketize(batch.copy(), spl.splitters, row_chunk=7)
+        assert np.array_equal(auto.bucketed, explicit.bucketed)
+        assert np.array_equal(auto.sizes, explicit.sizes)
+
+    def test_binary_search_strategy_matches_cube(self, rng):
+        # Force many splitters (> _CUBE_MAX_SPLITTERS) so the searchsorted
+        # strategy runs, and cross-check against the scalar rule.
+        from repro.core.bucketing import bucket_ids_for_row, _batch_bucket_ids
+
+        batch = rng.uniform(0, 100, (15, 400)).astype(np.float64)
+        splitters = np.sort(rng.uniform(0, 100, (15, 19)), axis=1)
+        ids = _batch_bucket_ids(batch, splitters)
+        for i in range(15):
+            assert np.array_equal(
+                ids[i], bucket_ids_for_row(batch[i], splitters[i])
+            )

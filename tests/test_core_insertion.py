@@ -111,3 +111,50 @@ class TestSortBuckets:
         a = sort_buckets(row.copy(), offsets)
         b = sort_buckets_rowwise(row.copy(), offsets)
         assert np.array_equal(a, b)
+
+
+class TestSegmentBase:
+    """int64 segment ids: the int32-overflow regression pin.
+
+    With int32 ids, ``row * (p + 1)`` wraps once ``n_rows * (p + 1)``
+    exceeds 2**31 — silently corrupting the flat lexsort segments for
+    large batches.  ``segment_base`` must therefore be int64 regardless
+    of platform default (Windows ``np.arange`` is int32).
+    """
+
+    def test_dtype_is_int64(self):
+        from repro.core.insertion import segment_base
+
+        base = segment_base(10, 4)
+        assert base.dtype == np.int64
+        assert base.tolist() == [0, 5, 10, 15, 20, 25, 30, 35, 40, 45]
+
+    def test_values_beyond_int32_range(self):
+        from repro.core.insertion import segment_base
+
+        # 2**21 rows x (2**11 - 1 + 1) segments/row = 2**32 segment ids:
+        # far past int32 without materializing any batch data.
+        n_rows, p = 2**21, 2**11 - 1
+        base = segment_base(n_rows, p)
+        assert base.dtype == np.int64
+        expected_last = (n_rows - 1) * (p + 1)
+        assert int(base[-1]) == expected_last
+        assert expected_last > np.iinfo(np.int32).max
+        assert np.all(np.diff(base) == p + 1)
+
+    def test_validation(self):
+        from repro.core.insertion import segment_base
+
+        with pytest.raises(ValueError):
+            segment_base(-1, 2)
+        with pytest.raises(ValueError):
+            segment_base(3, 0)
+
+    def test_sort_buckets_offsets_stay_int64(self, rng):
+        """The full phase-3 path keeps its segment math in int64."""
+        batch = rng.uniform(0, 100, (5, 60)).astype(np.float32)
+        spl = select_splitters(batch)
+        res = bucketize(batch, spl.splitters, out=batch)
+        assert res.offsets.dtype == np.int64
+        sort_buckets(batch, res.offsets)
+        assert np.array_equal(batch, np.sort(batch, axis=1))

@@ -126,3 +126,62 @@ class TestSelectSplitters:
     def test_samples_sorted_ascending(self, small_batch):
         res = select_splitters(small_batch)
         assert np.all(np.diff(res.samples_sorted, axis=1) >= 0)
+
+
+class TestIndexPlanCache:
+    """Phase-1 index plans are pure functions of (n, config) — cache them."""
+
+    def setup_method(self):
+        from repro.core.splitters import clear_index_plan_cache
+
+        clear_index_plan_cache()
+
+    def test_sample_indices_cached_and_read_only(self):
+        from repro.core.splitters import _cached_sample_indices
+
+        a = regular_sample_indices(1000)
+        b = regular_sample_indices(1000)
+        assert a is b  # same cached plan object
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 99
+        assert _cached_sample_indices.cache_info().hits >= 1
+
+    def test_pick_indices_cached_and_read_only(self):
+        from repro.core.splitters import _cached_pick_indices
+
+        a = splitter_pick_indices(100, 5)
+        b = splitter_pick_indices(100, 5)
+        assert a is b
+        assert not a.flags.writeable
+        assert _cached_pick_indices.cache_info().hits >= 1
+
+    def test_distinct_configs_get_distinct_plans(self):
+        a = regular_sample_indices(1000, SortConfig(sampling_rate=0.1))
+        b = regular_sample_indices(1000, SortConfig(sampling_rate=0.2))
+        assert a is not b
+        assert len(b) > len(a)
+
+    def test_clear_resets_cache(self):
+        from repro.core.splitters import (
+            _cached_sample_indices,
+            clear_index_plan_cache,
+        )
+
+        regular_sample_indices(500)
+        assert _cached_sample_indices.cache_info().currsize >= 1
+        clear_index_plan_cache()
+        assert _cached_sample_indices.cache_info().currsize == 0
+
+    def test_cached_plans_unchanged_semantics(self):
+        # Cached results must equal a fresh computation element-for-element.
+        idx = regular_sample_indices(777)
+        assert idx.dtype == np.int64
+        assert np.all(idx < 777)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_validation_still_raises_outside_cache(self):
+        with pytest.raises(ValueError):
+            splitter_pick_indices(100, 0)
+        with pytest.raises(ValueError):
+            splitter_pick_indices(0, 5)

@@ -192,6 +192,7 @@ class TestVerifyCatchesCorruption:
     def test_verify_detects_a_buggy_pipeline(self, monkeypatch, rng):
         """Force a wrong result through and confirm verify=True trips."""
         from repro.core import array_sort
+        from repro.core.config import SortConfig
         from repro.core.validation import ValidationFailure
 
         def corrupt_sort_buckets(bucketed, offsets):
@@ -199,6 +200,23 @@ class TestVerifyCatchesCorruption:
             return bucketed
 
         monkeypatch.setattr(array_sort, "sort_buckets", corrupt_sort_buckets)
+        batch = rng.uniform(10, 20, (4, 60)).astype(np.float32)
+        with pytest.raises(ValidationFailure):
+            GpuArraySort(SortConfig(fuse_phases=False), verify=True).sort(batch)
+
+    def test_verify_detects_a_buggy_fused_pipeline(self, monkeypatch, rng):
+        """Same trap for the fused fast path."""
+        from repro.core import fused
+        from repro.core.validation import ValidationFailure
+
+        real = fused.fused_bucket_sort
+
+        def corrupt_fused(work, splitters, num_buckets):
+            result = real(work, splitters, num_buckets)
+            work[:, 0] = -1.0  # invent data
+            return result
+
+        monkeypatch.setattr(fused, "fused_bucket_sort", corrupt_fused)
         batch = rng.uniform(10, 20, (4, 60)).astype(np.float32)
         with pytest.raises(ValidationFailure):
             GpuArraySort(verify=True).sort(batch)
