@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-resilience bench bench-claims bench-smoke bench-gate bench-hotpath report examples figures table1 clean
+.PHONY: install test test-resilience bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate report examples figures table1 clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,7 +19,7 @@ bench:
 bench-claims:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -s
 
-# Tiny grid + schema self-check; finishes in seconds.
+# Tiny grid + v2 schema self-check (incl. the planner column); seconds.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid smoke \
 		--repeats 2 --out BENCH_hotpath_smoke.json
@@ -27,17 +27,24 @@ bench-smoke:
 		--check-schema BENCH_hotpath_smoke.json
 
 # Perf-regression gate: fails if the fused path is slower than the
-# unfused path anywhere on the reference grid.
+# unfused path anywhere on the reference grid, or if the adaptive
+# planner misses the best static engine by more than 10%.
 bench-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid reference \
-		--repeats 3 --gate --out BENCH_hotpath.json
+		--repeats 3 --gate --gate-planner --out BENCH_hotpath.json
+
+# Planner-only gate on the reference grid: the adaptive planner must be
+# within 10% of the best static engine on every cell.
+planner-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid reference \
+		--repeats 3 --gate-planner
 
 # Full artifact including the paper's Fig. 4 anchor (N=1e5, n=1000,
 # float32); several minutes — this is what the committed
 # BENCH_hotpath.json was produced with.
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid fig4 \
-		--repeats 3 --gate --out BENCH_hotpath.json
+		--repeats 3 --gate --gate-planner --out BENCH_hotpath.json
 
 report:
 	$(PYTHON) -m repro report

@@ -1,32 +1,39 @@
 #!/usr/bin/env python
-"""Hot-path perf harness: fused vs unfused, serial vs sharded.
+"""Hot-path perf harness: fused vs unfused, serial vs sharded vs planned.
 
-Standalone (no pytest-benchmark): measures the vectorized engine's two
-code paths over a dtype × (N, n) grid and emits ``BENCH_hotpath.json``
-(schema ``bench-hotpath/v1``) — the artifact ``make bench-gate`` checks.
+Standalone (no pytest-benchmark): measures the vectorized engine's code
+paths over a dtype × (N, n) grid and emits ``BENCH_hotpath.json``
+(schema ``bench-hotpath/v2``) — the artifact ``make bench-gate`` checks.
 
-Grids
+Engines measured per cell
+-------------------------
+``fused``    serial vectorized, phases 2+3 fused (the default);
+``unfused``  serial vectorized, paper-faithful separate phases;
+``sharded``  ThreadPoolEngine row shards;
+``planner``  adaptive :class:`repro.planner.ExecutionPlanner` choosing
+             the engine per batch shape (warmed up before timing so its
+             exploration repeats are excluded).
+
+All engines are measured round-robin *within* each repeat so slow drifts
+in host load (thermal, cache, sibling processes) wash out across engines
+instead of biasing whichever engine was measured last.
+
+Gates
 -----
-``smoke``      tiny shapes, finishes in seconds — schema/plumbing check
-               (``make bench-smoke``);
-``reference``  the gate grid: mid-size shapes where both paths finish
-               quickly enough to repeat (``make bench-gate``);
-``fig4``       the paper's Fig. 4 anchor config — N=100000, n=1000,
-               float32 — plus the reference grid (used to produce the
-               committed ``BENCH_hotpath.json``).
-
-Gate
-----
 ``--gate`` exits non-zero unless the fused path is at least
 ``--min-speedup``× (default 1.0 — "fused must never be slower") faster
-than the unfused path on **every** grid cell.  The committed artifact
-additionally records the Fig. 4 fused-vs-unfused speedup, pinned ≥ 2 by
+than the unfused path on **every** grid cell.  ``--gate-planner`` exits
+non-zero unless the planner lands within ``--planner-tolerance`` (default
+1.10×) of the best static engine on **every** cell — since the fused
+serial engine is one of the static candidates, this also bounds the
+planner against serial.  The committed artifact additionally records the
+Fig. 4 fused-vs-unfused speedup, pinned ≥ 2 by
 ``tests/test_bench_hotpath.py``.
 
 Usage
 -----
     PYTHONPATH=src python benchmarks/bench_hotpath.py --grid smoke
-    PYTHONPATH=src python benchmarks/bench_hotpath.py --grid reference --gate
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --grid reference --gate --gate-planner
     PYTHONPATH=src python benchmarks/bench_hotpath.py --grid fig4 --out BENCH_hotpath.json
     PYTHONPATH=src python benchmarks/bench_hotpath.py --check-schema BENCH_hotpath.json
 """
@@ -50,8 +57,15 @@ if str(_SRC) not in sys.path:
 import numpy as np
 
 from repro.core import GpuArraySort, SortConfig
+from repro.planner import ExecutionPlanner
 
-SCHEMA = "bench-hotpath/v1"
+SCHEMA = "bench-hotpath/v2"
+DEFAULT_PLANNER_TOLERANCE = 1.10
+# Fixed per-sort planning cost (plan lookup + timing + EMA update) is
+# ~50 us; on sub-millisecond cells that fixed cost dwarfs the 10%
+# relative tolerance, so the gate allows it as an absolute slack.
+DEFAULT_PLANNER_SLACK_MS = 0.25
+DEFAULT_PLANNER_WARMUP = 4
 
 # (name, dtype, N, n) cells.  Shapes chosen so the unfused path stays
 # tractable on one host core — the fused/unfused ratio, not absolute
@@ -79,6 +93,8 @@ GRIDS = {
     ],
 }
 
+STATIC_ENGINES = ("fused", "unfused", "sharded")
+
 
 def _make_batch(dtype: str, num_arrays: int, array_size: int) -> np.ndarray:
     rng = np.random.default_rng(20160814)  # the paper's year+venue, fixed
@@ -87,34 +103,66 @@ def _make_batch(dtype: str, num_arrays: int, array_size: int) -> np.ndarray:
     return rng.integers(0, 2**30, (num_arrays, array_size)).astype(dtype)
 
 
-def _median_ms(sorter: GpuArraySort, batch: np.ndarray, repeats: int):
-    """Median wall ms per repeat, plus median per-phase ms."""
-    totals, phases = [], []
+def _measure_round_robin(sorters: dict, batch: np.ndarray, repeats: int):
+    """Median wall ms + median per-phase ms per engine, interleaved.
+
+    Each repeat times every engine once before moving to the next repeat,
+    so host-load drift hits all engines equally.  Returns
+    ``{key: (median_ms, median_phase_ms, last_result)}``.
+    """
+    totals = {key: [] for key in sorters}
+    phases = {key: [] for key in sorters}
+    last = {}
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = sorter.sort(batch)  # sort() copies; batch is reusable
-        totals.append((time.perf_counter() - t0) * 1e3)
-        phases.append({k: v * 1e3 for k, v in result.phase_seconds.items()})
-    median_phases = {
-        key: statistics.median(p[key] for p in phases) for key in phases[0]
-    }
-    return statistics.median(totals), median_phases
+        for key, sorter in sorters.items():
+            t0 = time.perf_counter()
+            result = sorter.sort(batch)  # sort() copies; batch is reusable
+            totals[key].append((time.perf_counter() - t0) * 1e3)
+            phases[key].append(
+                {k: v * 1e3 for k, v in result.phase_seconds.items()}
+            )
+            last[key] = result
+    out = {}
+    for key in sorters:
+        # The planner may switch engines between repeats; median over the
+        # repeats that actually ran each phase (keyed off the last repeat).
+        keys = phases[key][-1].keys()
+        median_phases = {
+            k: statistics.median(p[k] for p in phases[key] if k in p)
+            for k in keys
+        }
+        out[key] = (statistics.median(totals[key]), median_phases, last[key])
+    return out
 
 
-def run_grid(grid: str, repeats: int, workers: int) -> dict:
+def run_grid(grid: str, repeats: int, workers: int,
+             planner_warmup: int = DEFAULT_PLANNER_WARMUP) -> dict:
     cells = GRIDS[grid]
     results = []
+    # One planner for the whole grid: calibration runs once and per-shape
+    # observations never collide (shape-class keys).  cache_path=None keeps
+    # benchmark runs hermetic — nothing read from or written to the user's
+    # planner cache.
+    planner = ExecutionPlanner(cache_path=None)
     for name, dtype, num_arrays, array_size in cells:
         batch = _make_batch(dtype, num_arrays, array_size)
-        fused_ms, fused_phases = _median_ms(
-            GpuArraySort(SortConfig(fuse_phases=True)), batch, repeats
-        )
-        unfused_ms, unfused_phases = _median_ms(
-            GpuArraySort(SortConfig(fuse_phases=False)), batch, repeats
-        )
-        sharded_ms, _ = _median_ms(
-            GpuArraySort(parallel="thread", workers=workers), batch, repeats
-        )
+        sorters = {
+            "fused": GpuArraySort(SortConfig(fuse_phases=True)),
+            "unfused": GpuArraySort(SortConfig(fuse_phases=False)),
+            "sharded": GpuArraySort(parallel="thread", workers=workers),
+            "planner": GpuArraySort(planner=planner),
+        }
+        # Warm the planner so its exploration of candidate engines (and
+        # the one-time host calibration) happens outside the timed region.
+        for _ in range(max(0, planner_warmup)):
+            sorters["planner"].sort(batch)
+        measured = _measure_round_robin(sorters, batch, repeats)
+        fused_ms, fused_phases, _ = measured["fused"]
+        unfused_ms, unfused_phases, _ = measured["unfused"]
+        sharded_ms, _, _ = measured["sharded"]
+        planner_ms, planner_phases, planner_result = measured["planner"]
+        plan = getattr(planner_result, "execution_plan", None)
+        best_static_ms = min(fused_ms, unfused_ms, sharded_ms)
         results.append(
             {
                 "name": name,
@@ -125,16 +173,23 @@ def run_grid(grid: str, repeats: int, workers: int) -> dict:
                 "fused_ms": fused_ms,
                 "unfused_ms": unfused_ms,
                 "sharded_ms": sharded_ms,
+                "planner_ms": planner_ms,
                 "fused_phase_ms": fused_phases,
                 "unfused_phase_ms": unfused_phases,
+                "planner_phase_ms": planner_phases,
+                "planner_engine": plan.engine if plan is not None else "serial",
+                "planner_plan_source": plan.source if plan is not None else "",
                 "speedup_fused_vs_unfused": unfused_ms / fused_ms,
                 "speedup_sharded_vs_serial": fused_ms / sharded_ms,
+                "planner_vs_best_static": planner_ms / best_static_ms,
             }
         )
         print(
             f"  {name:16s} {dtype:8s} N={num_arrays:<7d} n={array_size:<5d}"
             f"  fused {fused_ms:9.1f} ms  unfused {unfused_ms:9.1f} ms"
-            f"  ({unfused_ms / fused_ms:.1f}x)",
+            f"  ({unfused_ms / fused_ms:.1f}x)"
+            f"  planner {planner_ms:9.1f} ms"
+            f" [{results[-1]['planner_engine']}]",
             flush=True,
         )
     speedups = [r["speedup_fused_vs_unfused"] for r in results]
@@ -142,6 +197,7 @@ def run_grid(grid: str, repeats: int, workers: int) -> dict:
         "schema": SCHEMA,
         "grid": grid,
         "workers": workers,
+        "planner_warmup": planner_warmup,
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
@@ -154,6 +210,9 @@ def run_grid(grid: str, repeats: int, workers: int) -> dict:
             "fused_vs_unfused_median": statistics.median(speedups),
             "sharded_vs_serial_median": statistics.median(
                 r["speedup_sharded_vs_serial"] for r in results
+            ),
+            "planner_vs_best_static_max": max(
+                r["planner_vs_best_static"] for r in results
             ),
         },
     }
@@ -177,16 +236,20 @@ def check_schema(report: dict) -> list:
         "fused_ms": (int, float),
         "unfused_ms": (int, float),
         "sharded_ms": (int, float),
+        "planner_ms": (int, float),
         "fused_phase_ms": dict,
         "unfused_phase_ms": dict,
+        "planner_phase_ms": dict,
+        "planner_engine": str,
         "speedup_fused_vs_unfused": (int, float),
         "speedup_sharded_vs_serial": (int, float),
+        "planner_vs_best_static": (int, float),
     }
     for i, cell in enumerate(results):
         for key, typ in required.items():
             if not isinstance(cell.get(key), typ):
                 errors.append(f"results[{i}].{key} missing or not {typ}")
-        for key in ("fused_ms", "unfused_ms", "sharded_ms"):
+        for key in ("fused_ms", "unfused_ms", "sharded_ms", "planner_ms"):
             value = cell.get(key)
             if isinstance(value, (int, float)) and value <= 0:
                 errors.append(f"results[{i}].{key} must be > 0")
@@ -198,15 +261,17 @@ def check_schema(report: dict) -> list:
             "fused_vs_unfused_min",
             "fused_vs_unfused_median",
             "sharded_vs_serial_median",
+            "planner_vs_best_static_max",
         ):
             if not isinstance(speedups.get(key), (int, float)):
                 errors.append(f"speedups.{key} missing or non-numeric")
-    if "gate" in report:
-        gate = report["gate"]
-        if not isinstance(gate, dict) or not isinstance(
-            gate.get("passed"), bool
-        ):
-            errors.append("gate must be a dict with a boolean 'passed'")
+    for block in ("gate", "planner_gate"):
+        if block in report:
+            gate = report[block]
+            if not isinstance(gate, dict) or not isinstance(
+                gate.get("passed"), bool
+            ):
+                errors.append(f"{block} must be a dict with a boolean 'passed'")
     return errors
 
 
@@ -226,6 +291,36 @@ def apply_gate(report: dict, min_speedup: float) -> bool:
     return not failures
 
 
+def apply_planner_gate(report: dict, tolerance: float,
+                       slack_ms: float = DEFAULT_PLANNER_SLACK_MS) -> bool:
+    """Planner must be within ``tolerance``× (+ ``slack_ms``) of the best
+    static engine.
+
+    The fused serial engine is one of the static candidates, so passing
+    this gate also guarantees the planner is never materially slower than
+    the serial path.  ``slack_ms`` absorbs the fixed per-sort planning
+    cost, which is invisible at reference scale but dominates cells that
+    finish in well under a millisecond.
+    """
+    failures = []
+    for r in report["results"]:
+        best = min(r[f"{engine}_ms"] for engine in STATIC_ENGINES)
+        if r["planner_ms"] > tolerance * best + slack_ms:
+            failures.append(
+                f"{r['name']}: planner {r['planner_ms']:.1f} ms "
+                f"[{r['planner_engine']}] vs best static {best:.1f} ms "
+                f"({r['planner_ms'] / best:.2f}x > {tolerance:.2f}x "
+                f"+ {slack_ms:.2f} ms)"
+            )
+    report["planner_gate"] = {
+        "tolerance": tolerance,
+        "slack_ms": slack_ms,
+        "passed": not failures,
+        "failures": failures,
+    }
+    return not failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--grid", choices=sorted(GRIDS), default="reference")
@@ -234,12 +329,30 @@ def main(argv=None) -> int:
         "--workers", type=int, default=0,
         help="thread workers for the sharded column (0 = cpu count)",
     )
+    parser.add_argument(
+        "--planner-warmup", type=int, default=DEFAULT_PLANNER_WARMUP,
+        help="untimed planner repeats per cell so engine exploration and "
+             "host calibration settle before measurement",
+    )
     parser.add_argument("--out", type=Path, default=None)
     parser.add_argument(
         "--gate", action="store_true",
         help="exit 1 if fused is slower than --min-speedup x unfused anywhere",
     )
     parser.add_argument("--min-speedup", type=float, default=1.0)
+    parser.add_argument(
+        "--gate-planner", action="store_true",
+        help="exit 1 if the planner exceeds --planner-tolerance x the best "
+             "static engine on any cell",
+    )
+    parser.add_argument(
+        "--planner-tolerance", type=float, default=DEFAULT_PLANNER_TOLERANCE,
+    )
+    parser.add_argument(
+        "--planner-slack-ms", type=float, default=DEFAULT_PLANNER_SLACK_MS,
+        help="absolute allowance on top of the relative tolerance, "
+             "covering fixed planning overhead on sub-millisecond cells",
+    )
     parser.add_argument(
         "--check-schema", type=Path, metavar="JSON",
         help="validate an existing report file and exit (no benchmarking)",
@@ -256,9 +369,15 @@ def main(argv=None) -> int:
 
     workers = args.workers or (os.cpu_count() or 1)
     print(f"bench_hotpath grid={args.grid} repeats={args.repeats} "
-          f"workers={workers}", flush=True)
-    report = run_grid(args.grid, max(1, args.repeats), workers)
+          f"workers={workers} planner_warmup={args.planner_warmup}",
+          flush=True)
+    report = run_grid(args.grid, max(1, args.repeats), workers,
+                      planner_warmup=args.planner_warmup)
     ok = apply_gate(report, args.min_speedup) if args.gate else True
+    if args.gate_planner:
+        ok = apply_planner_gate(
+            report, args.planner_tolerance, args.planner_slack_ms
+        ) and ok
 
     errors = check_schema(report)
     if errors:  # self-check: the emitter must satisfy its own schema
@@ -277,8 +396,14 @@ def main(argv=None) -> int:
         gate = report["gate"]
         for failure in gate["failures"]:
             print(f"GATE FAIL: {failure}", file=sys.stderr)
-        print(f"gate: {'passed' if ok else 'FAILED'} "
+        print(f"gate: {'passed' if gate['passed'] else 'FAILED'} "
               f"(min_speedup={gate['min_speedup']})")
+    if args.gate_planner:
+        gate = report["planner_gate"]
+        for failure in gate["failures"]:
+            print(f"PLANNER GATE FAIL: {failure}", file=sys.stderr)
+        print(f"planner gate: {'passed' if gate['passed'] else 'FAILED'} "
+              f"(tolerance={gate['tolerance']})")
     return 0 if ok else 1
 
 

@@ -34,10 +34,13 @@ from .core import (
     top_k,
 )
 from .gpusim.faults import FaultPlan
+from .planner import ExecutionPlan, ExecutionPlanner, StaticPlanner
 from .resilience import ResilienceStats, ResilientSorter
 
 __all__ = [
     "DEFAULT_CONFIG",
+    "ExecutionPlan",
+    "ExecutionPlanner",
     "FaultPlan",
     "GpuArraySort",
     "PairSortResult",
@@ -45,6 +48,7 @@ __all__ = [
     "ResilientSorter",
     "SortConfig",
     "SortResult",
+    "StaticPlanner",
     "__version__",
     "sort_arrays",
     "sort_pairs",

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the paper-faithful separate phase 2/3 passes instead of "
              "the fused single-pass engine",
     )
+    p_sort.add_argument(
+        "--planner", choices=["auto", "fused", "sharded"], default=None,
+        help="adaptive per-batch engine planning (vectorized engine only; "
+             "mutually exclusive with --workers): 'auto' learns the best "
+             "engine per batch shape, 'fused'/'sharded' force one",
+    )
 
     p_fig = sub.add_parser("figures", help="print model-reproduced figure series")
     p_fig.add_argument(
@@ -208,9 +214,21 @@ def _cmd_sort(args) -> int:
             print("--workers applies to the vectorized engine only",
                   file=sys.stderr)
             return 2
+        if args.planner is not None:
+            if args.engine != "vectorized":
+                print("--planner applies to the vectorized engine only",
+                      file=sys.stderr)
+                return 2
+            if parallel is not None:
+                print("--planner and --workers are mutually exclusive: the "
+                      "planner chooses the engine (use --planner sharded to "
+                      "force sharded execution)", file=sys.stderr)
+                return 2
         sorter = GpuArraySort(
-            config, engine=args.engine, parallel=parallel,
+            config, engine=args.engine,
+            parallel=parallel if args.planner is None else None,
             workers=args.workers or None,
+            planner=args.planner,
         )
         result = sorter.sort(batch)
         out = result.batch
@@ -229,6 +247,13 @@ def _cmd_sort(args) -> int:
                   f"({info['shards']} shards"
                   + (", fell back to serial)" if info["fell_back_to_serial"]
                      else ")"))
+        plan = getattr(result, "execution_plan", None)
+        if plan is not None:
+            print(f"  planner: chose {plan.engine} "
+                  f"(source={plan.source}, predicted {plan.predicted_ms:.1f} ms)")
+            # One-shot process: flush observations below the autosave
+            # threshold so the next invocation warm-starts from them.
+            sorter.planner.save()
         if result.modeled_ms is not None:
             print(f"  modeled device time: {result.modeled_ms:.1f} ms")
     elif args.technique == "sta":

@@ -46,12 +46,15 @@ from .insertion import (
     sort_buckets_rowwise,
 )
 from .splitters import (
+    INDEX_PLAN_CACHE_MAXSIZE,
     SplitterResult,
     clear_index_plan_cache,
+    index_plan_cache_info,
     regular_sample_indices,
     select_splitters,
     splitter_pick_indices,
 )
+from .workspace import ScratchArena, WorkspaceStats, find_shared_slab
 from .validation import (
     ValidationFailure,
     assert_batch_sorted,
@@ -80,9 +83,14 @@ __all__ = [
     "top_k_via_sort",
     "tune_config",
     "GpuArraySort",
+    "INDEX_PLAN_CACHE_MAXSIZE",
+    "ScratchArena",
     "SortConfig",
     "SortResult",
     "SplitterResult",
+    "WorkspaceStats",
+    "find_shared_slab",
+    "index_plan_cache_info",
     "ValidationFailure",
     "adaptive_row_chunk",
     "assert_batch_sorted",

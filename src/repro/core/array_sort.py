@@ -65,6 +65,11 @@ class SortResult:
     for the vectorized engine; ``reports`` holds gpusim launch reports for
     the sim engine; ``modeled_ms`` holds the cost-model prediction for
     sim/model engines.
+
+    ``scratch=True`` marks a result whose ``batch`` (and metadata
+    arrays) live in the sorter's :class:`~repro.core.workspace.ScratchArena`
+    — valid until the sorter's **next** ``sort`` call.  Callers that
+    retain such a result across sorts must copy what they keep.
     """
 
     batch: np.ndarray
@@ -73,6 +78,7 @@ class SortResult:
     phase_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
     reports: Optional[object] = None  # PipelineReport for engine="sim"
     modeled_ms: Optional[float] = None
+    scratch: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -108,6 +114,22 @@ class GpuArraySort:
         deterministic regardless of worker count.
     workers:
         Worker count for ``parallel``; defaults to the machine's cores.
+    planner:
+        Adaptive per-batch engine choice (vectorized engine only, and
+        mutually exclusive with ``parallel`` — a planner *is* a dispatch
+        policy).  ``"auto"`` uses the process-wide
+        :class:`~repro.planner.ExecutionPlanner` (cost-model seeded,
+        refined online from observed batch timings); ``"fused"`` /
+        ``"sharded"`` force one engine via
+        :class:`~repro.planner.StaticPlanner`; a planner instance passes
+        through.  Implies a scratch arena (see ``workspace``).
+    workspace:
+        Scratch arena for zero-allocation steady-state sorting:
+        ``None`` + no planner keeps legacy per-call allocations; a
+        :class:`~repro.core.workspace.ScratchArena` instance (or
+        ``True`` for a private one) pools the work copy, phase-1
+        staging, and fused metadata.  Arena-backed results are marked
+        ``scratch=True`` — valid until this sorter's next ``sort``.
     """
 
     ENGINES = ("vectorized", "sim", "model")
@@ -122,6 +144,8 @@ class GpuArraySort:
         sampler=None,
         parallel=None,
         workers: Optional[int] = None,
+        planner=None,
+        workspace=None,
     ) -> None:
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
@@ -140,9 +164,43 @@ class GpuArraySort:
                     "parallel execution requires engine='vectorized' "
                     f"(got engine={engine!r})"
                 )
+            if planner is not None:
+                raise ValueError(
+                    "planner and parallel are mutually exclusive: the "
+                    "planner chooses the execution engine per batch; pass "
+                    "planner='sharded' to force sharded execution"
+                )
             from ..parallel import resolve_executor  # local: optional subsystem
 
             self._executor = resolve_executor(parallel, workers=workers)
+        self._planner = None
+        if planner is not None:
+            if engine != "vectorized":
+                raise ValueError(
+                    "planner requires engine='vectorized' "
+                    f"(got engine={engine!r})"
+                )
+            from ..planner import resolve_planner  # local: optional subsystem
+
+            self._planner = resolve_planner(planner, workers=workers)
+        self.workspace = None
+        if workspace is not None and workspace is not False:
+            from .workspace import ScratchArena
+
+            self.workspace = (
+                ScratchArena() if workspace is True else workspace
+            )
+        elif self._planner is not None:
+            # A planner implies hot-path usage: give the sorter its own
+            # arena so steady-state traffic sorts allocation-free.
+            from .workspace import ScratchArena
+
+            self.workspace = ScratchArena()
+
+    @property
+    def planner(self):
+        """The resolved planner instance (``None`` when not planning)."""
+        return self._planner
 
     # -- public API ----------------------------------------------------------
     def sort(
@@ -171,7 +229,28 @@ class GpuArraySort:
         batch = validate_batch(batch)
         if batch.shape[0] == 0:
             return SortResult(batch=batch.copy() if not inplace else batch)
-        work = batch if inplace else batch.astype(batch.dtype, copy=True)
+
+        # Plan before the work copy: a process-pool plan wants the copy
+        # staged straight into a shared-memory slab so the engine can
+        # skip its own staging memcpy (see ProcessPoolEngine).
+        plan = None
+        if self._planner is not None and self.engine == "vectorized" and self.sampler is None:
+            plan = self._planner.plan(
+                batch.shape[0], batch.shape[1], batch.dtype, config=self.config
+            )
+
+        scratch = False
+        if inplace:
+            work = batch
+        elif self.workspace is not None:
+            if plan is not None and plan.engine == "process":
+                work = self.workspace.get_shared("work", batch.shape, batch.dtype)
+            else:
+                work = self.workspace.get("work", batch.shape, batch.dtype)
+            np.copyto(work, batch)
+            scratch = True
+        else:
+            work = batch.astype(batch.dtype, copy=True)
         reference = batch.copy() if self.verify else None
 
         nan_mask = None
@@ -189,8 +268,9 @@ class GpuArraySort:
         if nan_mask is not None:
             result = self._sort_with_nan_rows(work, nan_mask)
         else:
-            result = self._dispatch(work)
+            result = self._dispatch(work, plan=plan)
 
+        result.scratch = scratch
         if self.verify:
             assert_batch_sorted(result.batch, reference)
         if descending:
@@ -218,9 +298,9 @@ class GpuArraySort:
         return perm
 
     # -- engines ----------------------------------------------------------------
-    def _dispatch(self, work: np.ndarray) -> SortResult:
+    def _dispatch(self, work: np.ndarray, *, plan=None) -> SortResult:
         if self.engine == "vectorized":
-            return self._sort_vectorized(work)
+            return self._sort_vectorized(work, plan=plan)
         if self.engine == "sim":
             return self._sort_sim(work)
         return self._sort_model(work)
@@ -251,7 +331,12 @@ class GpuArraySort:
             modeled_ms=sub.modeled_ms if sub is not None else None,
         )
 
-    def _sort_vectorized(self, work: np.ndarray) -> SortResult:
+    def _sort_vectorized(self, work: np.ndarray, *, plan=None) -> SortResult:
+        # Planner path: execute the chosen plan, report the measured
+        # wall time back so the planner's per-shape EMA converges on the
+        # engine this host actually runs fastest.
+        if plan is not None:
+            return self._sort_planned(work, plan)
         # Sharded multicore path: row shards are data-independent, so the
         # executor's output is identical to the serial path.  A custom
         # sampler is host-side state the workers cannot share; fall back
@@ -263,13 +348,15 @@ class GpuArraySort:
         if self.sampler is not None:
             spl = self.sampler.select(work)
         else:
-            spl = select_splitters(work, self.config)
+            spl = select_splitters(work, self.config, workspace=self.workspace)
         t1 = time.perf_counter()
 
         if self.config.fuse_phases:
             from .fused import fused_bucket_sort  # local: keeps import cheap
 
-            buckets = fused_bucket_sort(work, spl.splitters, spl.num_buckets)
+            buckets = fused_bucket_sort(
+                work, spl.splitters, spl.num_buckets, workspace=self.workspace
+            )
             t2 = time.perf_counter()
             return SortResult(
                 batch=work,
@@ -295,6 +382,27 @@ class GpuArraySort:
                 "phase3_sorting": t3 - t2,
             },
         )
+
+    def _sort_planned(self, work: np.ndarray, plan) -> SortResult:
+        """Execute one :class:`~repro.planner.ExecutionPlan` and report back.
+
+        Serial plans run the regular (arena-backed) fused path; sharded
+        plans run the planner's cached executor instance.  Either way
+        the measured wall time feeds ``planner.observe`` so the next
+        same-shape batch dispatches on evidence, not prediction.
+        """
+        t0 = time.perf_counter()
+        executor = self._planner.executor_for(plan)
+        if executor is None:
+            result = self._sort_vectorized(work)
+        else:
+            result = executor.sort_batch(work, self.config)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        self._planner.observe(plan, elapsed_ms)
+        # Decision provenance for observability/tests (dynamic attribute,
+        # like parallel_info on the executor path).
+        result.execution_plan = plan
+        return result
 
     def _sort_sim(self, work: np.ndarray) -> SortResult:
         from . import kernels  # local import: gpusim only needed for this engine

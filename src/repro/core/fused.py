@@ -44,8 +44,15 @@ from .bucketing import BucketResult
 
 __all__ = ["searchsorted_rows", "bucket_ids_rows", "fused_bucket_sort"]
 
+# Below this many query elements the arena bisection's extra ufunc calls
+# (masked copies, out= staging) cost more than the plain path's small
+# temporaries; both paths return identical positions, so pick by size.
+_WS_BISECT_MIN_ELEMS = 4096
 
-def searchsorted_rows(a: np.ndarray, v: np.ndarray, side: str = "left") -> np.ndarray:
+
+def searchsorted_rows(
+    a: np.ndarray, v: np.ndarray, side: str = "left", *, workspace=None
+) -> np.ndarray:
     """Row-wise ``np.searchsorted``: insertion positions of ``v[i]`` in ``a[i]``.
 
     ``a`` is ``(N, n)`` with every row sorted (non-decreasing); ``v`` is
@@ -59,6 +66,11 @@ def searchsorted_rows(a: np.ndarray, v: np.ndarray, side: str = "left") -> np.nd
     uses to recover bucket offsets from sorted rows, and what replaces the
     O(N·n·q) boolean-cube broadcast when roles are flipped
     (:func:`bucket_ids_rows`).
+
+    With a ``workspace`` (:class:`~repro.core.workspace.ScratchArena`)
+    and a C-contiguous ``a``, every round runs with ``out=`` discipline
+    into pooled buffers — no per-round allocations, and the returned
+    array is arena scratch (valid until the next same-shape call).
 
     >>> searchsorted_rows(np.array([[1., 3., 5.]]), np.array([[3., 6.]])).tolist()
     [[1, 3]]
@@ -74,6 +86,12 @@ def searchsorted_rows(a: np.ndarray, v: np.ndarray, side: str = "left") -> np.nd
     if side not in ("left", "right"):
         raise ValueError(f"side must be 'left' or 'right', got {side!r}")
     n_rows, n = a.shape
+    if (
+        workspace is not None
+        and a.flags.c_contiguous
+        and v.size >= _WS_BISECT_MIN_ELEMS
+    ):
+        return _searchsorted_rows_ws(a, v, side, workspace)
     lo = np.zeros(v.shape, dtype=np.int64)
     if n == 0 or v.shape[1] == 0:
         return lo
@@ -96,6 +114,57 @@ def searchsorted_rows(a: np.ndarray, v: np.ndarray, side: str = "left") -> np.nd
     return lo
 
 
+def _searchsorted_rows_ws(
+    a: np.ndarray, v: np.ndarray, side: str, workspace
+) -> np.ndarray:
+    """Arena-backed bisection: identical results, zero per-round allocations.
+
+    Same lock-step algorithm as the plain path, but every intermediate
+    (``lo``/``hi``/``mid``, the flattened gather index, the picked
+    values, the two masks) lives in pooled buffers and every NumPy op
+    writes through ``out=``.  The row gather becomes a flat ``np.take``
+    with precomputed per-row base offsets, because fancy ``a[rows, mid]``
+    indexing cannot target an ``out=`` buffer.
+    """
+    n_rows, n = a.shape
+    lo = workspace.get("bisect.lo", v.shape, np.int64)
+    lo[:] = 0
+    if n == 0 or v.shape[1] == 0:
+        return lo
+    hi = workspace.get("bisect.hi", v.shape, np.int64)
+    hi[:] = n
+    mid = workspace.get("bisect.mid", v.shape, np.int64)
+    flat = workspace.get("bisect.flat", v.shape, np.int64)
+    picked = workspace.get("bisect.picked", v.shape, a.dtype)
+    go_right = workspace.get("bisect.go_right", v.shape, np.bool_)
+    not_right = workspace.get("bisect.not_right", v.shape, np.bool_)
+    active = workspace.get("bisect.active", v.shape, np.bool_)
+    rowbase = workspace.get("bisect.rowbase", (n_rows, 1), np.int64)
+    rowbase[:, 0] = np.arange(n_rows, dtype=np.int64)
+    rowbase *= n
+    a_flat = a.reshape(-1)
+    compare = np.less if side == "left" else np.less_equal
+    for _ in range(int(np.ceil(np.log2(n))) + 1 if n > 1 else 1):
+        np.less(lo, hi, out=active)
+        if not np.any(active):
+            break
+        np.add(lo, hi, out=mid)
+        mid >>= 1
+        np.minimum(mid, n - 1, out=flat)
+        flat += rowbase
+        np.take(a_flat, flat, out=picked)
+        compare(picked, v, out=go_right)
+        go_right &= active
+        # hi <- mid on still-active lanes that go left, *before* mid is
+        # bumped for the go-right lanes' new lo.
+        np.logical_not(go_right, out=not_right)
+        not_right &= active
+        np.copyto(hi, mid, where=not_right)
+        mid += 1
+        np.copyto(lo, mid, where=go_right)
+    return lo
+
+
 def bucket_ids_rows(batch: np.ndarray, splitters: np.ndarray) -> np.ndarray:
     """Bucket id of every element: per-row searchsorted into the splitters.
 
@@ -113,7 +182,7 @@ def bucket_ids_rows(batch: np.ndarray, splitters: np.ndarray) -> np.ndarray:
 
 
 def fused_bucket_sort(
-    work: np.ndarray, splitters: np.ndarray, num_buckets: int
+    work: np.ndarray, splitters: np.ndarray, num_buckets: int, *, workspace=None
 ) -> BucketResult:
     """Phases 2+3 in one pass: sort ``work`` rows in place, derive metadata.
 
@@ -127,6 +196,10 @@ def fused_bucket_sort(
     output: ``offsets[i, b]`` = number of elements of row ``i`` strictly
     below splitter ``b-1`` = the exclusive scan of the fused-index
     bincount.
+
+    With a ``workspace``, the ``offsets``/``sizes`` metadata and the
+    binary search's scratch come from the arena (valid until the next
+    same-shape call) — zero allocations in steady state.
     """
     work = np.asarray(work)
     if work.ndim != 2:
@@ -142,6 +215,18 @@ def fused_bucket_sort(
 
     # The fused sort: one pass, in place, no per-element bucket ids.
     work.sort(axis=1)
+
+    if workspace is not None:
+        offsets = workspace.get("fused.offsets", (n_rows, p + 1), np.int64)
+        sizes = workspace.get("fused.sizes", (n_rows, p), np.int64)
+        offsets[:, 0] = 0
+        offsets[:, p] = n
+        if q:
+            offsets[:, 1:p] = searchsorted_rows(
+                work, splitters, side="left", workspace=workspace
+            )
+        np.subtract(offsets[:, 1:], offsets[:, :-1], out=sizes)
+        return BucketResult(bucketed=work, sizes=sizes, offsets=offsets)
 
     offsets = np.zeros((n_rows, p + 1), dtype=np.int64)
     offsets[:, p] = n

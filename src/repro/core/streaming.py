@@ -123,6 +123,14 @@ class StreamingSorter:
         injected (configure that sorter directly instead).  Streaming
         batches all share one shape, so the executor's shard plan and the
         phase-1 index-plan cache are reused batch after batch.
+    planner / workspace:
+        Adaptive engine planning and scratch-arena pooling for the
+        default sorter (see :class:`GpuArraySort`); like ``parallel``,
+        ignored when an explicit ``sorter`` is injected.  With an arena,
+        steady-state emission is allocation-free: ``on_batch`` consumers
+        receive a zero-copy view **valid until the next emission** (copy
+        to retain), while batches collected on ``results`` are copied
+        out of the arena so the list stays stable.
     """
 
     def __init__(
@@ -137,6 +145,8 @@ class StreamingSorter:
         sorter=None,
         parallel=None,
         workers: Optional[int] = None,
+        planner=None,
+        workspace=None,
     ) -> None:
         if array_size < 1:
             raise ValueError("array_size must be >= 1")
@@ -164,7 +174,11 @@ class StreamingSorter:
             self._sorter = sorter
         else:
             self._sorter = GpuArraySort(
-                config, parallel=parallel, workers=workers
+                config,
+                parallel=parallel,
+                workers=workers,
+                planner=planner,
+                workspace=workspace,
             )
         self._staging = np.empty((self.batch_arrays, self.array_size), self.dtype)
         self._fill = 0
@@ -300,20 +314,27 @@ class StreamingSorter:
         wall = time.perf_counter() - t0
 
         out = result.batch
+        # Arena-backed results are scratch: the storage is reused by the
+        # sorter's next batch.  A zero-copy view may still go to the
+        # on_batch consumer (valid until the next emission — the classic
+        # streaming contract), but anything retained on `results` must
+        # be copied out of the arena.
+        is_scratch = bool(getattr(result, "scratch", False))
         quarantined = np.asarray(
             getattr(result, "quarantined", ()), dtype=np.int64
         )
         if quarantined.size:
             keep = np.ones(count, dtype=bool)
             keep[quarantined] = False
-            out = out[keep]
+            out = out[keep]  # fancy indexing: already a fresh copy
+            is_scratch = False
 
         # Deliver first: if the consumer raises, no counters move and the
         # staging buffer stays pending, so the retry re-emits this id.
         if self.on_batch is not None:
             self.on_batch(out)
         else:
-            self.results.append(out)
+            self.results.append(out.copy() if is_scratch else out)
 
         if quarantined.size:
             reasons = getattr(result, "quarantine_reasons", None) or {}

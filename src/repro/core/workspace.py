@@ -1,0 +1,245 @@
+"""Scratch arena: reusable preallocated buffers for the batch-sort hot path.
+
+The ROADMAP's "serve heavy streaming traffic" north star means the same
+``(N, n)`` shape is sorted thousands of times per session.  On the seed
+hot path every one of those sorts paid for fresh NumPy allocations: the
+work copy (``batch.astype(copy=True)``), the phase-1 sample matrix and
+splitter staging, and the fused path's ``offsets``/``sizes`` metadata.
+None of those buffers change shape between batches — the allocator churn
+is pure overhead, and on large batches it also defeats the page cache.
+
+:class:`ScratchArena` is the fix: a per-sorter pool of buffers keyed by
+``(tag, dtype)``.  A buffer is allocated on first use, **grown
+geometrically** (capacity at least doubles) when a larger request
+arrives, and otherwise handed back as a zero-copy view — so steady-state
+streaming traffic sorts with no NumPy allocations on the hot path.  The
+pool is intentionally *not* thread-safe: an arena belongs to one sorter,
+exactly like the paper's per-block shared-memory staging belongs to one
+block.  Sharded executors never share an arena across workers.
+
+Scratch semantics: views handed out by :meth:`ScratchArena.get` are
+valid **until the next request for the same ``(tag, dtype)`` key** — a
+sorter's next batch reuses them.  Callers that retain results across
+sorts (e.g. :class:`~repro.core.streaming.StreamingSorter` collecting to
+``results``) must copy; results delivered to an ``on_batch`` consumer
+follow the classic streaming contract (valid until the next emission).
+
+Shared-memory slabs: :meth:`ScratchArena.get_shared` allocates the
+buffer inside a ``multiprocessing.shared_memory`` segment and registers
+it in a module-level registry, so
+:class:`~repro.parallel.executors.ProcessPoolEngine` can recognize
+(:func:`find_shared_slab`) that a batch already lives in shared memory
+and skip its per-sort staging copy entirely — workers attach the
+existing segment by name instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ScratchArena",
+    "WorkspaceStats",
+    "find_shared_slab",
+    "register_shared_slab",
+    "unregister_shared_slab",
+]
+
+
+#: Module-level registry of live shared-memory slabs:
+#: ``shm name -> (start address, stop address, SharedMemory)``.  Consulted
+#: by :func:`find_shared_slab`; entries are removed when the owning arena
+#: closes.  Addresses (not array identities) are registered so that *any*
+#: contiguous view into a slab — e.g. the ``slab[:N]`` prefix a sorter
+#: hands to an executor — is recognized.
+_SHARED_SLABS: Dict[str, Tuple[int, int, object]] = {}
+
+
+def register_shared_slab(name: str, array: np.ndarray, shm: object) -> None:
+    """Record that ``array``'s bytes live in the shared segment ``name``."""
+    start = int(array.__array_interface__["data"][0])
+    _SHARED_SLABS[name] = (start, start + int(array.nbytes), shm)
+
+
+def unregister_shared_slab(name: str) -> None:
+    """Drop a slab from the registry (idempotent)."""
+    _SHARED_SLABS.pop(name, None)
+
+
+def find_shared_slab(array: np.ndarray) -> Optional[Tuple[str, int]]:
+    """``(shm name, byte offset)`` if ``array`` lives inside a registered slab.
+
+    Returns ``None`` for ordinary heap arrays, non-contiguous views, and
+    arrays only partially covered by a slab.  The offset is where the
+    array's first byte sits inside the segment, so a worker process can
+    attach with ``np.ndarray(shape, dtype, buffer=shm.buf, offset=offset)``.
+    """
+    if not isinstance(array, np.ndarray) or not array.flags.c_contiguous:
+        return None
+    if not _SHARED_SLABS:
+        return None
+    start = int(array.__array_interface__["data"][0])
+    stop = start + int(array.nbytes)
+    for name, (lo, hi, _shm) in _SHARED_SLABS.items():
+        if lo <= start and stop <= hi:
+            return name, start - lo
+    return None
+
+
+@dataclasses.dataclass
+class WorkspaceStats:
+    """Allocation accounting for one :class:`ScratchArena`."""
+
+    hits: int = 0
+    allocations: int = 0
+    grows: int = 0
+    bytes_held: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ScratchArena:
+    """Pool of reusable NumPy buffers keyed by ``(tag, dtype)``.
+
+    >>> arena = ScratchArena()
+    >>> a = arena.get("work", (4, 8), np.float32)
+    >>> b = arena.get("work", (4, 8), np.float32)
+    >>> a.base is b.base  # same storage, zero new allocations
+    True
+    >>> arena.get("work", (4, 8), np.int64).base is a.base  # dtypes never alias
+    False
+    """
+
+    def __init__(self, growth: float = 2.0) -> None:
+        if growth < 1.0:
+            raise ValueError(f"growth factor must be >= 1.0, got {growth}")
+        self.growth = float(growth)
+        self.stats = WorkspaceStats()
+        self._pools: Dict[Tuple[str, str], np.ndarray] = {}
+        #: name -> SharedMemory for slabs owned by this arena.
+        self._shared: Dict[str, object] = {}
+        #: pool key -> owning shm name (shared pools only).
+        self._pool_shm_name: Dict[Tuple[str, str], str] = {}
+        self._closed = False
+
+    # -- plain buffers -----------------------------------------------------
+    def get(self, tag: str, shape, dtype) -> np.ndarray:
+        """A C-contiguous ``shape``/``dtype`` view of the pooled buffer.
+
+        Valid until the next ``get``/``get_shared`` with the same
+        ``(tag, dtype)`` key.  Contents are undefined (no zeroing — the
+        hot path always overwrites).
+        """
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        need = 1
+        for s in shape:
+            need *= s
+        key = (tag, dtype.str)
+        pool = self._pools.get(key)
+        if pool is None or pool.size < need:
+            capacity = need
+            if pool is not None:
+                capacity = max(need, int(pool.size * self.growth))
+                self.stats.grows += 1
+                self.stats.bytes_held -= pool.nbytes
+            pool = np.empty(capacity, dtype)
+            self._pools[key] = pool
+            self.stats.allocations += 1
+            self.stats.bytes_held += pool.nbytes
+        else:
+            self.stats.hits += 1
+        return pool[:need].reshape(shape)
+
+    # -- shared-memory slabs ----------------------------------------------
+    def get_shared(self, tag: str, shape, dtype) -> np.ndarray:
+        """Like :meth:`get`, but backed by ``multiprocessing.shared_memory``.
+
+        The slab is registered so :func:`find_shared_slab` (and therefore
+        ``ProcessPoolEngine``) recognizes any contiguous view of it.
+        Falls back to a plain pooled buffer when shared memory is
+        unavailable on the platform.
+        """
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:  # pragma: no cover - always present on CPython
+            return self.get(tag, shape, dtype)
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        need = 1
+        for s in shape:
+            need *= s
+        key = (tag + "@shm", dtype.str)
+        pool = self._pools.get(key)
+        if pool is None or pool.size < need:
+            capacity = need
+            if pool is not None:
+                capacity = max(need, int(pool.size * self.growth))
+                self.stats.grows += 1
+                self._release_shared_pool(key)
+            nbytes = max(1, capacity * dtype.itemsize)
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            pool = np.ndarray((capacity,), dtype=dtype, buffer=shm.buf)
+            self._pools[key] = pool
+            self._shared[shm.name] = shm
+            self._pool_shm_name[key] = shm.name
+            register_shared_slab(shm.name, pool, shm)
+            self.stats.allocations += 1
+            self.stats.bytes_held += pool.nbytes
+        else:
+            self.stats.hits += 1
+        return pool[:need].reshape(shape)
+
+    def _release_shared_pool(self, key: Tuple[str, str]) -> None:
+        pool = self._pools.pop(key, None)
+        if pool is None:
+            return
+        self.stats.bytes_held -= pool.nbytes
+        name = self._pool_shm_name.pop(key, None)
+        shm = self._shared.pop(name, None) if name else None
+        del pool  # drop the ndarray view before closing its buffer
+        if shm is not None:
+            unregister_shared_slab(name)
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release every pooled buffer and unlink owned shared slabs.
+
+        Idempotent.  After closing, ``get``/``get_shared`` raise.
+        """
+        if self._closed:
+            return
+        for key in [k for k in self._pools if k in self._pool_shm_name]:
+            self._release_shared_pool(key)
+        self._pools.clear()
+        self.stats.bytes_held = 0
+        self._closed = True
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ScratchArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -46,7 +46,12 @@ from ..core.bucketing import BucketResult, bucketize
 from ..core.config import SortConfig
 from ..core.insertion import sort_buckets
 from ..core.splitters import select_splitters
-from .plan import DEFAULT_MIN_ROWS_PER_SHARD, ShardPlan, plan_shards
+from .plan import (
+    DEFAULT_MIN_ROWS_PER_SHARD,
+    DEFAULT_MIN_ROWS_PER_WORKER,
+    ShardPlan,
+    plan_shards,
+)
 
 __all__ = [
     "SerialEngine",
@@ -85,6 +90,7 @@ def sort_rows_inplace(
 
 def _sort_shard_shm(
     shm_name: str,
+    offset: int,
     shape: Tuple[int, int],
     dtype_str: str,
     start: int,
@@ -93,15 +99,19 @@ def _sort_shard_shm(
 ) -> Tuple[int, np.ndarray, np.ndarray]:
     """Process-pool worker: attach the shared block, sort rows [start, stop).
 
-    The shard is a zero-copy view into the parent's shared-memory
-    staging buffer; only the small ``sizes``/``offsets`` metadata rides
-    back through the result pickle.
+    The shard is a zero-copy view into shared memory — either the
+    engine's own staging buffer (``offset=0``) or, when the caller's
+    batch already lives in an arena slab, that slab at ``offset`` bytes.
+    Only the small ``sizes``/``offsets`` metadata rides back through the
+    result pickle.
     """
     from multiprocessing import shared_memory
 
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
-        buf = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+        buf = np.ndarray(
+            shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=offset
+        )
         sizes, offsets = sort_rows_inplace(buf[start:stop], config)
         return start, sizes, offsets
     finally:
@@ -149,18 +159,25 @@ class _ShardedEngineBase:
         workers: Optional[int] = None,
         *,
         min_rows_per_shard: int = DEFAULT_MIN_ROWS_PER_SHARD,
+        min_rows_per_worker: int = DEFAULT_MIN_ROWS_PER_WORKER,
     ) -> None:
         self.workers = int(workers) if workers is not None else default_workers()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.min_rows_per_shard = int(min_rows_per_shard)
+        #: Fan-out guard: batches below this many rows per worker run as a
+        #: single shard (see :data:`repro.parallel.plan.DEFAULT_MIN_ROWS_PER_WORKER`).
+        self.min_rows_per_worker = int(min_rows_per_worker)
         #: Times this engine degraded to the serial path (crash fallback).
         self.fallbacks = 0
 
     def plan(self, num_rows: int) -> ShardPlan:
         """The deterministic shard decomposition this engine would use."""
         return plan_shards(
-            num_rows, self.workers, min_rows_per_shard=self.min_rows_per_shard
+            num_rows,
+            self.workers,
+            min_rows_per_shard=self.min_rows_per_shard,
+            min_rows_per_worker=self.min_rows_per_worker,
         )
 
     def _sort_serial(self, work: np.ndarray, config: SortConfig, t0: float,
@@ -259,33 +276,34 @@ class ProcessPoolEngine(_ShardedEngineBase):
     ) -> SortResult:
         from multiprocessing import shared_memory
 
+        from ..core.workspace import find_shared_slab
+
+        # Zero-copy fast path: a batch that already lives in a registered
+        # shared-memory slab (a ScratchArena `get_shared` buffer, the way
+        # a planner-driven sorter stages its work copy) needs no staging
+        # memcpy at all — workers attach the existing segment at the
+        # slab offset and sort the caller's rows directly.  Note the
+        # crash-fallback consequence: the caller's buffer may then hold
+        # partially sorted rows when a worker dies.  In-place introsort
+        # only ever *swaps* within a row, so every row remains a
+        # permutation of its input and the serial fallback still
+        # produces a correctly sorted batch (with metadata derived from
+        # the fallback run's own splitters).
+        slab = find_shared_slab(work)
+        if slab is not None:
+            shm_name, offset = slab
+            return self._submit_shards(
+                work, work, shm_name, offset, config, plan, t0,
+                zero_copy=True,
+            )
+
         shm = shared_memory.SharedMemory(create=True, size=int(work.nbytes))
         try:
             staged = np.ndarray(work.shape, dtype=work.dtype, buffer=shm.buf)
             staged[:] = work
-            pieces: List[Tuple[int, np.ndarray, np.ndarray]] = []
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.workers, len(plan))
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        _sort_shard_shm,
-                        shm.name,
-                        work.shape,
-                        work.dtype.str,
-                        shard.start,
-                        shard.stop,
-                        config,
-                    )
-                    for shard in plan
-                ]
-                for future in concurrent.futures.as_completed(futures):
-                    pieces.append(future.result())
-            # All shards verified done: commit the sorted staging buffer.
-            work[:] = staged
-            return _assemble(
-                work, pieces, time.perf_counter() - t0,
-                engine_name=self.name, shards=len(plan), workers=self.workers,
+            return self._submit_shards(
+                work, staged, shm.name, 0, config, plan, t0,
+                zero_copy=False,
             )
         finally:
             shm.close()
@@ -293,6 +311,48 @@ class ProcessPoolEngine(_ShardedEngineBase):
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already reaped
                 pass
+
+    def _submit_shards(
+        self,
+        work: np.ndarray,
+        staged: np.ndarray,
+        shm_name: str,
+        offset: int,
+        config: SortConfig,
+        plan: ShardPlan,
+        t0: float,
+        *,
+        zero_copy: bool,
+    ) -> SortResult:
+        pieces: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(plan))
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _sort_shard_shm,
+                    shm_name,
+                    offset,
+                    work.shape,
+                    work.dtype.str,
+                    shard.start,
+                    shard.stop,
+                    config,
+                )
+                for shard in plan
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                pieces.append(future.result())
+        # All shards verified done: commit the sorted staging buffer
+        # (the zero-copy path sorted the caller's slab in place).
+        if not zero_copy:
+            work[:] = staged
+        result = _assemble(
+            work, pieces, time.perf_counter() - t0,
+            engine_name=self.name, shards=len(plan), workers=self.workers,
+        )
+        result.parallel_info["zero_copy_shm"] = zero_copy
+        return result
 
 
 _ENGINES = {

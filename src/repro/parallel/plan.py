@@ -15,19 +15,31 @@ The planner's only real decisions are balance and granularity:
 * ``min_rows_per_shard`` stops the plan from slicing tiny batches into
   per-row crumbs where pool dispatch overhead would dominate — the same
   reasoning the paper applies when it refuses complex phase-1 kernels for
-  tiny samples (§5.1).
+  tiny samples (§5.1);
+* ``min_rows_per_worker`` is the coarser *fan-out* threshold: below it
+  the plan collapses to a single shard, so the executors never pay pool
+  overhead on batches where sharding measurably loses (the 0.90×
+  ``ref-f32-mid`` regression in ``BENCH_hotpath.json`` — 5000 rows split
+  across threads was slower than sorting them serially).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 __all__ = ["Shard", "ShardPlan", "plan_shards"]
 
 #: Default floor on shard granularity; below this the per-task overhead
 #: (future + pickle + attach) outweighs any overlap.
 DEFAULT_MIN_ROWS_PER_SHARD = 64
+
+#: Default fan-out threshold: batches with fewer rows than this per
+#: prospective worker get a 1-shard plan.  Calibrated against the
+#: committed hot-path benchmark: sharding lost at 5 000 rows (0.90×)
+#: and won at 100 000 rows (2.3×), so the break-even sits comfortably
+#: above 4 096 rows per worker.
+DEFAULT_MIN_ROWS_PER_WORKER = 4096
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,15 +78,22 @@ def plan_shards(
     workers: int,
     *,
     min_rows_per_shard: int = DEFAULT_MIN_ROWS_PER_SHARD,
+    min_rows_per_worker: Optional[int] = None,
 ) -> ShardPlan:
     """Deterministic row decomposition into at most ``workers`` shards.
 
     Shard sizes differ by at most one row; the shard count is reduced
-    below ``workers`` when ``min_rows_per_shard`` would be violated.  A
-    zero-row batch yields an empty plan.
+    below ``workers`` when ``min_rows_per_shard`` would be violated, and
+    collapses to a single shard whenever the batch cannot give every
+    prospective worker at least ``min_rows_per_worker`` rows (default
+    :data:`DEFAULT_MIN_ROWS_PER_WORKER`; pass ``1`` to disable the
+    fan-out guard).  A zero-row batch yields an empty plan.
 
-    >>> [(s.start, s.stop) for s in plan_shards(10, 3, min_rows_per_shard=1)]
+    >>> plan = plan_shards(10, 3, min_rows_per_shard=1, min_rows_per_worker=1)
+    >>> [(s.start, s.stop) for s in plan]
     [(0, 4), (4, 7), (7, 10)]
+    >>> len(plan_shards(5000, 8))  # below the fan-out threshold: serial
+    1
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -82,11 +101,21 @@ def plan_shards(
         raise ValueError(
             f"min_rows_per_shard must be >= 1, got {min_rows_per_shard}"
         )
+    if min_rows_per_worker is None:
+        min_rows_per_worker = DEFAULT_MIN_ROWS_PER_WORKER
+    if min_rows_per_worker < 1:
+        raise ValueError(
+            f"min_rows_per_worker must be >= 1, got {min_rows_per_worker}"
+        )
     if num_rows < 0:
         raise ValueError(f"num_rows must be >= 0, got {num_rows}")
     if num_rows == 0:
         return ShardPlan(num_rows=0, shards=())
-    count = min(workers, max(1, num_rows // min_rows_per_shard))
+    count = min(
+        workers,
+        max(1, num_rows // min_rows_per_shard),
+        max(1, num_rows // min_rows_per_worker),
+    )
     base, extra = divmod(num_rows, count)
     shards = []
     start = 0

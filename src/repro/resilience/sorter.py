@@ -123,6 +123,12 @@ class ResilientSorter:
         whenever the ``"vectorized"`` engine runs — as the primary or as
         a fallback link.  Sharding is deterministic, so retries and
         verification behave identically to serial execution.
+    planner:
+        Adaptive per-batch engine choice for the ``"vectorized"`` link
+        (see :class:`~repro.planner.ExecutionPlanner`); mutually
+        exclusive with ``parallel``.  The planner-backed sorter is
+        cached across attempts and calls, so its scratch arena and
+        learned timings persist for the session.
     """
 
     def __init__(
@@ -139,6 +145,7 @@ class ResilientSorter:
         degeneracy_threshold: float = 0.5,
         parallel=None,
         workers: Optional[int] = None,
+        planner=None,
     ) -> None:
         if engine not in _DEFAULT_CHAINS:
             raise ValueError(
@@ -165,8 +172,19 @@ class ResilientSorter:
         self.fallback_chain: Tuple[str, ...] = chain
         self.max_resample_boosts = int(max_resample_boosts)
         self.degeneracy_threshold = float(degeneracy_threshold)
+        if planner is not None and parallel is not None:
+            raise ValueError(
+                "planner and parallel are mutually exclusive (the planner "
+                "chooses the execution engine per batch)"
+            )
         self.parallel = parallel
         self.workers = workers
+        self.planner = planner
+        #: Sorter instances cached per (engine, config): retries and the
+        #: degeneracy re-sampling escalation revisit the same few keys,
+        #: and a cached sorter keeps its scratch arena (and planner
+        #: state) warm across attempts and across calls.
+        self._sorters: Dict[Tuple[str, SortConfig], GpuArraySort] = {}
         self._sleep = sleep
         #: Session-level roll-up across every :meth:`sort` call.
         self.stats = ResilienceStats()
@@ -306,14 +324,19 @@ class ResilientSorter:
         if engine == "numpy":
             # Host-side last resort: per-row np.sort, no device involved.
             return np.sort(rows, axis=1)
-        sorter = GpuArraySort(
-            config,
-            engine=engine,
-            device=self.device,
-            # Sharded execution only exists for the vectorized engine.
-            parallel=self.parallel if engine == "vectorized" else None,
-            workers=self.workers,
-        )
+        key = (engine, config)
+        sorter = self._sorters.get(key)
+        if sorter is None:
+            sorter = GpuArraySort(
+                config,
+                engine=engine,
+                device=self.device,
+                # Sharding/planning only exist for the vectorized engine.
+                parallel=self.parallel if engine == "vectorized" else None,
+                workers=self.workers,
+                planner=self.planner if engine == "vectorized" else None,
+            )
+            self._sorters[key] = sorter
         return sorter.sort(rows).batch
 
     def _resample_if_degenerate(

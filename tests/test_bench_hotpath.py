@@ -15,7 +15,8 @@ import bench_hotpath  # noqa: E402
 @pytest.fixture(scope="module")
 def smoke_report():
     """One real run of the smallest grid — seconds, not minutes."""
-    return bench_hotpath.run_grid("smoke", repeats=1, workers=2)
+    return bench_hotpath.run_grid("smoke", repeats=1, workers=2,
+                                  planner_warmup=1)
 
 
 class TestRunGrid:
@@ -31,12 +32,24 @@ class TestRunGrid:
             assert cell["fused_ms"] > 0
             assert cell["unfused_ms"] > 0
             assert cell["sharded_ms"] > 0
+            assert cell["planner_ms"] > 0
             assert set(cell["fused_phase_ms"]) == {
                 "phase1_splitters", "phase23_fused",
             }
             assert set(cell["unfused_phase_ms"]) == {
                 "phase1_splitters", "phase2_bucketing", "phase3_sorting",
             }
+            assert cell["planner_phase_ms"]  # non-empty, keys vary by engine
+
+    def test_planner_column(self, smoke_report):
+        for cell in smoke_report["results"]:
+            assert cell["planner_engine"] in ("serial", "thread", "process")
+            assert cell["planner_vs_best_static"] > 0
+        assert (
+            smoke_report["speedups"]["planner_vs_best_static_max"]
+            == max(r["planner_vs_best_static"]
+                   for r in smoke_report["results"])
+        )
 
     def test_speedup_summary_consistent(self, smoke_report):
         speedups = [
@@ -53,6 +66,16 @@ class TestRunGrid:
         # gate block itself must stay schema-valid
         assert bench_hotpath.check_schema(report) == []
 
+    def test_planner_gate_pass_and_fail(self, smoke_report):
+        report = json.loads(json.dumps(smoke_report))
+        assert bench_hotpath.apply_planner_gate(report, tolerance=1e9) is True
+        assert report["planner_gate"]["passed"] is True
+        assert bench_hotpath.apply_planner_gate(
+            report, tolerance=0.0, slack_ms=0.0
+        ) is False
+        assert report["planner_gate"]["failures"]
+        assert bench_hotpath.check_schema(report) == []
+
     def test_json_round_trip(self, smoke_report, tmp_path):
         out = tmp_path / "report.json"
         out.write_text(json.dumps(smoke_report))
@@ -62,6 +85,7 @@ class TestRunGrid:
 class TestCheckSchema:
     def test_rejects_wrong_schema_tag(self):
         assert bench_hotpath.check_schema({"schema": "nope"})
+        assert bench_hotpath.check_schema({"schema": "bench-hotpath/v1"})
 
     def test_rejects_empty_results(self):
         errors = bench_hotpath.check_schema(
@@ -69,26 +93,43 @@ class TestCheckSchema:
         )
         assert any("non-empty" in e for e in errors)
 
-    def test_rejects_nonpositive_timing(self):
+    def _valid_cell(self, **overrides):
         cell = {
             "name": "x", "dtype": "float32", "num_arrays": 1,
-            "array_size": 1, "repeats": 1, "fused_ms": 0.0,
-            "unfused_ms": 1.0, "sharded_ms": 1.0, "fused_phase_ms": {},
-            "unfused_phase_ms": {}, "speedup_fused_vs_unfused": 1.0,
+            "array_size": 1, "repeats": 1, "fused_ms": 1.0,
+            "unfused_ms": 1.0, "sharded_ms": 1.0, "planner_ms": 1.0,
+            "fused_phase_ms": {}, "unfused_phase_ms": {},
+            "planner_phase_ms": {}, "planner_engine": "serial",
+            "speedup_fused_vs_unfused": 1.0,
             "speedup_sharded_vs_serial": 1.0,
+            "planner_vs_best_static": 1.0,
         }
+        cell.update(overrides)
+        return cell
+
+    def _report(self, cell):
+        return {
+            "schema": bench_hotpath.SCHEMA,
+            "results": [cell],
+            "speedups": {
+                "fused_vs_unfused_min": 1.0,
+                "fused_vs_unfused_median": 1.0,
+                "sharded_vs_serial_median": 1.0,
+                "planner_vs_best_static_max": 1.0,
+            },
+        }
+
+    def test_rejects_nonpositive_timing(self):
         errors = bench_hotpath.check_schema(
-            {
-                "schema": bench_hotpath.SCHEMA,
-                "results": [cell],
-                "speedups": {
-                    "fused_vs_unfused_min": 1.0,
-                    "fused_vs_unfused_median": 1.0,
-                    "sharded_vs_serial_median": 1.0,
-                },
-            }
+            self._report(self._valid_cell(fused_ms=0.0))
         )
         assert any("fused_ms" in e for e in errors)
+
+    def test_rejects_missing_planner_column(self):
+        cell = self._valid_cell()
+        del cell["planner_ms"]
+        errors = bench_hotpath.check_schema(self._report(cell))
+        assert any("planner_ms" in e for e in errors)
 
 
 class TestCommittedArtifact:
@@ -106,6 +147,13 @@ class TestCommittedArtifact:
 
     def test_fused_never_slower(self, artifact):
         assert artifact["speedups"]["fused_vs_unfused_min"] >= 1.0
+
+    def test_planner_within_tolerance_everywhere(self, artifact):
+        tol = bench_hotpath.DEFAULT_PLANNER_TOLERANCE
+        slack = bench_hotpath.DEFAULT_PLANNER_SLACK_MS
+        for cell in artifact["results"]:
+            best = min(cell[f"{e}_ms"] for e in bench_hotpath.STATIC_ENGINES)
+            assert cell["planner_ms"] <= tol * best + slack, cell["name"]
 
     def test_fig4_anchor_speedup(self, artifact):
         fig4 = [r for r in artifact["results"] if r["name"] == "fig4-f32"]

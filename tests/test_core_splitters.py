@@ -183,5 +183,16 @@ class TestIndexPlanCache:
     def test_validation_still_raises_outside_cache(self):
         with pytest.raises(ValueError):
             splitter_pick_indices(100, 0)
+
+    def test_public_cache_info_and_bound(self):
+        from repro.core import INDEX_PLAN_CACHE_MAXSIZE, index_plan_cache_info
+
+        regular_sample_indices(1000)
+        splitter_pick_indices(100, 5)
+        info = index_plan_cache_info()
+        assert set(info) == {"sample_indices", "pick_indices"}
+        for entry in info.values():
+            assert entry.maxsize == INDEX_PLAN_CACHE_MAXSIZE == 128
+            assert entry.currsize >= 1
         with pytest.raises(ValueError):
             splitter_pick_indices(0, 5)

@@ -1,0 +1,248 @@
+"""Unit tests for repro.core.workspace (ScratchArena + shared slabs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuArraySort, StreamingSorter
+from repro.core.workspace import (
+    ScratchArena,
+    find_shared_slab,
+    register_shared_slab,
+    unregister_shared_slab,
+)
+
+
+class TestScratchArena:
+    def test_same_key_reuses_storage(self):
+        arena = ScratchArena()
+        a = arena.get("buf", (8, 16), np.float32)
+        b = arena.get("buf", (8, 16), np.float32)
+        assert a.base is b.base
+        assert arena.stats.allocations == 1
+        assert arena.stats.hits == 1
+
+    def test_smaller_request_reuses_storage(self):
+        arena = ScratchArena()
+        big = arena.get("buf", (100,), np.float64)
+        small = arena.get("buf", (10, 5), np.float64)
+        assert small.base is big.base
+
+    def test_growth_is_geometric(self):
+        arena = ScratchArena(growth=2.0)
+        arena.get("buf", (100,), np.int32)
+        grown = arena.get("buf", (101,), np.int32)
+        assert arena.stats.grows == 1
+        # Capacity at least doubled, so the next doubling-ish request hits.
+        assert grown.base.size >= 200
+        arena.get("buf", (200,), np.int32)
+        assert arena.stats.grows == 1
+
+    def test_dtypes_never_alias(self):
+        arena = ScratchArena()
+        f32 = arena.get("buf", (64,), np.float32)
+        i64 = arena.get("buf", (64,), np.int64)
+        f64 = arena.get("buf", (64,), np.float64)
+        assert f32.base is not i64.base
+        assert i64.base is not f64.base
+        # Writing through one view must not disturb the others.
+        f32[:] = 1.5
+        i64[:] = 7
+        f64[:] = -2.25
+        assert np.all(f32 == np.float32(1.5))
+        assert np.all(i64 == 7)
+        assert np.all(f64 == -2.25)
+
+    def test_tags_never_alias(self):
+        arena = ScratchArena()
+        a = arena.get("a", (32,), np.float32)
+        b = arena.get("b", (32,), np.float32)
+        assert a.base is not b.base
+
+    def test_views_are_c_contiguous_and_shaped(self):
+        arena = ScratchArena()
+        v = arena.get("buf", (3, 4, 5), np.float32)
+        assert v.shape == (3, 4, 5)
+        assert v.flags.c_contiguous
+
+    def test_close_releases_and_blocks_reuse(self):
+        arena = ScratchArena()
+        arena.get("buf", (8,), np.float32)
+        arena.close()
+        assert arena.closed
+        assert arena.stats.bytes_held == 0
+        with pytest.raises(RuntimeError):
+            arena.get("buf", (8,), np.float32)
+        arena.close()  # idempotent
+
+    def test_context_manager(self):
+        with ScratchArena() as arena:
+            arena.get("buf", (8,), np.float32)
+        assert arena.closed
+
+    def test_rejects_bad_growth(self):
+        with pytest.raises(ValueError):
+            ScratchArena(growth=0.5)
+
+
+class TestSharedSlabs:
+    def test_shared_slab_is_discoverable(self):
+        with ScratchArena() as arena:
+            slab = arena.get_shared("work", (16, 8), np.float32)
+            found = find_shared_slab(slab)
+            assert found is not None
+            name, offset = found
+            assert offset == 0
+            # A contiguous prefix view of the slab is recognized too.
+            assert find_shared_slab(slab[:4]) == (name, 0)
+            # ... at the right offset when it doesn't start at byte 0.
+            assert find_shared_slab(slab[2:]) == (name, 2 * 8 * 4)
+
+    def test_heap_arrays_are_not_slabs(self):
+        assert find_shared_slab(np.zeros((4, 4), np.float32)) is None
+
+    def test_noncontiguous_views_are_not_slabs(self):
+        with ScratchArena() as arena:
+            slab = arena.get_shared("work", (16, 8), np.float32)
+            assert find_shared_slab(slab[:, ::2]) is None
+
+    def test_close_unregisters(self):
+        arena = ScratchArena()
+        slab = arena.get_shared("work", (4, 4), np.float32)
+        shape, dtype = slab.shape, slab.dtype
+        probe = np.zeros(shape, dtype)
+        assert find_shared_slab(slab) is not None
+        arena.close()
+        assert find_shared_slab(probe) is None
+
+    def test_register_unregister_round_trip(self):
+        arr = np.zeros(16, np.uint8)
+        register_shared_slab("test-slab", arr, None)
+        try:
+            assert find_shared_slab(arr) == ("test-slab", 0)
+        finally:
+            unregister_shared_slab("test-slab")
+        assert find_shared_slab(arr) is None
+        unregister_shared_slab("test-slab")  # idempotent
+
+
+class TestSorterArenaReuse:
+    """Satellite: steady-state sorts reuse the arena, zero new allocations."""
+
+    def test_repeated_sorts_reuse_the_work_buffer(self, rng):
+        sorter = GpuArraySort(workspace=True)
+        batch = rng.uniform(0, 1e6, (200, 300)).astype(np.float32)
+        first = sorter.sort(batch)
+        base = first.batch.base
+        assert base is not None  # arena-backed view, not a fresh array
+        allocs = sorter.workspace.stats.allocations
+        for _ in range(3):
+            result = sorter.sort(batch)
+            assert result.batch.base is base
+            assert result.scratch is True
+        assert sorter.workspace.stats.allocations == allocs  # zero new
+
+    def test_arena_sort_matches_plain_sort_bytes(self, rng):
+        batch = rng.uniform(0, 1e6, (500, 400)).astype(np.float32)
+        plain = GpuArraySort().sort(batch)
+        pooled = GpuArraySort(workspace=True).sort(batch)
+        assert pooled.batch.tobytes() == plain.batch.tobytes()
+        assert np.array_equal(pooled.buckets.offsets, plain.buckets.offsets)
+        assert np.array_equal(pooled.buckets.sizes, plain.buckets.sizes)
+
+    def test_dtype_switch_on_one_sorter_never_aliases(self, rng):
+        sorter = GpuArraySort(workspace=True)
+        f32 = rng.uniform(0, 100, (50, 64)).astype(np.float32)
+        i64 = rng.integers(0, 1000, (50, 64)).astype(np.int64)
+        r_f32 = sorter.sort(f32)
+        r_i64 = sorter.sort(i64)
+        assert r_f32.batch.base is not r_i64.batch.base
+        # The f32 result's storage was not clobbered by the i64 sort.
+        assert np.array_equal(r_f32.batch, np.sort(f32, axis=1))
+        assert np.array_equal(r_i64.batch, np.sort(i64, axis=1))
+
+
+class TestStreamingArenaReuse:
+    """Satellite: StreamingSorter emissions ride the same arena buffers."""
+
+    def _slab(self, rng, rows, cols=64):
+        return rng.uniform(0, 1e4, (rows, cols)).astype(np.float32)
+
+    def test_on_batch_views_share_storage_across_emissions(self, rng):
+        bases = []
+        sorter = StreamingSorter(
+            array_size=64, batch_arrays=50, workspace=True,
+            dtype=np.float32, on_batch=lambda out: bases.append(out.base),
+        )
+        sorter.push_slab(self._slab(rng, 150))
+        sorter.flush()
+        assert len(bases) == 3
+        assert bases[0] is not None
+        assert all(b is bases[0] for b in bases)  # one buffer, reused
+
+    def test_results_list_is_copied_out_of_the_arena(self, rng):
+        sorter = StreamingSorter(
+            array_size=64, batch_arrays=50, workspace=True, dtype=np.float32,
+        )
+        slab = self._slab(rng, 150)
+        sorter.push_slab(slab)
+        sorter.flush()
+        assert len(sorter.results) == 3
+        # Retained results must not alias the (reused) arena storage:
+        # each snapshot still equals its own batch's sorted rows.
+        expected = np.sort(slab, axis=1)
+        merged = np.vstack(sorter.results)
+        assert np.array_equal(merged, expected)
+        first, second = sorter.results[0], sorter.results[1]
+        assert first.base is not second.base or first.base is None
+
+    def test_arena_survives_checkpoint_restore(self, rng):
+        sorter = StreamingSorter(
+            array_size=64, batch_arrays=50, workspace=True, dtype=np.float32,
+        )
+        sorter.push_slab(self._slab(rng, 70))  # one emission + 20 staged
+        cp = sorter.checkpoint()
+        arena = sorter._sorter.workspace
+        allocs_before = arena.stats.allocations
+
+        sorter.push_slab(self._slab(rng, 30))  # second emission
+        sorter.restore(cp)  # roll back to 20 staged
+        tail = self._slab(rng, 30)
+        sorter.push_slab(tail)  # refill to 50: third emission
+        sorter.flush()
+
+        assert sorter._sorter.workspace is arena
+        assert not arena.closed
+        # Post-warmup emissions allocated nothing new.
+        assert arena.stats.allocations == allocs_before
+        # Re-emitted batch id follows the at-least-once contract.
+        assert sorter.emitted_batch_ids[0] == 0
+        merged = np.vstack(sorter.results)
+        assert np.all(np.diff(merged, axis=1) >= 0)
+
+
+class TestProcessZeroCopy:
+    """Satellite: arena shared slabs skip the ProcessPoolEngine staging copy."""
+
+    def test_shared_slab_batch_dispatches_zero_copy(self, rng):
+        from repro.planner import StaticPlanner
+
+        planner = StaticPlanner("process", workers=2, min_rows_per_worker=1)
+        sorter = GpuArraySort(planner=planner)
+        batch = rng.uniform(0, 1e6, (240, 80)).astype(np.float32)
+        result = sorter.sort(batch)
+        assert np.array_equal(result.batch, np.sort(batch, axis=1))
+        info = result.parallel_info
+        assert info["engine"] == "process"
+        assert info["zero_copy_shm"] is True
+        assert not info["fell_back_to_serial"]
+
+    def test_heap_batch_still_stages(self, rng):
+        from repro.parallel import ProcessPoolEngine
+
+        engine = ProcessPoolEngine(
+            workers=2, min_rows_per_shard=16, min_rows_per_worker=1
+        )
+        batch = rng.uniform(0, 1e6, (120, 60)).astype(np.float32)
+        result = GpuArraySort(parallel=engine).sort(batch)
+        assert np.array_equal(result.batch, np.sort(batch, axis=1))
+        assert result.parallel_info["zero_copy_shm"] is False

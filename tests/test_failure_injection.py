@@ -211,7 +211,7 @@ class TestVerifyCatchesCorruption:
 
         real = fused.fused_bucket_sort
 
-        def corrupt_fused(work, splitters, num_buckets):
+        def corrupt_fused(work, splitters, num_buckets, **kwargs):
             result = real(work, splitters, num_buckets)
             work[:, 0] = -1.0  # invent data
             return result

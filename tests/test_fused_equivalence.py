@@ -167,7 +167,8 @@ class TestShardedDeterminism:
         batch = _batch(rng, np.float32, num_arrays=120, array_size=80)
         cfg = SortConfig(fuse_phases=False)
         serial = GpuArraySort(cfg).sort(batch)
-        engine = ThreadPoolEngine(workers=3, min_rows_per_shard=16)
+        engine = ThreadPoolEngine(workers=3, min_rows_per_shard=16,
+                                  min_rows_per_worker=1)
         sharded = GpuArraySort(cfg, parallel=engine).sort(batch)
         assert sharded.batch.tobytes() == serial.batch.tobytes()
         assert np.array_equal(sharded.buckets.sizes, serial.buckets.sizes)

@@ -14,14 +14,20 @@ from repro.parallel import (
     resolve_executor,
 )
 from repro.parallel import executors as executors_mod
-from repro.parallel.plan import DEFAULT_MIN_ROWS_PER_SHARD
+from repro.parallel.plan import (
+    DEFAULT_MIN_ROWS_PER_SHARD,
+    DEFAULT_MIN_ROWS_PER_WORKER,
+)
 
 
 class TestShardPlan:
     def test_covers_every_row_exactly_once(self):
         for num_rows in (1, 7, 64, 100, 1000):
             for workers in (1, 2, 3, 8):
-                plan = plan_shards(num_rows, workers, min_rows_per_shard=1)
+                plan = plan_shards(
+                    num_rows, workers,
+                    min_rows_per_shard=1, min_rows_per_worker=1,
+                )
                 spans = [(s.start, s.stop) for s in plan]
                 assert spans[0][0] == 0
                 assert spans[-1][1] == num_rows
@@ -29,21 +35,31 @@ class TestShardPlan:
                     assert stop == start  # contiguous, no gaps/overlap
 
     def test_remainder_goes_to_leading_shards(self):
-        plan = plan_shards(10, 3, min_rows_per_shard=1)
+        plan = plan_shards(10, 3, min_rows_per_shard=1, min_rows_per_worker=1)
         assert [(s.start, s.stop) for s in plan] == [(0, 4), (4, 7), (7, 10)]
 
     def test_min_rows_per_shard_caps_shard_count(self):
         # 100 rows at >= 64/shard: only one shard no matter the workers.
-        plan = plan_shards(100, 8, min_rows_per_shard=64)
+        plan = plan_shards(100, 8, min_rows_per_shard=64,
+                           min_rows_per_worker=1)
         assert len(plan) == 1
-        plan = plan_shards(128, 8, min_rows_per_shard=64)
+        plan = plan_shards(128, 8, min_rows_per_shard=64,
+                           min_rows_per_worker=1)
         assert len(plan) == 2
 
     def test_default_floor_matches_constant(self):
-        assert plan_shards(DEFAULT_MIN_ROWS_PER_SHARD * 2, 16).num_rows == (
-            DEFAULT_MIN_ROWS_PER_SHARD * 2
-        )
-        assert len(plan_shards(DEFAULT_MIN_ROWS_PER_SHARD * 2, 16)) == 2
+        plan = plan_shards(DEFAULT_MIN_ROWS_PER_SHARD * 2, 16,
+                           min_rows_per_worker=1)
+        assert plan.num_rows == DEFAULT_MIN_ROWS_PER_SHARD * 2
+        assert len(plan) == 2
+
+    def test_default_fanout_guard(self):
+        # Below the per-worker floor the plan degenerates to one shard, so
+        # small batches (where sharding measured slower than serial) never
+        # pay thread/process dispatch.
+        assert len(plan_shards(DEFAULT_MIN_ROWS_PER_WORKER, 8)) == 1
+        assert len(plan_shards(DEFAULT_MIN_ROWS_PER_WORKER * 2, 8)) == 2
+        assert len(plan_shards(5000, 8)) == 1  # the 0.90x regression shape
 
     def test_zero_rows_yields_empty_plan(self):
         plan = plan_shards(0, 4)
@@ -58,10 +74,12 @@ class TestShardPlan:
         with pytest.raises(ValueError):
             plan_shards(10, 2, min_rows_per_shard=0)
         with pytest.raises(ValueError):
+            plan_shards(10, 2, min_rows_per_worker=0)
+        with pytest.raises(ValueError):
             Shard(index=0, start=5, stop=4)
 
     def test_plan_is_iterable_and_sized(self):
-        plan = plan_shards(20, 2, min_rows_per_shard=1)
+        plan = plan_shards(20, 2, min_rows_per_shard=1, min_rows_per_worker=1)
         assert isinstance(plan, ShardPlan)
         assert len(list(plan)) == len(plan) == 2
 
@@ -117,7 +135,8 @@ class TestEngines:
 
     def test_thread_engine_sharded_info(self, rng):
         batch = self._batch(rng)
-        engine = ThreadPoolEngine(workers=3, min_rows_per_shard=16)
+        engine = ThreadPoolEngine(workers=3, min_rows_per_shard=16,
+                                  min_rows_per_worker=1)
         result = GpuArraySort(parallel=engine).sort(batch)
         assert result.parallel_info["engine"] == "thread"
         assert result.parallel_info["shards"] == 3
@@ -126,7 +145,8 @@ class TestEngines:
 
     def test_process_engine_round_trip(self, rng):
         batch = self._batch(rng)
-        engine = ProcessPoolEngine(workers=2, min_rows_per_shard=16)
+        engine = ProcessPoolEngine(workers=2, min_rows_per_shard=16,
+                                   min_rows_per_worker=1)
         result = GpuArraySort(parallel=engine).sort(batch)
         assert np.array_equal(result.batch, np.sort(batch, axis=1))
         assert result.parallel_info["engine"] == "process"
@@ -157,7 +177,8 @@ class TestProcessCrashFallback:
         monkeypatch.setattr(executors_mod, "_sort_shard_shm", boom)
         batch = rng.uniform(0, 100, (120, 60)).astype(np.float64)
         expected = np.sort(batch, axis=1)
-        engine = ProcessPoolEngine(workers=2, min_rows_per_shard=16)
+        engine = ProcessPoolEngine(workers=2, min_rows_per_shard=16,
+                                   min_rows_per_worker=1)
         result = GpuArraySort(parallel=engine).sort(batch)
         assert np.array_equal(result.batch, expected)
         assert engine.fallbacks == 1
@@ -171,7 +192,8 @@ class TestProcessCrashFallback:
         )
         batch = rng.uniform(0, 100, (120, 60)).astype(np.float32)
         serial = GpuArraySort().sort(batch.copy())
-        engine = ProcessPoolEngine(workers=2, min_rows_per_shard=16)
+        engine = ProcessPoolEngine(workers=2, min_rows_per_shard=16,
+                                   min_rows_per_worker=1)
         fallen = GpuArraySort(parallel=engine).sort(batch)
         assert fallen.batch.tobytes() == serial.batch.tobytes()
         assert np.array_equal(fallen.buckets.offsets, serial.buckets.offsets)

@@ -1,0 +1,329 @@
+"""Unit tests for repro.planner (cost model, calibration, planners)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import GpuArraySort, SortConfig
+from repro.planner import (
+    CACHE_SCHEMA,
+    ExecutionPlan,
+    ExecutionPlanner,
+    HostProfile,
+    StaticPlanner,
+    calibrate_host,
+    default_cache_path,
+    host_fingerprint,
+    load_profile,
+    predict_ms,
+    resolve_planner,
+    save_profile,
+    set_default_planner,
+    shape_class_key,
+)
+
+# A deterministic 2-core profile so planner tests never run the ~0.3 s
+# calibration and never depend on this host's measured constants.
+STUB = HostProfile(cpu_count=2, calibrated=True)
+BIG = (100_000, 1000)  # rows, row_len — above the fan-out guard
+SMALL = (1000, 500)  # below it: serial is the only candidate
+
+
+def make_planner(**kwargs):
+    kwargs.setdefault("cache_path", None)
+    return ExecutionPlanner(STUB, **kwargs)
+
+
+class TestModel:
+    def test_predictions_positive_for_every_engine(self):
+        for engine in ("serial", "thread", "process"):
+            ms = predict_ms(STUB, engine, *BIG, np.float32, workers=2, shards=2)
+            assert ms > 0
+
+    def test_serial_prediction_scales_with_rows(self):
+        small = predict_ms(STUB, "serial", 1000, 1000, np.float32)
+        big = predict_ms(STUB, "serial", 100_000, 1000, np.float32)
+        assert big > small * 10
+
+    def test_process_costs_more_overhead_than_thread(self):
+        t = predict_ms(STUB, "thread", *BIG, np.float32, workers=2, shards=2)
+        p = predict_ms(STUB, "process", *BIG, np.float32, workers=2, shards=2)
+        assert p > t  # staging copies + spawn cost
+
+    def test_profile_dict_round_trip(self):
+        data = STUB.as_dict()
+        assert HostProfile.from_dict(data) == STUB
+        data["future_field"] = 123  # forward compat: unknown keys ignored
+        assert HostProfile.from_dict(data) == STUB
+
+
+class TestShapeClassKey:
+    def test_quantizes_log2(self):
+        a = shape_class_key(1000, 1000, np.float32)
+        b = shape_class_key(1100, 950, np.float32)  # same rounded log2s
+        assert a == b
+
+    def test_separates_dtypes_and_scales(self):
+        assert shape_class_key(1000, 1000, np.float32) != shape_class_key(
+            1000, 1000, np.float64
+        )
+        assert shape_class_key(1000, 1000, np.float32) != shape_class_key(
+            4000, 1000, np.float32
+        )
+
+
+class TestCalibration:
+    def test_calibrate_host_measures_everything(self):
+        profile = calibrate_host(rows=64, row_len=256)
+        assert profile.calibrated
+        assert profile.sort_ns > 0
+        assert profile.copy_ns_per_byte > 0
+        assert profile.gather_ns > 0
+        assert 0.1 <= profile.thread_efficiency <= 1.0
+        assert profile.cpu_count >= 1
+
+    def test_cache_round_trip(self, tmp_path):
+        path = tmp_path / "planner.json"
+        obs = {"k": {"serial": {"ema_ms": 1.5, "count": 3}}}
+        assert save_profile(STUB, obs, path)
+        profile, loaded_obs = load_profile(path)
+        assert profile == STUB
+        assert loaded_obs == obs
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "planner.json"
+        save_profile(STUB, {}, path)
+        data = json.loads(path.read_text())
+        data["schema"] = "something-else"
+        path.write_text(json.dumps(data))
+        assert load_profile(path) == (None, {})
+
+    def test_load_rejects_foreign_fingerprint(self, tmp_path):
+        path = tmp_path / "planner.json"
+        save_profile(STUB, {}, path)
+        data = json.loads(path.read_text())
+        data["fingerprint"] = "other-host|Linux|cpus=64|numpy=0.0"
+        path.write_text(json.dumps(data))
+        assert load_profile(path) == (None, {})
+
+    def test_load_missing_file_is_a_miss_not_an_error(self, tmp_path):
+        assert load_profile(tmp_path / "absent.json") == (None, {})
+
+    def test_env_var_overrides_cache_path(self, tmp_path, monkeypatch):
+        target = tmp_path / "custom" / "cache.json"
+        monkeypatch.setenv("REPRO_PLANNER_CACHE", str(target))
+        assert default_cache_path() == target
+
+    def test_cache_schema_written(self, tmp_path):
+        path = tmp_path / "planner.json"
+        save_profile(STUB, {}, path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == CACHE_SCHEMA
+        assert data["fingerprint"] == host_fingerprint()
+
+
+class TestExecutionPlanner:
+    def test_small_batch_has_only_the_serial_candidate(self):
+        planner = make_planner()
+        plan = planner.plan(*SMALL, np.float32)
+        assert plan.engine == "serial"
+        # With a single candidate there is nothing to explore.
+        for _ in range(3):
+            planner.observe(plan, 5.0)
+            assert planner.plan(*SMALL, np.float32).engine == "serial"
+
+    def test_exploration_visits_each_candidate_then_settles(self):
+        planner = make_planner()
+        seen = []
+        for _ in range(5):
+            plan = planner.plan(*BIG, np.float32)
+            seen.append((plan.engine, plan.source))
+            # Feed timings that make "thread" the measured winner.
+            planner.observe(plan, 10.0 if plan.engine == "thread" else 100.0)
+        engines = [e for e, _ in seen]
+        assert set(engines[:3]) == {"serial", "thread", "process"}
+        assert seen[0][1] == "model"  # nothing observed yet
+        assert seen[1][1] == "explore"
+        assert seen[3] == ("thread", "observed")
+        assert seen[4] == ("thread", "observed")
+
+    def test_explore_factor_skips_hopeless_candidates(self):
+        # A profile where process spawn cost is enormous relative to the
+        # serial sort pushes "process" past the exploration cutoff.
+        slow_spawn = HostProfile(
+            cpu_count=2, process_spawn_ms=1e6, calibrated=True
+        )
+        planner = ExecutionPlanner(
+            slow_spawn, cache_path=None, explore_factor=2.0
+        )
+        engines = set()
+        for _ in range(6):
+            plan = planner.plan(*BIG, np.float32)
+            engines.add(plan.engine)
+            planner.observe(plan, 50.0)
+        assert "process" not in engines
+
+    def test_ema_tracks_drift(self):
+        planner = make_planner(ema_alpha=0.5)
+        plan = planner.plan(*BIG, np.float32)
+        planner.observe(plan, 100.0)
+        planner.observe(plan, 200.0)
+        entry = planner.observations(plan.shape_key)[plan.engine]
+        assert entry["count"] == 2
+        assert entry["ema_ms"] == pytest.approx(150.0)
+
+    def test_persistence_warm_starts_a_new_planner(self, tmp_path):
+        path = tmp_path / "planner.json"
+        first = ExecutionPlanner(STUB, cache_path=path)
+        for _ in range(4):
+            plan = first.plan(*BIG, np.float32)
+            first.observe(plan, 10.0 if plan.engine == "serial" else 500.0)
+        assert first.save()
+
+        second = ExecutionPlanner(cache_path=path)
+        plan = second.plan(*BIG, np.float32)
+        assert plan.source == "observed"
+        assert plan.engine == "serial"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_planner(explore_factor=0.5)
+        with pytest.raises(ValueError):
+            make_planner(ema_alpha=0.0)
+
+    def test_executor_for_serial_is_none_and_engines_are_cached(self):
+        planner = make_planner()
+        serial = ExecutionPlan(engine="serial")
+        assert planner.executor_for(serial) is None
+        sharded = ExecutionPlan(engine="thread", workers=2)
+        engine = planner.executor_for(sharded)
+        assert engine is not None
+        assert planner.executor_for(sharded) is engine  # no per-batch churn
+
+
+class TestStaticPlanner:
+    @pytest.mark.parametrize(
+        "mode,engine",
+        [
+            ("fused", "serial"),
+            ("serial", "serial"),
+            ("sharded", "thread"),
+            ("thread", "thread"),
+            ("process", "process"),
+        ],
+    )
+    def test_mode_mapping(self, mode, engine):
+        plan = StaticPlanner(mode).plan(*BIG, np.float32)
+        assert plan.engine == engine
+        assert plan.source == "static"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            StaticPlanner("quantum")
+
+    def test_observe_and_save_are_noops(self):
+        planner = StaticPlanner("fused")
+        planner.observe(planner.plan(*BIG, np.float32), 1.0)
+        assert planner.save() is False
+
+
+class TestResolvePlanner:
+    def test_none_passthrough(self):
+        assert resolve_planner(None) is None
+        assert resolve_planner("none") is None
+
+    def test_auto_returns_the_shared_planner(self):
+        probe = make_planner()
+        set_default_planner(probe)
+        try:
+            assert resolve_planner("auto") is probe
+            assert resolve_planner("auto") is probe
+        finally:
+            set_default_planner(None)
+
+    def test_mode_names_build_static_planners(self):
+        planner = resolve_planner("sharded", workers=3)
+        assert isinstance(planner, StaticPlanner)
+        assert planner.workers == 3
+
+    def test_instance_passthrough(self):
+        planner = make_planner()
+        assert resolve_planner(planner) is planner
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_planner("warp-drive")
+        with pytest.raises(TypeError):
+            resolve_planner(42)
+
+
+class TestSorterIntegration:
+    def _batch(self, rng, rows=600, cols=300):
+        return rng.uniform(0, 1e6, (rows, cols)).astype(np.float32)
+
+    def test_planner_and_parallel_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            GpuArraySort(parallel="thread", planner="auto")
+
+    def test_planner_requires_vectorized(self):
+        with pytest.raises(ValueError):
+            GpuArraySort(engine="model", planner="fused")
+
+    def test_output_identical_across_planner_choices(self, rng):
+        batch = self._batch(rng)
+        baseline = GpuArraySort().sort(batch)
+        planners = [
+            "fused",
+            StaticPlanner("sharded", workers=2, min_rows_per_worker=1),
+            make_planner(),
+        ]
+        for planner in planners:
+            result = GpuArraySort(planner=planner).sort(batch)
+            assert result.batch.tobytes() == baseline.batch.tobytes(), planner
+
+    def test_planned_result_records_the_plan_and_feeds_the_ema(self, rng):
+        planner = make_planner()
+        sorter = GpuArraySort(planner=planner)
+        batch = self._batch(rng)
+        result = sorter.sort(batch)
+        plan = result.execution_plan
+        assert plan.engine == "serial"  # below the fan-out guard
+        entry = planner.observations(plan.shape_key)["serial"]
+        assert entry["count"] == 1
+        assert entry["ema_ms"] > 0
+
+    def test_arena_result_repeated_sorts_stay_correct(self, rng):
+        sorter = GpuArraySort(planner=StaticPlanner("fused"))
+        for _ in range(3):
+            batch = self._batch(rng)
+            result = sorter.sort(batch)
+            assert result.scratch is True
+            assert np.array_equal(result.batch, np.sort(batch, axis=1))
+
+    def test_streaming_accepts_planner(self, rng):
+        from repro.core import StreamingSorter
+
+        sorter = StreamingSorter(
+            array_size=64, batch_arrays=100, planner="fused",
+            dtype=np.float32,
+        )
+        slab = rng.uniform(0, 100, (250, 64)).astype(np.float32)
+        sorter.push_slab(slab)
+        sorter.flush()
+        merged = np.vstack(sorter.results)
+        assert merged.shape == (250, 64)
+        assert np.all(np.diff(merged, axis=1) >= 0)
+
+    def test_resilient_accepts_planner(self, rng):
+        from repro.resilience import ResilientSorter
+
+        batch = self._batch(rng, rows=130, cols=50)
+        result = ResilientSorter(planner="fused").sort(batch)
+        assert np.array_equal(result.batch, np.sort(batch, axis=1))
+
+    def test_resilient_rejects_planner_plus_parallel(self):
+        from repro.resilience import ResilientSorter
+
+        with pytest.raises(ValueError):
+            ResilientSorter(planner="fused", parallel="thread")
