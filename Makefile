@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-resilience bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate report examples figures table1 clean
+.PHONY: install test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate service-gate bench-service report examples figures table1 clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,9 @@ test:
 
 test-resilience:
 	$(PYTHON) -m pytest tests/ -m faultinject -q
+
+test-service:
+	$(PYTHON) -m pytest tests/ -m service -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -38,6 +41,19 @@ bench-gate:
 planner-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid reference \
 		--repeats 3 --gate-planner
+
+# Serving gate: the dynamically-batched SortService must deliver >= 2x
+# the unbatched per-request throughput at the mid traffic cell, with
+# p99 latency inside the linger + deadline budget.
+service-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --grid load \
+		--gate
+
+# Full serving artifact — this is what the committed BENCH_service.json
+# was produced with.
+bench-service:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --grid load \
+		--gate --out BENCH_service.json
 
 # Full artifact including the paper's Fig. 4 anchor (N=1e5, n=1000,
 # float32); several minutes — this is what the committed

@@ -36,18 +36,34 @@ from .core import (
 from .gpusim.faults import FaultPlan
 from .planner import ExecutionPlan, ExecutionPlanner, StaticPlanner
 from .resilience import ResilienceStats, ResilientSorter
+from .service import (
+    DeadlineExceededError,
+    QuarantinedError,
+    RejectedError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceStats,
+    SortService,
+)
 
 __all__ = [
     "DEFAULT_CONFIG",
+    "DeadlineExceededError",
     "ExecutionPlan",
     "ExecutionPlanner",
     "FaultPlan",
     "GpuArraySort",
     "PairSortResult",
+    "QuarantinedError",
+    "RejectedError",
     "ResilienceStats",
     "ResilientSorter",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceStats",
     "SortConfig",
     "SortResult",
+    "SortService",
     "StaticPlanner",
     "__version__",
     "sort_arrays",

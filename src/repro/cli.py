@@ -159,6 +159,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--array-size", "-n", type=int, default=96)
     p_mc.add_argument("--seed", type=int, default=0)
 
+    p_srv = sub.add_parser(
+        "serve-bench",
+        help="drive synthetic traffic through the sort service and report "
+             "throughput/latency (optionally vs the unbatched baseline)",
+    )
+    p_srv.add_argument("--array-size", "-n", type=int, default=256)
+    p_srv.add_argument("--requests", type=int, default=2000,
+                       help="total requests across all clients")
+    p_srv.add_argument("--clients", type=int, default=8)
+    p_srv.add_argument(
+        "--arrival", choices=["closed", "open"], default="closed",
+        help="closed: each client waits for its previous request; "
+             "open: paced arrivals at --rate req/s",
+    )
+    p_srv.add_argument("--rate", type=float, default=2000.0,
+                       help="offered load in req/s (open arrival only)")
+    p_srv.add_argument(
+        "--size-mix", default="1:0.6,4:0.3,16:0.1", metavar="R:W,...",
+        help="rows-per-request mix as ROWS:WEIGHT pairs",
+    )
+    p_srv.add_argument("--batch-target", type=int, default=None,
+                       help="coalesce target in rows (default: planner-derived)")
+    p_srv.add_argument("--linger-ms", type=float, default=2.0,
+                       help="max time the oldest queued request waits for "
+                            "batch-mates")
+    p_srv.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline; late work is shed")
+    p_srv.add_argument(
+        "--backend", choices=["plain", "resilient"], default="plain",
+        help="resilient wraps the sorter in retry/quarantine handling",
+    )
+    p_srv.add_argument(
+        "--planner", choices=["auto", "fused", "sharded"], default=None,
+        help="execution planner handed to the backing sorter",
+    )
+    p_srv.add_argument(
+        "--unbatched", action="store_true",
+        help="also run the per-request baseline and report the speedup",
+    )
+    p_srv.add_argument("--seed", type=int, default=0)
+
     p_rep = sub.add_parser(
         "report", help="regenerate the full reproduction report"
     )
@@ -220,9 +261,12 @@ def _cmd_sort(args) -> int:
                       file=sys.stderr)
                 return 2
             if parallel is not None:
-                print("--planner and --workers are mutually exclusive: the "
-                      "planner chooses the engine (use --planner sharded to "
-                      "force sharded execution)", file=sys.stderr)
+                print(f"--planner {args.planner} conflicts with "
+                      f"--workers {args.workers}: the planner chooses the "
+                      "execution engine per batch, so a fixed worker count "
+                      "cannot also apply (drop --workers, or use "
+                      "--planner sharded to force sharded execution)",
+                      file=sys.stderr)
                 return 2
         sorter = GpuArraySort(
             config, engine=args.engine,
@@ -444,6 +488,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_memcheck(args)
     if args.command == "resilience":
         return _cmd_resilience(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "export":
         from .analysis.export import export_all
 
@@ -607,6 +653,85 @@ def _cmd_resilience(args) -> int:
         print(f"CORRUPTED EMITTED ROWS: {corrupted_emitted}")
         return 1
     print("verification: OK (every emitted row sorted; zero corrupted rows)")
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from .analysis.reporting import render_table
+    from .core.config import SortConfig
+    from .service import (
+        SortService,
+        parse_size_mix,
+        run_service_traffic,
+        run_unbatched_traffic,
+    )
+
+    try:
+        size_mix = parse_size_mix(args.size_mix)
+    except ValueError as exc:
+        print(f"--size-mix: {exc}", file=sys.stderr)
+        return 2
+    deadline_s = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+
+    config = SortConfig()
+    service = SortService(
+        config=config,
+        planner=args.planner,
+        backend="resilient" if args.backend == "resilient" else None,
+        batch_target_rows=args.batch_target,
+        linger_ms=args.linger_ms,
+    )
+    with service:
+        report = run_service_traffic(
+            service,
+            mode=args.arrival,
+            clients=args.clients,
+            total_requests=args.requests,
+            rate_rps=args.rate,
+            array_size=args.array_size,
+            size_mix=size_mix,
+            deadline_s=deadline_s,
+            seed=args.seed,
+        )
+        stats = service.stats()
+
+    pct = report.latency_percentiles()
+    print(f"service traffic ({report.mode} loop, {report.clients} clients, "
+          f"n={args.array_size}): {report.completed}/{report.requests_issued} "
+          f"completed in {report.wall_seconds:.3f} s")
+    print(f"  throughput : {report.throughput_rps:.0f} req/s "
+          f"({report.throughput_rows_per_s:.0f} rows/s)")
+    if pct:
+        print(f"  latency ms : p50={pct['p50']:.2f} p95={pct['p95']:.2f} "
+              f"p99={pct['p99']:.2f} mean={pct['mean']:.2f}")
+    print(f"  shed={report.shed} deadline_missed={report.deadline_missed} "
+          f"failed={report.failed} reject_retries={report.rejected_retries}")
+    print(f"  batches={stats.batches} mean_occupancy="
+          f"{stats.mean_occupancy_rows:.1f} rows")
+    if stats.occupancy_histogram:
+        print(render_table(
+            ["batch rows", "count"],
+            [[bucket, count]
+             for bucket, count in sorted(stats.occupancy_histogram.items())],
+            title="Batch occupancy",
+        ))
+
+    if args.unbatched:
+        baseline = run_unbatched_traffic(
+            mode=args.arrival,
+            clients=args.clients,
+            total_requests=args.requests,
+            rate_rps=args.rate,
+            array_size=args.array_size,
+            size_mix=size_mix,
+            seed=args.seed,
+            config=config,
+        )
+        speedup = (report.throughput_rps / baseline.throughput_rps
+                   if baseline.throughput_rps else float("inf"))
+        print(f"unbatched baseline: {baseline.throughput_rps:.0f} req/s in "
+              f"{baseline.wall_seconds:.3f} s -> batched speedup "
+              f"{speedup:.2f}x")
     return 0
 
 

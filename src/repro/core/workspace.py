@@ -12,10 +12,18 @@ is pure overhead, and on large batches it also defeats the page cache.
 ``(tag, dtype)``.  A buffer is allocated on first use, **grown
 geometrically** (capacity at least doubles) when a larger request
 arrives, and otherwise handed back as a zero-copy view — so steady-state
-streaming traffic sorts with no NumPy allocations on the hot path.  The
-pool is intentionally *not* thread-safe: an arena belongs to one sorter,
-exactly like the paper's per-block shared-memory staging belongs to one
-block.  Sharded executors never share an arena across workers.
+streaming traffic sorts with no NumPy allocations on the hot path.
+
+Thread-safety: buffer **checkout and growth are lock-guarded** — since
+the sort service arrived, an arena is reachable from the service's
+batcher thread and from caller threads concurrently, and an unguarded
+grow could drop or double-count pooled buffers.  The lock covers the
+pool bookkeeping only; the *storage* stays single-owner: two threads
+requesting the same ``(tag, dtype)`` key receive views of the **same**
+buffer, so concurrent use of one key still needs external coordination
+(each sorter keeps its own arena, exactly like the paper's per-block
+shared-memory staging belongs to one block; sharded executors never
+share an arena across workers).
 
 Scratch semantics: views handed out by :meth:`ScratchArena.get` are
 valid **until the next request for the same ``(tag, dtype)`` key** — a
@@ -36,6 +44,7 @@ existing segment by name instead.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -119,6 +128,10 @@ class ScratchArena:
             raise ValueError(f"growth factor must be >= 1.0, got {growth}")
         self.growth = float(growth)
         self.stats = WorkspaceStats()
+        #: Guards pool checkout/growth and close (see module docstring);
+        #: reentrant because get_shared falls back to get() on platforms
+        #: without shared memory.
+        self._lock = threading.RLock()
         self._pools: Dict[Tuple[str, str], np.ndarray] = {}
         #: name -> SharedMemory for slabs owned by this arena.
         self._shared: Dict[str, object] = {}
@@ -134,28 +147,29 @@ class ScratchArena:
         ``(tag, dtype)`` key.  Contents are undefined (no zeroing — the
         hot path always overwrites).
         """
-        if self._closed:
-            raise RuntimeError("arena is closed")
         dtype = np.dtype(dtype)
         shape = tuple(int(s) for s in shape)
         need = 1
         for s in shape:
             need *= s
         key = (tag, dtype.str)
-        pool = self._pools.get(key)
-        if pool is None or pool.size < need:
-            capacity = need
-            if pool is not None:
-                capacity = max(need, int(pool.size * self.growth))
-                self.stats.grows += 1
-                self.stats.bytes_held -= pool.nbytes
-            pool = np.empty(capacity, dtype)
-            self._pools[key] = pool
-            self.stats.allocations += 1
-            self.stats.bytes_held += pool.nbytes
-        else:
-            self.stats.hits += 1
-        return pool[:need].reshape(shape)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena is closed")
+            pool = self._pools.get(key)
+            if pool is None or pool.size < need:
+                capacity = need
+                if pool is not None:
+                    capacity = max(need, int(pool.size * self.growth))
+                    self.stats.grows += 1
+                    self.stats.bytes_held -= pool.nbytes
+                pool = np.empty(capacity, dtype)
+                self._pools[key] = pool
+                self.stats.allocations += 1
+                self.stats.bytes_held += pool.nbytes
+            else:
+                self.stats.hits += 1
+            return pool[:need].reshape(shape)
 
     # -- shared-memory slabs ----------------------------------------------
     def get_shared(self, tag: str, shape, dtype) -> np.ndarray:
@@ -166,8 +180,6 @@ class ScratchArena:
         Falls back to a plain pooled buffer when shared memory is
         unavailable on the platform.
         """
-        if self._closed:
-            raise RuntimeError("arena is closed")
         try:
             from multiprocessing import shared_memory
         except ImportError:  # pragma: no cover - always present on CPython
@@ -178,25 +190,28 @@ class ScratchArena:
         for s in shape:
             need *= s
         key = (tag + "@shm", dtype.str)
-        pool = self._pools.get(key)
-        if pool is None or pool.size < need:
-            capacity = need
-            if pool is not None:
-                capacity = max(need, int(pool.size * self.growth))
-                self.stats.grows += 1
-                self._release_shared_pool(key)
-            nbytes = max(1, capacity * dtype.itemsize)
-            shm = shared_memory.SharedMemory(create=True, size=nbytes)
-            pool = np.ndarray((capacity,), dtype=dtype, buffer=shm.buf)
-            self._pools[key] = pool
-            self._shared[shm.name] = shm
-            self._pool_shm_name[key] = shm.name
-            register_shared_slab(shm.name, pool, shm)
-            self.stats.allocations += 1
-            self.stats.bytes_held += pool.nbytes
-        else:
-            self.stats.hits += 1
-        return pool[:need].reshape(shape)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena is closed")
+            pool = self._pools.get(key)
+            if pool is None or pool.size < need:
+                capacity = need
+                if pool is not None:
+                    capacity = max(need, int(pool.size * self.growth))
+                    self.stats.grows += 1
+                    self._release_shared_pool(key)
+                nbytes = max(1, capacity * dtype.itemsize)
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                pool = np.ndarray((capacity,), dtype=dtype, buffer=shm.buf)
+                self._pools[key] = pool
+                self._shared[shm.name] = shm
+                self._pool_shm_name[key] = shm.name
+                register_shared_slab(shm.name, pool, shm)
+                self.stats.allocations += 1
+                self.stats.bytes_held += pool.nbytes
+            else:
+                self.stats.hits += 1
+            return pool[:need].reshape(shape)
 
     def _release_shared_pool(self, key: Tuple[str, str]) -> None:
         pool = self._pools.pop(key, None)
@@ -224,13 +239,14 @@ class ScratchArena:
 
         Idempotent.  After closing, ``get``/``get_shared`` raise.
         """
-        if self._closed:
-            return
-        for key in [k for k in self._pools if k in self._pool_shm_name]:
-            self._release_shared_pool(key)
-        self._pools.clear()
-        self.stats.bytes_held = 0
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            for key in [k for k in self._pools if k in self._pool_shm_name]:
+                self._release_shared_pool(key)
+            self._pools.clear()
+            self.stats.bytes_held = 0
+            self._closed = True
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -185,6 +186,15 @@ def save_profile(
 ) -> bool:
     """Best-effort atomic write of the cache; returns success.
 
+    Concurrency contract: the payload is staged in a per-call unique
+    temp file *in the target directory* (``tempfile.mkstemp``, so
+    racing threads never share a staging path — a per-PID name is not
+    enough once the sort service's worker threads autosave) and
+    published with ``os.replace``.  Any number of processes or threads
+    racing can only ever leave one writer's complete file — never an
+    interleaving.  Readers either see a whole valid cache or, per
+    :func:`load_profile`, treat anything else as a cache miss.
+
     A read-only cache dir (CI sandboxes) silently disables persistence —
     the planner still works, it just recalibrates next process.
     """
@@ -195,13 +205,24 @@ def save_profile(
         "profile": profile.as_dict(),
         "observations": observations or {},
     }
+    tmp = None
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".tmp", dir=path.parent
+        )
+        tmp = Path(tmp_name)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True))
         os.replace(tmp, path)
         return True
     except OSError:
+        # Don't leave a stale temp file behind a failed publish.
+        if tmp is not None:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
         return False
 
 

@@ -1,0 +1,48 @@
+"""Sort-as-a-service: async request front-end over the batch sorter.
+
+The subsystem that connects the fused/sharded/planner machinery to real
+traffic: many callers :meth:`~repro.service.SortService.submit` small
+requests concurrently; a dynamic batcher coalesces them into
+planner-sized ``(N, n)`` batches; one fused sort runs per batch; results
+are demultiplexed back to per-caller futures.  Overload is explicit
+(bounded queue + :class:`RejectedError` backpressure), lateness is
+explicit (EDF scheduling + :class:`DeadlineExceededError` shedding), and
+:meth:`~repro.service.SortService.stats` exposes the serving health
+surface.  See ``docs/service.md``.
+"""
+
+from .batcher import DynamicBatcher, Lane, QueuedRequest
+from .errors import (
+    DeadlineExceededError,
+    QuarantinedError,
+    RejectedError,
+    ServiceClosedError,
+    ServiceError,
+)
+from .service import SortService, derive_batch_target
+from .stats import ServiceStats, StatsRecorder
+from .traffic import (
+    TrafficReport,
+    parse_size_mix,
+    run_service_traffic,
+    run_unbatched_traffic,
+)
+
+__all__ = [
+    "DeadlineExceededError",
+    "DynamicBatcher",
+    "Lane",
+    "QuarantinedError",
+    "QueuedRequest",
+    "RejectedError",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceStats",
+    "SortService",
+    "StatsRecorder",
+    "TrafficReport",
+    "derive_batch_target",
+    "parse_size_mix",
+    "run_service_traffic",
+    "run_unbatched_traffic",
+]

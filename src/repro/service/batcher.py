@@ -1,0 +1,248 @@
+"""Dynamic batching core: queues, lanes, and dispatch decisions.
+
+The batcher is the piece that turns many small concurrent requests into
+the large batches GPU-ArraySort is actually good at — the paper's whole
+advantage over STA is amortizing fixed per-launch cost across thousands
+of arrays, so a serving front-end that sorts each request alone throws
+that advantage away.
+
+Requests are grouped into **lanes** keyed by ``(row_len, dtype)``: only
+same-shape arrays can share one ``(N, n)`` batch.  Within a lane the
+dispatch order is **EDF** (earliest deadline first, then priority, then
+arrival), and a lane becomes *ready* when either
+
+* its queued rows reach the batch size target (fed by the planner's
+  preferred shape class — see
+  :func:`repro.service.service.derive_batch_target`), or
+* its oldest request has lingered past ``linger_s`` (bounded latency for
+  trickle traffic), or
+* the service is draining (flush/close).
+
+This module is deliberately free of threads, clocks, and futures: every
+method takes ``now`` explicitly, so the whole decision surface is unit
+testable with a synthetic clock.  :class:`~repro.service.SortService`
+owns the lock, the worker thread, and the real clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["QueuedRequest", "Lane", "DynamicBatcher"]
+
+
+@dataclasses.dataclass
+class QueuedRequest:
+    """One caller request waiting for (or riding in) a batch."""
+
+    #: Monotonic admission sequence number — the FIFO tiebreaker.
+    seq: int
+    #: The caller's ``(rows, row_len)`` arrays (not copied at submit;
+    #: callers must not mutate them until the future resolves).
+    arrays: np.ndarray
+    #: Absolute deadline on the service clock, or ``None`` for "whenever".
+    deadline: Optional[float]
+    #: Smaller = more urgent; tiebreaker between equal deadlines.
+    priority: int
+    #: Service-clock time the request was admitted.
+    enqueued_at: float
+    #: ``concurrent.futures.Future`` the caller holds (``object`` here to
+    #: keep this module future-agnostic).
+    future: object
+    #: Copy the demuxed result out of the batch (True) or hand a
+    #: zero-copy view valid until the next dispatch (False).
+    copy: bool = True
+    #: Submitted as a single 1-D array; the demuxed result unwraps to 1-D.
+    single: bool = False
+
+    @property
+    def rows(self) -> int:
+        return int(self.arrays.shape[0])
+
+    def edf_key(self) -> Tuple[float, int, int]:
+        """EDF ordering: deadline, then priority, then arrival."""
+        deadline = self.deadline if self.deadline is not None else math.inf
+        return (deadline, self.priority, self.seq)
+
+
+class Lane:
+    """All queued requests sharing one ``(row_len, dtype)`` batch shape."""
+
+    def __init__(self, key: Tuple[int, str]) -> None:
+        self.key = key
+        #: Arrival order is preserved; EDF ordering is applied at pop time.
+        self.requests: List[QueuedRequest] = []
+
+    @property
+    def rows(self) -> int:
+        return sum(r.rows for r in self.requests)
+
+    @property
+    def oldest_enqueued_at(self) -> float:
+        """Admission time of the longest-waiting request (lane non-empty)."""
+        return self.requests[0].enqueued_at
+
+    def earliest_deadline(self) -> float:
+        """The lane's most urgent deadline (``inf`` when none set)."""
+        return min(
+            (r.deadline for r in self.requests if r.deadline is not None),
+            default=math.inf,
+        )
+
+
+class DynamicBatcher:
+    """Lane bookkeeping + the ready/shed/pop decision logic.
+
+    Parameters
+    ----------
+    target_rows:
+        Rows that make a lane ready immediately — the planner-preferred
+        batch size the service derives at construction.
+    max_batch_rows:
+        Hard cap on rows per dispatched batch (a burst above the target
+        is split across batches instead of growing without bound).  A
+        single request larger than the cap still dispatches, alone.
+    linger_s:
+        Longest a request may wait for co-batching before its lane is
+        dispatched below target.
+    """
+
+    def __init__(
+        self,
+        *,
+        target_rows: int,
+        max_batch_rows: int,
+        linger_s: float,
+    ) -> None:
+        if target_rows < 1:
+            raise ValueError(f"target_rows must be >= 1, got {target_rows}")
+        if max_batch_rows < target_rows:
+            raise ValueError(
+                f"max_batch_rows ({max_batch_rows}) must be >= "
+                f"target_rows ({target_rows})"
+            )
+        if linger_s < 0:
+            raise ValueError(f"linger_s must be >= 0, got {linger_s}")
+        self.target_rows = int(target_rows)
+        self.max_batch_rows = int(max_batch_rows)
+        self.linger_s = float(linger_s)
+        self._lanes: Dict[Tuple[int, str], Lane] = {}
+        self.total_rows = 0
+        self.total_requests = 0
+
+    # -- queue maintenance -------------------------------------------------
+    @staticmethod
+    def lane_key(arrays: np.ndarray) -> Tuple[int, str]:
+        return (int(arrays.shape[1]), np.dtype(arrays.dtype).str)
+
+    def add(self, request: QueuedRequest) -> None:
+        key = self.lane_key(request.arrays)
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = self._lanes[key] = Lane(key)
+        lane.requests.append(request)
+        self.total_rows += request.rows
+        self.total_requests += 1
+
+    def drop_all(self) -> List[QueuedRequest]:
+        """Remove and return every queued request (close without drain)."""
+        dropped = [r for lane in self._lanes.values() for r in lane.requests]
+        self._lanes.clear()
+        self.total_rows = 0
+        self.total_requests = 0
+        return dropped
+
+    def shed_expired(self, now: float) -> List[QueuedRequest]:
+        """Remove and return queued requests whose deadline has passed.
+
+        Shedding happens *before* dispatch: a request that can no longer
+        meet its deadline must not occupy batch capacity, and must fail
+        with a typed error rather than be delivered late.
+        """
+        shed: List[QueuedRequest] = []
+        for key in list(self._lanes):
+            lane = self._lanes[key]
+            keep: List[QueuedRequest] = []
+            for request in lane.requests:
+                if request.deadline is not None and request.deadline < now:
+                    shed.append(request)
+                    self.total_rows -= request.rows
+                    self.total_requests -= 1
+                else:
+                    keep.append(request)
+            if keep:
+                lane.requests = keep
+            else:
+                del self._lanes[key]
+        return shed
+
+    # -- dispatch decisions ------------------------------------------------
+    def _lane_ready(self, lane: Lane, now: float, *, drain: bool) -> bool:
+        if not lane.requests:
+            return False
+        if drain:
+            return True
+        if lane.rows >= self.target_rows:
+            return True
+        return now - lane.oldest_enqueued_at >= self.linger_s
+
+    def ready_lane(self, now: float, *, drain: bool = False) -> Optional[Lane]:
+        """The ready lane with the most urgent deadline (EDF across lanes).
+
+        Ties (no deadlines anywhere) fall to the longest-waiting lane.
+        """
+        ready = [
+            lane
+            for lane in self._lanes.values()
+            if self._lane_ready(lane, now, drain=drain)
+        ]
+        if not ready:
+            return None
+        return min(
+            ready,
+            key=lambda lane: (lane.earliest_deadline(), lane.oldest_enqueued_at),
+        )
+
+    def next_event_at(self, now: float) -> Optional[float]:
+        """Earliest time a waiting lane becomes ready or a deadline expires.
+
+        ``None`` when the queue is empty.  The service sleeps until this
+        moment (or the next submit wakes it).
+        """
+        event = math.inf
+        for lane in self._lanes.values():
+            if not lane.requests:
+                continue
+            event = min(event, lane.oldest_enqueued_at + self.linger_s)
+            deadline = lane.earliest_deadline()
+            if deadline is not math.inf:
+                event = min(event, deadline)
+        return None if event is math.inf else event
+
+    def pop_batch(self, lane: Lane, now: float) -> List[QueuedRequest]:
+        """Remove and return the lane's next batch, EDF-ordered.
+
+        Takes the most urgent requests first, stopping before the batch
+        would exceed ``max_batch_rows`` — except that the first request
+        always rides (an oversized request dispatches alone rather than
+        starving).  The remaining requests keep their arrival order.
+        """
+        ordered = sorted(lane.requests, key=QueuedRequest.edf_key)
+        taken: List[QueuedRequest] = []
+        rows = 0
+        for request in ordered:
+            if taken and rows + request.rows > self.max_batch_rows:
+                break
+            taken.append(request)
+            rows += request.rows
+        taken_ids = {id(r) for r in taken}
+        lane.requests = [r for r in lane.requests if id(r) not in taken_ids]
+        if not lane.requests:
+            del self._lanes[lane.key]
+        self.total_rows -= rows
+        self.total_requests -= len(taken)
+        return taken

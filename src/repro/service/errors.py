@@ -1,0 +1,90 @@
+"""Typed failure vocabulary of the sort service.
+
+Every way a :class:`~repro.service.SortService` declines or abandons a
+request is a distinct exception type, so callers can branch on *what
+happened* instead of parsing messages — and so the acceptance contract
+("shed requests fail with typed errors, never with wrong data") is
+enforceable in tests by type alone.
+
+The hierarchy:
+
+* :class:`ServiceError` — base for everything the service raises/sets.
+* :class:`RejectedError` — admission control said no *at submit time*
+  (queue full); carries ``retry_after`` seconds, the backpressure signal
+  a well-behaved client sleeps before resubmitting.
+* :class:`DeadlineExceededError` — the request's deadline passed before
+  its result could be delivered (shed in the queue, or finished too
+  late); the data is discarded, never returned stale.
+* :class:`QuarantinedError` — the resilient backend gave up on one or
+  more of the request's rows; the row indices and reasons ride along.
+* :class:`ServiceClosedError` — submitted to (or pending inside) a
+  service that has shut down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = [
+    "ServiceError",
+    "RejectedError",
+    "DeadlineExceededError",
+    "QuarantinedError",
+    "ServiceClosedError",
+]
+
+
+class ServiceError(Exception):
+    """Base class for every sort-service failure."""
+
+
+class RejectedError(ServiceError):
+    """Admission control refused the request: the queue is full.
+
+    ``retry_after`` is the service's backpressure hint in seconds —
+    roughly how long the current backlog needs to drain at the observed
+    throughput.  It is an estimate, not a promise.
+    """
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline passed before its result was delivered.
+
+    ``waited`` records how long the request sat in the service (seconds)
+    when it was shed; ``stage`` is ``"queued"`` (shed before dispatch)
+    or ``"sorted"`` (the batch finished, but past the deadline — the
+    result is discarded rather than delivered stale).
+    """
+
+    def __init__(self, message: str, *, waited: float, stage: str = "queued") -> None:
+        super().__init__(message)
+        self.waited = float(waited)
+        self.stage = stage
+
+
+class QuarantinedError(ServiceError):
+    """The resilient backend quarantined rows belonging to this request.
+
+    ``rows`` are request-relative row indices; ``reasons`` maps each to
+    the backend's quarantine reason.  The request fails atomically —
+    partially sorted results are never demultiplexed back to a caller.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rows: Sequence[int],
+        reasons: Dict[int, str],
+    ) -> None:
+        super().__init__(message)
+        self.rows = tuple(int(r) for r in rows)
+        self.reasons = dict(reasons)
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shut down (or shutting down without draining)."""

@@ -1,0 +1,161 @@
+"""Observability surface of the sort service.
+
+:class:`ServiceStats` is an immutable snapshot — counters, queue depth,
+the batch-occupancy histogram, and request-latency percentiles — taken
+under the service lock by :meth:`repro.service.SortService.stats`.  The
+mutable accumulation lives in :class:`StatsRecorder`, which the service
+owns and updates on the submit/dispatch/complete path.
+
+Latency percentiles are computed over a bounded ring of the most recent
+completed-request latencies (default 4096), so a long-running service
+reports *current* behaviour rather than a lifetime average diluted by
+warm-up.  Occupancy is histogrammed in power-of-two buckets of rows per
+dispatched batch — the natural axis, since the planner's shape classes
+quantize ``log2(N)`` the same way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["ServiceStats", "StatsRecorder"]
+
+
+def _occupancy_bucket(rows: int) -> str:
+    """Power-of-two histogram label for a batch of ``rows`` rows."""
+    if rows <= 0:
+        return "[0,1)"
+    lo = 1 << int(math.floor(math.log2(rows)))
+    return f"[{lo},{lo * 2})"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceStats:
+    """One consistent snapshot of a :class:`~repro.service.SortService`.
+
+    Counters are lifetime totals; ``queue_depth_*`` is the instant
+    backlog; ``latency_ms`` holds ``p50``/``p95``/``p99``/``mean``/
+    ``max`` over the recent completed-request window (empty dict before
+    the first completion).
+    """
+
+    #: Requests accepted by ``submit`` (rejected ones are not counted here).
+    submitted: int
+    #: Requests whose future resolved with a sorted result.
+    completed: int
+    #: Requests refused at submit time by admission control.
+    rejected: int
+    #: Requests shed in the queue because their deadline passed.
+    shed: int
+    #: Requests whose batch finished after their deadline (result discarded).
+    deadline_missed: int
+    #: Requests failed by the backend (quarantine or an execution error).
+    failed: int
+    #: Batches dispatched to the sorter.
+    batches: int
+    #: Total rows carried by dispatched batches.
+    batched_rows: int
+    #: Requests currently queued (not yet dispatched).
+    queue_depth_requests: int
+    #: Rows currently queued.
+    queue_depth_rows: int
+    #: Rows-per-batch histogram: power-of-two bucket label -> batch count.
+    occupancy_histogram: Dict[str, int]
+    #: Recent-window latency percentiles, milliseconds.
+    latency_ms: Dict[str, float]
+
+    @property
+    def mean_occupancy_rows(self) -> float:
+        """Average rows per dispatched batch (0.0 before the first batch)."""
+        if self.batches == 0:
+            return 0.0
+        return self.batched_rows / self.batches
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class StatsRecorder:
+    """Mutable accumulator behind :class:`ServiceStats`.
+
+    Not internally locked — the owning service already serializes every
+    update under its own lock, and a second lock here would just order
+    the same operations twice.
+    """
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        if latency_window < 1:
+            raise ValueError(f"latency_window must be >= 1, got {latency_window}")
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.shed = 0
+        self.deadline_missed = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_rows = 0
+        self.occupancy: Dict[str, int] = {}
+        self._latency_window = int(latency_window)
+        self._latencies: List[float] = []
+        self._latency_pos = 0
+        #: EMA of delivered rows/second, the retry-after estimator's input.
+        self.ema_rows_per_s: Optional[float] = None
+
+    # -- event hooks -------------------------------------------------------
+    def record_batch(self, rows: int) -> None:
+        self.batches += 1
+        self.batched_rows += int(rows)
+        bucket = _occupancy_bucket(int(rows))
+        self.occupancy[bucket] = self.occupancy.get(bucket, 0) + 1
+
+    def record_latency(self, seconds: float) -> None:
+        ms = float(seconds) * 1e3
+        if len(self._latencies) < self._latency_window:
+            self._latencies.append(ms)
+        else:  # bounded ring: overwrite the oldest entry
+            self._latencies[self._latency_pos] = ms
+            self._latency_pos = (self._latency_pos + 1) % self._latency_window
+        self.completed += 1
+
+    def record_throughput(self, rows: int, seconds: float, *, alpha: float = 0.3) -> None:
+        if seconds <= 0 or rows <= 0:
+            return
+        rate = rows / seconds
+        if self.ema_rows_per_s is None:
+            self.ema_rows_per_s = rate
+        else:
+            self.ema_rows_per_s += alpha * (rate - self.ema_rows_per_s)
+
+    # -- snapshot ----------------------------------------------------------
+    def latency_percentiles(self) -> Dict[str, float]:
+        if not self._latencies:
+            return {}
+        window = np.asarray(self._latencies, dtype=np.float64)
+        p50, p95, p99 = np.percentile(window, [50.0, 95.0, 99.0])
+        return {
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+            "mean": float(window.mean()),
+            "max": float(window.max()),
+        }
+
+    def snapshot(self, *, queue_requests: int, queue_rows: int) -> ServiceStats:
+        return ServiceStats(
+            submitted=self.submitted,
+            completed=self.completed,
+            rejected=self.rejected,
+            shed=self.shed,
+            deadline_missed=self.deadline_missed,
+            failed=self.failed,
+            batches=self.batches,
+            batched_rows=self.batched_rows,
+            queue_depth_requests=int(queue_requests),
+            queue_depth_rows=int(queue_rows),
+            occupancy_histogram=dict(self.occupancy),
+            latency_ms=self.latency_percentiles(),
+        )

@@ -1,0 +1,355 @@
+"""Synthetic traffic driver for the sort service.
+
+Shared by the ``repro serve-bench`` CLI subcommand and
+``benchmarks/bench_service.py``: a fleet of client threads issues
+requests with a configurable **rows-per-request mix** against either the
+batched :class:`~repro.service.SortService` or an **unbatched baseline**
+(each request sorted directly, per-request, by its client thread — what
+an adopter without the service layer would do), under one of two arrival
+disciplines:
+
+* ``closed`` — each client issues its next request only after the
+  previous one resolves; offered load tracks service speed (classic
+  closed-loop benchmarking, load scales with ``clients``);
+* ``open`` — each client issues on a fixed schedule regardless of
+  completions (``rate`` requests/s spread across clients); latency then
+  includes any queueing the service cannot hide, which is what exposes
+  an overloaded configuration.
+
+Latency is measured caller-side — submit (closed) or scheduled arrival
+(open) to future resolution — so the numbers include everything the
+caller would experience: queueing, lingering, sorting, demux copies.
+Rejected submissions are retried after the service's ``retry_after``
+hint (bounded), which is exactly what a well-behaved client does with
+backpressure; retries are counted, not hidden.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import DEFAULT_CONFIG, SortConfig
+from .errors import (
+    DeadlineExceededError,
+    QuarantinedError,
+    RejectedError,
+    ServiceError,
+)
+
+__all__ = [
+    "TrafficReport",
+    "parse_size_mix",
+    "run_service_traffic",
+    "run_unbatched_traffic",
+]
+
+#: Bound on rejected-submit retries per request before it counts as failed.
+MAX_REJECT_RETRIES = 200
+#: Cap on a single backpressure sleep so a pathological hint cannot stall
+#: the driver.
+MAX_RETRY_SLEEP_S = 0.25
+
+
+def parse_size_mix(spec: str) -> List[Tuple[int, float]]:
+    """Parse ``"1:0.6,4:0.3,16:0.1"`` into ``[(rows, weight), ...]``.
+
+    Weights are normalized; rows must be positive integers.  Raises
+    ``ValueError`` on malformed specs so the CLI can report them.
+    """
+    entries: List[Tuple[int, float]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            rows_text, weight_text = part.split(":")
+            rows, weight = int(rows_text), float(weight_text)
+        except ValueError:
+            raise ValueError(
+                f"bad size-mix entry {part!r}; expected ROWS:WEIGHT"
+            ) from None
+        if rows < 1 or weight <= 0:
+            raise ValueError(
+                f"bad size-mix entry {part!r}; rows must be >= 1 and "
+                "weight > 0"
+            )
+        entries.append((rows, weight))
+    if not entries:
+        raise ValueError(f"empty size mix {spec!r}")
+    total = sum(w for _, w in entries)
+    return [(rows, weight / total) for rows, weight in entries]
+
+
+@dataclasses.dataclass
+class TrafficReport:
+    """Outcome of one traffic run, ready for tables and JSON."""
+
+    mode: str
+    clients: int
+    requests_issued: int
+    completed: int
+    rejected_retries: int
+    shed: int
+    deadline_missed: int
+    failed: int
+    rows_completed: int
+    wall_seconds: float
+    latencies_ms: List[float]
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    @property
+    def throughput_rows_per_s(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.rows_completed / self.wall_seconds
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        if not self.latencies_ms:
+            return {}
+        window = np.asarray(self.latencies_ms, dtype=np.float64)
+        p50, p95, p99 = np.percentile(window, [50.0, 95.0, 99.0])
+        return {
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+            "mean": float(window.mean()),
+            "max": float(window.max()),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = dataclasses.asdict(self)
+        del payload["latencies_ms"]  # raw samples stay out of artifacts
+        payload["throughput_rps"] = self.throughput_rps
+        payload["throughput_rows_per_s"] = self.throughput_rows_per_s
+        payload["latency_ms"] = self.latency_percentiles()
+        return payload
+
+
+class _Collector:
+    """Thread-safe tallies shared by the client threads."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.completed = 0
+        self.rejected_retries = 0
+        self.shed = 0
+        self.deadline_missed = 0
+        self.failed = 0
+        self.rows_completed = 0
+        self.latencies_ms: List[float] = []
+
+    def record(self, outcome: str, rows: int, latency_s: Optional[float]) -> None:
+        with self.lock:
+            if outcome == "completed":
+                self.completed += 1
+                self.rows_completed += rows
+                if latency_s is not None:
+                    self.latencies_ms.append(latency_s * 1e3)
+            elif outcome == "shed":
+                self.shed += 1
+            elif outcome == "deadline":
+                self.deadline_missed += 1
+            else:
+                self.failed += 1
+
+    def count_reject(self) -> None:
+        with self.lock:
+            self.rejected_retries += 1
+
+
+def _make_request(rng: np.random.Generator, rows: int, array_size: int,
+                  dtype: str) -> np.ndarray:
+    if np.dtype(dtype).kind == "f":
+        return rng.uniform(0.0, 1e6, (rows, array_size)).astype(dtype)
+    return rng.integers(0, 2**30, (rows, array_size)).astype(dtype)
+
+
+def _pick_rows(rng: np.random.Generator, mix: Sequence[Tuple[int, float]]) -> int:
+    choice = rng.random()
+    acc = 0.0
+    for rows, weight in mix:
+        acc += weight
+        if choice <= acc:
+            return rows
+    return mix[-1][0]
+
+
+def _run_clients(worker: Callable[[int], None], clients: int) -> float:
+    """Run ``worker(client_id)`` on ``clients`` threads; return wall seconds."""
+    threads = [
+        threading.Thread(target=worker, args=(cid,), name=f"traffic-{cid}")
+        for cid in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - t0
+
+
+def _submit_with_backpressure(service, arrays, deadline_s, collector):
+    """Submit, honoring retry-after backpressure; None if budget exhausted."""
+    for _ in range(MAX_REJECT_RETRIES):
+        try:
+            return service.submit(arrays, deadline=deadline_s)
+        except RejectedError as exc:
+            collector.count_reject()
+            time.sleep(min(exc.retry_after, MAX_RETRY_SLEEP_S))
+    return None
+
+
+def run_service_traffic(
+    service,
+    *,
+    mode: str = "closed",
+    clients: int = 8,
+    total_requests: int = 1000,
+    rate_rps: float = 2000.0,
+    array_size: int = 256,
+    dtype: str = "float32",
+    size_mix: Sequence[Tuple[int, float]] = ((1, 0.6), (4, 0.3), (16, 0.1)),
+    deadline_s: Optional[float] = None,
+    seed: int = 0,
+    result_timeout_s: float = 60.0,
+) -> TrafficReport:
+    """Drive synthetic traffic through a :class:`SortService`."""
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    per_client = max(1, total_requests // clients)
+    collector = _Collector()
+    interval = clients / rate_rps if rate_rps > 0 else 0.0
+
+    def resolve(future, rows: int, t0: float) -> None:
+        try:
+            future.result(timeout=result_timeout_s)
+        except DeadlineExceededError as exc:
+            outcome = "shed" if exc.stage == "queued" else "deadline"
+            collector.record(outcome, rows, None)
+            return
+        except (QuarantinedError, ServiceError, Exception):
+            collector.record("failed", rows, None)
+            return
+        collector.record("completed", rows, time.perf_counter() - t0)
+
+    def client(client_id: int) -> None:
+        rng = np.random.default_rng(seed * 7919 + client_id)
+        start = time.perf_counter()
+        pending: List[Tuple[object, int, float]] = []
+        for i in range(per_client):
+            rows = _pick_rows(rng, size_mix)
+            arrays = _make_request(rng, rows, array_size, dtype)
+            if mode == "open":
+                arrival = start + i * interval
+                lag = arrival - time.perf_counter()
+                if lag > 0:
+                    time.sleep(lag)
+                t0 = min(arrival, time.perf_counter())
+            else:
+                t0 = time.perf_counter()
+            future = _submit_with_backpressure(
+                service, arrays, deadline_s, collector
+            )
+            if future is None:
+                collector.record("failed", rows, None)
+                continue
+            if mode == "closed":
+                resolve(future, rows, t0)
+            else:
+                pending.append((future, rows, t0))
+        for future, rows, t0 in pending:
+            resolve(future, rows, t0)
+
+    wall = _run_clients(client, clients)
+    return TrafficReport(
+        mode=mode,
+        clients=clients,
+        requests_issued=per_client * clients,
+        completed=collector.completed,
+        rejected_retries=collector.rejected_retries,
+        shed=collector.shed,
+        deadline_missed=collector.deadline_missed,
+        failed=collector.failed,
+        rows_completed=collector.rows_completed,
+        wall_seconds=wall,
+        latencies_ms=collector.latencies_ms,
+    )
+
+
+def run_unbatched_traffic(
+    *,
+    mode: str = "closed",
+    clients: int = 8,
+    total_requests: int = 1000,
+    rate_rps: float = 2000.0,
+    array_size: int = 256,
+    dtype: str = "float32",
+    size_mix: Sequence[Tuple[int, float]] = ((1, 0.6), (4, 0.3), (16, 0.1)),
+    seed: int = 0,
+    config: SortConfig = DEFAULT_CONFIG,
+) -> TrafficReport:
+    """The per-request baseline: every client sorts its own requests.
+
+    Each client thread owns a :class:`GpuArraySort` and calls it once per
+    request — no coalescing, no queueing, the paper's per-launch fixed
+    cost paid on every tiny request.  This is the baseline the service's
+    dynamic batching is gated against (≥ 2× at the mid load cell).
+    """
+    from ..core.array_sort import GpuArraySort
+
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    per_client = max(1, total_requests // clients)
+    collector = _Collector()
+    interval = clients / rate_rps if rate_rps > 0 else 0.0
+
+    def client(client_id: int) -> None:
+        rng = np.random.default_rng(seed * 7919 + client_id)
+        sorter = GpuArraySort(config)
+        start = time.perf_counter()
+        for i in range(per_client):
+            rows = _pick_rows(rng, size_mix)
+            arrays = _make_request(rng, rows, array_size, dtype)
+            if mode == "open":
+                arrival = start + i * interval
+                lag = arrival - time.perf_counter()
+                if lag > 0:
+                    time.sleep(lag)
+                t0 = min(arrival, time.perf_counter())
+            else:
+                t0 = time.perf_counter()
+            try:
+                sorter.sort(arrays)
+            except Exception:
+                collector.record("failed", rows, None)
+                continue
+            collector.record("completed", rows, time.perf_counter() - t0)
+
+    wall = _run_clients(client, clients)
+    return TrafficReport(
+        mode=mode,
+        clients=clients,
+        requests_issued=per_client * clients,
+        completed=collector.completed,
+        rejected_retries=collector.rejected_retries,
+        shed=collector.shed,
+        deadline_missed=collector.deadline_missed,
+        failed=collector.failed,
+        rows_completed=collector.rows_completed,
+        wall_seconds=wall,
+        latencies_ms=collector.latencies_ms,
+    )

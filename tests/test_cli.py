@@ -179,3 +179,65 @@ class TestCalibrateCommand:
         rc = main(["calibrate", "--show-anchors"])
         assert rc == 0
         assert "Fig 4 right edge" in capsys.readouterr().out
+
+
+class TestPlannerWorkersConflict:
+    def test_error_names_both_flags_and_values(self, capsys):
+        """The mutual-exclusion diagnostic must name both conflicting
+        flags with their values and suggest the fix."""
+        rc = main([
+            "sort", "-N", "50", "-n", "40",
+            "--planner", "auto", "--workers", "4",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--planner auto" in err
+        assert "--workers 4" in err
+        assert "drop --workers" in err
+
+    def test_planner_alone_is_fine(self, capsys):
+        rc = main(["sort", "-N", "50", "-n", "40", "--planner", "fused"])
+        assert rc == 0
+        assert "planner: chose" in capsys.readouterr().out
+
+    def test_workers_alone_is_fine(self, capsys):
+        rc = main(["sort", "-N", "50", "-n", "40", "--workers", "2"])
+        assert rc == 0
+
+
+@pytest.mark.service
+class TestServeBenchCommand:
+    def test_reports_throughput_and_occupancy(self, capsys):
+        rc = main([
+            "serve-bench", "--requests", "64", "--clients", "4",
+            "--array-size", "32",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "service traffic" in out
+        assert "throughput" in out
+        assert "Batch occupancy" in out
+
+    def test_unbatched_comparison(self, capsys):
+        rc = main([
+            "serve-bench", "--requests", "64", "--clients", "4",
+            "--array-size", "32", "--unbatched",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unbatched baseline" in out
+        assert "batched speedup" in out
+
+    def test_deadline_and_open_arrival(self, capsys):
+        rc = main([
+            "serve-bench", "--requests", "64", "--clients", "4",
+            "--array-size", "32", "--arrival", "open", "--rate", "5000",
+            "--deadline-ms", "250",
+        ])
+        assert rc == 0
+        assert "service traffic (open loop" in capsys.readouterr().out
+
+    def test_bad_size_mix_is_a_usage_error(self, capsys):
+        rc = main(["serve-bench", "--size-mix", "nonsense"])
+        assert rc == 2
+        assert "--size-mix" in capsys.readouterr().err

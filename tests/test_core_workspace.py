@@ -83,6 +83,100 @@ class TestScratchArena:
         with pytest.raises(ValueError):
             ScratchArena(growth=0.5)
 
+    def test_multithreaded_acquire_keeps_bookkeeping_consistent(self):
+        """Regression for the service era: concurrent ``get`` calls with
+        interleaved growth must neither corrupt the pool bookkeeping nor
+        cross wires between tags.
+
+        Each thread owns its tag (the documented single-owner storage
+        contract), so it can also verify its writes round-trip while the
+        other threads force allocations and grows on the shared lock.
+        """
+        import threading
+
+        arena = ScratchArena()
+        workers = 8
+        iterations = 120
+        errors = []
+        barrier = threading.Barrier(workers)
+
+        def hammer(worker_id):
+            rng = np.random.default_rng(worker_id)
+            tag = f"t{worker_id}"
+            barrier.wait()
+            try:
+                for i in range(iterations):
+                    size = int(rng.integers(1, 400)) + i  # forces grows
+                    view = arena.get(tag, (size,), np.float64)
+                    view[:] = worker_id
+                    assert np.all(view == worker_id)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((worker_id, exc))
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        # Bookkeeping must balance exactly: held bytes == live pools.
+        assert arena.stats.bytes_held == sum(
+            pool.nbytes for pool in arena._pools.values()
+        )
+        assert len(arena._pools) == workers
+        assert (
+            arena.stats.hits + arena.stats.allocations
+            == workers * iterations
+        )
+
+    def test_concurrent_get_and_close_never_corrupts(self):
+        """A close racing in-flight gets must leave the arena cleanly
+        closed: every get either succeeds or raises the closed error."""
+        import threading
+
+        arena = ScratchArena()
+        outcomes = []
+        lock = threading.Lock()
+        warmed = threading.Event()
+        closed_done = threading.Event()
+
+        def getter(worker_id):
+            for i in range(200):
+                if i == 50 and worker_id == 0:
+                    warmed.set()
+                try:
+                    arena.get(f"g{worker_id}", (64 + i,), np.float32)
+                    result = "ok"
+                except RuntimeError:
+                    result = "closed"
+                with lock:
+                    outcomes.append(result)
+            if worker_id == 0:
+                # After close has provably happened, a get must raise.
+                assert closed_done.wait(30)
+                with pytest.raises(RuntimeError):
+                    arena.get("g0", (8,), np.float32)
+
+        def closer():
+            assert warmed.wait(30)  # close lands mid-hammer, not before
+            arena.close()
+            closed_done.set()
+
+        threads = [threading.Thread(target=getter, args=(i,)) for i in range(4)]
+        threads.append(threading.Thread(target=closer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert arena.closed
+        assert arena.stats.bytes_held == 0
+        assert set(outcomes) <= {"ok", "closed"}
+        assert "ok" in outcomes  # gets before the close succeeded
+
 
 class TestSharedSlabs:
     def test_shared_slab_is_discoverable(self):

@@ -122,6 +122,57 @@ class TestCalibration:
         assert data["schema"] == CACHE_SCHEMA
         assert data["fingerprint"] == host_fingerprint()
 
+    @pytest.mark.parametrize(
+        "garbage", [b"", b"{truncated", b"\x00\xff\x00", b"[1, 2, 3]"]
+    )
+    def test_corrupted_cache_is_a_miss_not_an_error(self, tmp_path, garbage):
+        """A torn or garbage cache file (e.g. from a pre-atomic-write
+        crash) must read as a miss, never raise."""
+        path = tmp_path / "planner.json"
+        path.write_bytes(garbage)
+        assert load_profile(path) == (None, {})
+
+    def test_concurrent_writers_leave_one_complete_file(self, tmp_path):
+        """The persistence race: many threads saving at once must leave
+        exactly one writer's complete payload — never an interleaving —
+        and no stray temp files."""
+        import threading
+
+        path = tmp_path / "planner.json"
+        workers = 8
+
+        def writer(worker_id):
+            obs = {"winner": {"serial": {"ema_ms": float(worker_id),
+                                         "count": worker_id}}}
+            for _ in range(25):
+                assert save_profile(STUB, obs, path)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        profile, obs = load_profile(path)
+        assert profile == STUB
+        # The observations must be one writer's intact payload.
+        count = obs["winner"]["serial"]["count"]
+        assert obs["winner"]["serial"]["ema_ms"] == float(count)
+        assert count in range(workers)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_failed_publish_is_silent_and_leaves_no_temp(self, tmp_path):
+        """An unwritable cache location disables persistence without
+        raising and without littering temp files."""
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        path = blocker / "planner.json"  # parent is a file: mkdir fails
+        assert save_profile(STUB, {}, path) is False
+        assert [p for p in tmp_path.iterdir()] == [blocker]
+
 
 class TestExecutionPlanner:
     def test_small_batch_has_only_the_serial_candidate(self):
