@@ -2,10 +2,30 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate service-gate bench-service report examples figures table1 clean
+.PHONY: install check lint statan test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate service-gate bench-service report examples figures table1 clean
 
 install:
 	pip install -e . --no-build-isolation
+
+# The default pre-PR gate: static analysis first (fails in seconds),
+# then the test suite.
+check: lint test
+
+# ruff and mypy run when installed (CI installs them; a bare container
+# may not have them) — statan always runs, it is stdlib-only.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		echo "== ruff =="; ruff check src tests || exit 1; \
+	else echo "== ruff == (not installed, skipped)"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		echo "== mypy =="; mypy || exit 1; \
+	else echo "== mypy == (not installed, skipped)"; fi
+	@echo "== statan =="
+	PYTHONPATH=src $(PYTHON) -m repro statan src
+
+# Project-native static analysis alone (see docs/static-analysis.md).
+statan:
+	PYTHONPATH=src $(PYTHON) -m repro statan src
 
 test:
 	$(PYTHON) -m pytest tests/

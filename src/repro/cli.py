@@ -207,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write to a file instead of stdout")
     p_rep.add_argument("--claims-only", action="store_true",
                        help="skip the figure series")
+
+    p_statan = sub.add_parser(
+        "statan",
+        help="project-native static analysis: guarded-by locks, "
+             "scratch escapes, determinism audit",
+    )
+    from .statan.cli import add_statan_arguments
+
+    add_statan_arguments(p_statan)
     return parser
 
 
@@ -490,6 +499,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_resilience(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "statan":
+        from .statan.cli import run_statan
+
+        return run_statan(args)
     if args.command == "export":
         from .analysis.export import export_all
 

@@ -313,7 +313,7 @@ class StreamingSorter:
         result = self._sorter.sort(batch)  # copies: staging is reused
         wall = time.perf_counter() - t0
 
-        out = result.batch
+        out = result.batch  # statan: scratch-view
         # Arena-backed results are scratch: the storage is reused by the
         # sorter's next batch.  A zero-copy view may still go to the
         # on_batch consumer (valid until the next emission — the classic

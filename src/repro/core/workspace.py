@@ -132,12 +132,12 @@ class ScratchArena:
         #: reentrant because get_shared falls back to get() on platforms
         #: without shared memory.
         self._lock = threading.RLock()
-        self._pools: Dict[Tuple[str, str], np.ndarray] = {}
+        self._pools: Dict[Tuple[str, str], np.ndarray] = {}  # guarded-by: _lock
         #: name -> SharedMemory for slabs owned by this arena.
-        self._shared: Dict[str, object] = {}
+        self._shared: Dict[str, object] = {}  # guarded-by: _lock
         #: pool key -> owning shm name (shared pools only).
-        self._pool_shm_name: Dict[Tuple[str, str], str] = {}
-        self._closed = False
+        self._pool_shm_name: Dict[Tuple[str, str], str] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     # -- plain buffers -----------------------------------------------------
     def get(self, tag: str, shape, dtype) -> np.ndarray:
@@ -199,7 +199,7 @@ class ScratchArena:
                 if pool is not None:
                     capacity = max(need, int(pool.size * self.growth))
                     self.stats.grows += 1
-                    self._release_shared_pool(key)
+                    self._release_shared_pool_locked(key)
                 nbytes = max(1, capacity * dtype.itemsize)
                 shm = shared_memory.SharedMemory(create=True, size=nbytes)
                 pool = np.ndarray((capacity,), dtype=dtype, buffer=shm.buf)
@@ -213,7 +213,8 @@ class ScratchArena:
                 self.stats.hits += 1
             return pool[:need].reshape(shape)
 
-    def _release_shared_pool(self, key: Tuple[str, str]) -> None:
+    def _release_shared_pool_locked(self, key: Tuple[str, str]) -> None:
+        """Drop one shared pool and unlink its slab; caller holds ``_lock``."""
         pool = self._pools.pop(key, None)
         if pool is None:
             return
@@ -232,7 +233,8 @@ class ScratchArena:
     # -- lifecycle ---------------------------------------------------------
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def close(self) -> None:
         """Release every pooled buffer and unlink owned shared slabs.
@@ -243,7 +245,7 @@ class ScratchArena:
             if self._closed:
                 return
             for key in [k for k in self._pools if k in self._pool_shm_name]:
-                self._release_shared_pool(key)
+                self._release_shared_pool_locked(key)
             self._pools.clear()
             self.stats.bytes_held = 0
             self._closed = True
@@ -251,7 +253,7 @@ class ScratchArena:
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # statan: ignore[silent-except] -- GC-time close; raising from __del__ aborts interpreter shutdown
             pass
 
     def __enter__(self) -> "ScratchArena":

@@ -14,6 +14,7 @@ streaming sorter can use it without an import cycle.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np
@@ -48,8 +49,9 @@ class DeadLetterQueue:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 or None")
         self.capacity = capacity
-        self._letters: List[DeadLetter] = []
-        self._dropped = 0
+        self._lock = threading.Lock()
+        self._letters: List[DeadLetter] = []  # guarded-by: _lock
+        self._dropped = 0  # guarded-by: _lock
 
     def add(
         self,
@@ -65,39 +67,48 @@ class DeadLetterQueue:
             reason=str(reason),
             payload=np.array(payload, copy=True),
         )
-        self._letters.append(letter)
-        if self.capacity is not None and len(self._letters) > self.capacity:
-            overflow = len(self._letters) - self.capacity
-            self._letters = self._letters[overflow:]
-            self._dropped += overflow
+        with self._lock:
+            self._letters.append(letter)
+            if self.capacity is not None and len(self._letters) > self.capacity:
+                overflow = len(self._letters) - self.capacity
+                self._letters = self._letters[overflow:]
+                self._dropped += overflow
         return letter
 
     # -- inspection --------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._letters)
+        with self._lock:
+            return len(self._letters)
 
     def __iter__(self) -> Iterator[DeadLetter]:
-        return iter(self._letters)
+        with self._lock:
+            return iter(list(self._letters))
 
     @property
     def dropped(self) -> int:
         """Letters aged out by the capacity bound."""
-        return self._dropped
+        with self._lock:
+            return self._dropped
 
     def payloads(self) -> np.ndarray:
         """All quarantined rows stacked into one matrix (empty-safe)."""
-        if not self._letters:
+        with self._lock:
+            letters = list(self._letters)
+        if not letters:
             return np.empty((0, 0))
-        return np.vstack([letter.payload for letter in self._letters])
+        return np.vstack([letter.payload for letter in letters])
 
     def reasons(self) -> Dict[str, int]:
         """Histogram of quarantine reasons."""
+        with self._lock:
+            letters = list(self._letters)
         histogram: Dict[str, int] = {}
-        for letter in self._letters:
+        for letter in letters:
             histogram[letter.reason] = histogram.get(letter.reason, 0) + 1
         return histogram
 
     def drain(self) -> List[DeadLetter]:
         """Return all letters and empty the queue (reprocessing hook)."""
-        letters, self._letters = self._letters, []
+        with self._lock:
+            letters, self._letters = self._letters, []
         return letters

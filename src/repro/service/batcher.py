@@ -18,16 +18,22 @@ arrival), and a lane becomes *ready* when either
   trickle traffic), or
 * the service is draining (flush/close).
 
-This module is deliberately free of threads, clocks, and futures: every
-method takes ``now`` explicitly, so the whole decision surface is unit
-testable with a synthetic clock.  :class:`~repro.service.SortService`
-owns the lock, the worker thread, and the real clock.
+This module is deliberately free of clocks and futures: every method
+takes ``now`` explicitly, so the whole decision surface is unit testable
+with a synthetic clock.  :class:`~repro.service.SortService` owns the
+worker thread and the real clock, and serializes *compound* decisions
+(ready? → pop → dispatch) under its own lock; the batcher additionally
+guards its queue state with an internal lock so each individual
+operation is safe even for callers outside the service lock
+(defense-in-depth — the service lock remains what makes multi-call
+sequences atomic).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -130,9 +136,10 @@ class DynamicBatcher:
         self.target_rows = int(target_rows)
         self.max_batch_rows = int(max_batch_rows)
         self.linger_s = float(linger_s)
-        self._lanes: Dict[Tuple[int, str], Lane] = {}
-        self.total_rows = 0
-        self.total_requests = 0
+        self._lock = threading.Lock()
+        self._lanes: Dict[Tuple[int, str], Lane] = {}  # guarded-by: _lock
+        self.total_rows = 0  # guarded-by: _lock
+        self.total_requests = 0  # guarded-by: _lock
 
     # -- queue maintenance -------------------------------------------------
     @staticmethod
@@ -141,20 +148,24 @@ class DynamicBatcher:
 
     def add(self, request: QueuedRequest) -> None:
         key = self.lane_key(request.arrays)
-        lane = self._lanes.get(key)
-        if lane is None:
-            lane = self._lanes[key] = Lane(key)
-        lane.requests.append(request)
-        self.total_rows += request.rows
-        self.total_requests += 1
+        with self._lock:
+            lane = self._lanes.get(key)
+            if lane is None:
+                lane = self._lanes[key] = Lane(key)
+            lane.requests.append(request)
+            self.total_rows += request.rows
+            self.total_requests += 1
 
     def drop_all(self) -> List[QueuedRequest]:
         """Remove and return every queued request (close without drain)."""
-        dropped = [r for lane in self._lanes.values() for r in lane.requests]
-        self._lanes.clear()
-        self.total_rows = 0
-        self.total_requests = 0
-        return dropped
+        with self._lock:
+            dropped = [
+                r for lane in self._lanes.values() for r in lane.requests
+            ]
+            self._lanes.clear()
+            self.total_rows = 0
+            self.total_requests = 0
+            return dropped
 
     def shed_expired(self, now: float) -> List[QueuedRequest]:
         """Remove and return queued requests whose deadline has passed.
@@ -164,20 +175,21 @@ class DynamicBatcher:
         with a typed error rather than be delivered late.
         """
         shed: List[QueuedRequest] = []
-        for key in list(self._lanes):
-            lane = self._lanes[key]
-            keep: List[QueuedRequest] = []
-            for request in lane.requests:
-                if request.deadline is not None and request.deadline < now:
-                    shed.append(request)
-                    self.total_rows -= request.rows
-                    self.total_requests -= 1
+        with self._lock:
+            for key in list(self._lanes):
+                lane = self._lanes[key]
+                keep: List[QueuedRequest] = []
+                for request in lane.requests:
+                    if request.deadline is not None and request.deadline < now:
+                        shed.append(request)
+                        self.total_rows -= request.rows
+                        self.total_requests -= 1
+                    else:
+                        keep.append(request)
+                if keep:
+                    lane.requests = keep
                 else:
-                    keep.append(request)
-            if keep:
-                lane.requests = keep
-            else:
-                del self._lanes[key]
+                    del self._lanes[key]
         return shed
 
     # -- dispatch decisions ------------------------------------------------
@@ -195,11 +207,12 @@ class DynamicBatcher:
 
         Ties (no deadlines anywhere) fall to the longest-waiting lane.
         """
-        ready = [
-            lane
-            for lane in self._lanes.values()
-            if self._lane_ready(lane, now, drain=drain)
-        ]
+        with self._lock:
+            ready = [
+                lane
+                for lane in self._lanes.values()
+                if self._lane_ready(lane, now, drain=drain)
+            ]
         if not ready:
             return None
         return min(
@@ -214,13 +227,14 @@ class DynamicBatcher:
         moment (or the next submit wakes it).
         """
         event = math.inf
-        for lane in self._lanes.values():
-            if not lane.requests:
-                continue
-            event = min(event, lane.oldest_enqueued_at + self.linger_s)
-            deadline = lane.earliest_deadline()
-            if deadline is not math.inf:
-                event = min(event, deadline)
+        with self._lock:
+            for lane in self._lanes.values():
+                if not lane.requests:
+                    continue
+                event = min(event, lane.oldest_enqueued_at + self.linger_s)
+                deadline = lane.earliest_deadline()
+                if deadline is not math.inf:
+                    event = min(event, deadline)
         return None if event is math.inf else event
 
     def pop_batch(self, lane: Lane, now: float) -> List[QueuedRequest]:
@@ -231,18 +245,19 @@ class DynamicBatcher:
         always rides (an oversized request dispatches alone rather than
         starving).  The remaining requests keep their arrival order.
         """
-        ordered = sorted(lane.requests, key=QueuedRequest.edf_key)
-        taken: List[QueuedRequest] = []
-        rows = 0
-        for request in ordered:
-            if taken and rows + request.rows > self.max_batch_rows:
-                break
-            taken.append(request)
-            rows += request.rows
-        taken_ids = {id(r) for r in taken}
-        lane.requests = [r for r in lane.requests if id(r) not in taken_ids]
-        if not lane.requests:
-            del self._lanes[lane.key]
-        self.total_rows -= rows
-        self.total_requests -= len(taken)
-        return taken
+        with self._lock:
+            ordered = sorted(lane.requests, key=QueuedRequest.edf_key)
+            taken: List[QueuedRequest] = []
+            rows = 0
+            for request in ordered:
+                if taken and rows + request.rows > self.max_batch_rows:
+                    break
+                taken.append(request)
+                rows += request.rows
+            taken_ids = {id(r) for r in taken}
+            lane.requests = [r for r in lane.requests if id(r) not in taken_ids]
+            if not lane.requests:
+                del self._lanes[lane.key]
+            self.total_rows -= rows
+            self.total_requests -= len(taken)
+            return taken

@@ -172,19 +172,21 @@ class SortService:
         self.max_queue_rows = int(max_queue_rows)
         self.default_deadline_ms = default_deadline_ms
 
-        self._batcher = DynamicBatcher(
+        # _wakeup shares _lock's mutex (Condition(self._lock)), so holding
+        # either name satisfies the guarded-by contract below.
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._batcher = DynamicBatcher(  # guarded-by: _wakeup, _lock
             target_rows=self.batch_target_rows,
             max_batch_rows=self.max_batch_rows,
             linger_s=self.linger_ms / 1e3,
         )
         self._recorder = StatsRecorder(latency_window=latency_window)
-        self._lock = threading.Lock()
-        self._wakeup = threading.Condition(self._lock)
-        self._seq = 0
-        self._closed = False
-        self._draining = False
-        self._flushing = 0  # pending flush() calls forcing below-target dispatch
-        self._inflight = False  # a batch is being sorted right now
+        self._seq = 0  # guarded-by: _wakeup, _lock
+        self._closed = False  # guarded-by: _wakeup, _lock
+        self._draining = False  # guarded-by: _wakeup, _lock
+        self._flushing = 0  # guarded-by: _wakeup, _lock  (pending flush() calls)
+        self._inflight = False  # guarded-by: _wakeup, _lock  (batch being sorted)
         self._worker = threading.Thread(
             target=self._run, name="repro-sort-service", daemon=True
         )
@@ -263,7 +265,7 @@ class SortService:
             rows = staged.shape[0]
             backlog = self._batcher.total_rows
             if backlog + rows > self.max_queue_rows:
-                self._recorder.rejected += 1
+                self._recorder.record_rejected()
                 raise RejectedError(
                     f"queue full ({backlog} rows queued, limit "
                     f"{self.max_queue_rows}); retry after "
@@ -283,7 +285,7 @@ class SortService:
             )
             self._seq += 1
             self._batcher.add(request)
-            self._recorder.submitted += 1
+            self._recorder.record_submitted()
             self._wakeup.notify_all()
         return future
 
@@ -331,7 +333,8 @@ class SortService:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     @property
     def sorter(self):
@@ -356,7 +359,7 @@ class SortService:
     def _retry_after(self, backlog_rows: int) -> float:
         """Backpressure hint: seconds for the backlog to drain."""
         floor = max(self.linger_ms / 1e3, 1e-3)
-        rate = self._recorder.ema_rows_per_s
+        rate = self._recorder.rows_per_s()
         if not rate or rate <= 0:
             return 2 * floor
         return max(floor, backlog_rows / rate)
@@ -369,7 +372,7 @@ class SortService:
                 self._wakeup.notify_all()
                 now = self._clock()
                 shed = self._batcher.shed_expired(now)
-                self._recorder.shed += len(shed)
+                self._recorder.record_shed(len(shed))
                 drain = self._closed or self._flushing > 0
                 lane = self._batcher.ready_lane(now, drain=drain)
                 if lane is None and not shed:
@@ -430,7 +433,7 @@ class SortService:
         """
         if len(live) == 1:
             with self._lock:
-                self._recorder.failed += 1
+                self._recorder.record_failed()
             live[0].future.set_exception(exc)
             return
         for request in live:
@@ -438,14 +441,14 @@ class SortService:
                 result = self._sorter.sort(request.arrays)
             except Exception as isolated:  # noqa: BLE001 - delivered via the future
                 with self._lock:
-                    self._recorder.failed += 1
+                    self._recorder.record_failed()
                 request.future.set_exception(isolated)
             else:
                 self._deliver(request, result.batch, result, offset=0)
 
     def _demux(self, live: List[QueuedRequest], result, total_rows: int) -> None:
         """Slice the fused batch result back to each caller, in order."""
-        out = result.batch
+        out = result.batch  # statan: scratch-view
         offset = 0
         for request in live:
             rows = out[offset : offset + request.rows]
@@ -456,7 +459,7 @@ class SortService:
         now = self._clock()
         if request.deadline is not None and now > request.deadline:
             with self._lock:
-                self._recorder.deadline_missed += 1
+                self._recorder.record_deadline_missed()
             request.future.set_exception(
                 DeadlineExceededError(
                     f"batch finished {now - request.deadline:.3f}s past the "
@@ -480,7 +483,7 @@ class SortService:
                     for row in mine
                 }
                 with self._lock:
-                    self._recorder.failed += 1
+                    self._recorder.record_failed()
                 request.future.set_exception(
                     QuarantinedError(
                         f"{mine.size} of {request.rows} rows quarantined "
@@ -495,7 +498,7 @@ class SortService:
         # is serving-side staging the next dispatch will reuse.
         # copy=False callers keep the zero-copy view, valid until the
         # service's next dispatch — the StreamingSorter on_batch contract.
-        payload = np.array(rows, copy=True) if request.copy else rows
+        payload = np.array(rows, copy=True) if request.copy else rows  # statan: scratch-view
         if request.single:
             payload = payload.reshape(-1)
         with self._lock:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -82,56 +83,88 @@ class ServiceStats:
 class StatsRecorder:
     """Mutable accumulator behind :class:`ServiceStats`.
 
-    Not internally locked — the owning service already serializes every
-    update under its own lock, and a second lock here would just order
-    the same operations twice.
+    Internally locked: every counter is guarded by the recorder's own
+    ``_lock``, so submit-path increments (which happen under the service
+    lock) and completion-path increments (worker thread) can never lose
+    an update even when a caller touches the recorder outside the
+    service lock.  All mutation goes through ``record_*`` methods — the
+    counters themselves are an implementation detail.
     """
 
     def __init__(self, latency_window: int = 4096) -> None:
         if latency_window < 1:
             raise ValueError(f"latency_window must be >= 1, got {latency_window}")
-        self.submitted = 0
-        self.completed = 0
-        self.rejected = 0
-        self.shed = 0
-        self.deadline_missed = 0
-        self.failed = 0
-        self.batches = 0
-        self.batched_rows = 0
-        self.occupancy: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.submitted = 0  # guarded-by: _lock
+        self.completed = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
+        self.shed = 0  # guarded-by: _lock
+        self.deadline_missed = 0  # guarded-by: _lock
+        self.failed = 0  # guarded-by: _lock
+        self.batches = 0  # guarded-by: _lock
+        self.batched_rows = 0  # guarded-by: _lock
+        self.occupancy: Dict[str, int] = {}  # guarded-by: _lock
         self._latency_window = int(latency_window)
-        self._latencies: List[float] = []
-        self._latency_pos = 0
+        self._latencies: List[float] = []  # guarded-by: _lock
+        self._latency_pos = 0  # guarded-by: _lock
         #: EMA of delivered rows/second, the retry-after estimator's input.
-        self.ema_rows_per_s: Optional[float] = None
+        self.ema_rows_per_s: Optional[float] = None  # guarded-by: _lock
 
     # -- event hooks -------------------------------------------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_shed(self, count: int) -> None:
+        with self._lock:
+            self.shed += int(count)
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_deadline_missed(self) -> None:
+        with self._lock:
+            self.deadline_missed += 1
+
     def record_batch(self, rows: int) -> None:
-        self.batches += 1
-        self.batched_rows += int(rows)
-        bucket = _occupancy_bucket(int(rows))
-        self.occupancy[bucket] = self.occupancy.get(bucket, 0) + 1
+        with self._lock:
+            self.batches += 1
+            self.batched_rows += int(rows)
+            bucket = _occupancy_bucket(int(rows))
+            self.occupancy[bucket] = self.occupancy.get(bucket, 0) + 1
 
     def record_latency(self, seconds: float) -> None:
         ms = float(seconds) * 1e3
-        if len(self._latencies) < self._latency_window:
-            self._latencies.append(ms)
-        else:  # bounded ring: overwrite the oldest entry
-            self._latencies[self._latency_pos] = ms
-            self._latency_pos = (self._latency_pos + 1) % self._latency_window
-        self.completed += 1
+        with self._lock:
+            if len(self._latencies) < self._latency_window:
+                self._latencies.append(ms)
+            else:  # bounded ring: overwrite the oldest entry
+                self._latencies[self._latency_pos] = ms
+                self._latency_pos = (self._latency_pos + 1) % self._latency_window
+            self.completed += 1
 
     def record_throughput(self, rows: int, seconds: float, *, alpha: float = 0.3) -> None:
         if seconds <= 0 or rows <= 0:
             return
         rate = rows / seconds
-        if self.ema_rows_per_s is None:
-            self.ema_rows_per_s = rate
-        else:
-            self.ema_rows_per_s += alpha * (rate - self.ema_rows_per_s)
+        with self._lock:
+            if self.ema_rows_per_s is None:
+                self.ema_rows_per_s = rate
+            else:
+                self.ema_rows_per_s += alpha * (rate - self.ema_rows_per_s)
+
+    def rows_per_s(self) -> Optional[float]:
+        """Current throughput EMA (``None`` before the first batch)."""
+        with self._lock:
+            return self.ema_rows_per_s
 
     # -- snapshot ----------------------------------------------------------
-    def latency_percentiles(self) -> Dict[str, float]:
+    def _latency_percentiles_locked(self) -> Dict[str, float]:
         if not self._latencies:
             return {}
         window = np.asarray(self._latencies, dtype=np.float64)
@@ -144,18 +177,24 @@ class StatsRecorder:
             "max": float(window.max()),
         }
 
+    def latency_percentiles(self) -> Dict[str, float]:
+        with self._lock:
+            return self._latency_percentiles_locked()
+
     def snapshot(self, *, queue_requests: int, queue_rows: int) -> ServiceStats:
-        return ServiceStats(
-            submitted=self.submitted,
-            completed=self.completed,
-            rejected=self.rejected,
-            shed=self.shed,
-            deadline_missed=self.deadline_missed,
-            failed=self.failed,
-            batches=self.batches,
-            batched_rows=self.batched_rows,
-            queue_depth_requests=int(queue_requests),
-            queue_depth_rows=int(queue_rows),
-            occupancy_histogram=dict(self.occupancy),
-            latency_ms=self.latency_percentiles(),
-        )
+        """One consistent snapshot: every field read under the same lock."""
+        with self._lock:
+            return ServiceStats(
+                submitted=self.submitted,
+                completed=self.completed,
+                rejected=self.rejected,
+                shed=self.shed,
+                deadline_missed=self.deadline_missed,
+                failed=self.failed,
+                batches=self.batches,
+                batched_rows=self.batched_rows,
+                queue_depth_requests=int(queue_requests),
+                queue_depth_rows=int(queue_rows),
+                occupancy_histogram=dict(self.occupancy),
+                latency_ms=self._latency_percentiles_locked(),
+            )

@@ -1,0 +1,118 @@
+"""The checked allowlist: ``statan/baseline.toml``.
+
+The scratch-escape rule is intentionally strict — handing out a view of
+reused storage is only correct when a *documented contract* covers it
+(``SortResult.scratch``, the ``copy=False`` demux hand-out, the
+streaming ``on_batch`` window).  Those contracts are named here, one
+entry per escaping function:
+
+.. code-block:: toml
+
+    [["scratch-escape"]]
+    key = "src/repro/core/array_sort.py::GpuArraySort.sort"
+    reason = "SortResult.scratch=True: batch valid until next sort()"
+
+The baseline is *checked* both ways: an escape not in the baseline is a
+finding, and a baseline entry matching no finding is a
+``stale-baseline`` finding — the allowlist can never rot silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .findings import RULES, Finding
+
+#: Shipped allowlist, next to this module.
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.toml"
+
+
+@dataclasses.dataclass
+class BaselineEntry:
+    """One allowlisted finding site."""
+
+    rule: str
+    key: str  # "path::qualname", path repo-relative with forward slashes
+    reason: str
+    used: bool = False
+
+
+@dataclasses.dataclass
+class Baseline:
+    """All allowlist entries, keyed ``(rule, path::qualname)``."""
+
+    entries: Dict[str, BaselineEntry] = dataclasses.field(default_factory=dict)
+    path: Optional[str] = None
+
+    @staticmethod
+    def _key(rule: str, baseline_key: str) -> str:
+        return f"{rule}|{baseline_key}"
+
+    def add(self, entry: BaselineEntry) -> None:
+        self.entries[self._key(entry.rule, entry.key)] = entry
+
+    def covers(self, finding: Finding) -> bool:
+        """True (and marks the entry used) when ``finding`` is allowlisted."""
+        entry = self.entries.get(self._key(finding.rule, finding.baseline_key))
+        if entry is None or not entry.reason:
+            return False
+        entry.used = True
+        return True
+
+    def problems(self) -> List[Finding]:
+        """Meta findings: unknown rules, missing reasons, stale entries."""
+        out: List[Finding] = []
+        path = self.path or str(DEFAULT_BASELINE_PATH)
+        for entry in self.entries.values():
+            if entry.rule not in RULES:
+                out.append(Finding(
+                    rule="unknown-rule", path=path, line=0,
+                    message=(
+                        f"baseline entry {entry.key!r} names unknown rule "
+                        f"{entry.rule!r}"
+                    ),
+                ))
+            elif not entry.reason:
+                out.append(Finding(
+                    rule="suppression-missing-reason", path=path, line=0,
+                    message=(
+                        f"baseline entry {entry.key!r} has no reason; name "
+                        "the contract that makes the escape safe"
+                    ),
+                ))
+            elif not entry.used:
+                out.append(Finding(
+                    rule="stale-baseline", path=path, line=0,
+                    message=(
+                        f"baseline entry {entry.key!r} ({entry.rule}) matched "
+                        "no finding; delete it"
+                    ),
+                ))
+        return out
+
+
+def load_baseline(path: Optional[Path] = None) -> Baseline:
+    """Parse ``baseline.toml`` (stdlib ``tomllib``; empty when absent)."""
+    import tomllib
+
+    resolved = Path(path) if path is not None else DEFAULT_BASELINE_PATH
+    baseline = Baseline(path=str(resolved))
+    if not resolved.exists():
+        return baseline
+    with open(resolved, "rb") as handle:
+        data = tomllib.load(handle)
+    for rule, rows in data.items():
+        if not isinstance(rows, list):
+            raise ValueError(
+                f"{resolved}: expected [[{rule!r}]] array-of-tables, got "
+                f"{type(rows).__name__}"
+            )
+        for row in rows:
+            baseline.add(BaselineEntry(
+                rule=str(rule),
+                key=str(row.get("key", "")),
+                reason=str(row.get("reason", "")).strip(),
+            ))
+    return baseline

@@ -1,0 +1,123 @@
+"""``repro statan`` — the CLI face of the analysis suite.
+
+Used three ways:
+
+* ``make lint`` / CI gate: ``repro statan src`` — exit 1 on any finding;
+* machine consumption: ``--format=json`` (``statan/v1`` schema);
+* pre-commit: ``--changed`` analyzes only files named by
+  ``git diff --name-only HEAD`` (staleness of the baseline is not
+  checked on partial runs).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import DEFAULT_BASELINE_PATH, load_baseline
+from .engine import analyze_paths
+
+__all__ = ["add_statan_arguments", "run_statan"]
+
+
+def add_statan_arguments(parser) -> None:
+    """Attach statan's options to an argparse (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="analyze only files changed vs HEAD (git diff --name-only); "
+             "fast pre-commit mode, skips baseline staleness checking",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="TOML",
+        help=f"allowlist file (default: {DEFAULT_BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="directory findings paths are reported relative to "
+             "(default: current directory)",
+    )
+
+
+def _changed_files(root: Path) -> List[Path]:
+    """Python files changed vs HEAD (staged + unstaged + untracked)."""
+    out: List[Path] = []
+    for args in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            args, cwd=root, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or "not a git repository?"
+            raise RuntimeError(f"{' '.join(args)} failed: {detail}")
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line.endswith(".py"):
+                out.append(root / line)
+    return sorted({p.resolve(): p for p in out if p.exists()}.values())
+
+
+def run_statan(args) -> int:
+    """Execute the subcommand; returns the process exit code."""
+    root = Path(args.root) if args.root else Path.cwd()
+    baseline_path = Path(args.baseline) if args.baseline else None
+    baseline = load_baseline(baseline_path)
+
+    if args.changed:
+        try:
+            paths = _changed_files(root)
+        except RuntimeError as exc:
+            print(f"statan: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print("statan: CLEAN — no changed python files")
+            return 0
+    else:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(
+                f"statan: no such path(s): "
+                f"{', '.join(str(p) for p in missing)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    result = analyze_paths(
+        paths,
+        root=root,
+        baseline=baseline,
+        check_baseline_staleness=not args.changed,
+    )
+    if args.format == "json":
+        print(result.as_json())
+    else:
+        print(result.render_text())
+    return 0 if result.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.statan.cli``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro statan",
+        description="project-native static analysis (see docs/static-analysis.md)",
+    )
+    add_statan_arguments(parser)
+    return run_statan(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Determinism audit for the kernel layers (``nondeterminism``).
+
+CONTRIBUTING's rule — "every generator takes a ``seed``; tests must not
+depend on unseeded randomness" — only binds if something checks it.
+Inside the algorithm layers (``core/``, ``gpusim/``, ``baselines/``)
+statan forbids:
+
+* ``time.time()`` — wall-clock reads make phase timings and cache keys
+  irreproducible (``time.perf_counter``/``monotonic`` stay legal: they
+  measure *intervals*, which the benchmarks are supposed to do);
+* the stdlib ``random`` module in any form — it draws from unseeded
+  process-global state;
+* ``np.random.default_rng()`` **without a seed argument**, and the
+  legacy global-state samplers (``np.random.rand`` & co.).
+
+Seeded randomness (``default_rng(seed)``, ``default_rng([seed, ...])``)
+is the sanctioned pattern and passes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from .findings import Finding
+
+__all__ = ["check_nondeterminism", "in_determinism_scope"]
+
+#: Directories (under ``src/repro/``) the audit applies to.
+_SCOPE_RE = re.compile(r"(^|/)repro/(core|gpusim|baselines)/")
+
+#: ``np.random.<name>`` members that are *not* global-state samplers.
+_NP_RANDOM_OK = {"default_rng", "Generator", "BitGenerator", "SeedSequence",
+                 "PCG64", "Philox", "SFC64", "MT19937"}
+
+
+def in_determinism_scope(path: str) -> bool:
+    return bool(_SCOPE_RE.search(path.replace("\\", "/")))
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def check_nondeterminism(tree: ast.Module, path: str) -> List[Finding]:
+    if not in_determinism_scope(path):
+        return []
+    findings: List[Finding] = []
+
+    def add(node: ast.AST, message: str) -> None:
+        findings.append(Finding(
+            rule="nondeterminism", path=path, line=node.lineno, message=message
+        ))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    add(node, "stdlib 'random' draws from unseeded global "
+                             "state; use np.random.default_rng(seed)")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                add(node, "stdlib 'random' draws from unseeded global "
+                         "state; use np.random.default_rng(seed)")
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted == "time.time":
+                add(node, "time.time() is wall-clock; use "
+                         "time.perf_counter() for intervals or take a "
+                         "timestamp parameter")
+            elif dotted.startswith("random."):
+                add(node, f"{dotted}() uses the unseeded global RNG; use "
+                         "np.random.default_rng(seed)")
+            elif dotted.endswith("random.default_rng") or dotted == "default_rng":
+                if not node.args and not node.keywords:
+                    add(node, "np.random.default_rng() without a seed is "
+                             "irreproducible; pass an explicit seed")
+            elif ".random." in dotted or dotted.startswith("np.random"):
+                member = dotted.rsplit(".", 1)[-1]
+                if member not in _NP_RANDOM_OK:
+                    add(node, f"{dotted}() samples numpy's global RNG; use "
+                             "a np.random.default_rng(seed) Generator")
+    return findings

@@ -1,0 +1,150 @@
+"""The guarded-by checker: lock discipline as an enforced annotation.
+
+A class declares which of its attributes a lock protects by trailing
+the attribute's ``__init__`` assignment with a comment::
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pools = {}      # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+
+Every other read or write of ``self._pools`` / ``self._closed``
+*anywhere in the class* must then sit lexically inside a
+``with self._lock:`` block.  Conventions the checker understands:
+
+* ``# guarded-by: _wakeup, _lock`` — holding **any** listed lock
+  suffices (the ``threading.Condition(self._lock)`` aliasing idiom);
+* ``__init__`` is exempt (construction happens-before publication);
+* methods whose name ends in ``_locked`` are exempt — the suffix is
+  this repo's contract for "caller already holds the lock";
+* nested functions and lambdas are analyzed with **no** locks held:
+  a closure may run after the enclosing ``with`` exits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Tuple
+
+from .findings import Finding
+from .suppress import CommentMarkers
+
+__all__ = ["check_guarded_by"]
+
+
+def _self_attr(node: ast.AST) -> str:
+    """``X`` for ``self.X`` expressions, else ``""``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _guarded_attrs(
+    cls: ast.ClassDef, markers: CommentMarkers
+) -> Dict[str, Tuple[str, ...]]:
+    """Map annotated attribute name -> acceptable lock names, from __init__."""
+    guarded: Dict[str, Tuple[str, ...]] = {}
+    for method in cls.body:
+        if not isinstance(method, ast.FunctionDef) or method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            locks = markers.guarded_by.get(node.lineno)
+            if locks is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = _self_attr(target)
+                if attr:
+                    guarded[attr] = locks
+    return guarded
+
+
+def _with_locks(stmt: ast.With) -> FrozenSet[str]:
+    """Lock attribute names acquired by ``with self.<name>: ...``."""
+    names = set()
+    for item in stmt.items:
+        attr = _self_attr(item.context_expr)
+        if attr:
+            names.add(attr)
+    return frozenset(names)
+
+
+class _MethodChecker:
+    """Walk one method, tracking which ``self.<lock>`` are lexically held."""
+
+    def __init__(
+        self,
+        guarded: Dict[str, Tuple[str, ...]],
+        cls_name: str,
+        method_name: str,
+        path: str,
+        findings: List[Finding],
+    ) -> None:
+        self.guarded = guarded
+        self.qualname = f"{cls_name}.{method_name}"
+        self.path = path
+        self.findings = findings
+
+    def run(self, fn: ast.AST, held: FrozenSet[str]) -> None:
+        for child in ast.iter_child_nodes(fn):
+            self._visit(child, held)
+
+    def _visit(self, node: ast.AST, held: FrozenSet[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A closure can outlive the with-block: locks held here do
+            # not guard its eventual execution.
+            self.run(node, frozenset())
+            return
+        if isinstance(node, ast.With):
+            inner = held | _with_locks(node)
+            for item in node.items:
+                self._visit(item.context_expr, held)
+            for stmt in node.body:
+                self._visit(stmt, inner)
+            return
+        attr = _self_attr(node)
+        if attr:
+            locks = self.guarded.get(attr)
+            if locks is not None and not (held & set(locks)):
+                want = " or ".join(f"self.{name}" for name in locks)
+                self.findings.append(Finding(
+                    rule="guarded-by",
+                    path=self.path,
+                    line=node.lineno,
+                    message=(
+                        f"self.{attr} is guarded by {want} but is accessed "
+                        f"without holding it in {self.qualname}"
+                    ),
+                    qualname=self.qualname,
+                ))
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+
+def check_guarded_by(
+    tree: ast.Module, path: str, markers: CommentMarkers
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        guarded = _guarded_attrs(cls, markers)
+        if not guarded:
+            continue
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            _MethodChecker(
+                guarded, cls.name, method.name, path, findings
+            ).run(method, frozenset())
+    return findings

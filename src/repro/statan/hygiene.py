@@ -1,0 +1,95 @@
+"""Hygiene audit, repo-wide: ``silent-except`` and ``mutable-default``.
+
+* ``silent-except`` — a bare ``except:`` (catches ``KeyboardInterrupt``
+  and ``SystemExit``), or an ``except Exception:`` / ``except
+  BaseException:`` whose body is only ``pass``.  CONTRIBUTING's "faults
+  must stay loud" rule, enforced.  A handler that logs, counts,
+  re-raises, or falls back is fine — it is the silent swallow that is
+  forbidden.
+* ``mutable-default`` — ``def f(x=[])`` / ``={}`` / ``=set()`` share one
+  object across calls; the classic aliasing bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .findings import Finding
+
+__all__ = ["check_silent_except", "check_mutable_default"]
+
+
+def _is_pass_only(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ellipsis
+        return False
+    return True
+
+
+def _broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Name):
+        return handler.type.id in ("Exception", "BaseException")
+    return False
+
+
+def check_silent_except(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(Finding(
+                rule="silent-except", path=path, line=node.lineno,
+                message=(
+                    "bare 'except:' catches KeyboardInterrupt/SystemExit; "
+                    "name the exception types"
+                ),
+            ))
+        elif _broad_handler(node) and _is_pass_only(node.body):
+            findings.append(Finding(
+                rule="silent-except", path=path, line=node.lineno,
+                message=(
+                    "'except Exception: pass' swallows every error "
+                    "silently; handle, count, or narrow it"
+                ),
+            ))
+    return findings
+
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict", "deque"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def check_mutable_default(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                findings.append(Finding(
+                    rule="mutable-default", path=path, line=default.lineno,
+                    message=(
+                        f"mutable default argument in {node.name}() is "
+                        "shared across calls; default to None and build "
+                        "inside the function"
+                    ),
+                ))
+    return findings

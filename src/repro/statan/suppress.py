@@ -1,0 +1,100 @@
+"""Suppression comments: ``# statan: ignore[rule] -- reason``.
+
+A suppression silences matching findings **on its own line** and must
+carry a reason after ``--`` — an allowlist entry that does not say *why*
+the contract is safe is itself a finding.  Unused suppressions are also
+findings (``unused-suppression``), so a fix cannot leave an expired
+ignore behind.
+
+The related marker ``# statan: scratch-view`` (no rule list) is not a
+suppression: it *taints* the names assigned on its line for the
+scratch-escape checker, documenting "this is a view into reused
+storage" at the point the view is created.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+_IGNORE_RE = re.compile(
+    r"#\s*statan:\s*ignore\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?"
+)
+_SCRATCH_VIEW_RE = re.compile(r"#\s*statan:\s*scratch-view\b")
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?P<locks>[\w.,|\s]+)")
+
+
+@dataclasses.dataclass
+class Suppression:
+    """One ``# statan: ignore[...]`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclasses.dataclass
+class CommentMarkers:
+    """Every statan comment marker found in one source file."""
+
+    suppressions: List[Suppression]
+    #: Lines carrying ``# statan: scratch-view``.
+    scratch_view_lines: Set[int]
+    #: ``# guarded-by: _lock`` annotations: line -> lock attribute names.
+    #: Multiple names (``# guarded-by: _wakeup, _lock``) mean holding any
+    #: one of them suffices — the idiom for a Condition sharing its lock.
+    guarded_by: Dict[int, Tuple[str, ...]]
+
+    def suppressions_by_line(self) -> Dict[int, List[Suppression]]:
+        by_line: Dict[int, List[Suppression]] = {}
+        for sup in self.suppressions:
+            by_line.setdefault(sup.line, []).append(sup)
+        return by_line
+
+
+def scan_markers(source: str) -> CommentMarkers:
+    """Extract statan comment markers via ``tokenize`` (never from strings)."""
+    suppressions: List[Suppression] = []
+    scratch_lines: Set[int] = set()
+    guarded: Dict[int, Tuple[str, ...]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return CommentMarkers(
+            suppressions=[], scratch_view_lines=set(), guarded_by={}
+        )
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _IGNORE_RE.search(tok.string)
+        if match:
+            rules = tuple(
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            )
+            suppressions.append(
+                Suppression(
+                    line=tok.start[0],
+                    rules=rules,
+                    reason=(match.group("reason") or "").strip(),
+                )
+            )
+        if _SCRATCH_VIEW_RE.search(tok.string):
+            scratch_lines.add(tok.start[0])
+        guard = _GUARDED_BY_RE.search(tok.string)
+        if guard:
+            locks = tuple(
+                name.strip()
+                for name in re.split(r"[,|]", guard.group("locks"))
+                if name.strip()
+            )
+            if locks:
+                guarded[tok.start[0]] = locks
+    return CommentMarkers(
+        suppressions=suppressions,
+        scratch_view_lines=scratch_lines,
+        guarded_by=guarded,
+    )

@@ -223,3 +223,111 @@ class TestInPlaceSafetyProof:
         report = check_races(tracer, max_findings=3)
         assert len(report.findings) == 3
         assert report.truncated
+
+
+class TestAtomicEpochAndScopeSemantics:
+    """The fine print: atomics vs plain ops across barrier epochs, and
+    the shared-memory exclusion at cross-block scope."""
+
+    def test_atomic_then_plain_across_barrier_is_clean(self, gpu):
+        """ATOM epoch 0, plain store epoch 1: the barrier orders them."""
+        counter = gpu.memory.alloc(1, np.int64)
+        counter.fill(0)
+
+        def staged(ctx, shared, c):
+            tid = ctx.thread_idx.x
+            if tid < 32:
+                yield ctx.atomic_add(c, 0, 1)
+            yield ctx.sync()
+            if tid == 32:
+                yield ctx.gstore(c, 0, 0)
+
+        tracer = Tracer()
+        gpu.launch(staged, grid=1, block=64, args=(counter,), trace=tracer)
+        check_races(tracer).assert_clean()
+
+    def test_plain_then_atomic_across_barrier_is_clean(self, gpu):
+        """Same ordering argument with the roles reversed."""
+        counter = gpu.memory.alloc(1, np.int64)
+        counter.fill(0)
+
+        def staged(ctx, shared, c):
+            tid = ctx.thread_idx.x
+            if tid == 0:
+                yield ctx.gstore(c, 0, 0)
+            yield ctx.sync()
+            if tid >= 32:
+                yield ctx.atomic_add(c, 0, 1)
+
+        tracer = Tracer()
+        gpu.launch(staged, grid=1, block=64, args=(counter,), trace=tracer)
+        check_races(tracer).assert_clean()
+
+    def test_atomic_vs_plain_same_epoch_still_races(self, gpu):
+        """Control: without the barrier the same pairing is a race."""
+        counter = gpu.memory.alloc(1, np.int64)
+        counter.fill(0)
+
+        def unstaged(ctx, shared, c):
+            tid = ctx.thread_idx.x
+            if tid < 32:
+                yield ctx.atomic_add(c, 0, 1)
+            elif tid == 32:
+                yield ctx.gstore(c, 0, 0)
+
+        tracer = Tracer()
+        gpu.launch(unstaged, grid=1, block=64, args=(counter,), trace=tracer)
+        report = check_races(tracer)
+        assert not report.clean
+        assert report.by_scope().get("intra-block", 0) >= 1
+
+    def test_cross_block_atomic_vs_plain_races_despite_barriers(self, gpu):
+        """Barriers are per-block: a block-local sync cannot order an
+        ATOM in block 0 against a plain store in block 1."""
+        counter = gpu.memory.alloc(1, np.int64)
+        counter.fill(0)
+
+        def per_block(ctx, shared, c):
+            if ctx.thread_idx.x == 0:
+                if ctx.block_idx.x == 0:
+                    yield ctx.atomic_add(c, 0, 1)
+                else:
+                    yield ctx.sync()
+                    yield ctx.gstore(c, 0, 0)
+
+        tracer = Tracer()
+        gpu.launch(per_block, grid=2, block=32, args=(counter,), trace=tracer)
+        report = check_races(tracer)
+        assert not report.clean
+        assert report.by_scope().get("cross-block", 0) >= 1
+
+    def test_cross_block_atomic_vs_atomic_is_clean(self, gpu):
+        """ATOM/ATOM never conflicts, in any scope."""
+        counter = gpu.memory.alloc(1, np.int64)
+        counter.fill(0)
+
+        def all_atomic(ctx, shared, c):
+            if ctx.thread_idx.x == 0:
+                yield ctx.atomic_add(c, 0, 1)
+
+        tracer = Tracer()
+        gpu.launch(all_atomic, grid=4, block=32, args=(counter,),
+                   trace=tracer)
+        check_races(tracer).assert_clean()
+
+    def test_shared_space_excluded_from_cross_block_analysis(self, gpu):
+        """Two blocks write shared address 0 with no barrier at all.
+        Intra-block each write is a single warp (no conflict), and the
+        numerically-identical addresses live in per-block arenas — the
+        cross-block pass must skip the shared space entirely."""
+
+        def lone_shared_write(ctx, shared, _):
+            if ctx.thread_idx.x == 0:
+                yield ctx.sstore(shared, 0, float(ctx.block_idx.x))
+
+        dummy = gpu.memory.alloc(1, np.float32)
+        tracer = Tracer()
+        gpu.launch(lone_shared_write, grid=2, block=32, args=(dummy,),
+                   shared_setup=lambda sm: sm.alloc(1, np.float32),
+                   trace=tracer)
+        check_races(tracer).assert_clean()

@@ -1,0 +1,29 @@
+"""The CI gate: statan over all of ``src/`` must be clean.
+
+This is the enforcement point for the suite's contract — zero
+unsuppressed findings, every suppression carrying a reason, no stale
+baseline entries.  ``make lint`` runs the same analysis through the CLI;
+this test keeps the gate active even where ``make`` is not in the loop.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.statan import analyze_paths, load_baseline
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def test_src_tree_is_statan_clean():
+    result = analyze_paths([SRC], root=REPO_ROOT, baseline=load_baseline())
+    assert result.files_analyzed > 50  # the whole tree, not a subset
+    assert result.clean, "\n" + result.render_text()
+
+
+def test_baseline_entries_all_carry_reasons():
+    baseline = load_baseline()
+    assert baseline.entries, "expected a seeded baseline"
+    for entry in baseline.entries.values():
+        assert entry.reason.strip(), f"baseline entry {entry.key} has no reason"

@@ -1,0 +1,195 @@
+"""Regression tests for the guarded-by fixes statan surfaced.
+
+Each test hammers one of the now-internally-locked classes from many
+threads and asserts *exact* totals — a lost update (the pre-fix failure
+mode of ``counter += 1`` without a lock) shows up as an off-by-N.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.workspace import ScratchArena
+from repro.resilience.quarantine import DeadLetterQueue
+from repro.service.batcher import DynamicBatcher, QueuedRequest
+from repro.service.stats import StatsRecorder
+
+THREADS = 8
+PER_THREAD = 500
+
+
+def hammer(worker) -> None:
+    """Run ``worker(thread_index)`` in THREADS threads; re-raise failures."""
+    errors = []
+
+    def wrapped(i):
+        try:
+            worker(i)
+        except Exception as exc:  # noqa: BLE001 - surfaced via errors below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestStatsRecorderConcurrency:
+    def test_counter_increments_are_exact(self):
+        recorder = StatsRecorder()
+
+        def worker(_):
+            for _ in range(PER_THREAD):
+                recorder.record_submitted()
+                recorder.record_rejected()
+                recorder.record_failed()
+                recorder.record_shed(2)
+                recorder.record_deadline_missed()
+                recorder.record_latency(0.001)
+                recorder.record_batch(16)
+
+        hammer(worker)
+        total = THREADS * PER_THREAD
+        snap = recorder.snapshot(queue_requests=0, queue_rows=0)
+        assert snap.submitted == total
+        assert snap.rejected == total
+        assert snap.failed == total
+        assert snap.shed == 2 * total
+        assert snap.deadline_missed == total
+        assert snap.completed == total
+        assert snap.batches == total
+        assert snap.batched_rows == 16 * total
+        assert sum(snap.occupancy_histogram.values()) == total
+
+    def test_latency_ring_stays_bounded_under_contention(self):
+        recorder = StatsRecorder(latency_window=64)
+
+        def worker(_):
+            for _ in range(PER_THREAD):
+                recorder.record_latency(0.002)
+
+        hammer(worker)
+        assert len(recorder._latencies) == 64
+        percentiles = recorder.latency_percentiles()
+        assert percentiles["p50"] == pytest.approx(2.0)
+
+    def test_throughput_ema_concurrent_updates(self):
+        recorder = StatsRecorder()
+
+        def worker(_):
+            for _ in range(PER_THREAD):
+                recorder.record_throughput(1000, 0.01)
+
+        hammer(worker)
+        # All samples equal -> the EMA must sit exactly on the rate.
+        assert recorder.rows_per_s() == pytest.approx(100_000.0)
+
+
+class TestDeadLetterQueueConcurrency:
+    def test_concurrent_adds_all_land(self):
+        dlq = DeadLetterQueue()
+        row = np.arange(4.0)
+
+        def worker(i):
+            for k in range(PER_THREAD):
+                dlq.add(batch_id=i, row_index=k, payload=row, reason=f"t{i}")
+
+        hammer(worker)
+        assert len(dlq) == THREADS * PER_THREAD
+        assert sum(dlq.reasons().values()) == THREADS * PER_THREAD
+        assert dlq.payloads().shape == (THREADS * PER_THREAD, 4)
+
+    def test_capacity_accounting_is_exact_under_contention(self):
+        capacity = 100
+        dlq = DeadLetterQueue(capacity=capacity)
+        row = np.zeros(2)
+
+        def worker(i):
+            for k in range(PER_THREAD):
+                dlq.add(batch_id=i, row_index=k, payload=row)
+
+        hammer(worker)
+        assert len(dlq) == capacity
+        assert dlq.dropped == THREADS * PER_THREAD - capacity
+
+    def test_drain_empties_atomically(self):
+        dlq = DeadLetterQueue()
+        row = np.zeros(2)
+        for k in range(10):
+            dlq.add(batch_id=0, row_index=k, payload=row)
+        drained = dlq.drain()
+        assert len(drained) == 10
+        assert len(dlq) == 0
+
+
+class TestDynamicBatcherConcurrency:
+    @staticmethod
+    def _request(seq: int) -> QueuedRequest:
+        return QueuedRequest(
+            seq=seq,
+            arrays=np.zeros((2, 8)),
+            deadline=None,
+            priority=0,
+            enqueued_at=0.0,
+            future=None,
+        )
+
+    def test_concurrent_adds_keep_exact_totals(self):
+        batcher = DynamicBatcher(
+            target_rows=10**9, max_batch_rows=10**9, linger_s=60.0
+        )
+
+        def worker(i):
+            for k in range(PER_THREAD):
+                batcher.add(self._request(i * PER_THREAD + k))
+
+        hammer(worker)
+        assert batcher.total_requests == THREADS * PER_THREAD
+        assert batcher.total_rows == 2 * THREADS * PER_THREAD
+        dropped = batcher.drop_all()
+        assert len(dropped) == THREADS * PER_THREAD
+        assert batcher.total_requests == 0
+        assert batcher.total_rows == 0
+
+
+class TestScratchArenaClosedProperty:
+    def test_closed_flips_under_lock(self):
+        arena = ScratchArena()
+        assert arena.closed is False
+        arena.get("x", (4,), np.float64)
+        arena.close()
+        assert arena.closed is True
+        with pytest.raises(RuntimeError):
+            arena.get("x", (4,), np.float64)
+
+    def test_concurrent_close_is_idempotent(self):
+        arena = ScratchArena()
+        arena.get("x", (128,), np.float64)
+
+        def worker(_):
+            for _ in range(50):
+                arena.close()
+
+        hammer(worker)
+        assert arena.closed is True
+
+
+class TestSortServiceClosedProperty:
+    def test_closed_reflects_lifecycle(self):
+        from repro.service import SortService
+
+        service = SortService(batch_target_rows=4, linger_ms=1.0)
+        try:
+            assert service.closed is False
+            future = service.submit(np.array([3.0, 1.0, 2.0]))
+            assert np.array_equal(future.result(timeout=30), [1.0, 2.0, 3.0])
+        finally:
+            service.close()
+        assert service.closed is True
