@@ -1,0 +1,398 @@
+#!/usr/bin/env python
+"""Chaos harness: multi-tenant SLOs under injected faults.
+
+Standalone (no pytest-benchmark): replays deterministic
+:class:`repro.service.ChaosScenario` cells — a fixed tenant mix with one
+NaN-poisoning tenant, a seeded :class:`repro.gpusim.faults.FaultPlan`
+(transient kernel faults, an OOM window, ECC-style corruption), and a
+quota-bounded flooding tenant — and emits ``BENCH_chaos.json`` (schema
+``bench-chaos/v1``), the artifact ``make chaos-gate`` checks.
+
+What each cell measures
+-----------------------
+Every cell runs three phases against fresh resilient-backed services
+(see :func:`repro.service.run_scenario`):
+
+``baseline``  the tenant mix with no fault plan — the fault-free SLO
+              reference;
+``faulted``   the identical mix with the fault plan attached — the only
+              variable is the injected faults;
+``flood``     the mix plus a flooding tenant offering far more than its
+              fair share, probing admission fairness.
+
+Gates
+-----
+``--gate`` (and ``--check-gate FILE`` on a committed artifact) exits
+non-zero unless, at the **chaos-mid** cell,
+
+* **isolation** — quarantined rows failed only the poisoning tenant's
+  requests (zero cross-tenant quarantine errors), and the probe
+  actually fired (the poison tenant saw at least one quarantine);
+* **latency** — faulted p99 is within ``--p99-budget-factor`` (default
+  2.0×) of the fault-free p99, over non-poison tenants;
+* **fairness** — no innocent tenant's rejection rate exceeded
+  ``--max-rejection-rate`` (default 0.05) during the flood phase.
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_chaos.py --grid smoke
+    PYTHONPATH=src python benchmarks/bench_chaos.py --grid load --gate
+    PYTHONPATH=src python benchmarks/bench_chaos.py --grid load --gate --out BENCH_chaos.json
+    PYTHONPATH=src python benchmarks/bench_chaos.py --check-gate BENCH_chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+# Runnable straight from a checkout: python benchmarks/bench_chaos.py
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.service import (
+    ChaosScenario,
+    ChaosTenant,
+    evaluate_slos,
+    run_scenario,
+)
+
+SCHEMA = "bench-chaos/v1"
+DEFAULT_P99_BUDGET_FACTOR = 2.0
+DEFAULT_MAX_REJECTION_RATE = 0.05
+
+# (name, requests_per_tenant, rate_rps, array_size).  ``chaos-mid`` is
+# the gated cell — enough traffic that faults land mid-stream and the
+# flooder genuinely contends, small enough for CI.  ``chaos-low`` is
+# reported, never gated.
+GRIDS = {
+    "smoke": [
+        ("chaos-smoke", 40, 400.0, 64),
+    ],
+    "load": [
+        ("chaos-low", 80, 400.0, 128),
+        ("chaos-mid", 160, 600.0, 128),
+        ("chaos-high", 240, 800.0, 128),
+    ],
+}
+GATE_CELL = "chaos-mid"
+
+#: The poisoning tenant's name in every scenario (the blast-radius probe).
+POISON_TENANT = "poison"
+FLOOD_TENANT = "flood"
+
+
+def make_scenario(name: str, requests: int, rate_rps: float,
+                  array_size: int, *, seed: int) -> ChaosScenario:
+    """One deterministic chaos cell.
+
+    Three well-behaved-ish tenants (``alpha`` weighted 2×, ``beta`` and
+    ``poison`` at 1×; ``poison`` NaN-poisons a quarter of its requests)
+    plus a quota-bounded flooder offering ~8× the per-tenant rate.  The
+    fault schedule is fixed per seed: a 10 % transient kernel-fault
+    rate, one OOM-pressure window early on, and 2 % ECC-style output
+    corruption — all retried/recovered by the resilient backend, which
+    is exactly the latency tax the gate budgets.
+    """
+    return ChaosScenario(
+        name=name,
+        tenants=(
+            ChaosTenant(
+                name="alpha", weight=2.0, clients=2,
+                total_requests=requests, rate_rps=rate_rps,
+            ),
+            ChaosTenant(
+                name="beta", weight=1.0, clients=2,
+                total_requests=requests, rate_rps=rate_rps,
+            ),
+            ChaosTenant(
+                name=POISON_TENANT, weight=1.0, clients=1,
+                total_requests=max(20, requests // 2), rate_rps=rate_rps / 2,
+                poison_nan_rate=0.25,
+            ),
+        ),
+        flood_tenant=ChaosTenant(
+            name=FLOOD_TENANT, weight=1.0, clients=2,
+            total_requests=requests * 3, rate_rps=rate_rps * 8,
+            quota_rows=96,
+        ),
+        fault_seed=seed,
+        kernel_fault_rate=0.10,
+        oom_windows=((8, 14),),
+        corruption_rate=0.02,
+        batch_target_rows=64,
+        linger_ms=1.0,
+        max_queue_rows=2048,
+        array_size=array_size,
+        seed=seed,
+    )
+
+
+def run_cell(name: str, requests: int, rate_rps: float, array_size: int,
+             *, seed: int, p99_budget_factor: float,
+             max_rejection_rate: float) -> dict:
+    scenario = make_scenario(
+        name, requests, rate_rps, array_size, seed=seed
+    )
+    report = run_scenario(scenario)
+    slos = evaluate_slos(
+        report,
+        p99_budget_factor=p99_budget_factor,
+        max_rejection_rate=max_rejection_rate,
+    )
+    return {
+        "name": name,
+        "requests_per_tenant": requests,
+        "rate_rps": rate_rps,
+        "array_size": array_size,
+        "poison_tenant": POISON_TENANT,
+        "flood_tenant": FLOOD_TENANT,
+        "report": report.as_dict(),
+        "slos": slos,
+    }
+
+
+def run_grid(grid: str, *, seed: int, p99_budget_factor: float,
+             max_rejection_rate: float) -> dict:
+    results = []
+    for name, requests, rate_rps, array_size in GRIDS[grid]:
+        result = run_cell(
+            name, requests, rate_rps, array_size, seed=seed,
+            p99_budget_factor=p99_budget_factor,
+            max_rejection_rate=max_rejection_rate,
+        )
+        results.append(result)
+        slos = result["slos"]
+        ratio = slos["p99_ratio"]
+        print(
+            f"  {name:11s} reqs/tenant={requests:<4d}"
+            f"  cross-quarantines={slos['cross_tenant_quarantines']}"
+            f"  p99 ratio={ratio if ratio is None else format(ratio, '.2f')}"
+            f"  innocents' max rejection="
+            f"{max(slos['innocent_rejection_rates'].values(), default=0.0):.3f}"
+            f"  {'ok' if slos['ok'] else 'VIOLATED'}",
+            flush=True,
+        )
+    return {
+        "schema": SCHEMA,
+        "grid": grid,
+        "seed": seed,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+    }
+
+
+def check_schema(report: dict) -> list:
+    """Return a list of schema violations (empty == valid)."""
+    errors = []
+    if report.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {report.get('schema')!r}")
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("results must be a non-empty list")
+        results = []
+    slo_required = {
+        "cross_tenant_quarantines": int,
+        "isolation_ok": bool,
+        "latency_ok": bool,
+        "fairness_ok": bool,
+        "innocent_rejection_rates": dict,
+        "ok": bool,
+    }
+    for i, cell in enumerate(results):
+        for key, typ in (
+            ("name", str),
+            ("requests_per_tenant", int),
+            ("poison_tenant", str),
+            ("flood_tenant", str),
+            ("report", dict),
+            ("slos", dict),
+        ):
+            if not isinstance(cell.get(key), typ):
+                errors.append(f"results[{i}].{key} missing or not {typ}")
+        slos = cell.get("slos")
+        if isinstance(slos, dict):
+            for key, typ in slo_required.items():
+                if not isinstance(slos.get(key), typ):
+                    errors.append(f"results[{i}].slos.{key} missing or not {typ}")
+            for key in ("baseline_p99_ms", "faulted_p99_ms", "p99_ratio"):
+                value = slos.get(key)
+                if value is not None and not isinstance(value, (int, float)):
+                    errors.append(
+                        f"results[{i}].slos.{key} must be numeric or null"
+                    )
+        block = cell.get("report")
+        if isinstance(block, dict):
+            for phase in ("baseline", "faulted", "flood"):
+                if phase not in block:
+                    errors.append(f"results[{i}].report.{phase} missing")
+    return errors
+
+
+def _poison_quarantined(cell: dict) -> int:
+    """Quarantine count the poison tenant saw in the faulted phase."""
+    try:
+        traffic = cell["report"]["faulted"]["traffic"]
+        return int(traffic[cell["poison_tenant"]]["quarantined"])
+    except (KeyError, TypeError, ValueError):
+        return 0
+
+
+def apply_gate(report: dict, *, p99_budget_factor: float,
+               max_rejection_rate: float,
+               cell_name: str = GATE_CELL) -> bool:
+    """Gate the mid chaos cell from the *stored numbers*, not verdicts.
+
+    Recomputing from ``cross_tenant_quarantines`` / ``p99_ratio`` /
+    ``innocent_rejection_rates`` means ``--check-gate`` on a committed
+    artifact enforces the thresholds passed *now*, and a hand-edited
+    ``ok: true`` cannot sneak past.
+    """
+    failures = []
+    cell = next(
+        (r for r in report["results"] if r["name"] == cell_name), None
+    )
+    if cell is None:
+        failures.append(f"gate cell {cell_name!r} not in results "
+                        "(run with a grid that includes it)")
+    else:
+        slos = cell["slos"]
+        cross = slos.get("cross_tenant_quarantines")
+        if cross != 0:
+            failures.append(
+                f"{cell_name}: {cross} quarantine failures outside the "
+                f"poison tenant (isolation contract broken)"
+            )
+        if _poison_quarantined(cell) == 0:
+            failures.append(
+                f"{cell_name}: poison tenant saw no quarantines in the "
+                "faulted phase — the isolation probe never fired"
+            )
+        ratio = slos.get("p99_ratio")
+        if not isinstance(ratio, (int, float)):
+            failures.append(f"{cell_name}: no faulted/baseline p99 ratio recorded")
+        elif ratio > p99_budget_factor:
+            failures.append(
+                f"{cell_name}: faulted p99 {slos.get('faulted_p99_ms'):.2f} ms "
+                f"is {ratio:.2f}x the fault-free "
+                f"{slos.get('baseline_p99_ms'):.2f} ms "
+                f"(budget {p99_budget_factor:.2f}x)"
+            )
+        rates = slos.get("innocent_rejection_rates") or {}
+        for tenant, rate in sorted(rates.items()):
+            if rate > max_rejection_rate:
+                failures.append(
+                    f"{cell_name}: tenant {tenant!r} rejection rate "
+                    f"{rate:.3f} exceeds {max_rejection_rate:.3f} under flood"
+                )
+        if not rates:
+            failures.append(
+                f"{cell_name}: no innocent rejection rates recorded "
+                "(flood phase missing?)"
+            )
+    report["gate"] = {
+        "cell": cell_name,
+        "p99_budget_factor": p99_budget_factor,
+        "max_rejection_rate": max_rejection_rate,
+        "passed": not failures,
+        "failures": failures,
+    }
+    return not failures
+
+
+def _print_gate(report: dict) -> None:
+    gate = report["gate"]
+    for failure in gate["failures"]:
+        print(f"GATE FAIL: {failure}", file=sys.stderr)
+    print(f"gate: {'passed' if gate['passed'] else 'FAILED'} "
+          f"(cell={gate['cell']}, "
+          f"p99_budget_factor={gate['p99_budget_factor']}, "
+          f"max_rejection_rate={gate['max_rejection_rate']})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", choices=sorted(GRIDS), default="load")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 unless the mid cell holds all three chaos SLOs",
+    )
+    parser.add_argument("--p99-budget-factor", type=float,
+                        default=DEFAULT_P99_BUDGET_FACTOR)
+    parser.add_argument("--max-rejection-rate", type=float,
+                        default=DEFAULT_MAX_REJECTION_RATE)
+    parser.add_argument(
+        "--check-schema", type=Path, metavar="JSON",
+        help="validate an existing report file and exit (no chaos run)",
+    )
+    parser.add_argument(
+        "--check-gate", type=Path, metavar="JSON",
+        help="validate an existing report file AND re-apply the gate to "
+             "its stored numbers; exits 1 on violation (no chaos run)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check_schema is not None or args.check_gate is not None:
+        path = args.check_schema or args.check_gate
+        report = json.loads(path.read_text())
+        errors = check_schema(report)
+        for err in errors:
+            print(f"schema error: {err}", file=sys.stderr)
+        print(f"{path}: " + ("INVALID" if errors else "schema ok"))
+        if errors:
+            return 1
+        if args.check_gate is not None:
+            ok = apply_gate(
+                report,
+                p99_budget_factor=args.p99_budget_factor,
+                max_rejection_rate=args.max_rejection_rate,
+            )
+            _print_gate(report)
+            return 0 if ok else 1
+        return 0
+
+    print(f"bench_chaos grid={args.grid} seed={args.seed}", flush=True)
+    report = run_grid(
+        args.grid, seed=args.seed,
+        p99_budget_factor=args.p99_budget_factor,
+        max_rejection_rate=args.max_rejection_rate,
+    )
+    ok = (apply_gate(report,
+                     p99_budget_factor=args.p99_budget_factor,
+                     max_rejection_rate=args.max_rejection_rate)
+          if args.gate else True)
+
+    errors = check_schema(report)
+    if errors:  # self-check: the emitter must satisfy its own schema
+        for err in errors:
+            print(f"schema error: {err}", file=sys.stderr)
+        return 2
+
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+    if args.gate:
+        _print_gate(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ All output is plain text via :mod:`repro.analysis.reporting`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -197,6 +198,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--unbatched", action="store_true",
         help="also run the per-request baseline and report the speedup",
+    )
+    p_srv.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="dump the post-run metrics snapshot (schema "
+             "repro-service-metrics/v1: counters, queue, per-tenant "
+             "stats, resilience/fault counters) as JSON; '-' for stdout",
+    )
+    p_srv.add_argument(
+        "--metrics-prom", metavar="PATH", default=None,
+        help="also render the snapshot as Prometheus text-exposition "
+             "lines to PATH ('-' for stdout)",
     )
     p_srv.add_argument("--seed", type=int, default=0)
 
@@ -674,7 +686,9 @@ def _cmd_serve_bench(args) -> int:
     from .core.config import SortConfig
     from .service import (
         SortService,
+        collect_metrics,
         parse_size_mix,
+        render_prometheus,
         run_service_traffic,
         run_unbatched_traffic,
     )
@@ -707,6 +721,21 @@ def _cmd_serve_bench(args) -> int:
             seed=args.seed,
         )
         stats = service.stats()
+        metrics = collect_metrics(service)
+
+    def _emit(path: str, text: str) -> None:
+        if path == "-":
+            print(text, end="" if text.endswith("\n") else "\n")
+        else:
+            with open(path, "w") as handle:
+                handle.write(text if text.endswith("\n") else text + "\n")
+            print(f"wrote {path}")
+
+    if args.metrics_json is not None:
+        _emit(args.metrics_json,
+              json.dumps(metrics, indent=2, sort_keys=True))
+    if args.metrics_prom is not None:
+        _emit(args.metrics_prom, render_prometheus(metrics))
 
     pct = report.latency_percentiles()
     print(f"service traffic ({report.mode} loop, {report.clients} clients, "

@@ -60,6 +60,9 @@ class StreamStats:
     batches_out: int = 0
     arrays_out: int = 0
     arrays_quarantined: int = 0
+    #: Dead letters aged out by the queue's capacity bound (payloads
+    #: dropped oldest-first; the quarantine *counters* above still hold).
+    dead_letters_dropped: int = 0
     wall_seconds_sorting: float = 0.0
     modeled_device_ms: float = 0.0
 
@@ -131,6 +134,14 @@ class StreamingSorter:
         receive a zero-copy view **valid until the next emission** (copy
         to retain), while batches collected on ``results`` are copied
         out of the arena so the list stays stable.
+    dead_letter_capacity:
+        Bound on the lazily created dead-letter queue.  ``-1`` (default)
+        applies :data:`repro.resilience.quarantine.DEFAULT_DEAD_LETTER_CAPACITY`;
+        ``None`` means unbounded (pre-bound behaviour); any positive int
+        is an explicit cap.  Beyond the cap the *oldest* letters are
+        dropped and counted on ``stats.dead_letters_dropped`` — an
+        unattended session under a hostile fault pattern holds memory
+        steady instead of growing its quarantine without bound.
     """
 
     def __init__(
@@ -147,6 +158,7 @@ class StreamingSorter:
         workers: Optional[int] = None,
         planner=None,
         workspace=None,
+        dead_letter_capacity: Optional[int] = -1,
     ) -> None:
         if array_size < 1:
             raise ValueError("array_size must be >= 1")
@@ -168,6 +180,12 @@ class StreamingSorter:
         self.on_batch = on_batch
         self.results: List[np.ndarray] = []
         self.emitted_batch_ids: List[int] = []
+        if dead_letter_capacity is not None and dead_letter_capacity == 0:
+            raise ValueError(
+                "dead_letter_capacity must be -1 (default bound), None "
+                "(unbounded), or >= 1"
+            )
+        self.dead_letter_capacity = dead_letter_capacity
         self.stats = StreamStats()
         self.dead_letters = None  # lazily a repro.resilience.DeadLetterQueue
         if sorter is not None:
@@ -339,9 +357,15 @@ class StreamingSorter:
         if quarantined.size:
             reasons = getattr(result, "quarantine_reasons", None) or {}
             if self.dead_letters is None:
-                from ..resilience.quarantine import DeadLetterQueue
+                from ..resilience.quarantine import (
+                    DEFAULT_DEAD_LETTER_CAPACITY,
+                    DeadLetterQueue,
+                )
 
-                self.dead_letters = DeadLetterQueue()
+                capacity = self.dead_letter_capacity
+                if capacity == -1:
+                    capacity = DEFAULT_DEAD_LETTER_CAPACITY
+                self.dead_letters = DeadLetterQueue(capacity)
             for row in quarantined:
                 self.dead_letters.add(
                     batch_id=batch_id,
@@ -350,6 +374,7 @@ class StreamingSorter:
                     reason=reasons.get(int(row), "validation-failed"),
                 )
             self.stats.arrays_quarantined += int(quarantined.size)
+            self.stats.dead_letters_dropped = self.dead_letters.dropped
 
         self.stats.wall_seconds_sorting += wall
         self.stats.modeled_device_ms += model_arraysort_ms(

@@ -18,13 +18,18 @@ recovery side —
 See docs/resilience.md for the fault model and semantics.
 """
 
-from .quarantine import DeadLetter, DeadLetterQueue
+from .quarantine import (
+    DEFAULT_DEAD_LETTER_CAPACITY,
+    DeadLetter,
+    DeadLetterQueue,
+)
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .sorter import ResilientSorter, ResilientSortResult, sort_arrays_resilient
 from .stats import ResilienceStats
 
 __all__ = [
     "DEFAULT_RETRY_POLICY",
+    "DEFAULT_DEAD_LETTER_CAPACITY",
     "DeadLetter",
     "DeadLetterQueue",
     "ResilienceStats",

@@ -19,7 +19,14 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-__all__ = ["DeadLetter", "DeadLetterQueue"]
+__all__ = ["DEFAULT_DEAD_LETTER_CAPACITY", "DeadLetter", "DeadLetterQueue"]
+
+#: Default bound consumers (the streaming sorter) apply when creating a
+#: queue for an unattended session: enough to inspect any realistic
+#: incident, small enough that a hostile fault pattern cannot grow the
+#: queue without bound.  Pass ``capacity=None`` explicitly for an
+#: unbounded queue.
+DEFAULT_DEAD_LETTER_CAPACITY = 4096
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,6 +42,9 @@ class DeadLetter:
     reason: str
     #: The original, unsorted row as it arrived.
     payload: np.ndarray
+    #: Owning tenant, when the producer serves multi-tenant traffic
+    #: (:mod:`repro.service`); ``None`` for single-caller sessions.
+    tenant: Optional[str] = None
 
 
 class DeadLetterQueue:
@@ -60,12 +70,14 @@ class DeadLetterQueue:
         row_index: int,
         payload: np.ndarray,
         reason: str = "validation-failed",
+        tenant: Optional[str] = None,
     ) -> DeadLetter:
         letter = DeadLetter(
             batch_id=int(batch_id),
             row_index=int(row_index),
             reason=str(reason),
             payload=np.array(payload, copy=True),
+            tenant=None if tenant is None else str(tenant),
         )
         with self._lock:
             self._letters.append(letter)
@@ -105,6 +117,16 @@ class DeadLetterQueue:
         histogram: Dict[str, int] = {}
         for letter in letters:
             histogram[letter.reason] = histogram.get(letter.reason, 0) + 1
+        return histogram
+
+    def tenants(self) -> Dict[str, int]:
+        """Histogram of owning tenants (untagged letters under ``""``)."""
+        with self._lock:
+            letters = list(self._letters)
+        histogram: Dict[str, int] = {}
+        for letter in letters:
+            key = letter.tenant or ""
+            histogram[key] = histogram.get(key, 0) + 1
         return histogram
 
     def drain(self) -> List[DeadLetter]:

@@ -9,9 +9,23 @@ are demultiplexed back to per-caller futures.  Overload is explicit
 explicit (EDF scheduling + :class:`DeadlineExceededError` shedding), and
 :meth:`~repro.service.SortService.stats` exposes the serving health
 surface.  See ``docs/service.md``.
+
+Multi-tenant QoS rides on top: per-tenant admission quotas
+(:class:`TenantQuota`), weighted fair queuing in the batcher, per-tenant
+counters (:class:`TenantStats`), a scrape-ready metrics surface
+(:func:`collect_metrics` / :func:`render_prometheus`), and a live chaos
+harness (:func:`run_scenario`) that proves the SLOs hold while a seeded
+:class:`~repro.gpusim.faults.FaultPlan` injects device faults.
 """
 
 from .batcher import DynamicBatcher, Lane, QueuedRequest
+from .chaos import (
+    ChaosReport,
+    ChaosScenario,
+    ChaosTenant,
+    evaluate_slos,
+    run_scenario,
+)
 from .errors import (
     DeadlineExceededError,
     QuarantinedError,
@@ -19,19 +33,26 @@ from .errors import (
     ServiceClosedError,
     ServiceError,
 )
-from .service import SortService, derive_batch_target
-from .stats import ServiceStats, StatsRecorder
+from .metrics import METRICS_SCHEMA, collect_metrics, render_prometheus
+from .service import SortService, TenantQuota, derive_batch_target
+from .stats import ServiceStats, StatsRecorder, TenantStats
 from .traffic import (
+    TenantLoad,
     TrafficReport,
     parse_size_mix,
+    run_multi_tenant_traffic,
     run_service_traffic,
     run_unbatched_traffic,
 )
 
 __all__ = [
+    "ChaosReport",
+    "ChaosScenario",
+    "ChaosTenant",
     "DeadlineExceededError",
     "DynamicBatcher",
     "Lane",
+    "METRICS_SCHEMA",
     "QuarantinedError",
     "QueuedRequest",
     "RejectedError",
@@ -40,9 +61,17 @@ __all__ = [
     "ServiceStats",
     "SortService",
     "StatsRecorder",
+    "TenantLoad",
+    "TenantQuota",
+    "TenantStats",
     "TrafficReport",
+    "collect_metrics",
     "derive_batch_target",
+    "evaluate_slos",
     "parse_size_mix",
+    "render_prometheus",
+    "run_multi_tenant_traffic",
+    "run_scenario",
     "run_service_traffic",
     "run_unbatched_traffic",
 ]

@@ -8,8 +8,25 @@ that advantage away.
 
 Requests are grouped into **lanes** keyed by ``(row_len, dtype)``: only
 same-shape arrays can share one ``(N, n)`` batch.  Within a lane the
-dispatch order is **EDF** (earliest deadline first, then priority, then
-arrival), and a lane becomes *ready* when either
+dispatch order is **EDF-over-WFQ**: earliest deadline first, then
+priority, then the request's **weighted-fair-queuing virtual finish
+time**, then arrival.  The WFQ layer is start-time fair queuing over
+tenants — at admission a request is stamped
+
+* ``vstart  = max(global virtual time, tenant's last vfinish)``
+* ``vfinish = vstart + rows / tenant weight``
+
+and the global virtual time advances to the largest ``vstart`` actually
+dispatched.  A tenant that floods the queue accumulates ever-later
+finish tags, so its backlog sorts *behind* every other tenant's fresh
+requests instead of starving them; an idle tenant earns no unbounded
+credit because its next ``vstart`` is floored at the current virtual
+time.  Deadlines and priorities still dominate (the EDF layer is
+unchanged) — fairness arbitrates only among requests of equal urgency,
+which is exactly the flooding-tenant case (no deadline, default
+priority).
+
+A lane becomes *ready* when either
 
 * its queued rows reach the batch size target (fed by the planner's
   preferred shape class — see
@@ -64,15 +81,21 @@ class QueuedRequest:
     copy: bool = True
     #: Submitted as a single 1-D array; the demuxed result unwraps to 1-D.
     single: bool = False
+    #: Owning tenant (QoS accounting and WFQ fairness).
+    tenant: str = "default"
+    #: WFQ virtual start tag, stamped by :meth:`DynamicBatcher.add`.
+    vstart: float = 0.0
+    #: WFQ virtual finish tag (``vstart + rows / weight``).
+    vfinish: float = 0.0
 
     @property
     def rows(self) -> int:
         return int(self.arrays.shape[0])
 
-    def edf_key(self) -> Tuple[float, int, int]:
-        """EDF ordering: deadline, then priority, then arrival."""
+    def edf_key(self) -> Tuple[float, int, float, int]:
+        """Dispatch ordering: deadline, priority, WFQ finish tag, arrival."""
         deadline = self.deadline if self.deadline is not None else math.inf
-        return (deadline, self.priority, self.seq)
+        return (deadline, self.priority, self.vfinish, self.seq)
 
 
 class Lane:
@@ -99,6 +122,10 @@ class Lane:
             default=math.inf,
         )
 
+    def earliest_vfinish(self) -> float:
+        """The lane's smallest WFQ finish tag (``inf`` when empty)."""
+        return min((r.vfinish for r in self.requests), default=math.inf)
+
 
 class DynamicBatcher:
     """Lane bookkeeping + the ready/shed/pop decision logic.
@@ -115,6 +142,12 @@ class DynamicBatcher:
     linger_s:
         Longest a request may wait for co-batching before its lane is
         dispatched below target.
+    tenant_weights:
+        WFQ weight per tenant name; a tenant with weight 2 earns rows
+        through the queue twice as fast as a weight-1 tenant under
+        contention.  Unlisted tenants get ``default_tenant_weight``.
+    default_tenant_weight:
+        Weight for tenants absent from ``tenant_weights`` (default 1.0).
     """
 
     def __init__(
@@ -123,6 +156,8 @@ class DynamicBatcher:
         target_rows: int,
         max_batch_rows: int,
         linger_s: float,
+        tenant_weights: Optional[Dict[str, float]] = None,
+        default_tenant_weight: float = 1.0,
     ) -> None:
         if target_rows < 1:
             raise ValueError(f"target_rows must be >= 1, got {target_rows}")
@@ -133,22 +168,96 @@ class DynamicBatcher:
             )
         if linger_s < 0:
             raise ValueError(f"linger_s must be >= 0, got {linger_s}")
+        if default_tenant_weight <= 0:
+            raise ValueError(
+                f"default_tenant_weight must be > 0, got {default_tenant_weight}"
+            )
+        weights = dict(tenant_weights or {})
+        for tenant, weight in weights.items():
+            if weight <= 0:
+                raise ValueError(
+                    f"tenant weight must be > 0, got {weight} for {tenant!r}"
+                )
         self.target_rows = int(target_rows)
         self.max_batch_rows = int(max_batch_rows)
         self.linger_s = float(linger_s)
+        self.tenant_weights: Dict[str, float] = weights
+        self.default_tenant_weight = float(default_tenant_weight)
         self._lock = threading.Lock()
         self._lanes: Dict[Tuple[int, str], Lane] = {}  # guarded-by: _lock
         self.total_rows = 0  # guarded-by: _lock
         self.total_requests = 0  # guarded-by: _lock
+        #: WFQ global virtual time — the largest vstart dispatched so far.
+        self._vtime = 0.0  # guarded-by: _lock
+        self._tenant_vfinish: Dict[str, float] = {}  # guarded-by: _lock
+        self._tenant_rows: Dict[str, int] = {}  # guarded-by: _lock
+        self._tenant_requests: Dict[str, int] = {}  # guarded-by: _lock
 
     # -- queue maintenance -------------------------------------------------
     @staticmethod
     def lane_key(arrays: np.ndarray) -> Tuple[int, str]:
         return (int(arrays.shape[1]), np.dtype(arrays.dtype).str)
 
+    def tenant_weight(self, tenant: str) -> float:
+        """The WFQ weight used for ``tenant``'s requests."""
+        return self.tenant_weights.get(tenant, self.default_tenant_weight)
+
+    def tenant_queue_rows(self, tenant: str) -> int:
+        """Rows ``tenant`` currently has queued (admission accounting)."""
+        with self._lock:
+            return self._tenant_rows.get(tenant, 0)
+
+    def tenant_queue_requests(self, tenant: str) -> int:
+        """Requests ``tenant`` currently has queued."""
+        with self._lock:
+            return self._tenant_requests.get(tenant, 0)
+
+    def tenant_backlog(self) -> Dict[str, int]:
+        """Snapshot of queued rows per tenant (metrics export)."""
+        with self._lock:
+            return {t: r for t, r in self._tenant_rows.items() if r > 0}
+
+    def _forget_locked(self, request: QueuedRequest) -> None:
+        """Drop one request from the aggregate and per-tenant tallies."""
+        self.total_rows -= request.rows
+        self.total_requests -= 1
+        tenant = request.tenant
+        self._tenant_rows[tenant] = self._tenant_rows.get(tenant, 0) - request.rows
+        self._tenant_requests[tenant] = self._tenant_requests.get(tenant, 0) - 1
+
+    def _gc_tenants_locked(self) -> None:
+        """Forget WFQ state of tenants that are idle and fully caught up.
+
+        Long-running services see tenants come and go; an entry whose
+        finish tag is already behind the virtual clock carries no
+        information (``vstart`` would be floored at ``_vtime`` anyway),
+        so dropping it keeps the dicts bounded by *active* tenants.
+        """
+        for tenant in list(self._tenant_vfinish):
+            if (
+                self._tenant_rows.get(tenant, 0) <= 0
+                and self._tenant_vfinish[tenant] <= self._vtime
+            ):
+                del self._tenant_vfinish[tenant]
+                self._tenant_rows.pop(tenant, None)
+                self._tenant_requests.pop(tenant, None)
+
     def add(self, request: QueuedRequest) -> None:
         key = self.lane_key(request.arrays)
+        tenant = request.tenant
+        weight = self.tenant_weight(tenant)
         with self._lock:
+            # Start-time fair queuing: the start tag is floored at the
+            # global virtual time so an idle tenant cannot bank credit.
+            request.vstart = max(self._vtime, self._tenant_vfinish.get(tenant, 0.0))
+            request.vfinish = request.vstart + request.rows / weight
+            self._tenant_vfinish[tenant] = request.vfinish
+            self._tenant_rows[tenant] = (
+                self._tenant_rows.get(tenant, 0) + request.rows
+            )
+            self._tenant_requests[tenant] = (
+                self._tenant_requests.get(tenant, 0) + 1
+            )
             lane = self._lanes.get(key)
             if lane is None:
                 lane = self._lanes[key] = Lane(key)
@@ -165,6 +274,9 @@ class DynamicBatcher:
             self._lanes.clear()
             self.total_rows = 0
             self.total_requests = 0
+            self._tenant_rows.clear()
+            self._tenant_requests.clear()
+            self._gc_tenants_locked()
             return dropped
 
     def shed_expired(self, now: float) -> List[QueuedRequest]:
@@ -182,8 +294,7 @@ class DynamicBatcher:
                 for request in lane.requests:
                     if request.deadline is not None and request.deadline < now:
                         shed.append(request)
-                        self.total_rows -= request.rows
-                        self.total_requests -= 1
+                        self._forget_locked(request)
                     else:
                         keep.append(request)
                 if keep:
@@ -205,7 +316,9 @@ class DynamicBatcher:
     def ready_lane(self, now: float, *, drain: bool = False) -> Optional[Lane]:
         """The ready lane with the most urgent deadline (EDF across lanes).
 
-        Ties (no deadlines anywhere) fall to the longest-waiting lane.
+        Ties (no deadlines anywhere) fall to the lane holding the
+        smallest WFQ finish tag — cross-lane fairness — then to the
+        longest-waiting lane.
         """
         with self._lock:
             ready = [
@@ -217,7 +330,11 @@ class DynamicBatcher:
             return None
         return min(
             ready,
-            key=lambda lane: (lane.earliest_deadline(), lane.oldest_enqueued_at),
+            key=lambda lane: (
+                lane.earliest_deadline(),
+                lane.earliest_vfinish(),
+                lane.oldest_enqueued_at,
+            ),
         )
 
     def next_event_at(self, now: float) -> Optional[float]:
@@ -238,12 +355,16 @@ class DynamicBatcher:
         return None if event is math.inf else event
 
     def pop_batch(self, lane: Lane, now: float) -> List[QueuedRequest]:
-        """Remove and return the lane's next batch, EDF-ordered.
+        """Remove and return the lane's next batch, EDF/WFQ-ordered.
 
-        Takes the most urgent requests first, stopping before the batch
-        would exceed ``max_batch_rows`` — except that the first request
-        always rides (an oversized request dispatches alone rather than
-        starving).  The remaining requests keep their arrival order.
+        Takes the most urgent requests first (deadline, then priority,
+        then WFQ finish tag), stopping before the batch would exceed
+        ``max_batch_rows`` — except that the first request always rides
+        (an oversized request dispatches alone rather than starving).
+        The remaining requests keep their arrival order.  The WFQ
+        virtual clock advances to the latest start tag dispatched, so
+        tenants submitting *after* this batch compete from the present,
+        not from the flooding tenant's backlog past.
         """
         with self._lock:
             ordered = sorted(lane.requests, key=QueuedRequest.edf_key)
@@ -258,6 +379,9 @@ class DynamicBatcher:
             lane.requests = [r for r in lane.requests if id(r) not in taken_ids]
             if not lane.requests:
                 del self._lanes[lane.key]
-            self.total_rows -= rows
-            self.total_requests -= len(taken)
+            for request in taken:
+                self._forget_locked(request)
+                if request.vstart > self._vtime:
+                    self._vtime = request.vstart
+            self._gc_tenants_locked()
             return taken

@@ -1,0 +1,393 @@
+"""Live chaos harness: SLOs measured under injected faults.
+
+The resilience layer proves the *sorter* survives faults; this module
+proves the *service* keeps its promises while faults are landing and
+multiple tenants are contending.  A :class:`ChaosScenario` describes a
+tenant mix (one tenant may poison a fraction of its requests with NaN
+rows) plus a deterministic :class:`~repro.gpusim.faults.FaultPlan`
+(transient kernel faults, OOM-pressure windows, ECC-style corruption),
+and :func:`run_scenario` replays it in up to three phases against fresh
+:class:`~repro.service.SortService` instances backed by a
+:class:`~repro.resilience.ResilientSorter`:
+
+* **baseline** — the exact tenant mix, no fault plan: the fault-free
+  SLO reference;
+* **faulted** — the *identical* mix with the fault plan attached, so
+  the only variable between the two phases is the injected faults;
+* **flood** — one extra quota-bounded tenant offering far more load
+  than its fair share, probing whether admission quotas plus the
+  batcher's WFQ layer keep the innocents' rejection rate bounded.
+
+Everything is seeded — the traffic (per-tenant derived seeds), the
+fault schedule (counter-based RNG), and the retry jitter — so a
+scenario replays the same trajectory; only wall-clock-dependent numbers
+(latencies, throughput) vary run to run.  :func:`evaluate_slos` turns a
+:class:`ChaosReport` into the three gate verdicts ``make chaos-gate``
+asserts:
+
+1. **isolation** — quarantined rows fail only the poisoning tenant's
+   requests (zero :class:`~repro.service.errors.QuarantinedError`
+   among other tenants);
+2. **latency** — faulted p99 stays within ``p99_budget_factor`` (default
+   2×) of the fault-free p99, over the non-poison tenants;
+3. **fairness** — no innocent tenant's server-side rejection rate
+   exceeds ``max_rejection_rate`` (default 5 %) while the flooder runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import SortConfig
+from ..gpusim.faults import FaultPlan
+from .metrics import collect_metrics
+from .service import SortService, TenantQuota
+from .stats import TenantStats
+from .traffic import TenantLoad, TrafficReport, run_multi_tenant_traffic
+
+__all__ = [
+    "ChaosReport",
+    "ChaosScenario",
+    "ChaosTenant",
+    "PhaseResult",
+    "evaluate_slos",
+    "run_scenario",
+]
+
+#: Default faulted-vs-baseline p99 budget (gate condition b).
+DEFAULT_P99_BUDGET_FACTOR = 2.0
+#: Default ceiling on an innocent tenant's rejection rate under flood
+#: (gate condition c).
+DEFAULT_MAX_REJECTION_RATE = 0.05
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosTenant:
+    """One tenant in a chaos scenario: QoS config plus offered load.
+
+    ``weight`` feeds the batcher's WFQ layer; ``quota_rows`` /
+    ``quota_requests`` become the tenant's :class:`TenantQuota` (``None``
+    = bounded only by the shared queue).  The remaining fields shape the
+    tenant's open-loop traffic; ``poison_nan_rate > 0`` marks the tenant
+    whose requests carry NaN rows — the blast-radius probe.
+    """
+
+    name: str
+    weight: float = 1.0
+    quota_rows: Optional[int] = None
+    quota_requests: Optional[int] = None
+    clients: int = 2
+    total_requests: int = 200
+    rate_rps: float = 400.0
+    size_mix: Tuple[Tuple[int, float], ...] = ((1, 0.6), (4, 0.3), (16, 0.1))
+    deadline_s: Optional[float] = None
+    poison_nan_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+
+    def load(self) -> TenantLoad:
+        """The offered-load half, as the traffic driver consumes it."""
+        return TenantLoad(
+            name=self.name,
+            clients=self.clients,
+            total_requests=self.total_requests,
+            rate_rps=self.rate_rps,
+            size_mix=self.size_mix,
+            deadline_s=self.deadline_s,
+            poison_nan_rate=self.poison_nan_rate,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosScenario:
+    """A reproducible chaos experiment: tenant mix + fault schedule.
+
+    ``tenants`` run in both the baseline and the faulted phase (the mix
+    must be identical for the p99 comparison to mean anything, so the
+    poison tenant — if any — runs in *both*).  ``flood_tenant``, when
+    set, joins the mix for a third phase probing admission fairness.
+    The ``fault_*`` fields construct the faulted phase's
+    :class:`FaultPlan`; the service knobs size the shared queue and the
+    batcher so a scenario can model a loaded cell deterministically.
+    """
+
+    name: str
+    tenants: Tuple[ChaosTenant, ...]
+    flood_tenant: Optional[ChaosTenant] = None
+    # fault schedule (the faulted phase's FaultPlan)
+    fault_seed: int = 0
+    kernel_fault_rate: float = 0.0
+    oom_windows: Tuple[Tuple[int, int], ...] = ()
+    corruption_rate: float = 0.0
+    # service knobs
+    batch_target_rows: int = 128
+    linger_ms: float = 1.0
+    max_queue_rows: Optional[int] = None
+    # traffic knobs
+    array_size: int = 128
+    dtype: str = "float32"
+    seed: int = 0
+    result_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("scenario needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if self.flood_tenant is not None:
+            names.append(self.flood_tenant.name)
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+
+    @property
+    def poison_tenants(self) -> Tuple[str, ...]:
+        """Names of tenants that poison their own requests."""
+        return tuple(
+            t.name for t in self.tenants if t.poison_nan_rate > 0.0
+        )
+
+    def fault_plan(self) -> FaultPlan:
+        """A fresh (rewound) :class:`FaultPlan` for the faulted phase."""
+        return FaultPlan(
+            self.fault_seed,
+            kernel_fault_rate=self.kernel_fault_rate,
+            oom_windows=self.oom_windows,
+            corruption_rate=self.corruption_rate,
+        )
+
+
+@dataclasses.dataclass
+class PhaseResult:
+    """One phase's client-side and server-side view, plus metrics."""
+
+    name: str
+    traffic: Dict[str, TrafficReport]
+    tenants: Dict[str, TenantStats]
+    metrics: Dict[str, object]
+
+    def p99_ms(self, exclude: Tuple[str, ...] = ()) -> Optional[float]:
+        """Combined p99 over the raw latencies of non-excluded tenants.
+
+        Pooling the raw samples (rather than averaging per-tenant p99s)
+        keeps the statistic honest when tenants complete different
+        request counts.  ``None`` when no samples survive the exclusion.
+        """
+        samples: List[float] = []
+        for name, report in self.traffic.items():
+            if name in exclude:
+                continue
+            samples.extend(report.latencies_ms)
+        if not samples:
+            return None
+        return float(np.percentile(np.asarray(samples, dtype=np.float64), 99.0))
+
+    def quarantined_outside(self, poison: Tuple[str, ...]) -> int:
+        """Requests failed by quarantine in tenants that never poisoned."""
+        return sum(
+            report.quarantined
+            for name, report in self.traffic.items()
+            if name not in poison
+        )
+
+    def rejection_rates(self, exclude: Tuple[str, ...] = ()) -> Dict[str, float]:
+        """Server-side rejection rate per non-excluded tenant."""
+        return {
+            name: stats.rejection_rate
+            for name, stats in self.tenants.items()
+            if name not in exclude
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "traffic": {
+                name: report.as_dict()
+                for name, report in sorted(self.traffic.items())
+            },
+            "tenants": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.tenants.items())
+            },
+            "metrics": self.metrics,
+        }
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """Outcome of :func:`run_scenario`: up to three phases, one scenario."""
+
+    scenario_name: str
+    poison_tenants: Tuple[str, ...]
+    flood_tenant: Optional[str]
+    baseline: PhaseResult
+    faulted: PhaseResult
+    flood: Optional[PhaseResult] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "scenario": self.scenario_name,
+            "poison_tenants": list(self.poison_tenants),
+            "flood_tenant": self.flood_tenant,
+            "baseline": self.baseline.as_dict(),
+            "faulted": self.faulted.as_dict(),
+        }
+        if self.flood is not None:
+            payload["flood"] = self.flood.as_dict()
+        return payload
+
+
+def _build_service(scenario: ChaosScenario, tenants: Tuple[ChaosTenant, ...],
+                   fault_plan: Optional[FaultPlan]) -> SortService:
+    """A fresh service wired for one phase.
+
+    Always the resilient backend — baseline and faulted phases must run
+    the *same* code path (verify-after-sort and all), with the fault
+    plan as the only difference.  ``sleep=None`` disables real backoff
+    waiting; the retry schedule is still recorded in the stats.
+    """
+    from ..resilience import ResilientSorter  # local: heavy import
+
+    backend = ResilientSorter(
+        SortConfig(), fault_plan=fault_plan, sleep=None
+    )
+    quotas: Dict[str, TenantQuota] = {}
+    weights: Dict[str, float] = {}
+    for tenant in tenants:
+        weights[tenant.name] = tenant.weight
+        if tenant.quota_rows is not None or tenant.quota_requests is not None:
+            quotas[tenant.name] = TenantQuota(
+                max_queued_rows=tenant.quota_rows,
+                max_queued_requests=tenant.quota_requests,
+            )
+    return SortService(
+        backend=backend,
+        batch_target_rows=scenario.batch_target_rows,
+        linger_ms=scenario.linger_ms,
+        max_queue_rows=scenario.max_queue_rows,
+        tenant_quotas=quotas or None,
+        tenant_weights=weights,
+        retry_jitter_seed=scenario.seed,
+    )
+
+
+def _run_phase(scenario: ChaosScenario, phase_name: str,
+               tenants: Tuple[ChaosTenant, ...],
+               fault_plan: Optional[FaultPlan]) -> PhaseResult:
+    service = _build_service(scenario, tenants, fault_plan)
+    try:
+        traffic = run_multi_tenant_traffic(
+            service,
+            [tenant.load() for tenant in tenants],
+            mode="open",
+            array_size=scenario.array_size,
+            dtype=scenario.dtype,
+            seed=scenario.seed,
+            result_timeout_s=scenario.result_timeout_s,
+        )
+        metrics = collect_metrics(service)
+        tenant_stats = service.stats().tenants
+    finally:
+        service.close()
+    return PhaseResult(
+        name=phase_name,
+        traffic=traffic,
+        tenants=tenant_stats,
+        metrics=metrics,
+    )
+
+
+def run_scenario(scenario: ChaosScenario) -> ChaosReport:
+    """Replay one chaos scenario: baseline, faulted, and optional flood.
+
+    Each phase gets a *fresh* service (fresh queue, stats, WFQ state),
+    so phase comparisons are apples to apples.  The baseline and faulted
+    phases drive the identical tenant mix; the flood phase adds
+    ``scenario.flood_tenant`` with no fault plan, isolating the
+    admission-fairness question from the fault-latency question.
+    """
+    baseline = _run_phase(scenario, "baseline", scenario.tenants, None)
+    faulted = _run_phase(
+        scenario, "faulted", scenario.tenants, scenario.fault_plan()
+    )
+    flood = None
+    if scenario.flood_tenant is not None:
+        flood = _run_phase(
+            scenario,
+            "flood",
+            scenario.tenants + (scenario.flood_tenant,),
+            None,
+        )
+    return ChaosReport(
+        scenario_name=scenario.name,
+        poison_tenants=scenario.poison_tenants,
+        flood_tenant=(
+            scenario.flood_tenant.name
+            if scenario.flood_tenant is not None
+            else None
+        ),
+        baseline=baseline,
+        faulted=faulted,
+        flood=flood,
+    )
+
+
+def evaluate_slos(
+    report: ChaosReport,
+    *,
+    p99_budget_factor: float = DEFAULT_P99_BUDGET_FACTOR,
+    max_rejection_rate: float = DEFAULT_MAX_REJECTION_RATE,
+) -> Dict[str, object]:
+    """The three chaos-gate verdicts, with the numbers behind them.
+
+    Returns a JSON-ready dict: ``isolation_ok`` (zero cross-tenant
+    quarantine failures, baseline *and* faulted), ``latency_ok``
+    (faulted p99 ≤ ``p99_budget_factor`` × baseline p99 over non-poison
+    tenants), ``fairness_ok`` (no innocent tenant's rejection rate above
+    ``max_rejection_rate`` during the flood phase; vacuously true when
+    the scenario had no flooder), and ``ok`` — the conjunction.
+    """
+    poison = report.poison_tenants
+    cross = (
+        report.baseline.quarantined_outside(poison)
+        + report.faulted.quarantined_outside(poison)
+    )
+    isolation_ok = cross == 0
+
+    baseline_p99 = report.baseline.p99_ms(exclude=poison)
+    faulted_p99 = report.faulted.p99_ms(exclude=poison)
+    if baseline_p99 is None or faulted_p99 is None or baseline_p99 <= 0:
+        p99_ratio = None
+        latency_ok = False
+    else:
+        p99_ratio = faulted_p99 / baseline_p99
+        latency_ok = p99_ratio <= p99_budget_factor
+
+    innocent_rates: Dict[str, float] = {}
+    fairness_ok = True
+    if report.flood is not None and report.flood_tenant is not None:
+        innocent_rates = report.flood.rejection_rates(
+            exclude=(report.flood_tenant,) + poison
+        )
+        fairness_ok = all(
+            rate <= max_rejection_rate for rate in innocent_rates.values()
+        )
+
+    return {
+        "cross_tenant_quarantines": cross,
+        "isolation_ok": isolation_ok,
+        "baseline_p99_ms": baseline_p99,
+        "faulted_p99_ms": faulted_p99,
+        "p99_ratio": p99_ratio,
+        "p99_budget_factor": p99_budget_factor,
+        "latency_ok": latency_ok,
+        "innocent_rejection_rates": innocent_rates,
+        "max_rejection_rate": max_rejection_rate,
+        "fairness_ok": fairness_ok,
+        "ok": isolation_ok and latency_ok and fairness_ok,
+    }

@@ -23,7 +23,7 @@ The hierarchy:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 __all__ = [
     "ServiceError",
@@ -39,16 +39,31 @@ class ServiceError(Exception):
 
 
 class RejectedError(ServiceError):
-    """Admission control refused the request: the queue is full.
+    """Admission control refused the request.
 
     ``retry_after`` is the service's backpressure hint in seconds —
     roughly how long the current backlog needs to drain at the observed
-    throughput.  It is an estimate, not a promise.
+    throughput, plus a bounded random jitter so a fleet of rejected
+    clients does not resubmit in a synchronized stampede.  It is an
+    estimate, not a promise.  ``reason`` distinguishes the shared queue
+    filling up (``"queue-full"``) from the caller's own tenant hitting
+    its quota (``"tenant-quota"`` — the multi-tenant isolation signal:
+    other tenants are still being admitted).  ``tenant`` names the
+    tenant whose request was refused.
     """
 
-    def __init__(self, message: str, *, retry_after: float) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float,
+        tenant: Optional[str] = None,
+        reason: str = "queue-full",
+    ) -> None:
         super().__init__(message)
         self.retry_after = float(retry_after)
+        self.tenant = tenant
+        self.reason = str(reason)
 
 
 class DeadlineExceededError(ServiceError):
@@ -72,6 +87,9 @@ class QuarantinedError(ServiceError):
     ``rows`` are request-relative row indices; ``reasons`` maps each to
     the backend's quarantine reason.  The request fails atomically —
     partially sorted results are never demultiplexed back to a caller.
+    ``tenant`` names the owning tenant: a quarantined row fails *only*
+    that tenant's request, never a co-batched neighbour's (the isolation
+    contract ``make chaos-gate`` asserts under injected faults).
     """
 
     def __init__(
@@ -80,10 +98,12 @@ class QuarantinedError(ServiceError):
         *,
         rows: Sequence[int],
         reasons: Dict[int, str],
+        tenant: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.rows = tuple(int(r) for r in rows)
         self.reasons = dict(reasons)
+        self.tenant = tenant
 
 
 class ServiceClosedError(ServiceError):

@@ -32,15 +32,26 @@ growth: a bounded queue rejects at submit time with
 and requests whose deadline passes are shed with
 :class:`~repro.service.errors.DeadlineExceededError` — late data is
 discarded, not delivered stale.
+
+Multi-tenant QoS: every ``submit`` carries a ``tenant`` name.  Admission
+enforces per-tenant quotas (:class:`TenantQuota`) *before* the shared
+queue bound, so one tenant exhausting its quota is rejected with
+``reason="tenant-quota"`` while everyone else keeps being admitted; the
+batcher's weighted-fair-queuing layer (see
+:mod:`repro.service.batcher`) then keeps a flooding tenant's backlog
+from starving other tenants' dispatch.  All counters — admitted,
+rejected, shed, quarantined rows, latency percentiles — are kept per
+tenant and exported by :mod:`repro.service.metrics`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import threading
 import time
 from concurrent.futures import Future
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -56,7 +67,33 @@ from .errors import (
 )
 from .stats import ServiceStats, StatsRecorder
 
-__all__ = ["SortService", "derive_batch_target"]
+__all__ = ["SortService", "TenantQuota", "derive_batch_target"]
+
+#: Default bounded jitter fraction on ``retry_after`` hints: rejected
+#: clients resubmit spread over ``[hint, hint * (1 + jitter)]`` instead
+#: of stampeding back in lockstep at the same instant.
+DEFAULT_RETRY_JITTER = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantQuota:
+    """Admission bounds for one tenant.
+
+    ``max_queued_rows`` / ``max_queued_requests`` cap what the tenant
+    may have *waiting* in the service queue at once (``None`` = no
+    per-tenant cap on that axis).  A submit that would exceed either cap
+    is refused with :class:`RejectedError` (``reason="tenant-quota"``)
+    without touching other tenants' headroom.
+    """
+
+    max_queued_rows: Optional[int] = None
+    max_queued_requests: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_queued_rows", "max_queued_requests"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {value}")
 
 
 def derive_batch_target(planner) -> int:
@@ -119,6 +156,20 @@ class SortService:
     latency_window:
         Completed-request latencies retained for the percentile
         snapshot.
+    tenant_quotas:
+        Per-tenant admission bounds: tenant name -> :class:`TenantQuota`
+        (or a plain int, shorthand for ``TenantQuota(max_queued_rows=n)``).
+    default_tenant_quota:
+        Quota applied to tenants absent from ``tenant_quotas`` (``None``
+        = unlisted tenants are bounded only by the shared queue).
+    tenant_weights:
+        WFQ weight per tenant for the batcher's fairness layer (default
+        weight 1.0 for unlisted tenants).
+    retry_jitter:
+        Bounded jitter fraction on ``retry_after`` hints (0 disables;
+        default :data:`DEFAULT_RETRY_JITTER`).
+    retry_jitter_seed:
+        Seed for the jitter RNG, for reproducible backpressure tests.
     clock:
         Monotonic clock, injectable for tests.
     """
@@ -135,6 +186,11 @@ class SortService:
         max_queue_rows: Optional[int] = None,
         default_deadline_ms: Optional[float] = None,
         latency_window: int = 4096,
+        tenant_quotas: Optional[Dict[str, Union["TenantQuota", int]]] = None,
+        default_tenant_quota: Optional[Union["TenantQuota", int]] = None,
+        tenant_weights: Optional[Dict[str, float]] = None,
+        retry_jitter: float = DEFAULT_RETRY_JITTER,
+        retry_jitter_seed: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.config = config
@@ -166,11 +222,23 @@ class SortService:
             raise ValueError(
                 f"default_deadline_ms must be > 0, got {default_deadline_ms}"
             )
+        if retry_jitter < 0:
+            raise ValueError(f"retry_jitter must be >= 0, got {retry_jitter}")
         self.batch_target_rows = int(batch_target_rows)
         self.max_batch_rows = int(max_batch_rows)
         self.linger_ms = float(linger_ms)
         self.max_queue_rows = int(max_queue_rows)
         self.default_deadline_ms = default_deadline_ms
+        self.retry_jitter = float(retry_jitter)
+        self.tenant_quotas: Dict[str, TenantQuota] = {
+            name: self._as_quota(quota)
+            for name, quota in (tenant_quotas or {}).items()
+        }
+        self.default_tenant_quota: Optional[TenantQuota] = (
+            self._as_quota(default_tenant_quota)
+            if default_tenant_quota is not None
+            else None
+        )
 
         # _wakeup shares _lock's mutex (Condition(self._lock)), so holding
         # either name satisfies the guarded-by contract below.
@@ -180,8 +248,11 @@ class SortService:
             target_rows=self.batch_target_rows,
             max_batch_rows=self.max_batch_rows,
             linger_s=self.linger_ms / 1e3,
+            tenant_weights=tenant_weights,
         )
         self._recorder = StatsRecorder(latency_window=latency_window)
+        # Jitter draws happen under the service lock (submit path only).
+        self._retry_rng = np.random.default_rng(retry_jitter_seed)
         self._seq = 0  # guarded-by: _wakeup, _lock
         self._closed = False  # guarded-by: _wakeup, _lock
         self._draining = False  # guarded-by: _wakeup, _lock
@@ -191,6 +262,22 @@ class SortService:
             target=self._run, name="repro-sort-service", daemon=True
         )
         self._worker.start()
+
+    @staticmethod
+    def _as_quota(quota: Union["TenantQuota", int]) -> "TenantQuota":
+        if isinstance(quota, TenantQuota):
+            return quota
+        if isinstance(quota, int):
+            return TenantQuota(max_queued_rows=quota)
+        raise TypeError(
+            f"tenant quota must be a TenantQuota or an int (max queued "
+            f"rows); got {quota!r}"
+        )
+
+    def tenant_quota(self, tenant: str) -> Optional["TenantQuota"]:
+        """The admission quota applied to ``tenant`` (``None`` = shared
+        queue bound only)."""
+        return self.tenant_quotas.get(tenant, self.default_tenant_quota)
 
     @staticmethod
     def _make_backend(backend, config: SortConfig, planner):
@@ -217,6 +304,7 @@ class SortService:
         deadline: Optional[float] = None,
         priority: int = 0,
         copy: bool = True,
+        tenant: str = "default",
     ) -> "Future[np.ndarray]":
         """Queue ``arrays`` for sorting; returns a ``Future``.
 
@@ -230,11 +318,15 @@ class SortService:
         ``priority`` breaks ties between equal deadlines (smaller wins).
         ``copy=False`` trades safety for speed: the future resolves to a
         zero-copy view into the service's batch buffer, valid only until
-        the service dispatches its next batch.
+        the service dispatches its next batch.  ``tenant`` names the
+        submitting tenant for quota accounting, WFQ fairness, and
+        per-tenant stats; callers that never set it share the
+        ``"default"`` tenant.
 
-        Raises :class:`RejectedError` when the queue is full (the
-        backpressure signal — sleep ``retry_after`` and resubmit) and
-        :class:`ServiceClosedError` after :meth:`close`.
+        Raises :class:`RejectedError` when the shared queue is full or
+        the tenant's quota is exhausted (the backpressure signal — sleep
+        ``retry_after`` and resubmit; ``exc.reason`` tells which bound
+        was hit) and :class:`ServiceClosedError` after :meth:`close`.
         """
         staged = np.asarray(arrays)
         single = staged.ndim == 1
@@ -255,6 +347,8 @@ class SortService:
             )
         if deadline is not None and deadline < 0:
             raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
+        if not isinstance(tenant, str) or not tenant:
+            raise ValueError(f"tenant must be a non-empty string, got {tenant!r}")
         if deadline is None and self.default_deadline_ms is not None:
             deadline = self.default_deadline_ms / 1e3
 
@@ -265,13 +359,42 @@ class SortService:
             rows = staged.shape[0]
             backlog = self._batcher.total_rows
             if backlog + rows > self.max_queue_rows:
-                self._recorder.record_rejected()
+                self._recorder.record_rejected(tenant=tenant, reason="queue-full")
+                retry_after = self._retry_after(backlog)
                 raise RejectedError(
                     f"queue full ({backlog} rows queued, limit "
                     f"{self.max_queue_rows}); retry after "
-                    f"{self._retry_after(backlog):.3f}s",
-                    retry_after=self._retry_after(backlog),
+                    f"{retry_after:.3f}s",
+                    retry_after=retry_after,
+                    tenant=tenant,
+                    reason="queue-full",
                 )
+            quota = self.tenant_quota(tenant)
+            if quota is not None:
+                tenant_rows = self._batcher.tenant_queue_rows(tenant)
+                tenant_requests = self._batcher.tenant_queue_requests(tenant)
+                over_rows = (
+                    quota.max_queued_rows is not None
+                    and tenant_rows + rows > quota.max_queued_rows
+                )
+                over_requests = (
+                    quota.max_queued_requests is not None
+                    and tenant_requests + 1 > quota.max_queued_requests
+                )
+                if over_rows or over_requests:
+                    self._recorder.record_rejected(
+                        tenant=tenant, reason="tenant-quota"
+                    )
+                    retry_after = self._retry_after(tenant_rows)
+                    raise RejectedError(
+                        f"tenant {tenant!r} quota exhausted "
+                        f"({tenant_rows} rows / {tenant_requests} requests "
+                        f"queued, quota {quota}); retry after "
+                        f"{retry_after:.3f}s",
+                        retry_after=retry_after,
+                        tenant=tenant,
+                        reason="tenant-quota",
+                    )
             now = self._clock()
             request = QueuedRequest(
                 seq=self._seq,
@@ -282,10 +405,11 @@ class SortService:
                 future=future,
                 copy=bool(copy),
                 single=single,
+                tenant=tenant,
             )
             self._seq += 1
             self._batcher.add(request)
-            self._recorder.record_submitted()
+            self._recorder.record_submitted(tenant=tenant, rows=rows)
             self._wakeup.notify_all()
         return future
 
@@ -349,6 +473,11 @@ class SortService:
                 queue_rows=self._batcher.total_rows,
             )
 
+    def tenant_backlog(self) -> Dict[str, int]:
+        """Rows currently queued per tenant (the metrics surface)."""
+        with self._lock:
+            return self._batcher.tenant_backlog()
+
     def __enter__(self) -> "SortService":
         return self
 
@@ -357,12 +486,23 @@ class SortService:
 
     # -- internals ---------------------------------------------------------
     def _retry_after(self, backlog_rows: int) -> float:
-        """Backpressure hint: seconds for the backlog to drain."""
+        """Backpressure hint: seconds for the backlog to drain.
+
+        The estimate is floored (a hint of ~0 would tell clients to spin
+        on ``submit``) and stretched by a bounded random jitter so a
+        fleet of simultaneously rejected clients disperses its
+        resubmissions instead of stampeding back in the same tick — the
+        thundering-herd failure mode of deterministic backoff hints.
+        """
         floor = max(self.linger_ms / 1e3, 1e-3)
         rate = self._recorder.rows_per_s()
         if not rate or rate <= 0:
-            return 2 * floor
-        return max(floor, backlog_rows / rate)
+            base = 2 * floor
+        else:
+            base = max(floor, backlog_rows / rate)
+        if self.retry_jitter > 0:
+            base *= 1.0 + float(self._retry_rng.random()) * self.retry_jitter
+        return base
 
     def _run(self) -> None:
         """Batcher thread: shed, pick a ready lane, dispatch, repeat."""
@@ -372,7 +512,8 @@ class SortService:
                 self._wakeup.notify_all()
                 now = self._clock()
                 shed = self._batcher.shed_expired(now)
-                self._recorder.record_shed(len(shed))
+                for request in shed:
+                    self._recorder.record_shed(1, tenant=request.tenant)
                 drain = self._closed or self._flushing > 0
                 lane = self._batcher.ready_lane(now, drain=drain)
                 if lane is None and not shed:
@@ -433,7 +574,7 @@ class SortService:
         """
         if len(live) == 1:
             with self._lock:
-                self._recorder.record_failed()
+                self._recorder.record_failed(tenant=live[0].tenant)
             live[0].future.set_exception(exc)
             return
         for request in live:
@@ -441,7 +582,7 @@ class SortService:
                 result = self._sorter.sort(request.arrays)
             except Exception as isolated:  # noqa: BLE001 - delivered via the future
                 with self._lock:
-                    self._recorder.record_failed()
+                    self._recorder.record_failed(tenant=request.tenant)
                 request.future.set_exception(isolated)
             else:
                 self._deliver(request, result.batch, result, offset=0)
@@ -459,7 +600,7 @@ class SortService:
         now = self._clock()
         if request.deadline is not None and now > request.deadline:
             with self._lock:
-                self._recorder.record_deadline_missed()
+                self._recorder.record_deadline_missed(tenant=request.tenant)
             request.future.set_exception(
                 DeadlineExceededError(
                     f"batch finished {now - request.deadline:.3f}s past the "
@@ -483,13 +624,17 @@ class SortService:
                     for row in mine
                 }
                 with self._lock:
-                    self._recorder.record_failed()
+                    self._recorder.record_failed(
+                        tenant=request.tenant,
+                        quarantined_rows=int(mine.size),
+                    )
                 request.future.set_exception(
                     QuarantinedError(
                         f"{mine.size} of {request.rows} rows quarantined "
                         "by the resilient backend",
                         rows=sorted(relative),
                         reasons=relative,
+                        tenant=request.tenant,
                     )
                 )
                 return
@@ -502,5 +647,7 @@ class SortService:
         if request.single:
             payload = payload.reshape(-1)
         with self._lock:
-            self._recorder.record_latency(now - request.enqueued_at)
+            self._recorder.record_latency(
+                now - request.enqueued_at, tenant=request.tenant
+            )
         request.future.set_result(payload)

@@ -12,6 +12,13 @@ reports *current* behaviour rather than a lifetime average diluted by
 warm-up.  Occupancy is histogrammed in power-of-two buckets of rows per
 dispatched batch — the natural axis, since the planner's shape classes
 quantize ``log2(N)`` the same way.
+
+Every counter is additionally kept **per tenant** (admission, rejection,
+shedding, completion, quarantine, and a smaller per-tenant latency
+ring), so the multi-tenant QoS story is observable: a flooding tenant's
+rejections and a quarantined tenant's failures show up under *that*
+tenant's name, and :mod:`repro.service.metrics` can export the whole
+surface as scrape-ready snapshots.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["ServiceStats", "StatsRecorder"]
+__all__ = ["ServiceStats", "StatsRecorder", "TenantStats"]
 
 
 def _occupancy_bucket(rows: int) -> str:
@@ -32,6 +39,98 @@ def _occupancy_bucket(rows: int) -> str:
         return "[0,1)"
     lo = 1 << int(math.floor(math.log2(rows)))
     return f"[{lo},{lo * 2})"
+
+
+def _percentiles(latencies_ms: List[float]) -> Dict[str, float]:
+    """p50/p95/p99/mean/max over a latency window (empty dict if none)."""
+    if not latencies_ms:
+        return {}
+    window = np.asarray(latencies_ms, dtype=np.float64)
+    p50, p95, p99 = np.percentile(window, [50.0, 95.0, 99.0])
+    return {
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "mean": float(window.mean()),
+        "max": float(window.max()),
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantStats:
+    """One tenant's slice of the serving counters.
+
+    ``admitted`` counts requests accepted at submit time (the per-tenant
+    analogue of ``submitted``); ``rejected`` splits into queue-full and
+    tenant-quota refusals via ``rejected_quota``.  ``latency_ms`` holds
+    percentiles over the tenant's own bounded recent window.
+    """
+
+    tenant: str
+    admitted: int = 0
+    rows_admitted: int = 0
+    rejected: int = 0
+    rejected_quota: int = 0
+    shed: int = 0
+    deadline_missed: int = 0
+    completed: int = 0
+    failed: int = 0
+    quarantined_rows: int = 0
+    latency_ms: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejected / (admitted + rejected) — the chaos gate's fairness axis."""
+        offered = self.admitted + self.rejected
+        if offered == 0:
+            return 0.0
+        return self.rejected / offered
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = dataclasses.asdict(self)
+        payload["rejection_rate"] = self.rejection_rate
+        return payload
+
+
+class _TenantCounters:
+    """Mutable per-tenant tallies (guarded by the recorder's lock)."""
+
+    def __init__(self, tenant: str, latency_window: int) -> None:
+        self.tenant = tenant
+        self.admitted = 0
+        self.rows_admitted = 0
+        self.rejected = 0
+        self.rejected_quota = 0
+        self.shed = 0
+        self.deadline_missed = 0
+        self.completed = 0
+        self.failed = 0
+        self.quarantined_rows = 0
+        self._latency_window = latency_window
+        self._latencies: List[float] = []
+        self._latency_pos = 0
+
+    def record_latency_ms(self, ms: float) -> None:
+        if len(self._latencies) < self._latency_window:
+            self._latencies.append(ms)
+        else:  # bounded ring: overwrite the oldest entry
+            self._latencies[self._latency_pos] = ms
+            self._latency_pos = (self._latency_pos + 1) % self._latency_window
+
+    def snapshot(self) -> TenantStats:
+        return TenantStats(
+            tenant=self.tenant,
+            admitted=self.admitted,
+            rows_admitted=self.rows_admitted,
+            rejected=self.rejected,
+            rejected_quota=self.rejected_quota,
+            shed=self.shed,
+            deadline_missed=self.deadline_missed,
+            completed=self.completed,
+            failed=self.failed,
+            quarantined_rows=self.quarantined_rows,
+            latency_ms=_percentiles(self._latencies),
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,6 +167,8 @@ class ServiceStats:
     occupancy_histogram: Dict[str, int]
     #: Recent-window latency percentiles, milliseconds.
     latency_ms: Dict[str, float]
+    #: Per-tenant slices of the above (tenant name -> TenantStats).
+    tenants: Dict[str, TenantStats] = dataclasses.field(default_factory=dict)
 
     @property
     def mean_occupancy_rows(self) -> float:
@@ -91,9 +192,17 @@ class StatsRecorder:
     counters themselves are an implementation detail.
     """
 
-    def __init__(self, latency_window: int = 4096) -> None:
+    def __init__(
+        self,
+        latency_window: int = 4096,
+        tenant_latency_window: int = 1024,
+    ) -> None:
         if latency_window < 1:
             raise ValueError(f"latency_window must be >= 1, got {latency_window}")
+        if tenant_latency_window < 1:
+            raise ValueError(
+                f"tenant_latency_window must be >= 1, got {tenant_latency_window}"
+            )
         self._lock = threading.Lock()
         self.submitted = 0  # guarded-by: _lock
         self.completed = 0  # guarded-by: _lock
@@ -107,29 +216,56 @@ class StatsRecorder:
         self._latency_window = int(latency_window)
         self._latencies: List[float] = []  # guarded-by: _lock
         self._latency_pos = 0  # guarded-by: _lock
+        self._tenant_latency_window = int(tenant_latency_window)
+        self._tenants: Dict[str, _TenantCounters] = {}  # guarded-by: _lock
         #: EMA of delivered rows/second, the retry-after estimator's input.
         self.ema_rows_per_s: Optional[float] = None  # guarded-by: _lock
 
+    def _tenant_locked(self, tenant: str) -> _TenantCounters:
+        counters = self._tenants.get(tenant)
+        if counters is None:
+            counters = self._tenants[tenant] = _TenantCounters(
+                tenant, self._tenant_latency_window
+            )
+        return counters
+
     # -- event hooks -------------------------------------------------------
-    def record_submitted(self) -> None:
+    def record_submitted(self, *, tenant: str = "default", rows: int = 1) -> None:
         with self._lock:
             self.submitted += 1
+            counters = self._tenant_locked(tenant)
+            counters.admitted += 1
+            counters.rows_admitted += int(rows)
 
-    def record_rejected(self) -> None:
+    def record_rejected(
+        self, *, tenant: str = "default", reason: str = "queue-full"
+    ) -> None:
         with self._lock:
             self.rejected += 1
+            counters = self._tenant_locked(tenant)
+            counters.rejected += 1
+            if reason == "tenant-quota":
+                counters.rejected_quota += 1
 
-    def record_shed(self, count: int) -> None:
+    def record_shed(self, count: int, *, tenant: Optional[str] = None) -> None:
         with self._lock:
             self.shed += int(count)
+            if tenant is not None:
+                self._tenant_locked(tenant).shed += int(count)
 
-    def record_failed(self) -> None:
+    def record_failed(
+        self, *, tenant: str = "default", quarantined_rows: int = 0
+    ) -> None:
         with self._lock:
             self.failed += 1
+            counters = self._tenant_locked(tenant)
+            counters.failed += 1
+            counters.quarantined_rows += int(quarantined_rows)
 
-    def record_deadline_missed(self) -> None:
+    def record_deadline_missed(self, *, tenant: str = "default") -> None:
         with self._lock:
             self.deadline_missed += 1
+            self._tenant_locked(tenant).deadline_missed += 1
 
     def record_batch(self, rows: int) -> None:
         with self._lock:
@@ -138,7 +274,7 @@ class StatsRecorder:
             bucket = _occupancy_bucket(int(rows))
             self.occupancy[bucket] = self.occupancy.get(bucket, 0) + 1
 
-    def record_latency(self, seconds: float) -> None:
+    def record_latency(self, seconds: float, *, tenant: str = "default") -> None:
         ms = float(seconds) * 1e3
         with self._lock:
             if len(self._latencies) < self._latency_window:
@@ -147,6 +283,9 @@ class StatsRecorder:
                 self._latencies[self._latency_pos] = ms
                 self._latency_pos = (self._latency_pos + 1) % self._latency_window
             self.completed += 1
+            counters = self._tenant_locked(tenant)
+            counters.completed += 1
+            counters.record_latency_ms(ms)
 
     def record_throughput(self, rows: int, seconds: float, *, alpha: float = 0.3) -> None:
         if seconds <= 0 or rows <= 0:
@@ -165,17 +304,7 @@ class StatsRecorder:
 
     # -- snapshot ----------------------------------------------------------
     def _latency_percentiles_locked(self) -> Dict[str, float]:
-        if not self._latencies:
-            return {}
-        window = np.asarray(self._latencies, dtype=np.float64)
-        p50, p95, p99 = np.percentile(window, [50.0, 95.0, 99.0])
-        return {
-            "p50": float(p50),
-            "p95": float(p95),
-            "p99": float(p99),
-            "mean": float(window.mean()),
-            "max": float(window.max()),
-        }
+        return _percentiles(self._latencies)
 
     def latency_percentiles(self) -> Dict[str, float]:
         with self._lock:
@@ -197,4 +326,8 @@ class StatsRecorder:
                 queue_depth_rows=int(queue_rows),
                 occupancy_histogram=dict(self.occupancy),
                 latency_ms=self._latency_percentiles_locked(),
+                tenants={
+                    name: counters.snapshot()
+                    for name, counters in sorted(self._tenants.items())
+                },
             )

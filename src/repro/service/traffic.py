@@ -22,6 +22,16 @@ caller would experience: queueing, lingering, sorting, demux copies.
 Rejected submissions are retried after the service's ``retry_after``
 hint (bounded), which is exactly what a well-behaved client does with
 backpressure; retries are counted, not hidden.
+
+Multi-tenant runs (:func:`run_multi_tenant_traffic`) drive several
+:class:`TenantLoad` fleets against one service concurrently, each
+submitting under its own tenant name — the open-loop mixed-workload
+setting the chaos harness (:mod:`repro.service.chaos`) measures SLOs
+in.  A tenant may be configured to *poison* a fraction of its requests
+with NaN rows (``poison_nan_rate``): under ``backend="resilient"`` and
+``nan_policy="raise"`` those rows quarantine deterministically, which is
+how cross-tenant blast-radius is made observable — only the poisoning
+tenant's requests may fail with :class:`QuarantinedError`.
 """
 
 from __future__ import annotations
@@ -42,8 +52,10 @@ from .errors import (
 )
 
 __all__ = [
+    "TenantLoad",
     "TrafficReport",
     "parse_size_mix",
+    "run_multi_tenant_traffic",
     "run_service_traffic",
     "run_unbatched_traffic",
 ]
@@ -100,6 +112,9 @@ class TrafficReport:
     rows_completed: int
     wall_seconds: float
     latencies_ms: List[float]
+    #: Requests failed specifically by quarantine (a subset of ``failed``
+    #: conceptually, but counted separately so blast-radius is visible).
+    quarantined: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -145,6 +160,7 @@ class _Collector:
         self.shed = 0
         self.deadline_missed = 0
         self.failed = 0
+        self.quarantined = 0
         self.rows_completed = 0
         self.latencies_ms: List[float] = []
 
@@ -159,6 +175,9 @@ class _Collector:
                 self.shed += 1
             elif outcome == "deadline":
                 self.deadline_missed += 1
+            elif outcome == "quarantined":
+                self.failed += 1
+                self.quarantined += 1
             else:
                 self.failed += 1
 
@@ -198,11 +217,12 @@ def _run_clients(worker: Callable[[int], None], clients: int) -> float:
     return time.perf_counter() - t0
 
 
-def _submit_with_backpressure(service, arrays, deadline_s, collector):
+def _submit_with_backpressure(service, arrays, deadline_s, collector,
+                              tenant="default"):
     """Submit, honoring retry-after backpressure; None if budget exhausted."""
     for _ in range(MAX_REJECT_RETRIES):
         try:
-            return service.submit(arrays, deadline=deadline_s)
+            return service.submit(arrays, deadline=deadline_s, tenant=tenant)
         except RejectedError as exc:
             collector.count_reject()
             time.sleep(min(exc.retry_after, MAX_RETRY_SLEEP_S))
@@ -222,12 +242,29 @@ def run_service_traffic(
     deadline_s: Optional[float] = None,
     seed: int = 0,
     result_timeout_s: float = 60.0,
+    tenant: str = "default",
+    poison_nan_rate: float = 0.0,
 ) -> TrafficReport:
-    """Drive synthetic traffic through a :class:`SortService`."""
+    """Drive synthetic traffic through a :class:`SortService`.
+
+    ``tenant`` tags every submission; ``poison_nan_rate`` is the
+    probability a request carries one NaN row (float dtypes only) —
+    under the resilient backend's ``nan_policy="raise"`` those rows
+    quarantine deterministically, making this driver double as the chaos
+    harness's blast-radius probe.
+    """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
+    if not 0.0 <= poison_nan_rate <= 1.0:
+        raise ValueError(
+            f"poison_nan_rate must be in [0, 1], got {poison_nan_rate}"
+        )
+    if poison_nan_rate > 0.0 and np.dtype(dtype).kind != "f":
+        raise ValueError(
+            f"poison_nan_rate requires a float dtype, got {dtype!r}"
+        )
     per_client = max(1, total_requests // clients)
     collector = _Collector()
     interval = clients / rate_rps if rate_rps > 0 else 0.0
@@ -239,7 +276,10 @@ def run_service_traffic(
             outcome = "shed" if exc.stage == "queued" else "deadline"
             collector.record(outcome, rows, None)
             return
-        except (QuarantinedError, ServiceError, Exception):
+        except QuarantinedError:
+            collector.record("quarantined", rows, None)
+            return
+        except (ServiceError, Exception):
             collector.record("failed", rows, None)
             return
         collector.record("completed", rows, time.perf_counter() - t0)
@@ -251,6 +291,8 @@ def run_service_traffic(
         for i in range(per_client):
             rows = _pick_rows(rng, size_mix)
             arrays = _make_request(rng, rows, array_size, dtype)
+            if poison_nan_rate > 0.0 and rng.random() < poison_nan_rate:
+                arrays[int(rng.integers(0, rows)), 0] = np.nan
             if mode == "open":
                 arrival = start + i * interval
                 lag = arrival - time.perf_counter()
@@ -260,7 +302,7 @@ def run_service_traffic(
             else:
                 t0 = time.perf_counter()
             future = _submit_with_backpressure(
-                service, arrays, deadline_s, collector
+                service, arrays, deadline_s, collector, tenant
             )
             if future is None:
                 collector.record("failed", rows, None)
@@ -285,7 +327,105 @@ def run_service_traffic(
         rows_completed=collector.rows_completed,
         wall_seconds=wall,
         latencies_ms=collector.latencies_ms,
+        quarantined=collector.quarantined,
     )
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's traffic shape inside a multi-tenant run.
+
+    Weights and quotas are *service* configuration (``tenant_weights`` /
+    ``tenant_quotas`` on :class:`~repro.service.SortService`); this is
+    purely the offered-load side: how many clients, how many requests,
+    at what rate, with what row mix, and whether the tenant poisons a
+    fraction of its requests with NaN rows.
+    """
+
+    name: str
+    clients: int = 2
+    total_requests: int = 200
+    rate_rps: float = 500.0
+    size_mix: Tuple[Tuple[int, float], ...] = ((1, 0.6), (4, 0.3), (16, 0.1))
+    deadline_s: Optional[float] = None
+    poison_nan_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.total_requests < 1:
+            raise ValueError(
+                f"total_requests must be >= 1, got {self.total_requests}"
+            )
+
+
+def run_multi_tenant_traffic(
+    service,
+    tenants: Sequence[TenantLoad],
+    *,
+    mode: str = "open",
+    array_size: int = 256,
+    dtype: str = "float32",
+    seed: int = 0,
+    result_timeout_s: float = 60.0,
+) -> Dict[str, TrafficReport]:
+    """Drive several tenants' fleets against one service concurrently.
+
+    Each tenant's fleet runs on its own thread pool (inside its own
+    :func:`run_service_traffic` call) so the tenants genuinely contend
+    for the shared queue, which is the situation WFQ and quotas exist
+    for.  Per-tenant seeds are derived deterministically from ``seed``
+    and the tenant's position, so a run is reproducible end to end.
+    Returns ``{tenant name: TrafficReport}``.
+    """
+    if not tenants:
+        raise ValueError("tenants must be non-empty")
+    names = [load.name for load in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in {names}")
+    reports: Dict[str, TrafficReport] = {}
+    errors: List[BaseException] = []
+    report_lock = threading.Lock()
+
+    def drive(idx: int, load: TenantLoad) -> None:
+        try:
+            report = run_service_traffic(
+                service,
+                mode=mode,
+                clients=load.clients,
+                total_requests=load.total_requests,
+                rate_rps=load.rate_rps,
+                array_size=array_size,
+                dtype=dtype,
+                size_mix=load.size_mix,
+                deadline_s=load.deadline_s,
+                seed=seed * 100003 + idx,
+                result_timeout_s=result_timeout_s,
+                tenant=load.name,
+                poison_nan_rate=load.poison_nan_rate,
+            )
+        except BaseException as exc:  # surfaced to the caller below
+            with report_lock:
+                errors.append(exc)
+            return
+        with report_lock:
+            reports[load.name] = report
+
+    threads = [
+        threading.Thread(
+            target=drive, args=(idx, load), name=f"tenant-{load.name}"
+        )
+        for idx, load in enumerate(tenants)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return reports
 
 
 def run_unbatched_traffic(

@@ -285,3 +285,69 @@ class TestAcceptanceScenario:
         _, _, first = self._run()
         _, _, second = self._run()
         assert first.stats.as_dict() == second.stats.as_dict()
+
+
+class TestDeadLetterBound:
+    """The DLQ must hold memory steady in unattended sessions: beyond the
+    capacity the oldest letters age out and the drop is visible in stats."""
+
+    def _poisoned_session(self, capacity):
+        s = resilient_streamer(batch_arrays=4)
+        if capacity != -1:
+            s = StreamingSorter(
+                ARRAY_SIZE,
+                config=SortConfig(),
+                batch_arrays=4,
+                sorter=ResilientSorter(
+                    SortConfig(), engine="vectorized", sleep=None
+                ),
+                dead_letter_capacity=capacity,
+            )
+        data = uniform_arrays(12, ARRAY_SIZE, seed=11)
+        data[::2, 0] = np.nan  # 6 poisoned rows -> 6 dead letters
+        s.push_slab(data)
+        s.flush()
+        return s
+
+    def test_default_bound_applies(self):
+        from repro.resilience import DEFAULT_DEAD_LETTER_CAPACITY
+
+        s = self._poisoned_session(-1)
+        assert s.dead_letters.capacity == DEFAULT_DEAD_LETTER_CAPACITY
+        assert s.stats.arrays_quarantined == 6
+        assert s.stats.dead_letters_dropped == 0
+
+    def test_overflow_drops_oldest_and_counts(self):
+        s = self._poisoned_session(2)
+        assert len(s.dead_letters) == 2
+        assert s.stats.dead_letters_dropped == 4
+        assert s.dead_letters.dropped == 4
+        # Quarantine accounting survives the drop: receipts, not bodies.
+        assert s.stats.arrays_quarantined == 6
+        # The survivors are the *newest* letters (drop-oldest).
+        kept = [letter.batch_id * 4 + letter.row_index
+                for letter in s.dead_letters]
+        assert kept == sorted(kept)
+        assert min(kept) >= 6  # the six oldest poisoned rows aged out
+
+    def test_unbounded_opt_out(self):
+        s = self._poisoned_session(None)
+        assert s.dead_letters.capacity is None
+        assert len(s.dead_letters) == 6
+        assert s.stats.dead_letters_dropped == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="dead_letter_capacity"):
+            StreamingSorter(ARRAY_SIZE, batch_arrays=4, dead_letter_capacity=0)
+
+    def test_tenant_tagging_on_letters(self):
+        from repro.resilience.quarantine import DeadLetterQueue
+
+        q = DeadLetterQueue(capacity=8)
+        row = np.zeros(4)
+        q.add(batch_id=0, row_index=0, payload=row, tenant="alpha")
+        q.add(batch_id=0, row_index=1, payload=row, tenant="alpha")
+        q.add(batch_id=1, row_index=0, payload=row)  # untagged session
+        letters = list(q)
+        assert [l.tenant for l in letters] == ["alpha", "alpha", None]
+        assert q.tenants() == {"alpha": 2, "": 1}
