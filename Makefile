@@ -2,14 +2,15 @@
 
 PYTHON ?= python
 
-.PHONY: install check lint statan test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate service-gate bench-service chaos-smoke chaos-gate bench-chaos report examples figures table1 clean
+.PHONY: install check lint statan test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate radix-gate service-gate bench-service chaos-smoke chaos-gate bench-chaos report examples figures table1 clean
 
 install:
 	pip install -e . --no-build-isolation
 
 # The default pre-PR gate: static analysis first (fails in seconds),
-# then the test suite.
-check: lint test
+# then the test suite, then the radix gate re-applied to the committed
+# benchmark artifact (no re-benchmarking; also runs in seconds).
+check: lint test radix-gate
 
 # ruff and mypy run when installed (CI installs them; a bare container
 # may not have them) — statan always runs, it is stdlib-only.
@@ -61,17 +62,26 @@ bench-smoke:
 		--check-schema BENCH_hotpath_smoke.json
 
 # Perf-regression gate: fails if the fused path is slower than the
-# unfused path anywhere on the reference grid, or if the adaptive
-# planner misses the best static engine by more than 10%.
+# unfused path anywhere on the reference grid, if the adaptive planner
+# misses the best static engine by more than 10%, or if radix loses its
+# expected large-n cells.
 bench-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid reference \
-		--repeats 3 --gate --gate-planner --out BENCH_hotpath.json
+		--repeats 3 --gate --gate-planner --gate-radix \
+		--out BENCH_hotpath.json
 
 # Planner-only gate on the reference grid: the adaptive planner must be
 # within 10% of the best static engine on every cell.
 planner-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid reference \
 		--repeats 3 --gate-planner
+
+# Radix gate re-applied to the committed artifact: on every
+# radix_expected cell the radix engine beat the fused serial engine by
+# >= 1.5x and the adaptive planner picked radix there without a flag.
+radix-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py \
+		--check-radix-gate BENCH_hotpath.json
 
 # Serving gate: the dynamically-batched SortService must deliver >= 2x
 # the unbatched per-request throughput at the mid traffic cell, with
@@ -105,7 +115,8 @@ bench-chaos:
 # BENCH_hotpath.json was produced with.
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid fig4 \
-		--repeats 3 --gate --gate-planner --out BENCH_hotpath.json
+		--repeats 3 --gate --gate-planner --gate-radix \
+		--out BENCH_hotpath.json
 
 report:
 	$(PYTHON) -m repro report

@@ -3,13 +3,16 @@
 
 Standalone (no pytest-benchmark): measures the vectorized engine's code
 paths over a dtype × (N, n) grid and emits ``BENCH_hotpath.json``
-(schema ``bench-hotpath/v2``) — the artifact ``make bench-gate`` checks.
+(schema ``bench-hotpath/v3``) — the artifact ``make bench-gate`` checks.
 
 Engines measured per cell
 -------------------------
 ``fused``    serial vectorized, phases 2+3 fused (the default);
 ``unfused``  serial vectorized, paper-faithful separate phases;
 ``sharded``  ThreadPoolEngine row shards;
+``radix``    the flat non-comparison row sort (``planner="radix"``,
+             :mod:`repro.core.radix`) — no phase-1 sampling, no bucket
+             metadata;
 ``planner``  adaptive :class:`repro.planner.ExecutionPlanner` choosing
              the engine per batch shape (warmed up before timing so its
              exploration repeats are excluded).
@@ -30,12 +33,21 @@ planner against serial.  The committed artifact additionally records the
 Fig. 4 fused-vs-unfused speedup, pinned ≥ 2 by
 ``tests/test_bench_hotpath.py``.
 
+``--gate-radix`` exits non-zero unless, on every large-n cell where the
+radix engine should win (``radix_expected`` — uniform float32/int32,
+n ≥ 2000), radix beats fused by ``--radix-min-speedup`` (default 1.5×)
+**and** the adaptive planner picked the radix engine there without any
+flag.  ``--check-radix-gate FILE`` re-evaluates that gate from a
+committed artifact's stored numbers (what ``make radix-gate`` runs), so
+CI pins the claim without re-benchmarking.
+
 Usage
 -----
     PYTHONPATH=src python benchmarks/bench_hotpath.py --grid smoke
-    PYTHONPATH=src python benchmarks/bench_hotpath.py --grid reference --gate --gate-planner
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --grid reference --gate --gate-planner --gate-radix
     PYTHONPATH=src python benchmarks/bench_hotpath.py --grid fig4 --out BENCH_hotpath.json
     PYTHONPATH=src python benchmarks/bench_hotpath.py --check-schema BENCH_hotpath.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check-radix-gate BENCH_hotpath.json
 """
 
 from __future__ import annotations
@@ -59,8 +71,9 @@ import numpy as np
 from repro.core import GpuArraySort, SortConfig
 from repro.planner import ExecutionPlanner
 
-SCHEMA = "bench-hotpath/v2"
+SCHEMA = "bench-hotpath/v3"
 DEFAULT_PLANNER_TOLERANCE = 1.10
+DEFAULT_RADIX_MIN_SPEEDUP = 1.5
 # Fixed per-sort planning cost (plan lookup + timing + EMA update) is
 # ~50 us; on sub-millisecond cells that fixed cost dwarfs the 10%
 # relative tolerance, so the gate allows it as an absolute slack.
@@ -82,6 +95,8 @@ GRIDS = {
         ("ref-f64-mid", "float64", 2000, 1000),
         ("ref-i32-mid", "int32", 2000, 1000),
         ("ref-i64-small", "int64", 1000, 500),
+        ("radix-f32-large", "float32", 1000, 4000),
+        ("radix-i32-large", "int32", 1000, 4000),
     ],
     "fig4": [
         ("ref-f32-small", "float32", 1000, 500),
@@ -89,11 +104,18 @@ GRIDS = {
         ("ref-f64-mid", "float64", 2000, 1000),
         ("ref-i32-mid", "int32", 2000, 1000),
         ("ref-i64-small", "int64", 1000, 500),
+        ("radix-f32-large", "float32", 1000, 4000),
+        ("radix-i32-large", "int32", 1000, 4000),
         ("fig4-f32", "float32", 100_000, 1000),
     ],
 }
 
-STATIC_ENGINES = ("fused", "unfused", "sharded")
+#: Cells where the radix engine is *expected* to beat fused (large n,
+#: uniform keys — the regime the ROADMAP's radix item names).  The
+#: radix gate applies only here; elsewhere radix is merely measured.
+RADIX_EXPECTED = frozenset({"radix-f32-large", "radix-i32-large"})
+
+STATIC_ENGINES = ("fused", "unfused", "sharded", "radix")
 
 
 def _make_batch(dtype: str, num_arrays: int, array_size: int) -> np.ndarray:
@@ -150,6 +172,7 @@ def run_grid(grid: str, repeats: int, workers: int,
             "fused": GpuArraySort(SortConfig(fuse_phases=True)),
             "unfused": GpuArraySort(SortConfig(fuse_phases=False)),
             "sharded": GpuArraySort(parallel="thread", workers=workers),
+            "radix": GpuArraySort(planner="radix"),
             "planner": GpuArraySort(planner=planner),
         }
         # Warm the planner so its exploration of candidate engines (and
@@ -160,9 +183,10 @@ def run_grid(grid: str, repeats: int, workers: int,
         fused_ms, fused_phases, _ = measured["fused"]
         unfused_ms, unfused_phases, _ = measured["unfused"]
         sharded_ms, _, _ = measured["sharded"]
+        radix_ms, radix_phases, _ = measured["radix"]
         planner_ms, planner_phases, planner_result = measured["planner"]
         plan = getattr(planner_result, "execution_plan", None)
-        best_static_ms = min(fused_ms, unfused_ms, sharded_ms)
+        best_static_ms = min(fused_ms, unfused_ms, sharded_ms, radix_ms)
         results.append(
             {
                 "name": name,
@@ -173,14 +197,18 @@ def run_grid(grid: str, repeats: int, workers: int,
                 "fused_ms": fused_ms,
                 "unfused_ms": unfused_ms,
                 "sharded_ms": sharded_ms,
+                "radix_ms": radix_ms,
                 "planner_ms": planner_ms,
                 "fused_phase_ms": fused_phases,
                 "unfused_phase_ms": unfused_phases,
+                "radix_phase_ms": radix_phases,
                 "planner_phase_ms": planner_phases,
                 "planner_engine": plan.engine if plan is not None else "serial",
                 "planner_plan_source": plan.source if plan is not None else "",
+                "radix_expected": name in RADIX_EXPECTED,
                 "speedup_fused_vs_unfused": unfused_ms / fused_ms,
                 "speedup_sharded_vs_serial": fused_ms / sharded_ms,
+                "speedup_radix_vs_fused": fused_ms / radix_ms,
                 "planner_vs_best_static": planner_ms / best_static_ms,
             }
         )
@@ -188,11 +216,15 @@ def run_grid(grid: str, repeats: int, workers: int,
             f"  {name:16s} {dtype:8s} N={num_arrays:<7d} n={array_size:<5d}"
             f"  fused {fused_ms:9.1f} ms  unfused {unfused_ms:9.1f} ms"
             f"  ({unfused_ms / fused_ms:.1f}x)"
+            f"  radix {radix_ms:9.1f} ms"
             f"  planner {planner_ms:9.1f} ms"
             f" [{results[-1]['planner_engine']}]",
             flush=True,
         )
     speedups = [r["speedup_fused_vs_unfused"] for r in results]
+    radix_expected_speedups = [
+        r["speedup_radix_vs_fused"] for r in results if r["radix_expected"]
+    ]
     return {
         "schema": SCHEMA,
         "grid": grid,
@@ -213,6 +245,16 @@ def run_grid(grid: str, repeats: int, workers: int,
             ),
             "planner_vs_best_static_max": max(
                 r["planner_vs_best_static"] for r in results
+            ),
+            "radix_vs_fused_median": statistics.median(
+                r["speedup_radix_vs_fused"] for r in results
+            ),
+            # Over the radix_expected cells only; None on grids (smoke)
+            # that carry no such cell.
+            "radix_vs_fused_expected_min": (
+                min(radix_expected_speedups)
+                if radix_expected_speedups
+                else None
             ),
         },
     }
@@ -236,20 +278,25 @@ def check_schema(report: dict) -> list:
         "fused_ms": (int, float),
         "unfused_ms": (int, float),
         "sharded_ms": (int, float),
+        "radix_ms": (int, float),
         "planner_ms": (int, float),
         "fused_phase_ms": dict,
         "unfused_phase_ms": dict,
+        "radix_phase_ms": dict,
         "planner_phase_ms": dict,
         "planner_engine": str,
+        "radix_expected": bool,
         "speedup_fused_vs_unfused": (int, float),
         "speedup_sharded_vs_serial": (int, float),
+        "speedup_radix_vs_fused": (int, float),
         "planner_vs_best_static": (int, float),
     }
     for i, cell in enumerate(results):
         for key, typ in required.items():
             if not isinstance(cell.get(key), typ):
                 errors.append(f"results[{i}].{key} missing or not {typ}")
-        for key in ("fused_ms", "unfused_ms", "sharded_ms", "planner_ms"):
+        for key in ("fused_ms", "unfused_ms", "sharded_ms", "radix_ms",
+                    "planner_ms"):
             value = cell.get(key)
             if isinstance(value, (int, float)) and value <= 0:
                 errors.append(f"results[{i}].{key} must be > 0")
@@ -262,10 +309,21 @@ def check_schema(report: dict) -> list:
             "fused_vs_unfused_median",
             "sharded_vs_serial_median",
             "planner_vs_best_static_max",
+            "radix_vs_fused_median",
         ):
             if not isinstance(speedups.get(key), (int, float)):
                 errors.append(f"speedups.{key} missing or non-numeric")
-    for block in ("gate", "planner_gate"):
+        expected_min = speedups.get("radix_vs_fused_expected_min", None)
+        has_expected = any(
+            isinstance(cell, dict) and cell.get("radix_expected")
+            for cell in results
+        )
+        if has_expected and not isinstance(expected_min, (int, float)):
+            errors.append(
+                "speedups.radix_vs_fused_expected_min missing or non-numeric "
+                "despite radix_expected cells"
+            )
+    for block in ("gate", "planner_gate", "radix_gate"):
         if block in report:
             gate = report[block]
             if not isinstance(gate, dict) or not isinstance(
@@ -321,6 +379,45 @@ def apply_planner_gate(report: dict, tolerance: float,
     return not failures
 
 
+def apply_radix_gate(
+    report: dict, min_speedup: float = DEFAULT_RADIX_MIN_SPEEDUP
+) -> bool:
+    """On every ``radix_expected`` cell, radix must beat fused by
+    ``min_speedup``× **and** the adaptive planner must have picked the
+    radix engine there on its own.
+
+    Both conditions are recomputed from the stored per-cell numbers, so
+    the gate can be re-applied to a committed artifact
+    (``--check-radix-gate``) without re-benchmarking — the same pattern
+    as the chaos gate.
+    """
+    failures = []
+    expected = [r for r in report["results"] if r.get("radix_expected")]
+    if not expected:
+        failures.append(
+            "no radix_expected cells in this grid - the radix gate needs "
+            "at least one large-n cell where radix should win"
+        )
+    for r in expected:
+        if r["speedup_radix_vs_fused"] < min_speedup:
+            failures.append(
+                f"{r['name']}: radix {r['radix_ms']:.1f} ms vs fused "
+                f"{r['fused_ms']:.1f} ms ({r['speedup_radix_vs_fused']:.2f}x "
+                f"< {min_speedup:.2f}x)"
+            )
+        if r["planner_engine"] != "radix":
+            failures.append(
+                f"{r['name']}: adaptive planner settled on "
+                f"{r['planner_engine']!r}, not 'radix'"
+            )
+    report["radix_gate"] = {
+        "min_speedup": min_speedup,
+        "passed": not failures,
+        "failures": failures,
+    }
+    return not failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--grid", choices=sorted(GRIDS), default="reference")
@@ -354,8 +451,21 @@ def main(argv=None) -> int:
              "covering fixed planning overhead on sub-millisecond cells",
     )
     parser.add_argument(
+        "--gate-radix", action="store_true",
+        help="exit 1 unless radix beats fused by --radix-min-speedup x on "
+             "every radix_expected cell and the planner picked it there",
+    )
+    parser.add_argument(
+        "--radix-min-speedup", type=float, default=DEFAULT_RADIX_MIN_SPEEDUP,
+    )
+    parser.add_argument(
         "--check-schema", type=Path, metavar="JSON",
         help="validate an existing report file and exit (no benchmarking)",
+    )
+    parser.add_argument(
+        "--check-radix-gate", type=Path, metavar="JSON",
+        help="re-apply the radix gate to a committed report file and exit "
+             "(no benchmarking); this is what 'make radix-gate' runs",
     )
     args = parser.parse_args(argv)
 
@@ -366,6 +476,23 @@ def main(argv=None) -> int:
             print(f"schema error: {err}", file=sys.stderr)
         print(f"{args.check_schema}: " + ("INVALID" if errors else "ok"))
         return 1 if errors else 0
+
+    if args.check_radix_gate is not None:
+        report = json.loads(args.check_radix_gate.read_text())
+        errors = check_schema(report)
+        for err in errors:
+            print(f"schema error: {err}", file=sys.stderr)
+        if errors:
+            print(f"{args.check_radix_gate}: INVALID")
+            return 1
+        passed = apply_radix_gate(report, args.radix_min_speedup)
+        gate = report["radix_gate"]
+        for failure in gate["failures"]:
+            print(f"RADIX GATE FAIL: {failure}", file=sys.stderr)
+        print(f"{args.check_radix_gate}: radix gate "
+              f"{'passed' if passed else 'FAILED'} "
+              f"(min_speedup={gate['min_speedup']})")
+        return 0 if passed else 1
 
     workers = args.workers or (os.cpu_count() or 1)
     print(f"bench_hotpath grid={args.grid} repeats={args.repeats} "
@@ -378,6 +505,8 @@ def main(argv=None) -> int:
         ok = apply_planner_gate(
             report, args.planner_tolerance, args.planner_slack_ms
         ) and ok
+    if args.gate_radix:
+        ok = apply_radix_gate(report, args.radix_min_speedup) and ok
 
     errors = check_schema(report)
     if errors:  # self-check: the emitter must satisfy its own schema
@@ -404,6 +533,12 @@ def main(argv=None) -> int:
             print(f"PLANNER GATE FAIL: {failure}", file=sys.stderr)
         print(f"planner gate: {'passed' if gate['passed'] else 'FAILED'} "
               f"(tolerance={gate['tolerance']})")
+    if args.gate_radix:
+        gate = report["radix_gate"]
+        for failure in gate["failures"]:
+            print(f"RADIX GATE FAIL: {failure}", file=sys.stderr)
+        print(f"radix gate: {'passed' if gate['passed'] else 'FAILED'} "
+              f"(min_speedup={gate['min_speedup']})")
     return 0 if ok else 1
 
 

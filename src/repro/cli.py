@@ -66,10 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
              "the fused single-pass engine",
     )
     p_sort.add_argument(
-        "--planner", choices=["auto", "fused", "sharded"], default=None,
+        "--planner", choices=["auto", "fused", "sharded", "radix"], default=None,
         help="adaptive per-batch engine planning (vectorized engine only; "
              "mutually exclusive with --workers): 'auto' learns the best "
-             "engine per batch shape, 'fused'/'sharded' force one",
+             "engine per batch shape, 'fused'/'sharded'/'radix' force one",
     )
 
     p_fig = sub.add_parser("figures", help="print model-reproduced figure series")
@@ -192,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resilient wraps the sorter in retry/quarantine handling",
     )
     p_srv.add_argument(
-        "--planner", choices=["auto", "fused", "sharded"], default=None,
+        "--planner", choices=["auto", "fused", "sharded", "radix"], default=None,
         help="execution planner handed to the backing sorter",
     )
     p_srv.add_argument(

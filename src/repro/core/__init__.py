@@ -54,6 +54,13 @@ from .splitters import (
     select_splitters,
     splitter_pick_indices,
 )
+from .radix import (
+    RADIX_STRATEGIES,
+    RadixInfo,
+    keys_to_values,
+    radix_sort_rows,
+    sortable_keys,
+)
 from .workspace import ScratchArena, WorkspaceStats, find_shared_slab
 from .validation import (
     ValidationFailure,
@@ -84,6 +91,11 @@ __all__ = [
     "tune_config",
     "GpuArraySort",
     "INDEX_PLAN_CACHE_MAXSIZE",
+    "RADIX_STRATEGIES",
+    "RadixInfo",
+    "keys_to_values",
+    "radix_sort_rows",
+    "sortable_keys",
     "ScratchArena",
     "SortConfig",
     "SortResult",

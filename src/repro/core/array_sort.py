@@ -119,8 +119,9 @@ class GpuArraySort:
         mutually exclusive with ``parallel`` — a planner *is* a dispatch
         policy).  ``"auto"`` uses the process-wide
         :class:`~repro.planner.ExecutionPlanner` (cost-model seeded,
-        refined online from observed batch timings); ``"fused"`` /
-        ``"sharded"`` force one engine via
+        refined online from observed batch timings, with the flat
+        ``"radix"`` row-sort engine among its candidates); ``"fused"`` /
+        ``"sharded"`` / ``"radix"`` force one engine via
         :class:`~repro.planner.StaticPlanner`; a planner instance passes
         through.  Implies a scratch arena (see ``workspace``).
     workspace:
@@ -224,7 +225,10 @@ class GpuArraySort:
         NaN-containing rows on a host path with ``np.sort`` semantics
         (NaNs after every finite value and +inf) while NaN-free rows run
         the normal pipeline — in that case ``splitters``/``buckets`` on
-        the result describe only the NaN-free rows.
+        the result describe only the NaN-free rows.  When the planner
+        chooses the ``"radix"`` engine, NaN batches are sorted whole:
+        that engine realizes the same order via its canonical-NaN key
+        mapping, no split needed.
         """
         batch = validate_batch(batch)
         if batch.shape[0] == 0:
@@ -265,9 +269,12 @@ class GpuArraySort:
                     )
                 nan_mask = row_has_nan
 
-        if nan_mask is not None:
+        if nan_mask is not None and not (plan is not None and plan.engine == "radix"):
             result = self._sort_with_nan_rows(work, nan_mask)
         else:
+            # A radix plan takes NaN-carrying batches whole: the engine
+            # realizes sort_to_end in key space (canonical-NaN keys sort
+            # above +inf), so no split/post-pass is needed.
             result = self._dispatch(work, plan=plan)
 
         result.scratch = scratch
@@ -393,7 +400,9 @@ class GpuArraySort:
         """
         t0 = time.perf_counter()
         executor = self._planner.executor_for(plan)
-        if executor is None:
+        if plan.engine == "radix":
+            result = self._sort_radix(work)
+        elif executor is None:
             result = self._sort_vectorized(work)
         else:
             result = executor.sort_batch(work, self.config)
@@ -403,6 +412,28 @@ class GpuArraySort:
         # like parallel_info on the executor path).
         result.execution_plan = plan
         return result
+
+    def _sort_radix(self, work: np.ndarray) -> SortResult:
+        """The planner's ``"radix"`` engine: flat non-comparison row sort.
+
+        No phase-1 sampling, no bucket metadata — the whole batch is
+        sorted through :func:`repro.core.radix.radix_sort_rows`, which
+        honors ``nan_policy="sort_to_end"`` via the canonical-NaN key
+        mapping.  ``splitters``/``buckets`` are ``None`` on the result:
+        this engine never forms buckets.  NaN-freeness under
+        ``nan_policy="raise"`` was already enforced at the ``sort()``
+        boundary, so the engine skips its own probe.
+        """
+        from .radix import radix_sort_rows  # local: keeps import cheap
+
+        t0 = time.perf_counter()
+        radix_sort_rows(
+            work, nan_policy="sort_to_end", workspace=self.workspace
+        )
+        return SortResult(
+            batch=work,
+            phase_seconds={"radix_rowsort": time.perf_counter() - t0},
+        )
 
     def _sort_sim(self, work: np.ndarray) -> SortResult:
         from . import kernels  # local import: gpusim only needed for this engine

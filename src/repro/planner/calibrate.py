@@ -37,7 +37,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from .model import HostProfile
+from .model import ENGINE_NAMES, HostProfile
 
 __all__ = [
     "CACHE_ENV",
@@ -52,8 +52,11 @@ __all__ = [
 
 #: Environment variable overriding the cache file location.
 CACHE_ENV = "REPRO_PLANNER_CACHE"
-#: Schema tag written into the cache file.
-CACHE_SCHEMA = "repro-planner-cache/v1"
+#: Schema tag written into the cache file.  v2: the host fingerprint
+#: gained the engine set, so a v1 cache (calibrated before the radix
+#: engine existed, hence without ``radix_pass_ns``) reads as a miss and
+#: is recalibrated instead of silently reused.
+CACHE_SCHEMA = "repro-planner-cache/v2"
 
 
 def default_cache_path() -> Path:
@@ -65,13 +68,20 @@ def default_cache_path() -> Path:
 
 
 def host_fingerprint() -> str:
-    """Stable identifier for "same host, same toolchain" cache validity."""
+    """Stable identifier for "same host, same toolchain" cache validity.
+
+    Includes the planner's engine set: a profile calibrated when the
+    planner knew fewer engines is missing cost terms for the new ones,
+    so an engine-set change must invalidate the cache exactly like a
+    core-count change would.
+    """
     return "|".join(
         [
             platform.machine(),
             platform.system(),
             f"cpus={os.cpu_count() or 1}",
             f"numpy={np.__version__}",
+            f"engines={','.join(ENGINE_NAMES)}",
         ]
     )
 
@@ -137,6 +147,26 @@ def calibrate_host(*, rows: int = 256, row_len: int = 1024) -> HostProfile:
         threaded_s = max(1e-9, _best_of(probe_threads) - copy_s)
     efficiency = min(1.0, max(0.1, sort_s / (2.0 * threaded_s)))
 
+    # One interpreted LSD digit-pass round on a small key batch: prices
+    # the radix engine's non-comparison strategy honestly (it is slow on
+    # a NumPy host — that is the point of measuring rather than hoping).
+    from ..core.radix import radix_sort_rows  # local: avoids import cycle
+
+    radix_rows, radix_len = 64, 512
+    radix_work = rng.integers(
+        0, 2**32, (radix_rows, radix_len), dtype=np.uint32
+    )
+    radix_buf = np.empty_like(radix_work)
+    radix_passes = 4  # uint32 keys, byte digits
+
+    def probe_radix() -> None:
+        np.copyto(radix_buf, radix_work)
+        radix_sort_rows(radix_buf, strategy="lsd", digit_bits=8)
+
+    radix_copy_s = _best_of(lambda: np.copyto(radix_buf, radix_work))
+    radix_s = max(1e-9, _best_of(probe_radix) - radix_copy_s)
+    radix_pass_ns = radix_s * 1e9 / (radix_rows * radix_len * radix_passes)
+
     return HostProfile(
         cpu_count=max(1, os.cpu_count() or 1),
         sort_ns=float(sort_ns),
@@ -145,6 +175,7 @@ def calibrate_host(*, rows: int = 256, row_len: int = 1024) -> HostProfile:
         thread_efficiency=float(efficiency),
         thread_task_us=float(task_s * 1e6),
         thread_pool_us=float(pool_up * 1e6),
+        radix_pass_ns=float(radix_pass_ns),
         calibrated=True,
     )
 

@@ -19,10 +19,19 @@ Terms priced per candidate:
 * ``thread``  — serial work divided by the measured effective
   parallelism, plus pool construction and per-shard dispatch;
 * ``process`` — thread-shaped compute plus two full staging memcpys
-  (in and back) and pool spawn cost.
+  (in and back) and pool spawn cost;
+* ``radix``   — work copy + flat row sort with *no* phase-1 or metadata
+  terms (the non-comparison engine, :mod:`repro.core.radix`), priced as
+  the cheaper of the compiled in-place sort (``N·n·log n`` comparisons)
+  and the LSD digit passes (``passes × N·n`` linear traffic — the
+  paper's STA-style radix cost).  On a NumPy host the compiled sort
+  wins; a device backend would flip the min.
 
-All constants are in nanoseconds (or microseconds/milliseconds where
-named) so the defaults read naturally against real hardware.
+The engine list is :data:`ENGINE_NAMES` — every branch and error
+message derives from it, so adding an engine cannot leave a stale
+hardcoded trio behind.  All constants are in nanoseconds (or
+microseconds/milliseconds where named) so the defaults read naturally
+against real hardware.
 """
 
 from __future__ import annotations
@@ -39,7 +48,7 @@ from ..core.config import DEFAULT_CONFIG, SortConfig
 __all__ = ["HostProfile", "DEFAULT_PROFILE", "predict_ms", "ENGINE_NAMES"]
 
 #: Engines the planner may choose between.
-ENGINE_NAMES = ("serial", "thread", "process")
+ENGINE_NAMES = ("serial", "thread", "process", "radix")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,6 +80,12 @@ class HostProfile:
     process_spawn_ms: float = 120.0
     #: ms per worker added to the spawn cost.
     process_per_worker_ms: float = 25.0
+    #: ns per element per digit pass: one interpreted LSD radix pass
+    #: (histogram + scan + stable scatter).  Deliberately large by
+    #: default — on a NumPy host each pass materializes several
+    #: full-batch temporaries, so the radix engine's direct (compiled
+    #: row sort) term wins the min in :func:`predict_ms`.
+    radix_pass_ns: float = 60.0
     #: True when these numbers came from a real micro-calibration.
     calibrated: bool = False
 
@@ -128,6 +143,33 @@ def _serial_ms(
     return (copy_ns + phase1_ns + sort_ns + meta_ns) / 1e6
 
 
+def _radix_ms(
+    profile: HostProfile,
+    num_rows: int,
+    row_len: int,
+    dtype: np.dtype,
+) -> float:
+    """Model of the flat radix engine: copy + row sort, no phase terms.
+
+    The sort term is the min of the two strategies
+    :func:`repro.core.radix.radix_sort_rows` can run: the compiled
+    in-place comparison sort (``N·n·log n``) and the LSD digit passes
+    (``passes × N·n`` linear traffic, one pass per ``digit_bits`` of
+    key width) — whichever this host's calibrated constants say is
+    cheaper.
+    """
+    n = max(1, row_len)
+    itemsize = np.dtype(dtype).itemsize
+    copy_ns = num_rows * n * itemsize * profile.copy_ns_per_byte
+    direct_ns = (
+        num_rows * n * max(1.0, math.log2(max(2, n)))
+        * profile.sort_ns * _dtype_scale(dtype)
+    )
+    passes = max(1, itemsize)  # byte digits: itemsize passes
+    lsd_ns = passes * num_rows * n * profile.radix_pass_ns
+    return (copy_ns + min(direct_ns, lsd_ns)) / 1e6
+
+
 def predict_ms(
     profile: HostProfile,
     engine: str,
@@ -145,6 +187,8 @@ def predict_ms(
     dtype = np.dtype(dtype)
     if num_rows <= 0:
         return 0.0
+    if engine == "radix":
+        return _radix_ms(profile, num_rows, row_len, dtype)
     serial = _serial_ms(profile, num_rows, row_len, dtype, config)
     if engine == "serial" or shards <= 1 or workers <= 1:
         overhead = 0.0

@@ -8,7 +8,9 @@ sampling/partition parameters per input shape, the planner chooses the
 
 1.  **Model seed** — a calibrated host cost model
     (:mod:`repro.planner.model`) prices each candidate (serial-fused,
-    thread-sharded, process-sharded) for the batch's ``(N, n, dtype)``.
+    thread-sharded, process-sharded, flat-radix — see
+    :data:`~repro.planner.model.ENGINE_NAMES`) for the batch's
+    ``(N, n, dtype)``.
 2.  **Guarded exploration** — candidates are tried once each, cheapest
     predicted first, skipping any predicted worse than
     ``explore_factor``× the best (no point timing a plan the model says
@@ -32,12 +34,14 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from pathlib import Path
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.config import DEFAULT_CONFIG, SortConfig
+from ..core.radix import supports_dtype as _radix_supports_dtype
 from ..parallel.plan import DEFAULT_MIN_ROWS_PER_WORKER, plan_shards
 from .calibrate import calibrate_host, load_or_calibrate, save_profile
 from .model import DEFAULT_PROFILE, HostProfile, predict_ms
@@ -59,7 +63,9 @@ PLAN_SOURCES = ("static", "model", "explore", "observed")
 class ExecutionPlan:
     """One dispatch decision: how to sort the next batch."""
 
-    #: ``"serial"`` (fused vectorized path), ``"thread"``, or ``"process"``.
+    #: One of :data:`~repro.planner.model.ENGINE_NAMES`: ``"serial"``
+    #: (fused vectorized path), ``"thread"``, ``"process"``, or
+    #: ``"radix"`` (flat non-comparison row sort, no bucket metadata).
     engine: str
     #: Worker count for the sharded engines (1 for serial).
     workers: int = 1
@@ -85,20 +91,36 @@ def shape_class_key(num_rows: int, row_len: int, dtype) -> str:
 
 
 class _PlannerBase:
-    """Engine-instance caching shared by the adaptive and static planners."""
+    """Engine-instance caching + decision counting shared by all planners."""
 
     def __init__(self) -> None:
         self._engines: Dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        #: shape key -> engine -> times plan() chose it.  The service's
+        #: metrics surface exports this, so live traffic shows *which*
+        #: engine each shape class actually dispatches to.
+        self._plan_counts: Dict[str, Dict[str, int]] = {}  # guarded-by: _lock
+
+    def _record_plan(self, shape_key: str, engine: str) -> None:
+        with self._lock:
+            slot = self._plan_counts.setdefault(shape_key, {})
+            slot[engine] = slot.get(engine, 0) + 1
+
+    def plan_counts(self) -> Dict[str, Dict[str, int]]:
+        """Engine-selection counts per shape class (a copy)."""
+        with self._lock:
+            return {key: dict(slot) for key, slot in self._plan_counts.items()}
 
     def executor_for(self, plan: ExecutionPlan):
         """The (cached) executor instance realizing ``plan``.
 
-        ``None`` for serial plans — the caller's plain vectorized path,
-        which keeps full phase-1 diagnostics.  Thread/process engines
-        are constructed once per (engine, workers) and reused, so the
+        ``None`` for serial and radix plans — both run inside the
+        caller (serial keeps full phase-1 diagnostics; radix is the
+        sorter's own flat row-sort path).  Thread/process engines are
+        constructed once per (engine, workers) and reused, so the
         planner adds no per-batch object churn.
         """
-        if plan.engine == "serial":
+        if plan.engine in ("serial", "radix"):
             return None
         key = (plan.engine, plan.workers, plan.min_rows_per_worker)
         engine = self._engines.get(key)
@@ -223,6 +245,18 @@ class ExecutionPlanner(_PlannerBase):
                 min_rows_per_worker=self.min_rows_per_worker,
             )
         ]
+        if _radix_supports_dtype(dtype):
+            plans.append(
+                ExecutionPlan(
+                    engine="radix",
+                    workers=1,
+                    predicted_ms=predict_ms(
+                        profile, "radix", num_rows, row_len, dtype, config=config
+                    ),
+                    shape_key=key,
+                    min_rows_per_worker=self.min_rows_per_worker,
+                )
+            )
         workers = max(2, profile.cpu_count)
         shards = len(
             plan_shards(
@@ -262,6 +296,11 @@ class ExecutionPlanner(_PlannerBase):
         """Choose the engine for one ``(num_rows, row_len, dtype)`` batch."""
         key = shape_class_key(num_rows, row_len, dtype)
         candidates = self._candidates(num_rows, row_len, dtype, config, key)
+        chosen = self._choose(key, candidates)
+        self._record_plan(key, chosen.engine)
+        return chosen
+
+    def _choose(self, key: str, candidates: list) -> ExecutionPlan:
         if len(candidates) == 1:
             return candidates[0]
         observed = self._observations.get(key, {})
@@ -319,8 +358,13 @@ class StaticPlanner(_PlannerBase):
     """Planner that always returns the same engine — the escape hatch.
 
     Realizes ``GpuArraySort(planner="fused")`` (always the serial fused
-    path) and ``planner="sharded"`` (always the thread engine; its shard
-    planning still collapses to one shard below the fan-out threshold).
+    path), ``planner="sharded"`` (always the thread engine; its shard
+    planning still collapses to one shard below the fan-out threshold),
+    and ``planner="radix"`` (always the flat non-comparison row sort).
+    ``MODES`` covers every engine in
+    :data:`~repro.planner.model.ENGINE_NAMES` plus the historical
+    aliases, and the error message is derived from it — adding an
+    engine updates both automatically.
     """
 
     MODES = {
@@ -329,6 +373,7 @@ class StaticPlanner(_PlannerBase):
         "thread": "thread",
         "sharded": "thread",
         "process": "process",
+        "radix": "radix",
     }
 
     def __init__(
@@ -348,7 +393,11 @@ class StaticPlanner(_PlannerBase):
             ) from None
         self.mode = mode
         if workers is None:
-            workers = 1 if self.engine == "serial" else max(2, DEFAULT_PROFILE.cpu_count)
+            workers = (
+                1
+                if self.engine in ("serial", "radix")
+                else max(2, DEFAULT_PROFILE.cpu_count)
+            )
         self.workers = int(workers)
         self.min_rows_per_worker = int(min_rows_per_worker)
 
@@ -360,11 +409,13 @@ class StaticPlanner(_PlannerBase):
         *,
         config: SortConfig = DEFAULT_CONFIG,
     ) -> ExecutionPlan:
+        key = shape_class_key(num_rows, row_len, dtype)
+        self._record_plan(key, self.engine)
         return ExecutionPlan(
             engine=self.engine,
             workers=self.workers,
             source="static",
-            shape_key=shape_class_key(num_rows, row_len, dtype),
+            shape_key=key,
             min_rows_per_worker=self.min_rows_per_worker,
         )
 
@@ -394,9 +445,10 @@ def resolve_planner(spec, *, workers: Optional[int] = None):
     """Turn a ``planner=`` spec into a planner instance (or ``None``).
 
     ``None`` means no planner (legacy dispatch); ``"auto"`` the shared
-    adaptive planner; ``"fused"``/``"serial"``/``"sharded"``/``"thread"``/
-    ``"process"`` a :class:`StaticPlanner`; an object with a ``plan``
-    method passes through.
+    adaptive planner; any :attr:`StaticPlanner.MODES` name (``"fused"``/
+    ``"serial"``/``"sharded"``/``"thread"``/``"process"``/``"radix"``)
+    a :class:`StaticPlanner`; an object with a ``plan`` method passes
+    through.
     """
     if spec is None:
         return None

@@ -169,6 +169,15 @@ class ServiceStats:
     latency_ms: Dict[str, float]
     #: Per-tenant slices of the above (tenant name -> TenantStats).
     tenants: Dict[str, TenantStats] = dataclasses.field(default_factory=dict)
+    #: Planner engine-selection counts per shape class
+    #: (``shape_class_key`` -> engine -> times chosen), from the
+    #: backend planner's :meth:`~repro.planner.planner._PlannerBase.plan_counts`.
+    #: Empty when the backend has no planner.  This is how live traffic
+    #: shows *which* engine (serial/thread/process/radix) each batch
+    #: shape actually dispatches to.
+    planner_engine_counts: Dict[str, Dict[str, int]] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def mean_occupancy_rows(self) -> float:
@@ -310,8 +319,18 @@ class StatsRecorder:
         with self._lock:
             return self._latency_percentiles_locked()
 
-    def snapshot(self, *, queue_requests: int, queue_rows: int) -> ServiceStats:
-        """One consistent snapshot: every field read under the same lock."""
+    def snapshot(
+        self,
+        *,
+        queue_requests: int,
+        queue_rows: int,
+        planner_engine_counts: Optional[Dict[str, Dict[str, int]]] = None,
+    ) -> ServiceStats:
+        """One consistent snapshot: every field read under the same lock.
+
+        ``planner_engine_counts`` is point-in-time state owned by the
+        backend's planner (its own lock), passed through verbatim.
+        """
         with self._lock:
             return ServiceStats(
                 submitted=self.submitted,
@@ -330,4 +349,5 @@ class StatsRecorder:
                     name: counters.snapshot()
                     for name, counters in sorted(self._tenants.items())
                 },
+                planner_engine_counts=planner_engine_counts or {},
             )

@@ -32,6 +32,7 @@ class TestRunGrid:
             assert cell["fused_ms"] > 0
             assert cell["unfused_ms"] > 0
             assert cell["sharded_ms"] > 0
+            assert cell["radix_ms"] > 0
             assert cell["planner_ms"] > 0
             assert set(cell["fused_phase_ms"]) == {
                 "phase1_splitters", "phase23_fused",
@@ -43,7 +44,9 @@ class TestRunGrid:
 
     def test_planner_column(self, smoke_report):
         for cell in smoke_report["results"]:
-            assert cell["planner_engine"] in ("serial", "thread", "process")
+            assert cell["planner_engine"] in (
+                "serial", "thread", "process", "radix"
+            )
             assert cell["planner_vs_best_static"] > 0
         assert (
             smoke_report["speedups"]["planner_vs_best_static_max"]
@@ -76,6 +79,42 @@ class TestRunGrid:
         assert report["planner_gate"]["failures"]
         assert bench_hotpath.check_schema(report) == []
 
+    def test_radix_column(self, smoke_report):
+        for cell in smoke_report["results"]:
+            assert cell["speedup_radix_vs_fused"] == pytest.approx(
+                cell["fused_ms"] / cell["radix_ms"]
+            )
+            assert cell["radix_expected"] is False  # smoke grid: none
+            assert cell["radix_phase_ms"]
+        assert "radix_vs_fused_median" in smoke_report["speedups"]
+        assert smoke_report["speedups"]["radix_vs_fused_expected_min"] is None
+
+    def test_radix_gate_needs_expected_cells(self, smoke_report):
+        # The smoke grid has no radix_expected cells, so the gate must
+        # fail loudly instead of vacuously passing.
+        report = json.loads(json.dumps(smoke_report))
+        assert bench_hotpath.apply_radix_gate(report) is False
+        assert any("radix_expected" in f
+                   for f in report["radix_gate"]["failures"])
+        assert bench_hotpath.check_schema(report) == []
+
+    def test_radix_gate_pass_and_fail(self, smoke_report):
+        report = json.loads(json.dumps(smoke_report))
+        cell = report["results"][0]
+        cell["radix_expected"] = True
+        cell["planner_engine"] = "radix"
+        cell["speedup_radix_vs_fused"] = 2.0
+        report["speedups"]["radix_vs_fused_expected_min"] = 2.0
+        assert bench_hotpath.apply_radix_gate(report, min_speedup=1.5) is True
+        assert report["radix_gate"]["passed"] is True
+        # Too slow: speedup below the floor.
+        assert bench_hotpath.apply_radix_gate(report, min_speedup=3.0) is False
+        # Fast enough but the planner picked something else.
+        cell["planner_engine"] = "serial"
+        assert bench_hotpath.apply_radix_gate(report, min_speedup=1.5) is False
+        assert any("planner" in f for f in report["radix_gate"]["failures"])
+        assert bench_hotpath.check_schema(report) == []
+
     def test_json_round_trip(self, smoke_report, tmp_path):
         out = tmp_path / "report.json"
         out.write_text(json.dumps(smoke_report))
@@ -97,11 +136,15 @@ class TestCheckSchema:
         cell = {
             "name": "x", "dtype": "float32", "num_arrays": 1,
             "array_size": 1, "repeats": 1, "fused_ms": 1.0,
-            "unfused_ms": 1.0, "sharded_ms": 1.0, "planner_ms": 1.0,
+            "unfused_ms": 1.0, "sharded_ms": 1.0, "radix_ms": 1.0,
+            "planner_ms": 1.0,
             "fused_phase_ms": {}, "unfused_phase_ms": {},
+            "radix_phase_ms": {},
             "planner_phase_ms": {}, "planner_engine": "serial",
             "speedup_fused_vs_unfused": 1.0,
             "speedup_sharded_vs_serial": 1.0,
+            "speedup_radix_vs_fused": 1.0,
+            "radix_expected": False,
             "planner_vs_best_static": 1.0,
         }
         cell.update(overrides)
@@ -115,6 +158,7 @@ class TestCheckSchema:
                 "fused_vs_unfused_min": 1.0,
                 "fused_vs_unfused_median": 1.0,
                 "sharded_vs_serial_median": 1.0,
+                "radix_vs_fused_median": 1.0,
                 "planner_vs_best_static_max": 1.0,
             },
         }
@@ -130,6 +174,19 @@ class TestCheckSchema:
         del cell["planner_ms"]
         errors = bench_hotpath.check_schema(self._report(cell))
         assert any("planner_ms" in e for e in errors)
+
+    def test_rejects_missing_radix_column(self):
+        cell = self._valid_cell()
+        del cell["radix_ms"]
+        errors = bench_hotpath.check_schema(self._report(cell))
+        assert any("radix_ms" in e for e in errors)
+
+    def test_expected_cell_requires_expected_min_summary(self):
+        report = self._report(self._valid_cell(radix_expected=True))
+        errors = bench_hotpath.check_schema(report)
+        assert any("radix_vs_fused_expected_min" in e for e in errors)
+        report["speedups"]["radix_vs_fused_expected_min"] = 2.0
+        assert bench_hotpath.check_schema(report) == []
 
 
 class TestCommittedArtifact:
@@ -154,6 +211,14 @@ class TestCommittedArtifact:
         for cell in artifact["results"]:
             best = min(cell[f"{e}_ms"] for e in bench_hotpath.STATIC_ENGINES)
             assert cell["planner_ms"] <= tol * best + slack, cell["name"]
+
+    def test_radix_gate_holds(self, artifact):
+        # Same check `make radix-gate` runs: recompute the gate from the
+        # committed numbers and require it to pass at the default floor.
+        report = json.loads(json.dumps(artifact))
+        assert bench_hotpath.apply_radix_gate(report) is True, (
+            report["radix_gate"]["failures"]
+        )
 
     def test_fig4_anchor_speedup(self, artifact):
         fig4 = [r for r in artifact["results"] if r["name"] == "fig4-f32"]

@@ -57,6 +57,21 @@ class TestModel:
         data["future_field"] = 123  # forward compat: unknown keys ignored
         assert HostProfile.from_dict(data) == STUB
 
+    def test_radix_prediction_positive_and_dtype_aware(self):
+        f32 = predict_ms(STUB, "radix", *BIG, np.float32)
+        f64 = predict_ms(STUB, "radix", *BIG, np.float64)
+        assert f32 > 0
+        assert f64 > f32  # wider keys: more passes and more bytes copied
+
+    def test_unknown_engine_error_lists_every_engine(self):
+        from repro.planner.model import ENGINE_NAMES
+
+        assert ENGINE_NAMES == ("serial", "thread", "process", "radix")
+        with pytest.raises(ValueError) as excinfo:
+            predict_ms(STUB, "quantum", *BIG, np.float32)
+        for engine in ENGINE_NAMES:
+            assert engine in str(excinfo.value)
+
 
 class TestShapeClassKey:
     def test_quantizes_log2(self):
@@ -122,6 +137,45 @@ class TestCalibration:
         assert data["schema"] == CACHE_SCHEMA
         assert data["fingerprint"] == host_fingerprint()
 
+    def test_stale_engine_set_invalidates_the_cache(self, tmp_path):
+        """Regression: a cache written before the radix engine existed
+        must read as a miss, not warm-start a planner whose EMA table
+        has no radix entries (it would never explore the new engine).
+
+        Pre-radix caches differ from current ones in two ways — the v1
+        schema string and a fingerprint without the ``engines=`` token —
+        and either alone must be sufficient to reject the file.
+        """
+        path = tmp_path / "planner.json"
+        save_profile(STUB, {"k": {"serial": {"ema_ms": 1.0, "count": 9}}}, path)
+        data = json.loads(path.read_text())
+
+        v1 = dict(data)
+        v1["schema"] = "repro-planner-cache/v1"
+        path.write_text(json.dumps(v1))
+        assert load_profile(path) == (None, {})
+
+        engineless = dict(data)
+        fingerprint = data["fingerprint"]
+        assert "engines=" in fingerprint  # the engine set is part of identity
+        engineless["fingerprint"] = "|".join(
+            part for part in fingerprint.split("|")
+            if not part.startswith("engines=")
+        )
+        path.write_text(json.dumps(engineless))
+        assert load_profile(path) == (None, {})
+
+    def test_fingerprint_names_every_engine(self):
+        from repro.planner.model import ENGINE_NAMES
+
+        fingerprint = host_fingerprint()
+        assert f"engines={','.join(ENGINE_NAMES)}" in fingerprint
+        assert "radix" in fingerprint
+
+    def test_calibrate_host_measures_radix_pass(self):
+        profile = calibrate_host(rows=32, row_len=128)
+        assert profile.radix_pass_ns > 0
+
     @pytest.mark.parametrize(
         "garbage", [b"", b"{truncated", b"\x00\xff\x00", b"[1, 2, 3]"]
     )
@@ -175,29 +229,33 @@ class TestCalibration:
 
 
 class TestExecutionPlanner:
-    def test_small_batch_has_only_the_serial_candidate(self):
+    def test_small_batch_skips_the_fanout_engines(self):
+        # Below the fan-out guard there is no thread/process candidate,
+        # but radix stays in: it runs in-caller, so sharding economics
+        # never apply to it.
         planner = make_planner()
-        plan = planner.plan(*SMALL, np.float32)
-        assert plan.engine == "serial"
-        # With a single candidate there is nothing to explore.
-        for _ in range(3):
-            planner.observe(plan, 5.0)
-            assert planner.plan(*SMALL, np.float32).engine == "serial"
+        engines = set()
+        for _ in range(4):
+            plan = planner.plan(*SMALL, np.float32)
+            engines.add(plan.engine)
+            planner.observe(plan, 5.0 if plan.engine == "serial" else 50.0)
+        assert engines == {"serial", "radix"}
+        assert planner.plan(*SMALL, np.float32).engine == "serial"
 
     def test_exploration_visits_each_candidate_then_settles(self):
         planner = make_planner()
         seen = []
-        for _ in range(5):
+        for _ in range(6):
             plan = planner.plan(*BIG, np.float32)
             seen.append((plan.engine, plan.source))
             # Feed timings that make "thread" the measured winner.
             planner.observe(plan, 10.0 if plan.engine == "thread" else 100.0)
         engines = [e for e, _ in seen]
-        assert set(engines[:3]) == {"serial", "thread", "process"}
+        assert set(engines[:4]) == {"serial", "thread", "process", "radix"}
         assert seen[0][1] == "model"  # nothing observed yet
         assert seen[1][1] == "explore"
-        assert seen[3] == ("thread", "observed")
         assert seen[4] == ("thread", "observed")
+        assert seen[5] == ("thread", "observed")
 
     def test_explore_factor_skips_hopeless_candidates(self):
         # A profile where process spawn cost is enormous relative to the
@@ -252,6 +310,38 @@ class TestExecutionPlanner:
         assert engine is not None
         assert planner.executor_for(sharded) is engine  # no per-batch churn
 
+    def test_executor_for_radix_is_none(self):
+        # Radix runs in-caller like serial: no executor, no shards.
+        assert make_planner().executor_for(ExecutionPlan(engine="radix")) is None
+
+    def test_radix_candidate_requires_a_supported_dtype(self):
+        planner = make_planner()
+        engines_f32 = set()
+        engines_obj = set()
+        for _ in range(6):
+            plan = planner.plan(*BIG, np.float32)
+            engines_f32.add(plan.engine)
+            planner.observe(plan, 50.0)
+            plan = planner.plan(*BIG, np.dtype("datetime64[ns]"))
+            engines_obj.add(plan.engine)
+            planner.observe(plan, 50.0)
+        assert "radix" in engines_f32
+        assert "radix" not in engines_obj
+
+    def test_plan_counts_track_selections_per_shape(self):
+        planner = make_planner()
+        for _ in range(3):
+            plan = planner.plan(*SMALL, np.float32)
+            planner.observe(plan, 5.0)
+        counts = planner.plan_counts()
+        assert len(counts) == 1
+        (shape_counts,) = counts.values()
+        assert sum(shape_counts.values()) == 3
+        # The snapshot is a copy: mutating it never corrupts the planner.
+        shape_counts["serial"] = 10**6
+        (fresh,) = planner.plan_counts().values()
+        assert sum(fresh.values()) == 3
+
 
 class TestStaticPlanner:
     @pytest.mark.parametrize(
@@ -262,12 +352,20 @@ class TestStaticPlanner:
             ("sharded", "thread"),
             ("thread", "thread"),
             ("process", "process"),
+            ("radix", "radix"),
         ],
     )
     def test_mode_mapping(self, mode, engine):
         plan = StaticPlanner(mode).plan(*BIG, np.float32)
         assert plan.engine == engine
         assert plan.source == "static"
+
+    def test_static_planner_records_plan_counts(self):
+        planner = StaticPlanner("radix")
+        planner.plan(*BIG, np.float32)
+        planner.plan(*BIG, np.float32)
+        (shape_counts,) = planner.plan_counts().values()
+        assert shape_counts == {"radix": 2}
 
     def test_rejects_unknown_mode(self):
         with pytest.raises(ValueError):
@@ -339,8 +437,11 @@ class TestSorterIntegration:
         batch = self._batch(rng)
         result = sorter.sort(batch)
         plan = result.execution_plan
-        assert plan.engine == "serial"  # below the fan-out guard
-        entry = planner.observations(plan.shape_key)["serial"]
+        # Below the fan-out guard the candidates are serial and radix;
+        # whichever the model seeds first, the plan must round-trip into
+        # the EMA for that engine.
+        assert plan.engine in ("serial", "radix")
+        entry = planner.observations(plan.shape_key)[plan.engine]
         assert entry["count"] == 1
         assert entry["ema_ms"] > 0
 
