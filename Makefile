@@ -2,15 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install check lint statan test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate radix-gate service-gate bench-service chaos-smoke chaos-gate bench-chaos report examples figures table1 clean
+.PHONY: install check lint statan test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate radix-gate service-gate bench-service chaos-smoke chaos-gate bench-chaos fleet-smoke fleet-gate bench-fleet report examples figures table1 clean
+
+# Smoke benchmark artifacts are throwaway sanity outputs; they go to the
+# temp dir, never the repo root (gate artifacts ARE committed).
+SMOKE_DIR ?= $(if $(TMPDIR),$(TMPDIR),/tmp)
 
 install:
 	pip install -e . --no-build-isolation
 
 # The default pre-PR gate: static analysis first (fails in seconds),
-# then the test suite, then the radix gate re-applied to the committed
-# benchmark artifact (no re-benchmarking; also runs in seconds).
-check: lint test radix-gate
+# then the test suite, then the radix and fleet gates re-applied to the
+# committed benchmark artifacts (no re-benchmarking; seconds each).
+check: lint test radix-gate fleet-gate
 
 # ruff and mypy run when installed (CI installs them; a bare container
 # may not have them) — statan always runs, it is stdlib-only.
@@ -44,9 +48,9 @@ test-service:
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m chaos -q
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos.py --grid smoke \
-		--out BENCH_chaos_smoke.json
+		--out $(SMOKE_DIR)/BENCH_chaos_smoke.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos.py \
-		--check-schema BENCH_chaos_smoke.json
+		--check-schema $(SMOKE_DIR)/BENCH_chaos_smoke.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -57,9 +61,9 @@ bench-claims:
 # Tiny grid + v2 schema self-check (incl. the planner column); seconds.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --grid smoke \
-		--repeats 2 --out BENCH_hotpath_smoke.json
+		--repeats 2 --out $(SMOKE_DIR)/BENCH_hotpath_smoke.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py \
-		--check-schema BENCH_hotpath_smoke.json
+		--check-schema $(SMOKE_DIR)/BENCH_hotpath_smoke.json
 
 # Perf-regression gate: fails if the fused path is slower than the
 # unfused path anywhere on the reference grid, if the adaptive planner
@@ -109,6 +113,30 @@ chaos-gate:
 bench-chaos:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos.py --grid load \
 		--gate --out BENCH_chaos.json
+
+# Fleet smoke: the fleet-marked tests (router units, e2e, failover,
+# metrics) plus the smoke bench grid written to the temp dir and
+# schema-checked.  A minute or two; no artifact left in the repo.
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m fleet -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py --grid smoke \
+		--linger-ms 5 --out $(SMOKE_DIR)/BENCH_fleet_smoke.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py \
+		--check-schema $(SMOKE_DIR)/BENCH_fleet_smoke.json
+
+# Fleet gate re-applied to the committed artifact (no re-benchmarking):
+# >= 3x single-worker throughput at 4 workers, p99 bounded under 2x
+# single-worker load, and the failover drain completed every accepted
+# request byte-correctly with zero drops.
+fleet-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py \
+		--check-gate BENCH_fleet.json
+
+# Full fleet artifact — this is what the committed BENCH_fleet.json was
+# produced with (gated live while generating; several minutes).
+bench-fleet:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py --grid load \
+		--gate --out BENCH_fleet.json
 
 # Full artifact including the paper's Fig. 4 anchor (N=1e5, n=1000,
 # float32); several minutes — this is what the committed

@@ -1,0 +1,564 @@
+#!/usr/bin/env python
+"""Fleet scaling harness: the multi-process serving tier under load.
+
+Standalone (no pytest-benchmark): drives the same closed-loop traffic
+generator that exercises the in-process service
+(:func:`repro.service.traffic.run_service_traffic` — the fleet keeps the
+service's ``submit`` contract, so the driver is reused unchanged)
+through :class:`repro.fleet.SortFleet` at 1, 2, and 4 workers, plus a
+p99-under-overload cell and a live worker-kill failover-drain cell, and
+emits ``BENCH_fleet.json`` (schema ``bench-fleet/v1``) — the artifact
+``make fleet-gate`` checks.
+
+What the scaling cells measure — and what they do not
+-----------------------------------------------------
+Each ``load-mid-{1,2,4}w`` cell offers an identical closed-loop load and
+measures completed request throughput.  The cells are deliberately
+**SLO-bound, not CPU-bound**: the router's per-worker admission bound
+(``--worker-bound`` rows) is set *below* the worker's batch target, so a
+worker's batcher never fills and every batch waits out the full linger
+before sorting.  Per-worker capacity is then
+``worker_bound / (linger + sort)`` rows/s — a latency-SLO budget, the
+regime a deadline-driven serving tier actually runs in — and adding
+workers multiplies admission capacity because N workers' linger windows
+overlap.  On a single-core host (where this benchmark is developed and
+gated in CI) that overlap is the *only* honest source of scaling:
+aggregate sort FLOPS cannot exceed one core, and a CPU-saturated fleet
+would show ~1.0x regardless of worker count.  The ``3x at 4 workers``
+gate therefore certifies the serving-tier property (admission/batching
+windows shard and overlap across worker processes; the router spreads
+lanes without starving any worker), not a parallel-compute speedup.  On
+a multi-core host the same cells additionally scale the compute.
+
+``p99-2x`` measures overload absorption: it offers **twice the
+throughput the single-worker cell just measured**, open-loop (paced
+arrivals), to the full 4-worker fleet and gates p99 latency (which
+*includes* backpressure retry sleeps) against ``--p99-budget-ms``.  One
+worker at that rate diverges — its queue grows without bound — so the
+cell certifies that the fleet absorbs a single worker's overload with
+bounded delay rather than latency collapse.
+
+``failover-drain`` submits a burst to a 2-worker fleet whose long
+linger keeps every request in flight, SIGKILLs the worker holding them,
+and requires 100% completion with byte-correct results and zero drops —
+the two-region-slab re-dispatch path measured end to end.
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_fleet.py --grid smoke
+    PYTHONPATH=src python benchmarks/bench_fleet.py --grid load --gate
+    PYTHONPATH=src python benchmarks/bench_fleet.py --grid load --out BENCH_fleet.json
+    PYTHONPATH=src python benchmarks/bench_fleet.py --check-schema BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+# Runnable straight from a checkout: python benchmarks/bench_fleet.py
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.fleet import SortFleet
+from repro.service import parse_size_mix, run_service_traffic
+
+SCHEMA = "bench-fleet/v1"
+DEFAULT_MIN_SCALING = 3.0
+#: p99 allowance for the 2x-overload cell: admission retry sleeps plus
+#: a few linger windows of queueing on a saturated single-core host.
+DEFAULT_P99_BUDGET_MS = 400.0
+DEFAULT_SIZE_MIX = "64:1.0"
+#: Router-side per-worker outstanding-rows bound for the load cells.
+#: Kept below the worker batch target so capacity is linger-bound (see
+#: module docstring).
+DEFAULT_WORKER_BOUND = 512
+#: Worker batch target > worker bound: the batcher never fills early.
+DEFAULT_BATCH_TARGET = 1024
+DEFAULT_LINGER_MS = 40.0
+
+GATE_CELL_1W = "load-mid-1w"
+GATE_CELL_4W = "load-mid-4w"
+P99_CELL = "p99-2x"
+FAILOVER_CELL = "failover-drain"
+
+# Load cells: (name, workers, clients, total_requests, array_size).
+# Every load-mid-* cell offers the identical load; only the worker
+# count changes.  p99-2x doubles the clients against the 4-worker
+# fleet.  The smoke grid is a fast sanity pass writing to a temp path.
+GRIDS = {
+    "smoke": [
+        ("smoke-1w", 1, 8, 64, 64),
+        ("smoke-2w", 2, 8, 64, 64),
+    ],
+    "load": [
+        ("load-mid-1w", 1, 96, 1920, 64),
+        ("load-mid-2w", 2, 96, 1920, 64),
+        ("load-mid-4w", 4, 96, 1920, 64),
+    ],
+}
+#: Grids that append the failover-drain cell.
+FAILOVER_GRIDS = ("load", "smoke")
+
+
+def _fleet_for_cell(workers: int, *, linger_ms: float, worker_bound: int,
+                    batch_target: int, **overrides) -> SortFleet:
+    kwargs = dict(
+        workers=workers,
+        linger_ms=linger_ms,
+        max_worker_queue_rows=worker_bound,
+        batch_target_rows=batch_target,
+        heartbeat_s=0.05,
+        liveness_s=2.0,
+        retry_jitter_seed=0,
+        start_timeout_s=120.0,
+    )
+    kwargs.update(overrides)
+    return SortFleet(**kwargs)
+
+
+def run_load_cell(name, workers, clients, total_requests, array_size, *,
+                  size_mix, seed, linger_ms, worker_bound, batch_target,
+                  mode="closed", rate_rps=2000.0):
+    fleet = _fleet_for_cell(
+        workers, linger_ms=linger_ms, worker_bound=worker_bound,
+        batch_target=batch_target,
+    )
+    with fleet:
+        traffic = run_service_traffic(
+            fleet,
+            mode=mode,
+            clients=clients,
+            total_requests=total_requests,
+            rate_rps=rate_rps,
+            array_size=array_size,
+            size_mix=size_mix,
+            seed=seed,
+            stagger=(mode == "open"),
+        )
+        fleet.flush(timeout=60.0)
+        stats = fleet.stats()
+    return {
+        "name": name,
+        "kind": "load",
+        "mode": mode,
+        "workers": workers,
+        "clients": clients,
+        "total_requests": total_requests,
+        "offered_rate_rps": rate_rps if mode == "open" else None,
+        "array_size": array_size,
+        "linger_ms": linger_ms,
+        "worker_bound_rows": worker_bound,
+        "traffic": traffic.as_dict(),
+        "fleet_stats": stats.as_dict(),
+        "throughput_rps": traffic.throughput_rps,
+        "throughput_rows_per_s": traffic.throughput_rows_per_s,
+    }
+
+
+def run_failover_cell(name, *, seed, array_size=64, rows_per_request=8,
+                      requests=16):
+    """Kill the worker holding a burst of in-flight requests; count the
+    drain.  Gate-relevant outputs: issued == completed, drops == 0,
+    every result byte-identical to ``np.sort``."""
+    rng = np.random.default_rng(seed)
+    fleet = _fleet_for_cell(
+        2,
+        linger_ms=500.0,  # long linger parks the burst in the batcher
+        worker_bound=100_000,
+        batch_target=1_000_000,
+        liveness_s=1.0,
+    )
+    batches = [
+        rng.uniform(0, 1e6, (rows_per_request, array_size)).astype(np.float32)
+        for _ in range(requests)
+    ]
+    t0 = time.perf_counter()
+    with fleet:
+        futures = [fleet.submit(batch) for batch in batches]
+        # Wait until one worker demonstrably holds the burst, then kill it.
+        victim = None
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            snapshot = fleet._router.snapshot()
+            loaded = [w for w, (alive, _, reqs) in snapshot.items()
+                      if alive and reqs > 0]
+            if loaded:
+                victim = loaded[0]
+                break
+            time.sleep(0.005)
+        inflight_at_kill = (
+            fleet._router.snapshot()[victim][2] if victim is not None else 0
+        )
+        if victim is not None:
+            fleet.kill_worker(victim)
+        completed = 0
+        correct = 0
+        dropped = 0
+        for batch, future in zip(batches, futures):
+            try:
+                result = future.result(timeout=120.0)
+            except Exception:
+                dropped += 1
+                continue
+            completed += 1
+            if np.array_equal(result, np.sort(batch, axis=1)):
+                correct += 1
+        stats = fleet.stats()
+    wall = time.perf_counter() - t0
+    return {
+        "name": name,
+        "kind": "failover",
+        "workers": 2,
+        "requests_issued": requests,
+        "rows_per_request": rows_per_request,
+        "array_size": array_size,
+        "victim_worker": victim,
+        "inflight_at_kill": inflight_at_kill,
+        "completed": completed,
+        "correct": correct,
+        "dropped": dropped,
+        "failovers": stats.failovers,
+        "redispatched": stats.redispatched,
+        "wall_seconds": wall,
+        "fleet_stats": stats.as_dict(),
+    }
+
+
+def run_grid(grid: str, *, size_mix, seed: int, linger_ms: float,
+             worker_bound: int, batch_target: int) -> dict:
+    results = []
+    for cell in GRIDS[grid]:
+        name, workers, clients, total_requests, array_size = cell
+        result = run_load_cell(
+            name, workers, clients, total_requests, array_size,
+            size_mix=size_mix, seed=seed, linger_ms=linger_ms,
+            worker_bound=worker_bound, batch_target=batch_target,
+        )
+        results.append(result)
+        pct = result["traffic"]["latency_ms"]
+        print(
+            f"  {name:14s} workers={workers} clients={clients:<3d}"
+            f"  {result['throughput_rps']:8.1f} req/s"
+            f"  {result['throughput_rows_per_s']:10.0f} rows/s"
+            f"  p99 {pct.get('p99', float('nan')):8.2f} ms",
+            flush=True,
+        )
+    # The overload cell is derived, not static: offer 2x the throughput
+    # the single-worker cell just *measured* (open loop, paced arrivals)
+    # to the full 4-worker fleet.  One worker at that rate diverges —
+    # unbounded queue growth; four must absorb it with bounded p99.
+    one_rps = next((r["throughput_rps"] for r in results
+                    if r["name"] == GATE_CELL_1W), None)
+    if one_rps:
+        rate = 2.0 * one_rps
+        cell_1w = next(r for r in results if r["name"] == GATE_CELL_1W)
+        result = run_load_cell(
+            P99_CELL, 4, cell_1w["clients"],
+            cell_1w["total_requests"], cell_1w["array_size"],
+            size_mix=size_mix, seed=seed, linger_ms=linger_ms,
+            worker_bound=worker_bound, batch_target=batch_target,
+            mode="open", rate_rps=rate,
+        )
+        results.append(result)
+        pct = result["traffic"]["latency_ms"]
+        print(
+            f"  {P99_CELL:14s} workers=4 offered={rate:7.1f} req/s"
+            f"  {result['throughput_rps']:8.1f} req/s"
+            f"  {result['throughput_rows_per_s']:10.0f} rows/s"
+            f"  p99 {pct.get('p99', float('nan')):8.2f} ms",
+            flush=True,
+        )
+
+    if grid in FAILOVER_GRIDS:
+        result = run_failover_cell(FAILOVER_CELL, seed=seed)
+        results.append(result)
+        print(
+            f"  {FAILOVER_CELL:14s} issued={result['requests_issued']}"
+            f" inflight_at_kill={result['inflight_at_kill']}"
+            f" completed={result['completed']}"
+            f" correct={result['correct']}"
+            f" dropped={result['dropped']}"
+            f" redispatched={result['redispatched']}",
+            flush=True,
+        )
+
+    by_workers = {
+        str(r["workers"]): r["throughput_rps"]
+        for r in results if r.get("kind") == "load"
+        and r["name"].startswith(("load-mid", "smoke"))
+    }
+    one = next((r["throughput_rps"] for r in results
+                if r["name"] == GATE_CELL_1W), None)
+    four = next((r["throughput_rps"] for r in results
+                 if r["name"] == GATE_CELL_4W), None)
+    scaling_4w = (four / one) if one and four else None
+    return {
+        "schema": SCHEMA,
+        "grid": grid,
+        "size_mix": [[rows, weight] for rows, weight in size_mix],
+        "seed": seed,
+        "tuning": {
+            "linger_ms": linger_ms,
+            "worker_bound_rows": worker_bound,
+            "batch_target_rows": batch_target,
+        },
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+        "scaling": {
+            "throughput_rps_by_workers": by_workers,
+            "speedup_4w_vs_1w": scaling_4w,
+        },
+    }
+
+
+def check_schema(report: dict) -> list:
+    """Return a list of schema violations (empty == valid)."""
+    errors = []
+    if report.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {report.get('schema')!r}")
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("results must be a non-empty list")
+        results = []
+    load_required = {
+        "name": str,
+        "workers": int,
+        "clients": int,
+        "total_requests": int,
+        "array_size": int,
+        "linger_ms": (int, float),
+        "traffic": dict,
+        "fleet_stats": dict,
+        "throughput_rps": (int, float),
+    }
+    failover_required = {
+        "name": str,
+        "workers": int,
+        "requests_issued": int,
+        "completed": int,
+        "correct": int,
+        "dropped": int,
+        "failovers": int,
+        "redispatched": int,
+        "fleet_stats": dict,
+    }
+    for i, cell in enumerate(results):
+        kind = cell.get("kind")
+        if kind == "load":
+            for key, typ in load_required.items():
+                if not isinstance(cell.get(key), typ):
+                    errors.append(f"results[{i}].{key} missing or not {typ}")
+            traffic = cell.get("traffic")
+            if isinstance(traffic, dict):
+                for key in ("requests_issued", "completed", "wall_seconds",
+                            "throughput_rps", "latency_ms"):
+                    if key not in traffic:
+                        errors.append(f"results[{i}].traffic.{key} missing")
+                latency = traffic.get("latency_ms")
+                if isinstance(latency, dict) and latency:
+                    for pkey in ("p50", "p95", "p99"):
+                        if not isinstance(latency.get(pkey), (int, float)):
+                            errors.append(
+                                f"results[{i}].traffic.latency_ms.{pkey} "
+                                "missing or non-numeric"
+                            )
+        elif kind == "failover":
+            for key, typ in failover_required.items():
+                if not isinstance(cell.get(key), typ):
+                    errors.append(f"results[{i}].{key} missing or not {typ}")
+        else:
+            errors.append(f"results[{i}].kind must be 'load' or 'failover', "
+                          f"got {kind!r}")
+    scaling = report.get("scaling")
+    if not isinstance(scaling, dict) or not isinstance(
+        scaling.get("throughput_rps_by_workers"), dict
+    ):
+        errors.append("scaling.throughput_rps_by_workers missing")
+    if "gate" in report:
+        gate = report["gate"]
+        if not isinstance(gate, dict) or not isinstance(gate.get("passed"), bool):
+            errors.append("gate must be a dict with a boolean 'passed'")
+    return errors
+
+
+def apply_gate(report: dict, min_scaling: float,
+               p99_budget_ms: float = DEFAULT_P99_BUDGET_MS) -> bool:
+    """Gate: 4-worker scaling, overload p99, and failover drain."""
+    failures = []
+    cells = {r["name"]: r for r in report["results"]}
+
+    one = cells.get(GATE_CELL_1W)
+    four = cells.get(GATE_CELL_4W)
+    if one is None or four is None:
+        failures.append(
+            f"gate cells {GATE_CELL_1W!r}/{GATE_CELL_4W!r} not in results "
+            "(run with --grid load)"
+        )
+    else:
+        base = one["throughput_rps"]
+        scaled = four["throughput_rps"]
+        ratio = scaled / base if base > 0 else 0.0
+        if ratio < min_scaling:
+            failures.append(
+                f"{GATE_CELL_4W}: {scaled:.1f} req/s vs single-worker "
+                f"{base:.1f} req/s ({ratio:.2f}x < {min_scaling:.2f}x)"
+            )
+
+    p99_cell = cells.get(P99_CELL)
+    if p99_cell is None:
+        failures.append(f"gate cell {P99_CELL!r} not in results")
+    else:
+        p99 = p99_cell["traffic"]["latency_ms"].get("p99")
+        if not isinstance(p99, (int, float)):
+            failures.append(f"{P99_CELL}: no p99 recorded")
+        elif p99 > p99_budget_ms:
+            failures.append(
+                f"{P99_CELL}: p99 {p99:.2f} ms exceeds budget "
+                f"{p99_budget_ms:.2f} ms under 2x load"
+            )
+
+    failover = cells.get(FAILOVER_CELL)
+    if failover is None:
+        failures.append(f"gate cell {FAILOVER_CELL!r} not in results")
+    else:
+        if failover["dropped"] != 0:
+            failures.append(
+                f"{FAILOVER_CELL}: {failover['dropped']} request(s) dropped"
+            )
+        if failover["completed"] != failover["requests_issued"]:
+            failures.append(
+                f"{FAILOVER_CELL}: completed {failover['completed']} of "
+                f"{failover['requests_issued']} issued"
+            )
+        if failover["correct"] != failover["requests_issued"]:
+            failures.append(
+                f"{FAILOVER_CELL}: only {failover['correct']} of "
+                f"{failover['requests_issued']} results byte-correct"
+            )
+        if failover["failovers"] < 1:
+            failures.append(
+                f"{FAILOVER_CELL}: no failover recorded (victim never died?)"
+            )
+
+    report["gate"] = {
+        "cells": [GATE_CELL_1W, GATE_CELL_4W, P99_CELL, FAILOVER_CELL],
+        "min_scaling_4w": min_scaling,
+        "p99_budget_ms": p99_budget_ms,
+        "passed": not failures,
+        "failures": failures,
+    }
+    return not failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", choices=sorted(GRIDS), default="load")
+    parser.add_argument("--size-mix", default=DEFAULT_SIZE_MIX,
+                        metavar="R:W,...")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--linger-ms", type=float, default=DEFAULT_LINGER_MS)
+    parser.add_argument(
+        "--worker-bound", type=int, default=DEFAULT_WORKER_BOUND,
+        help="router per-worker outstanding-rows admission bound",
+    )
+    parser.add_argument(
+        "--batch-target", type=int, default=DEFAULT_BATCH_TARGET,
+        help="worker service batch target (kept above --worker-bound so "
+             "load cells stay linger-bound; see module docstring)",
+    )
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 unless 4-worker scaling, overload p99, and the "
+             "failover drain all pass",
+    )
+    parser.add_argument("--min-scaling", type=float,
+                        default=DEFAULT_MIN_SCALING)
+    parser.add_argument(
+        "--p99-budget-ms", type=float, default=DEFAULT_P99_BUDGET_MS,
+        help="p99 bound for the 2x-overload cell (includes retry sleeps)",
+    )
+    parser.add_argument(
+        "--check-schema", type=Path, metavar="JSON",
+        help="validate an existing report file and exit (no benchmarking)",
+    )
+    parser.add_argument(
+        "--check-gate", type=Path, metavar="JSON",
+        help="re-evaluate the gate on an existing report file and exit "
+             "(no benchmarking)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check_schema is not None:
+        report = json.loads(args.check_schema.read_text())
+        errors = check_schema(report)
+        for err in errors:
+            print(f"schema error: {err}", file=sys.stderr)
+        print(f"{args.check_schema}: " + ("INVALID" if errors else "ok"))
+        return 1 if errors else 0
+
+    if args.check_gate is not None:
+        report = json.loads(args.check_gate.read_text())
+        errors = check_schema(report)
+        for err in errors:
+            print(f"schema error: {err}", file=sys.stderr)
+        if errors:
+            print(f"{args.check_gate}: INVALID")
+            return 1
+        ok = apply_gate(report, args.min_scaling, args.p99_budget_ms)
+        for failure in report["gate"]["failures"]:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        print(f"{args.check_gate}: gate "
+              + ("passed" if ok else "FAILED"))
+        return 0 if ok else 1
+
+    size_mix = parse_size_mix(args.size_mix)
+    print(f"bench_fleet grid={args.grid} size_mix={args.size_mix} "
+          f"seed={args.seed} linger={args.linger_ms}ms "
+          f"bound={args.worker_bound} rows/worker", flush=True)
+    report = run_grid(
+        args.grid, size_mix=size_mix, seed=args.seed,
+        linger_ms=args.linger_ms, worker_bound=args.worker_bound,
+        batch_target=args.batch_target,
+    )
+    ok = (apply_gate(report, args.min_scaling, args.p99_budget_ms)
+          if args.gate else True)
+
+    errors = check_schema(report)
+    if errors:  # self-check: the emitter must satisfy its own schema
+        for err in errors:
+            print(f"schema error: {err}", file=sys.stderr)
+        return 2
+
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+    if args.gate:
+        gate = report["gate"]
+        for failure in gate["failures"]:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        print(f"gate: {'passed' if gate['passed'] else 'FAILED'} "
+              f"(min_scaling_4w={gate['min_scaling_4w']})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from .core import (
     sort_pairs,
     top_k,
 )
+from .fleet import FleetStats, SortFleet
 from .gpusim.faults import FaultPlan
 from .planner import ExecutionPlan, ExecutionPlanner, StaticPlanner
 from .resilience import ResilienceStats, ResilientSorter
@@ -52,6 +53,7 @@ __all__ = [
     "ExecutionPlan",
     "ExecutionPlanner",
     "FaultPlan",
+    "FleetStats",
     "GpuArraySort",
     "PairSortResult",
     "QuarantinedError",
@@ -62,6 +64,7 @@ __all__ = [
     "ServiceError",
     "ServiceStats",
     "SortConfig",
+    "SortFleet",
     "SortResult",
     "SortService",
     "StaticPlanner",

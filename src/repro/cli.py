@@ -212,6 +212,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument("--seed", type=int, default=0)
 
+    p_flt = sub.add_parser(
+        "fleet-bench",
+        help="drive synthetic traffic through the multi-process sort "
+             "fleet and report throughput/latency per worker count",
+    )
+    p_flt.add_argument("--workers", type=int, default=2,
+                       help="worker processes behind the fleet front-end")
+    p_flt.add_argument("--array-size", "-n", type=int, default=64)
+    p_flt.add_argument("--requests", type=int, default=512,
+                       help="total requests across all clients")
+    p_flt.add_argument("--clients", type=int, default=16)
+    p_flt.add_argument(
+        "--arrival", choices=["closed", "open"], default="closed",
+        help="closed: each client waits for its previous request; "
+             "open: paced arrivals at --rate req/s",
+    )
+    p_flt.add_argument("--rate", type=float, default=500.0,
+                       help="offered load in req/s (open arrival only)")
+    p_flt.add_argument(
+        "--size-mix", default="64:1.0", metavar="R:W,...",
+        help="rows-per-request mix as ROWS:WEIGHT pairs",
+    )
+    p_flt.add_argument("--linger-ms", type=float, default=40.0,
+                       help="per-worker batch linger window")
+    p_flt.add_argument("--batch-target", type=int, default=1024,
+                       help="per-worker coalesce target in rows")
+    p_flt.add_argument("--worker-bound", type=int, default=512,
+                       help="router per-worker outstanding-rows admission "
+                            "bound (the fleet capacity knob)")
+    p_flt.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline; late work is shed")
+    p_flt.add_argument(
+        "--planner", choices=["auto", "fused", "sharded", "radix"],
+        default=None,
+        help="execution planner spec handed to each worker's sorter",
+    )
+    p_flt.add_argument("--jitter-seed", type=int, default=None,
+                       help="seed the router's retry_after jitter RNG "
+                            "(deterministic backpressure hints)")
+    p_flt.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="dump the post-run fleet metrics snapshot (schema "
+             "repro-fleet-metrics/v1: fleet counters, per-worker and "
+             "aggregate views, tenants) as JSON; '-' for stdout",
+    )
+    p_flt.add_argument(
+        "--metrics-prom", metavar="PATH", default=None,
+        help="also render the snapshot as Prometheus repro_fleet_* "
+             "text-exposition lines to PATH ('-' for stdout)",
+    )
+    p_flt.add_argument("--seed", type=int, default=0)
+
     p_rep = sub.add_parser(
         "report", help="regenerate the full reproduction report"
     )
@@ -511,6 +563,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_resilience(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "fleet-bench":
+        return _cmd_fleet_bench(args)
     if args.command == "statan":
         from .statan.cli import run_statan
 
@@ -774,6 +828,82 @@ def _cmd_serve_bench(args) -> int:
         print(f"unbatched baseline: {baseline.throughput_rps:.0f} req/s in "
               f"{baseline.wall_seconds:.3f} s -> batched speedup "
               f"{speedup:.2f}x")
+    return 0
+
+
+def _cmd_fleet_bench(args) -> int:
+    from .fleet import (
+        SortFleet,
+        collect_fleet_metrics,
+        render_fleet_prometheus,
+    )
+    from .service import parse_size_mix, run_service_traffic
+
+    try:
+        size_mix = parse_size_mix(args.size_mix)
+    except ValueError as exc:
+        print(f"--size-mix: {exc}", file=sys.stderr)
+        return 2
+    deadline_s = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+
+    fleet = SortFleet(
+        workers=args.workers,
+        planner=args.planner,
+        batch_target_rows=args.batch_target,
+        linger_ms=args.linger_ms,
+        max_worker_queue_rows=args.worker_bound,
+        retry_jitter_seed=args.jitter_seed,
+    )
+    with fleet:
+        report = run_service_traffic(
+            fleet,
+            mode=args.arrival,
+            clients=args.clients,
+            total_requests=args.requests,
+            rate_rps=args.rate,
+            array_size=args.array_size,
+            size_mix=size_mix,
+            deadline_s=deadline_s,
+            seed=args.seed,
+            stagger=(args.arrival == "open"),
+        )
+        stats = fleet.stats()
+        metrics = collect_fleet_metrics(fleet)
+
+    def _emit(path: str, text: str) -> None:
+        if path == "-":
+            print(text, end="" if text.endswith("\n") else "\n")
+        else:
+            with open(path, "w") as handle:
+                handle.write(text if text.endswith("\n") else text + "\n")
+            print(f"wrote {path}")
+
+    if args.metrics_json is not None:
+        _emit(args.metrics_json,
+              json.dumps(metrics, indent=2, sort_keys=True))
+    if args.metrics_prom is not None:
+        _emit(args.metrics_prom, render_fleet_prometheus(metrics))
+
+    pct = report.latency_percentiles()
+    print(f"fleet traffic ({report.mode} loop, {report.clients} clients, "
+          f"{args.workers} workers, n={args.array_size}): "
+          f"{report.completed}/{report.requests_issued} completed in "
+          f"{report.wall_seconds:.3f} s")
+    print(f"  throughput : {report.throughput_rps:.0f} req/s "
+          f"({report.throughput_rows_per_s:.0f} rows/s)")
+    if pct:
+        print(f"  latency ms : p50={pct['p50']:.2f} p95={pct['p95']:.2f} "
+              f"p99={pct['p99']:.2f} mean={pct['mean']:.2f}")
+    print(f"  shed={report.shed} deadline_missed={report.deadline_missed} "
+          f"failed={report.failed} reject_retries={report.rejected_retries}")
+    print(f"  workers alive={stats.workers_alive}/{stats.workers_total} "
+          f"failovers={stats.failovers} redispatched={stats.redispatched} "
+          f"parent_fallbacks={stats.parent_fallbacks}")
+    for worker_id in sorted(stats.workers):
+        worker = stats.workers[worker_id]
+        print(f"  worker {worker_id}: dispatched={worker.dispatched} "
+              f"completed={worker.completed} failed={worker.failed} "
+              f"{'alive' if worker.alive else 'DEAD'}")
     return 0
 
 

@@ -1,0 +1,94 @@
+"""Observability surface of the sort fleet.
+
+Two layers, mirroring the tentpole's two tiers:
+
+* the **front-end** — admission, routing, completion, and latency as
+  seen by callers of :meth:`~repro.fleet.SortFleet.submit`.  The fleet
+  reuses the service's :class:`~repro.service.stats.StatsRecorder`
+  wholesale for this (same counters, same bounded latency ring, same
+  per-tenant slices), so fleet-level and service-level snapshots stay
+  directly comparable;
+* the **workers** — one :class:`WorkerState` per worker process:
+  liveness, outstanding work, dispatch/completion/failover tallies, and
+  the worker's own last-heartbeat :class:`~repro.service.stats.ServiceStats`
+  snapshot as a plain dict (it crossed the process boundary as data).
+
+:class:`FleetStats` is the immutable roll-up of both, what
+:meth:`SortFleet.stats` returns and what :mod:`repro.fleet.metrics`
+exports as JSON and Prometheus text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..service.stats import ServiceStats
+
+__all__ = ["FleetStats", "WorkerState"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerState:
+    """One worker process as the parent sees it."""
+
+    worker_id: int
+    pid: Optional[int]
+    alive: bool
+    #: Rows dispatched to this worker and not yet completed/failed.
+    outstanding_rows: int
+    #: Requests dispatched and not yet completed/failed.
+    outstanding_requests: int
+    #: Requests ever dispatched to this worker (including re-dispatches
+    #: *onto* it from a dead peer).
+    dispatched: int
+    #: Requests this worker completed successfully.
+    completed: int
+    #: Requests this worker failed with a typed error.
+    failed: int
+    #: Requests taken *from* this worker when it died and re-dispatched.
+    redispatched: int
+    #: Seconds since the last heartbeat (None before the first one).
+    heartbeat_age_s: Optional[float]
+    #: The worker's own ServiceStats from its last heartbeat, as a dict
+    #: (empty before the first heartbeat).
+    service: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetStats:
+    """One consistent snapshot of a :class:`~repro.fleet.SortFleet`."""
+
+    #: Caller-facing counters/latency, service-shaped (queue depth here
+    #: means rows/requests in flight across all workers).
+    frontend: ServiceStats
+    #: Per-worker states keyed by worker id.
+    workers: Dict[int, WorkerState]
+    #: Workers configured at construction.
+    workers_total: int
+    #: Workers currently alive and routable.
+    workers_alive: int
+    #: Dead-worker events handled (each may re-dispatch many requests).
+    failovers: int
+    #: Requests re-dispatched off dead workers onto survivors.
+    redispatched: int
+    #: Requests sorted in the parent itself because no worker survived
+    #: (the resilience backstop).
+    parent_fallbacks: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "frontend": self.frontend.as_dict(),
+            "workers": {
+                str(worker_id): state.as_dict()
+                for worker_id, state in sorted(self.workers.items())
+            },
+            "workers_total": self.workers_total,
+            "workers_alive": self.workers_alive,
+            "failovers": self.failovers,
+            "redispatched": self.redispatched,
+            "parent_fallbacks": self.parent_fallbacks,
+        }

@@ -24,6 +24,7 @@ from .executors import (
     ProcessPoolEngine,
     SerialEngine,
     ThreadPoolEngine,
+    attach_shm_view,
     resolve_executor,
     sort_rows_inplace,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "Shard",
     "ShardPlan",
     "ThreadPoolEngine",
+    "attach_shm_view",
     "plan_shards",
     "resolve_executor",
     "sort_rows_inplace",

@@ -57,9 +57,34 @@ __all__ = [
     "SerialEngine",
     "ThreadPoolEngine",
     "ProcessPoolEngine",
+    "attach_shm_view",
     "resolve_executor",
     "sort_rows_inplace",
 ]
+
+
+def attach_shm_view(
+    shm_name: str,
+    shape: Tuple[int, ...],
+    dtype_str: str,
+    offset: int = 0,
+):
+    """Attach a shared-memory segment and view it as an ndarray.
+
+    Returns ``(shm, view)``; the caller owns ``shm.close()`` (and must
+    keep ``shm`` alive for as long as the view is used — the view
+    borrows the segment's buffer).  This is the one cross-process
+    handoff primitive shared by the process-pool shard workers and the
+    fleet's worker processes: name + shape + dtype + byte offset fully
+    describe a zero-copy window into another process's slab.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    view = np.ndarray(
+        shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=int(offset)
+    )
+    return shm, view
 
 
 def default_workers() -> int:
@@ -105,13 +130,8 @@ def _sort_shard_shm(
     Only the small ``sizes``/``offsets`` metadata rides back through the
     result pickle.
     """
-    from multiprocessing import shared_memory
-
-    shm = shared_memory.SharedMemory(name=shm_name)
+    shm, buf = attach_shm_view(shm_name, shape, dtype_str, offset)
     try:
-        buf = np.ndarray(
-            shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=offset
-        )
         sizes, offsets = sort_rows_inplace(buf[start:stop], config)
         return start, sizes, offsets
     finally:

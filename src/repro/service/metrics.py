@@ -26,7 +26,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-__all__ = ["METRICS_SCHEMA", "collect_metrics", "render_prometheus"]
+__all__ = [
+    "METRICS_SCHEMA",
+    "collect_metrics",
+    "escape_label_value",
+    "render_prometheus",
+]
 
 METRICS_SCHEMA = "repro-service-metrics/v1"
 
@@ -116,14 +121,29 @@ def _describe_backend(service) -> Optional[Dict[str, object]]:
     return info
 
 
-def _label(value: str) -> str:
-    """Escape one Prometheus label value."""
+def escape_label_value(value: str) -> str:
+    """Escape one Prometheus label value for text exposition.
+
+    The text format allows any UTF-8 inside ``label="..."`` except that
+    backslash, double-quote, and line-feed must be escaped as ``\\\\``,
+    ``\\"``, and ``\\n`` — in that order, backslash first, or an input
+    like ``a"b`` would double-escape.  Tenant names are caller-supplied
+    strings, so every interpolated label value in this module (and in
+    :mod:`repro.fleet.metrics`) goes through here; the property tests in
+    ``tests/test_metrics_escaping.py`` feed quotes/newlines/backslashes
+    through a real render and assert the exposition stays parseable and
+    the value round-trips.
+    """
     return (
         str(value)
         .replace("\\", r"\\")
         .replace('"', r"\"")
         .replace("\n", r"\n")
     )
+
+
+# Internal alias, kept short at the many interpolation sites below.
+_label = escape_label_value
 
 
 def _flatten(payload: object, prefix: str, lines: List[str],

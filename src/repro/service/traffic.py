@@ -244,6 +244,7 @@ def run_service_traffic(
     result_timeout_s: float = 60.0,
     tenant: str = "default",
     poison_nan_rate: float = 0.0,
+    stagger: bool = False,
 ) -> TrafficReport:
     """Drive synthetic traffic through a :class:`SortService`.
 
@@ -252,6 +253,12 @@ def run_service_traffic(
     under the resilient backend's ``nan_policy="raise"`` those rows
     quarantine deterministically, making this driver double as the chaos
     harness's blast-radius probe.
+
+    ``stagger`` (open mode only) offsets each client's arrival schedule
+    by ``client_id / rate_rps`` so the aggregate arrival process is
+    uniform at ``rate_rps`` instead of lockstep bursts of ``clients``
+    simultaneous requests — the difference between measuring a paced
+    offered load and measuring self-inflicted thundering herds.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -269,7 +276,8 @@ def run_service_traffic(
     collector = _Collector()
     interval = clients / rate_rps if rate_rps > 0 else 0.0
 
-    def resolve(future, rows: int, t0: float) -> None:
+    def resolve(future, rows: int, t0: float,
+                completed_at: Optional[float] = None) -> None:
         try:
             future.result(timeout=result_timeout_s)
         except DeadlineExceededError as exc:
@@ -282,12 +290,16 @@ def run_service_traffic(
         except (ServiceError, Exception):
             collector.record("failed", rows, None)
             return
-        collector.record("completed", rows, time.perf_counter() - t0)
+        done = completed_at if completed_at is not None else time.perf_counter()
+        collector.record("completed", rows, done - t0)
 
     def client(client_id: int) -> None:
         rng = np.random.default_rng(seed * 7919 + client_id)
         start = time.perf_counter()
+        if stagger and mode == "open" and rate_rps > 0:
+            start += client_id / rate_rps
         pending: List[Tuple[object, int, float]] = []
+        done_at: Dict[int, float] = {}
         for i in range(per_client):
             rows = _pick_rows(rng, size_mix)
             arrays = _make_request(rng, rows, array_size, dtype)
@@ -310,9 +322,21 @@ def run_service_traffic(
             if mode == "closed":
                 resolve(future, rows, t0)
             else:
+                # Stamp the completion instant from the future's own
+                # done-callback (fired synchronously at set_result time),
+                # not from the drain loop below — draining happens after
+                # the whole issue schedule finishes, and measuring there
+                # would report time-until-drain, inflating open-mode
+                # latency by however long the client kept issuing.
+                idx = len(pending)
+                future.add_done_callback(
+                    lambda _f, idx=idx: done_at.__setitem__(
+                        idx, time.perf_counter()
+                    )
+                )
                 pending.append((future, rows, t0))
-        for future, rows, t0 in pending:
-            resolve(future, rows, t0)
+        for idx, (future, rows, t0) in enumerate(pending):
+            resolve(future, rows, t0, completed_at=done_at.get(idx))
 
     wall = _run_clients(client, clients)
     return TrafficReport(

@@ -1,0 +1,157 @@
+"""Failover tests: dead workers are drained, accepted work is never
+dropped.
+
+The two-region slab invariant (workers never write the input half) is
+what makes these tests pass byte-identically: whatever instant a worker
+dies — even mid-result-memcpy — the parent re-dispatches from a
+pristine input copy.
+
+Three death modes are covered: hard process death (SIGKILL), silent
+stall (SIGSTOP past the liveness deadline), and total fleet death
+(parent fallback through the resilience layer).
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet import SortFleet
+from repro.service import RejectedError
+
+pytestmark = [pytest.mark.fleet, pytest.mark.faultinject]
+
+RNG = np.random.default_rng(99)
+
+
+def lingering_fleet(**kwargs):
+    """A fleet whose workers hold requests in their batcher long enough
+    for the test to kill a worker with work demonstrably in flight."""
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("linger_ms", 400.0)
+    kwargs.setdefault("batch_target_rows", 100_000)
+    kwargs.setdefault("heartbeat_s", 0.02)
+    kwargs.setdefault("liveness_s", 0.5)
+    kwargs.setdefault("start_timeout_s", 60.0)
+    return SortFleet(**kwargs)
+
+
+def victim_of(fleet, lane_rows=0):
+    """The worker currently holding outstanding requests."""
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        loaded = [
+            worker_id
+            for worker_id, (alive, rows, reqs) in
+            fleet._router.snapshot().items()
+            if alive and reqs > 0
+        ]
+        if loaded:
+            return loaded[0]
+        time.sleep(0.01)
+    raise AssertionError("no worker ever showed outstanding requests")
+
+
+@pytest.mark.timeout(90)
+class TestWorkerDeath:
+    def test_sigkill_drains_all_inflight_to_survivor(self):
+        batches = [
+            RNG.integers(0, 10_000, size=(4, 32)).astype(np.float32)
+            for _ in range(8)
+        ]
+        with lingering_fleet(workers=2) as fl:
+            # One lane -> affinity parks every request on one worker,
+            # whose long linger keeps them all in flight.
+            futures = [fl.submit(b) for b in batches]
+            victim = victim_of(fl)
+            assert fl._router.snapshot()[victim][2] == len(batches)
+            fl.kill_worker(victim)
+            # Every accepted request still completes, byte-identically.
+            for batch, future in zip(batches, futures):
+                np.testing.assert_array_equal(
+                    future.result(timeout=60), np.sort(batch, axis=1)
+                )
+            stats = fl.stats()
+            assert stats.failovers == 1
+            assert stats.redispatched == len(batches)
+            assert stats.workers_alive == 1
+            assert not stats.workers[victim].alive
+            assert stats.workers[victim].redispatched == len(batches)
+            assert stats.frontend.completed == len(batches)
+            assert stats.frontend.failed == 0
+
+    def test_sigstop_stall_trips_liveness_and_drains(self):
+        batch = RNG.uniform(0, 1, size=(4, 32)).astype(np.float32)
+        with lingering_fleet(workers=2, liveness_s=0.3) as fl:
+            # Establish affinity with a quick request, then stall that
+            # worker silently: it stays process-alive but stops
+            # heartbeating, which must read as death.
+            warm = fl.submit(np.zeros((2, 32), dtype=np.float32))
+            warm.result(timeout=60)
+            victim = fl.stats()
+            victim = max(
+                victim.workers.values(), key=lambda w: w.completed
+            ).worker_id
+            pid = fl.stats().workers[victim].pid
+            os.kill(pid, signal.SIGSTOP)
+            try:
+                future = fl.submit(batch)
+                np.testing.assert_array_equal(
+                    future.result(timeout=60), np.sort(batch, axis=1)
+                )
+                stats = fl.stats()
+                assert stats.failovers >= 1
+                assert not stats.workers[victim].alive
+            finally:
+                try:
+                    os.kill(pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass  # liveness already reaped it
+
+    def test_dead_worker_leaves_routing(self):
+        with lingering_fleet(workers=2) as fl:
+            future = fl.submit(np.zeros((2, 16), dtype=np.float32))
+            victim = victim_of(fl)
+            fl.kill_worker(victim)
+            future.result(timeout=60)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if fl.workers_alive() == [1 - victim]:
+                    break
+                time.sleep(0.01)
+            assert fl.workers_alive() == [1 - victim]
+
+
+@pytest.mark.timeout(90)
+class TestTotalFleetDeath:
+    def test_parent_fallback_sorts_when_no_survivors(self):
+        batches = [
+            RNG.integers(0, 1000, size=(3, 16)).astype(np.float32)
+            for _ in range(3)
+        ]
+        with lingering_fleet(workers=1) as fl:
+            futures = [fl.submit(b) for b in batches]
+            fl.kill_worker(0)
+            for batch, future in zip(batches, futures):
+                np.testing.assert_array_equal(
+                    future.result(timeout=60), np.sort(batch, axis=1)
+                )
+            stats = fl.stats()
+            assert stats.parent_fallbacks == len(batches)
+            assert stats.workers_alive == 0
+            assert stats.frontend.completed == len(batches)
+
+    def test_submit_after_total_death_rejects_no_workers(self):
+        with lingering_fleet(workers=1) as fl:
+            fl.kill_worker(0)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if not fl.workers_alive():
+                    break
+                time.sleep(0.01)
+            with pytest.raises(RejectedError) as excinfo:
+                fl.submit(np.zeros((2, 8), dtype=np.float32))
+            assert excinfo.value.reason == "no-workers"
+            assert excinfo.value.retry_after > 0

@@ -1,0 +1,198 @@
+"""Unit tests for the fleet's routing policy — pure, clock-free, no
+processes.
+
+:class:`FleetRouter` is the fleet's whole decision core, so everything
+that matters about dispatch — lane affinity, least-outstanding-rows
+spill, the admission bound, the oversized-request escape hatch, the
+failover door, and the seeded backpressure hints — is pinned here with
+plain integers.
+"""
+
+import pytest
+
+from repro.fleet import FleetRouter
+from repro.fleet.router import DEFAULT_SPILL_FACTOR, DEFAULT_SPILL_SLACK_ROWS
+
+pytestmark = pytest.mark.fleet
+
+LANE = (64, "<f4")
+OTHER_LANE = (128, "<f8")
+
+
+def make(workers=2, *, bound=1000, **kwargs):
+    router = FleetRouter(max_worker_queue_rows=bound, **kwargs)
+    for worker_id in range(workers):
+        router.add_worker(worker_id)
+    return router
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FleetRouter(max_worker_queue_rows=0)
+        with pytest.raises(ValueError):
+            FleetRouter(max_worker_queue_rows=8, spill_factor=0.5)
+        with pytest.raises(ValueError):
+            FleetRouter(max_worker_queue_rows=8, spill_slack_rows=-1)
+        with pytest.raises(ValueError):
+            FleetRouter(max_worker_queue_rows=8, retry_jitter=-0.1)
+
+    def test_defaults_documented(self):
+        router = FleetRouter(max_worker_queue_rows=8)
+        assert router.spill_factor == DEFAULT_SPILL_FACTOR
+        assert router.spill_slack_rows == DEFAULT_SPILL_SLACK_ROWS
+
+
+class TestAffinity:
+    def test_lane_sticks_to_one_worker(self):
+        # Within the slack allowance, a lane keeps landing on the worker
+        # it first hit, even as its load pulls ahead of an idle peer.
+        router = make(workers=4, spill_slack_rows=64)
+        first = router.route(LANE, 8)
+        assert first is not None
+        for _ in range(5):
+            assert router.route(LANE, 8) == first
+        snap = router.snapshot()
+        assert snap[first][1] == 48  # all 6 dispatches on one worker
+        assert sum(out for _, out, _ in snap.values()) == 48
+
+    def test_distinct_lanes_spread_across_workers(self):
+        # First route picks the least-loaded worker, so distinct lanes
+        # land on distinct workers while any worker is still idle.
+        router = make(workers=2, spill_slack_rows=0)
+        a = router.route(LANE, 10)
+        b = router.route(OTHER_LANE, 10)
+        assert {a, b} == {0, 1}
+
+    def test_affinity_spills_past_factor_times_least(self):
+        # slack=0, factor=2: affinity holds only while the lane's worker
+        # carries <= 2x the least-loaded worker's rows.
+        router = make(workers=2, spill_factor=2.0, spill_slack_rows=0)
+        first = router.route(LANE, 100)  # first: 100, other: 0
+        spilled = router.route(LANE, 100)  # 100 > 2*0 -> spill
+        assert spilled is not None and spilled != first
+        # Affinity follows the spill target (now 100 vs 100: bound holds).
+        assert router.route(LANE, 50) == spilled
+
+    def test_slack_defers_spill_when_fleet_near_idle(self):
+        # With slack=64, 10 rows vs an idle worker is not "2x ahead".
+        router = make(workers=2, spill_factor=2.0, spill_slack_rows=64)
+        first = router.route(LANE, 10)
+        assert router.route(LANE, 10) == first
+
+    def test_dead_affinity_worker_is_abandoned(self):
+        router = make(workers=2, spill_slack_rows=0)
+        first = router.route(LANE, 10)
+        router.mark_dead(first)
+        survivor = router.route(LANE, 10)
+        assert survivor is not None and survivor != first
+
+
+class TestAdmission:
+    def test_rejects_when_every_worker_full(self):
+        router = make(workers=2, bound=100)
+        assert router.route(LANE, 100) is not None
+        assert router.route(OTHER_LANE, 100) is not None
+        assert router.route(LANE, 1) is None
+
+    def test_completion_restores_admission(self):
+        router = make(workers=1, bound=100)
+        worker = router.route(LANE, 100)
+        assert router.route(LANE, 1) is None
+        router.record_done(worker, 100)
+        assert router.route(LANE, 1) == worker
+
+    def test_oversized_request_admitted_only_on_idle_worker(self):
+        # A request larger than the bound would otherwise be unservable;
+        # it is admitted, but only onto a worker with nothing queued.
+        router = make(workers=2, bound=100)
+        big = router.route(LANE, 500)
+        assert big is not None
+        # Both workers: one holds 500 rows, the other is idle.
+        assert router.route(OTHER_LANE, 500) is not None
+        # Now nobody is idle: a further oversized request is declined.
+        assert router.route((32, "<i4"), 500) is None
+
+    def test_no_alive_workers_declines(self):
+        router = make(workers=2)
+        router.mark_dead(0)
+        router.mark_dead(1)
+        assert router.route(LANE, 1) is None
+        assert router.alive_workers() == []
+
+
+class TestFailover:
+    def test_route_failover_ignores_admission_bound(self):
+        router = make(workers=2, bound=100)
+        router.route(LANE, 100)
+        router.route(OTHER_LANE, 100)
+        assert router.route(LANE, 50) is None  # normal door: full
+        target = router.route_failover(LANE, 50)  # failover door: lands
+        assert target is not None
+        assert router.snapshot()[target][1] == 150
+
+    def test_route_failover_none_only_when_no_survivors(self):
+        router = make(workers=1)
+        router.mark_dead(0)
+        assert router.route_failover(LANE, 1) is None
+
+    def test_forget_outstanding_zeroes_dead_worker(self):
+        router = make(workers=2)
+        worker = router.route(LANE, 64)
+        router.mark_dead(worker)
+        router.forget_outstanding(worker)
+        alive, rows, reqs = router.snapshot()[worker]
+        assert (alive, rows, reqs) == (False, 0, 0)
+
+
+class TestBookkeeping:
+    def test_record_done_never_goes_negative(self):
+        router = make(workers=1)
+        router.record_done(0, 999)
+        assert router.outstanding_rows(0) == 0
+        router.record_done(7, 10)  # unknown worker: ignored
+        assert router.outstanding_rows() == 0
+
+    def test_outstanding_rows_totals(self):
+        router = make(workers=2, spill_slack_rows=0)
+        router.route(LANE, 30)
+        router.route(OTHER_LANE, 20)
+        assert router.outstanding_rows() == 50
+
+
+class TestRetryAfter:
+    def test_floored_at_linger(self):
+        router = make(workers=1, linger_s=0.02, retry_jitter=0.0)
+        # Empty fleet at a high drain rate: the hint is still one linger.
+        assert router.retry_after(1e9) == pytest.approx(0.02)
+
+    def test_scales_with_deepest_queue(self):
+        router = make(workers=2, linger_s=0.001, retry_jitter=0.0,
+                      spill_slack_rows=0)
+        router.route(LANE, 1000)  # deepest: 1000 rows
+        router.route(OTHER_LANE, 10)
+        assert router.retry_after(100.0) == pytest.approx(10.0)
+
+    def test_no_rate_gives_two_lingers(self):
+        router = make(workers=1, linger_s=0.01, retry_jitter=0.0)
+        assert router.retry_after(None) == pytest.approx(0.02)
+        assert router.retry_after(0.0) == pytest.approx(0.02)
+
+    def test_jitter_bounded(self):
+        router = make(workers=1, linger_s=0.01, retry_jitter=0.25,
+                      retry_jitter_seed=3)
+        base = 0.02  # no rate -> 2 * linger
+        for _ in range(50):
+            hint = router.retry_after(None)
+            assert base <= hint <= base * 1.25
+
+    def test_seeded_jitter_is_deterministic(self):
+        # Same seed -> identical hint sequences (satellite: deterministic
+        # backpressure under test, mirroring SortService retry_jitter_seed).
+        a = make(workers=1, retry_jitter=0.25, retry_jitter_seed=42)
+        b = make(workers=1, retry_jitter=0.25, retry_jitter_seed=42)
+        hints_a = [a.retry_after(None) for _ in range(20)]
+        hints_b = [b.retry_after(None) for _ in range(20)]
+        assert hints_a == hints_b
+        c = make(workers=1, retry_jitter=0.25, retry_jitter_seed=43)
+        assert [c.retry_after(None) for _ in range(20)] != hints_a

@@ -1,0 +1,171 @@
+"""Property tests for Prometheus label escaping.
+
+Tenant ids are caller-supplied strings; a tenant named ``evil"}\\n`` must
+not be able to break out of its ``label="..."`` quoting and forge
+metrics lines.  These tests feed hostile strings (quotes, newlines,
+backslashes, braces, and arbitrary hypothesis-generated text) through
+:func:`repro.service.metrics.escape_label_value` and through *real*
+renders of both the service and fleet exposition formats, then assert:
+
+* the escaped value round-trips (a scraper that unescapes per the
+  exposition-format spec recovers the original tenant id exactly);
+* every rendered line still parses under the exposition-line grammar —
+  one series per line, label values properly quoted.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import render_fleet_prometheus
+from repro.service.metrics import escape_label_value, render_prometheus
+
+pytestmark = pytest.mark.service
+
+# The exposition format's required escapes: backslash, double-quote,
+# line-feed.  Everything else passes through raw.
+_UNESCAPE = {"\\": "\\", '"': '"', "n": "\n"}
+
+# One metrics line whose single label is tenant="...": the value part
+# admits any char except raw quote/backslash, or a backslash escape.
+_TENANT_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'\{tenant="(?P<value>(?:[^"\\\n]|\\.)*)"\}'
+    r" (?P<num>\S+)$"
+)
+
+# Text heavy in the characters that actually matter for escaping,
+# mixed with arbitrary unicode.
+hostile_text = st.one_of(
+    st.text(alphabet=st.sampled_from(list('\\"\n{}=,x '))),
+    st.text(),
+)
+
+
+def unescape(value: str) -> str:
+    """Spec-side inverse of :func:`escape_label_value`."""
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\":
+            assert i + 1 < len(value), f"dangling backslash in {value!r}"
+            nxt = value[i + 1]
+            assert nxt in _UNESCAPE, f"unknown escape \\{nxt} in {value!r}"
+            out.append(_UNESCAPE[nxt])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class TestEscapeLabelValue:
+    @given(hostile_text)
+    @settings(max_examples=300)
+    def test_round_trips(self, raw):
+        assert unescape(escape_label_value(raw)) == raw
+
+    @given(hostile_text)
+    @settings(max_examples=300)
+    def test_no_raw_newline_or_quote_survives(self, raw):
+        escaped = escape_label_value(raw)
+        assert "\n" not in escaped
+        # Every quote and backslash is part of a valid escape sequence:
+        # the whole string matches the quoted-label-value grammar.
+        assert re.fullmatch(r'(?:[^"\\\n]|\\[\\"n])*', escaped)
+
+    @given(st.text(), st.text())
+    @settings(max_examples=200)
+    def test_injective_on_distinct_inputs(self, a, b):
+        # Escaping must not collapse two tenant ids into one series.
+        if a != b:
+            assert escape_label_value(a) != escape_label_value(b)
+
+    @pytest.mark.parametrize("raw,expected", [
+        ('say "hi"', r'say \"hi\"'),
+        ("two\nlines", r"two\nlines"),
+        ("back\\slash", r"back\\slash"),
+        ('\\"\n', r'\\\"\n'),
+        ("plain", "plain"),
+    ])
+    def test_documented_examples(self, raw, expected):
+        assert escape_label_value(raw) == expected
+
+
+def tenant_lines(text: str):
+    """Parse every tenant-labelled line; fail on any malformed one."""
+    found = []
+    # Split on "\n" only: the exposition format is line-oriented on
+    # line-feed, and str.splitlines would over-split on exotic
+    # boundaries (\x1c..\x1e,  ...) that are legal inside labels.
+    for line in text.split("\n"):
+        if 'tenant="' not in line:
+            continue
+        match = _TENANT_LINE.match(line)
+        assert match, f"unparseable exposition line: {line!r}"
+        found.append((match.group("name"), unescape(match.group("value"))))
+    return found
+
+
+class TestServiceRenderWithHostileTenants:
+    @given(st.lists(hostile_text, min_size=1, max_size=4, unique=True))
+    @settings(max_examples=100)
+    def test_tenant_series_parse_and_round_trip(self, tenants):
+        metrics = {
+            "service": {"submitted": 3},
+            "queue": {
+                "depth_requests": 0,
+                "tenant_backlog_rows": {t: 5 for t in tenants},
+            },
+            "tenants": {t: {"admitted": 1, "completed": 1} for t in tenants},
+        }
+        text = render_prometheus(metrics)
+        parsed = tenant_lines(text)
+        assert parsed, "expected tenant-labelled series"
+        recovered = {value for _, value in parsed}
+        assert recovered == set(tenants)
+        # One series per line: line count is exactly what we emitted.
+        assert text.endswith("\n")
+        assert all("\n" not in name for name, _ in parsed)
+
+
+class TestFleetRenderWithHostileTenants:
+    @given(st.lists(hostile_text, min_size=1, max_size=4, unique=True))
+    @settings(max_examples=100)
+    def test_tenant_series_parse_and_round_trip(self, tenants):
+        metrics = {
+            "fleet": {"submitted": 1, "workers_alive": 2},
+            "tenants": {
+                t: {"admitted": 1, "completed": 1, "shed": 0}
+                for t in tenants
+            },
+            "workers": {
+                "0": {"alive": True, "outstanding_rows": 0,
+                      "service": {"completed": 1}},
+            },
+            "aggregate": {"completed": 1},
+        }
+        text = render_fleet_prometheus(metrics)
+        parsed = tenant_lines(text)
+        assert parsed, "expected tenant-labelled series"
+        recovered = {value for _, value in parsed}
+        assert recovered == set(tenants)
+
+    @given(hostile_text)
+    @settings(max_examples=100)
+    def test_worker_label_is_escaped_too(self, worker_key):
+        metrics = {"workers": {worker_key: {"alive": True}}}
+        text = render_fleet_prometheus(metrics)
+        for line in text.split("\n"):
+            if not line:
+                continue
+            match = re.match(
+                r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+                r'\{worker="((?:[^"\\\n]|\\[\\"n])*)"\} \S+$',
+                line,
+            )
+            assert match, f"unparseable worker line: {line!r}"
+            assert unescape(match.group(1)) == worker_key
