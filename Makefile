@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install check lint statan test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate radix-gate service-gate bench-service chaos-smoke chaos-gate bench-chaos fleet-smoke fleet-gate bench-fleet report examples figures table1 clean
+.PHONY: install check lint statan test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate radix-gate service-gate bench-service chaos-smoke chaos-gate bench-chaos fleet-smoke fleet-gate bench-fleet capacity-smoke capacity-gate bench-capacity report examples figures table1 clean
 
 # Smoke benchmark artifacts are throwaway sanity outputs; they go to the
 # temp dir, never the repo root (gate artifacts ARE committed).
@@ -14,7 +14,7 @@ install:
 # The default pre-PR gate: static analysis first (fails in seconds),
 # then the test suite, then the radix and fleet gates re-applied to the
 # committed benchmark artifacts (no re-benchmarking; seconds each).
-check: lint test radix-gate fleet-gate
+check: lint test radix-gate fleet-gate capacity-gate
 
 # ruff and mypy run when installed (CI installs them; a bare container
 # may not have them) — statan always runs, it is stdlib-only.
@@ -137,6 +137,31 @@ fleet-gate:
 bench-fleet:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py --grid load \
 		--gate --out BENCH_fleet.json
+
+# Capacity smoke: the capacity-marked tests (budget model, spill store,
+# resume/kill, RLIMIT_AS ceiling) plus the smoke bench grid written to
+# the temp dir and schema-checked.  A minute or so; no repo artifact.
+capacity-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m capacity -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_capacity.py --grid smoke \
+		--out $(SMOKE_DIR)/BENCH_capacity_smoke.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_capacity.py \
+		--check-schema $(SMOKE_DIR)/BENCH_capacity_smoke.json
+
+# Capacity gate re-applied to the committed artifact (no
+# re-benchmarking): a batch >= 4x larger than its declared memory
+# budget sorted byte-identically through the spill path, and the
+# kill-resume cell completed from checkpoint with zero re-emitted
+# chunks.
+capacity-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_capacity.py \
+		--check-gate BENCH_capacity.json
+
+# Full capacity artifact — this is what the committed
+# BENCH_capacity.json was produced with (gated live while generating).
+bench-capacity:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_capacity.py --grid load \
+		--gate --out BENCH_capacity.json
 
 # Full artifact including the paper's Fig. 4 anchor (N=1e5, n=1000,
 # float32); several minutes — this is what the committed

@@ -35,6 +35,13 @@ from .core import (
 )
 from .fleet import FleetStats, SortFleet
 from .gpusim.faults import FaultPlan
+from .outofcore import (
+    CapacityResult,
+    CapacitySorter,
+    CapacityStats,
+    SpillStore,
+    parse_memory_size,
+)
 from .planner import ExecutionPlan, ExecutionPlanner, StaticPlanner
 from .resilience import ResilienceStats, ResilientSorter
 from .service import (
@@ -48,6 +55,9 @@ from .service import (
 )
 
 __all__ = [
+    "CapacityResult",
+    "CapacitySorter",
+    "CapacityStats",
     "DEFAULT_CONFIG",
     "DeadlineExceededError",
     "ExecutionPlan",
@@ -67,8 +77,10 @@ __all__ = [
     "SortFleet",
     "SortResult",
     "SortService",
+    "SpillStore",
     "StaticPlanner",
     "__version__",
+    "parse_memory_size",
     "sort_arrays",
     "sort_pairs",
     "top_k",

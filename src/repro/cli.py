@@ -100,6 +100,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_ooc.add_argument("--device", default="k40c")
     p_ooc.add_argument("--pcie-gbps", type=float, default=12.0)
 
+    p_cap = sub.add_parser(
+        "capacity",
+        help="sort a batch larger than a declared memory budget "
+             "(out-of-core, spill-to-disk, resumable)",
+    )
+    p_cap.add_argument("--num-arrays", "-N", type=int, default=100_000)
+    p_cap.add_argument("--array-size", "-n", type=int, default=1000)
+    p_cap.add_argument("--dtype", choices=["float64", "float32", "int64",
+                                           "int32"], default="float64")
+    p_cap.add_argument(
+        "--memory-budget", default="256M", metavar="SIZE",
+        help="working-memory ceiling, e.g. 256M, 2G (binary units)",
+    )
+    p_cap.add_argument(
+        "--spill-dir", required=True,
+        help="run directory for input, sorted chunks, manifest, checkpoint",
+    )
+    p_cap.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed run from its manifest/checkpoint",
+    )
+    p_cap.add_argument(
+        "--reclaim", action="store_true",
+        help="delete stale state from a previous run before starting",
+    )
+    p_cap.add_argument("--workload", choices=["uniform", "normal"],
+                       default="uniform")
+    p_cap.add_argument("--seed", type=int, default=0)
+    p_cap.add_argument(
+        "--planner", choices=["auto", "fused", "sharded", "radix"],
+        default="auto",
+    )
+    p_cap.add_argument("--verify", action="store_true",
+                       help="verify each chunk after sorting")
+    p_cap.add_argument(
+        "--max-chunk-rows", type=int, default=0,
+        help="cap chunk rows below what the budget allows (0 = uncapped)",
+    )
+
     p_cal = sub.add_parser(
         "calibrate", help="refit the model constants from the paper anchors"
     )
@@ -513,6 +552,83 @@ def _cmd_outofcore(args) -> int:
     return 0
 
 
+def _cmd_capacity(args) -> int:
+    from pathlib import Path
+
+    from .outofcore import (
+        BatchFile,
+        CapacitySorter,
+        format_memory_size,
+        parse_memory_size,
+        write_batch_file,
+    )
+
+    spill_dir = Path(args.spill_dir)
+    spill_dir.mkdir(parents=True, exist_ok=True)
+    dtype = np.dtype(args.dtype)
+    rows, row_len = args.num_arrays, args.array_size
+    input_path = spill_dir / "input.bin"
+    expected = rows * row_len * dtype.itemsize
+    if args.resume and input_path.exists() and \
+            input_path.stat().st_size >= expected:
+        print(f"reusing input {input_path} ({expected} bytes)")
+    else:
+        def block(block_index: int, start: int, take: int) -> np.ndarray:
+            # Per-block generator seeded by (seed, block): bounded memory
+            # and reproducible regardless of block size or resume point.
+            rng = np.random.default_rng([args.seed, block_index])
+            if args.workload == "normal":
+                data = rng.normal(0.0, 1.0, (take, row_len))
+            else:
+                data = rng.uniform(0.0, 2**31 - 1, (take, row_len))
+            return data.astype(dtype)
+
+        write_batch_file(input_path, block, rows=rows, row_len=row_len,
+                         dtype=dtype)
+        print(f"wrote input {input_path} ({expected} bytes)")
+    source = BatchFile(path=input_path, rows=rows, row_len=row_len,
+                       dtype=dtype)
+
+    budget = parse_memory_size(args.memory_budget)
+    sorter = CapacitySorter(
+        budget,
+        planner=args.planner,
+        verify=args.verify,
+        max_chunk_rows=args.max_chunk_rows,
+        progress=lambda info: print(
+            f"  chunk {info['index']:>6}: {info['rows']} rows "
+            f"({info['rows_done']}/{info['total_rows']})"
+        ),
+    )
+    plan = sorter.plan(rows, row_len, dtype)
+    print(
+        f"budget {format_memory_size(budget)}: "
+        f"{plan.num_chunks} chunk(s) of {plan.chunk_rows} rows "
+        f"({format_memory_size(plan.working_set_bytes)} working set, "
+        f"batch {format_memory_size(plan.total_bytes)}, "
+        f"{plan.oversubscription:.1f}x over budget)"
+    )
+    result = sorter.run(
+        source, spill_dir=spill_dir / "spill",
+        resume=args.resume, reclaim=args.reclaim,
+    )
+    stats = result.stats
+    throughput = stats.rows_sorted / max(stats.wall_seconds, 1e-9)
+    print(
+        f"done: {stats.chunks_committed} committed "
+        f"(+{stats.chunks_resumed} resumed), "
+        f"{stats.rows_sorted} rows in {stats.wall_seconds:.2f}s "
+        f"({throughput:,.0f} rows/s), "
+        f"{format_memory_size(stats.spill_bytes_written)} spilled"
+    )
+    if stats.shrink_events or stats.serial_fallback_chunks:
+        print(
+            f"degraded: {stats.shrink_events} shrink(s), "
+            f"{stats.serial_fallback_chunks} serial-fallback chunk(s)"
+        )
+    return 0
+
+
 def _cmd_calibrate(args) -> int:
     from .analysis.calibration import (
         PAPER_TIME_ANCHORS,
@@ -549,6 +665,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_pairs(args)
     if args.command == "outofcore":
         return _cmd_outofcore(args)
+    if args.command == "capacity":
+        return _cmd_capacity(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     if args.command == "workloads":

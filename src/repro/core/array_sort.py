@@ -131,6 +131,15 @@ class GpuArraySort:
         ``True`` for a private one) pools the work copy, phase-1
         staging, and fused metadata.  Arena-backed results are marked
         ``scratch=True`` — valid until this sorter's next ``sort``.
+    memory_budget:
+        Working-memory ceiling (bytes, or a size string like ``"512M"``)
+        that routes ``sort()`` through the out-of-core capacity tier:
+        batches whose working set exceeds the budget are sorted
+        chunk-by-chunk via :class:`~repro.outofcore.CapacitySorter`
+        (the declared planner — default ``"auto"`` — picks the engine
+        per chunk).  Vectorized engine only, and mutually exclusive
+        with ``parallel`` and ``sampler``.  The result carries the
+        capacity run on a dynamic ``capacity`` attribute.
     """
 
     ENGINES = ("vectorized", "sim", "model")
@@ -147,6 +156,7 @@ class GpuArraySort:
         workers: Optional[int] = None,
         planner=None,
         workspace=None,
+        memory_budget=None,
     ) -> None:
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
@@ -197,6 +207,27 @@ class GpuArraySort:
             from .workspace import ScratchArena
 
             self.workspace = ScratchArena()
+        self.memory_budget: Optional[int] = None
+        if memory_budget is not None:
+            if engine != "vectorized":
+                raise ValueError(
+                    "memory_budget requires engine='vectorized' "
+                    f"(got engine={engine!r})"
+                )
+            if parallel is not None:
+                raise ValueError(
+                    "memory_budget and parallel are mutually exclusive: the "
+                    "capacity tier's per-chunk planner chooses the engine "
+                    "(pass planner='sharded' to force sharded chunks)"
+                )
+            if sampler is not None:
+                raise ValueError(
+                    "memory_budget does not support a custom sampler: "
+                    "chunks run the standard phase-1 sampling"
+                )
+            from ..outofcore.budget import parse_memory_size  # local: optional subsystem
+
+            self.memory_budget = parse_memory_size(memory_budget)
 
     @property
     def planner(self):
@@ -233,6 +264,11 @@ class GpuArraySort:
         batch = validate_batch(batch)
         if batch.shape[0] == 0:
             return SortResult(batch=batch.copy() if not inplace else batch)
+
+        if self.memory_budget is not None:
+            return self._sort_capacity(
+                batch, inplace=inplace, descending=descending
+            )
 
         # Plan before the work copy: a process-pool plan wants the copy
         # staged straight into a shared-memory slab so the engine can
@@ -282,6 +318,33 @@ class GpuArraySort:
             assert_batch_sorted(result.batch, reference)
         if descending:
             result.batch[:] = result.batch[:, ::-1]
+        return result
+
+    def _sort_capacity(
+        self, batch: np.ndarray, *, inplace: bool, descending: bool
+    ) -> SortResult:
+        """Route one batch through the out-of-core capacity tier.
+
+        Chunks run the declared planner (or ``"auto"``) with per-chunk
+        verification when ``verify=True``; the chunk schedule, spill
+        counters, and degradation events land on the returned result's
+        dynamic ``capacity`` attribute (a
+        :class:`~repro.outofcore.CapacityResult`).
+        """
+        from ..outofcore.capacity import CapacitySorter  # local: optional subsystem
+
+        capacity = CapacitySorter(
+            self.memory_budget,
+            config=self.config,
+            planner=self._planner if self._planner is not None else "auto",
+            verify=self.verify,
+        )
+        run = capacity.sort(batch, inplace=inplace, descending=descending)
+        result = SortResult(
+            batch=run.batch,
+            phase_seconds={"capacity_chunks": run.stats.wall_seconds},
+        )
+        result.capacity = run  # decision provenance, like execution_plan
         return result
 
     def argsort(self, batch: np.ndarray, *, descending: bool = False) -> np.ndarray:

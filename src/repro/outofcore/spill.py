@@ -1,0 +1,533 @@
+"""Spill store: crash-safe on-disk chunk files behind the capacity tier.
+
+A run that sorts more data than fits in RAM keeps its intermediate
+state on disk.  :class:`SpillStore` owns one run directory:
+
+* sorted chunks land as raw binary files (``chunk_000042.bin``) written
+  to a temp name, fsynced, and **renamed into place** — a chunk either
+  exists completely or not at all;
+* a JSON manifest (schema ``repro-spill/v1``) records every committed
+  chunk with its row range, byte size, and CRC32 — the manifest is the
+  single source of truth for what a resumed run may skip, and is itself
+  rewritten atomically on every commit;
+* a checkpoint slot persists the producer-side
+  :class:`~repro.core.streaming.StreamCheckpoint` (staging prefix +
+  batch-id counters) alongside the manifest, so a killed run resumes
+  from the last committed chunk;
+* reads go through :func:`numpy.memmap` windows — verification and
+  output assembly never materialize the whole batch.
+
+Directory hygiene: a directory holding state from a *previous* run
+(manifest present, or stray ``chunk_*.bin``/checkpoint files from a
+dead run that never wrote a manifest) is **refused** with a
+:class:`SpillDirectoryError` unless the caller passes ``resume=True``
+(adopt the committed chunks) or ``reclaim=True`` (delete the stale
+state and start fresh).  Silent mixing of two runs' chunk files is the
+failure mode this guards against.
+
+:class:`BatchFile` is the matching *input* abstraction: a file-backed
+``(rows, row_len)`` batch read in bounded windows (``readinto`` a
+reusable buffer), so neither the input nor the output ever charges the
+memory budget for more than one chunk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import os
+import uuid
+import zlib
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BatchFile",
+    "ChunkRecord",
+    "MANIFEST_SCHEMA",
+    "SpillCorruptionError",
+    "SpillDirectoryError",
+    "SpillError",
+    "SpillStore",
+    "write_batch_file",
+]
+
+MANIFEST_SCHEMA = "repro-spill/v1"
+
+_MANIFEST_NAME = "manifest.json"
+_CHECKPOINT_NAME = "checkpoint.npz"
+_CHUNK_FMT = "chunk_{index:06d}.bin"
+_CRC_BLOCK = 4 * 1024 * 1024
+
+
+class SpillError(RuntimeError):
+    """Base class for spill-store failures."""
+
+
+class SpillDirectoryError(SpillError):
+    """The spill directory holds state from another run (see hygiene)."""
+
+
+class SpillCorruptionError(SpillError):
+    """A chunk file does not match its manifest record (size or CRC)."""
+
+
+def _crc32_array(array: np.ndarray) -> int:
+    """CRC32 over an array's bytes, computed in bounded blocks."""
+    view = memoryview(np.ascontiguousarray(array)).cast("B")
+    crc = 0
+    for start in range(0, len(view), _CRC_BLOCK):
+        crc = zlib.crc32(view[start : start + _CRC_BLOCK], crc)
+    return crc & 0xFFFFFFFF
+
+
+def _fsync_path(path: Path) -> None:
+    """Best-effort fsync of a file or directory (directories may refuse)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        return  # e.g. directories on some filesystems; rename already landed
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_path(path.parent)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkRecord:
+    """One committed chunk in the manifest."""
+
+    index: int
+    start_row: int
+    rows: int
+    filename: str
+    nbytes: int
+    crc32: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChunkRecord":
+        return cls(
+            index=int(payload["index"]),
+            start_row=int(payload["start_row"]),
+            rows=int(payload["rows"]),
+            filename=str(payload["filename"]),
+            nbytes=int(payload["nbytes"]),
+            crc32=int(payload["crc32"]),
+        )
+
+
+class SpillStore:
+    """Crash-safe chunk files + manifest for one capacity run.
+
+    Parameters
+    ----------
+    directory:
+        The run directory (created if missing).
+    array_size:
+        Row length of every chunk (fixed per run).
+    dtype:
+        Element dtype of every chunk.
+    resume:
+        Adopt an existing manifest in ``directory`` — committed chunks
+        are validated (file present, size matches) and become skippable
+        work.  With no manifest present, starts a fresh run.
+    reclaim:
+        Delete stale run state (manifest, chunk files, checkpoint) left
+        by a previous run before starting fresh.
+    meta:
+        Run-level metadata persisted in the manifest (e.g. total rows,
+        budget) — available to a resuming process.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        array_size: int,
+        dtype,
+        resume: bool = False,
+        reclaim: bool = False,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if array_size < 1:
+            raise SpillError(f"array_size must be >= 1, got {array_size}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.array_size = int(array_size)
+        self.dtype = np.dtype(dtype)
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.run_id = uuid.uuid4().hex
+        self.resumed_from: Optional[str] = None
+        self._records: Dict[int, ChunkRecord] = {}
+        self._recommits = 0
+
+        manifest_path = self.directory / _MANIFEST_NAME
+        stale = self._stale_files()
+        if manifest_path.exists():
+            if resume:
+                self._adopt_manifest(manifest_path)
+            elif reclaim:
+                self._reclaim(manifest_path)
+            else:
+                previous = self._peek_run_id(manifest_path)
+                raise SpillDirectoryError(
+                    f"spill directory {self.directory} already holds a "
+                    f"manifest from run {previous} "
+                    f"({len(self._peek_chunks(manifest_path))} committed "
+                    "chunk(s)); pass resume=True to continue that run or "
+                    "reclaim=True to delete its state and start fresh"
+                )
+        elif stale and not reclaim:
+            names = ", ".join(sorted(p.name for p in stale)[:5])
+            raise SpillDirectoryError(
+                f"spill directory {self.directory} holds {len(stale)} "
+                f"chunk/checkpoint file(s) from a dead run with no "
+                f"manifest ({names}{', ...' if len(stale) > 5 else ''}); "
+                "pass reclaim=True to delete them and start fresh"
+            )
+        elif stale:
+            for path in stale:
+                path.unlink()
+        if not manifest_path.exists() or not resume:
+            self._write_manifest()
+
+    # -- hygiene ----------------------------------------------------------
+    def _stale_files(self) -> List[Path]:
+        out = list(self.directory.glob("chunk_*.bin"))
+        out += list(self.directory.glob("chunk_*.bin.tmp"))
+        checkpoint = self.directory / _CHECKPOINT_NAME
+        if checkpoint.exists():
+            out.append(checkpoint)
+        return out
+
+    @staticmethod
+    def _peek_run_id(manifest_path: Path) -> str:
+        try:
+            payload = json.loads(manifest_path.read_text())
+            return str(payload.get("run_id", "<unknown>"))
+        except (OSError, ValueError):
+            return "<unreadable>"
+
+    @staticmethod
+    def _peek_chunks(manifest_path: Path) -> List[object]:
+        try:
+            payload = json.loads(manifest_path.read_text())
+            chunks = payload.get("chunks", [])
+            return chunks if isinstance(chunks, list) else []
+        except (OSError, ValueError):
+            return []
+
+    def _reclaim(self, manifest_path: Path) -> None:
+        for path in self._stale_files():
+            path.unlink()
+        manifest_path.unlink()
+
+    def _adopt_manifest(self, manifest_path: Path) -> None:
+        try:
+            payload = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            raise SpillCorruptionError(
+                f"manifest {manifest_path} is not valid JSON: {exc}"
+            ) from exc
+        if payload.get("schema") != MANIFEST_SCHEMA:
+            raise SpillError(
+                f"manifest schema {payload.get('schema')!r} is not "
+                f"{MANIFEST_SCHEMA!r}"
+            )
+        if int(payload["array_size"]) != self.array_size:
+            raise SpillError(
+                f"manifest is for array_size {payload['array_size']}, "
+                f"this run uses {self.array_size}"
+            )
+        if np.dtype(payload["dtype"]) != self.dtype:
+            raise SpillError(
+                f"manifest is for dtype {payload['dtype']}, this run uses "
+                f"{self.dtype.str}"
+            )
+        self.resumed_from = str(payload.get("run_id"))
+        self.run_id = self.resumed_from
+        stored_meta = payload.get("meta", {})
+        if isinstance(stored_meta, dict):
+            merged = dict(stored_meta)
+            merged.update(self.meta)
+            self.meta = merged
+        for entry in payload.get("chunks", []):
+            record = ChunkRecord.from_dict(entry)
+            path = self.directory / record.filename
+            if not path.exists():
+                raise SpillCorruptionError(
+                    f"manifest lists {record.filename} but the file is "
+                    "missing; the directory was tampered with"
+                )
+            if path.stat().st_size != record.nbytes:
+                raise SpillCorruptionError(
+                    f"{record.filename} is {path.stat().st_size} bytes, "
+                    f"manifest says {record.nbytes}"
+                )
+            self._records[record.index] = record
+
+    # -- manifest ---------------------------------------------------------
+    @property
+    def committed(self) -> List[ChunkRecord]:
+        """Committed chunks, ordered by index."""
+        return [self._records[i] for i in sorted(self._records)]
+
+    @property
+    def rows_committed(self) -> int:
+        return sum(r.rows for r in self._records.values())
+
+    @property
+    def spill_bytes_written(self) -> int:
+        return sum(r.nbytes for r in self._records.values())
+
+    @property
+    def recommits(self) -> int:
+        """Chunks re-committed under an index that already existed."""
+        return self._recommits
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.meta.get("complete", False))
+
+    def mark_complete(self) -> None:
+        self.meta["complete"] = True
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "schema": MANIFEST_SCHEMA,
+            "run_id": self.run_id,
+            "array_size": self.array_size,
+            "dtype": self.dtype.str,
+            "meta": self.meta,
+            "chunks": [r.as_dict() for r in self.committed],
+        }
+        _atomic_write_bytes(
+            self.directory / _MANIFEST_NAME,
+            json.dumps(payload, indent=1).encode(),
+        )
+
+    # -- chunk I/O --------------------------------------------------------
+    def commit_chunk(
+        self, index: int, start_row: int, rows: np.ndarray
+    ) -> ChunkRecord:
+        """Durably write one sorted chunk and record it in the manifest.
+
+        Write-to-temp + fsync + rename, then an atomic manifest rewrite:
+        a crash at any point leaves either the previous manifest (chunk
+        absent — it will be re-sorted) or the new one (chunk committed —
+        it will be skipped).  Committing an index that already exists
+        replaces it (the at-least-once retry path) and ticks
+        :attr:`recommits`.
+        """
+        rows = np.ascontiguousarray(rows, dtype=self.dtype)
+        if rows.ndim != 2 or rows.shape[1] != self.array_size:
+            raise SpillError(
+                f"chunk must be (rows, {self.array_size}), got {rows.shape}"
+            )
+        filename = _CHUNK_FMT.format(index=index)
+        tmp = self.directory / (filename + ".tmp")
+        with open(tmp, "wb") as handle:
+            rows.tofile(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.directory / filename)
+        _fsync_path(self.directory)
+        record = ChunkRecord(
+            index=int(index),
+            start_row=int(start_row),
+            rows=int(rows.shape[0]),
+            filename=filename,
+            nbytes=int(rows.nbytes),
+            crc32=_crc32_array(rows),
+        )
+        if index in self._records:
+            self._recommits += 1
+        self._records[int(index)] = record
+        self._write_manifest()
+        return record
+
+    def open_chunk(self, record: ChunkRecord, *, verify: bool = False) -> np.ndarray:
+        """Read-only :func:`numpy.memmap` window over one committed chunk."""
+        path = self.directory / record.filename
+        if not path.exists() or path.stat().st_size != record.nbytes:
+            raise SpillCorruptionError(
+                f"{record.filename}: missing or wrong size on disk"
+            )
+        chunk = np.memmap(
+            path, dtype=self.dtype, mode="r",
+            shape=(record.rows, self.array_size),
+        )
+        if verify and _crc32_array(chunk) != record.crc32:
+            raise SpillCorruptionError(
+                f"{record.filename}: CRC mismatch (file corrupted)"
+            )
+        return chunk
+
+    def verify_chunk(self, record: ChunkRecord) -> bool:
+        """CRC-check one committed chunk without raising."""
+        try:
+            self.open_chunk(record, verify=True)
+        except SpillCorruptionError:
+            return False
+        return True
+
+    def iter_chunks(self, *, verify: bool = False) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(start_row, memmap)`` per committed chunk, in row order."""
+        for record in sorted(self.committed, key=lambda r: r.start_row):
+            yield record.start_row, self.open_chunk(record, verify=verify)
+
+    # -- checkpoint -------------------------------------------------------
+    def save_checkpoint(self, payload: Dict[str, object],
+                        staging: np.ndarray) -> None:
+        """Atomically persist the streaming checkpoint next to the manifest."""
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            staging=np.ascontiguousarray(staging, dtype=self.dtype),
+            meta=np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8),
+        )
+        _atomic_write_bytes(self.directory / _CHECKPOINT_NAME, buffer.getvalue())
+
+    def load_checkpoint(self) -> Optional[Tuple[Dict[str, object], np.ndarray]]:
+        """Load the persisted checkpoint, or ``None`` if absent/unreadable.
+
+        An unreadable checkpoint is treated as absent (the manifest alone
+        is enough to resume — only a partial staging tail is lost, and
+        the input source is durable), but the corruption is surfaced via
+        the returned ``None`` path's caller counting it.
+        """
+        path = self.directory / _CHECKPOINT_NAME
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta"]).decode())
+                staging = np.array(archive["staging"], dtype=self.dtype)
+        except (OSError, ValueError, KeyError, zlib.error):
+            return None
+        return meta, staging
+
+    def clear_checkpoint(self) -> None:
+        path = self.directory / _CHECKPOINT_NAME
+        if path.exists():
+            path.unlink()
+
+
+@dataclasses.dataclass
+class BatchFile:
+    """File-backed ``(rows, row_len)`` input batch, read in windows.
+
+    Unlike mapping the whole file, :meth:`read_into` seeks and
+    ``readinto``-fills a caller-provided buffer, so a capacity run's
+    address space holds at most one chunk of input at a time — this is
+    what lets the ``RLIMIT_AS`` tests pin the budget for real.
+    """
+
+    path: Path
+    rows: int
+    row_len: int
+    dtype: np.dtype
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+        self.dtype = np.dtype(self.dtype)
+        expected = self.rows * self.row_len * self.dtype.itemsize
+        actual = self.path.stat().st_size
+        if actual < expected:
+            raise SpillError(
+                f"{self.path} is {actual} bytes; a ({self.rows}, "
+                f"{self.row_len}) {self.dtype.str} batch needs {expected}"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.row_len)
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.row_len * self.dtype.itemsize
+
+    def read_into(self, start: int, stop: int, out: np.ndarray) -> np.ndarray:
+        """Fill ``out[: stop - start]`` with rows ``[start, stop)``."""
+        count = stop - start
+        if not 0 <= start <= stop <= self.rows:
+            raise SpillError(
+                f"row window [{start}, {stop}) outside 0..{self.rows}"
+            )
+        target = out[:count]
+        if target.shape != (count, self.row_len) or target.dtype != self.dtype:
+            raise SpillError(
+                f"read buffer must be ({count}, {self.row_len}) "
+                f"{self.dtype.str}, got {target.shape} {target.dtype.str}"
+            )
+        row_bytes = self.row_len * self.dtype.itemsize
+        with open(self.path, "rb") as handle:
+            handle.seek(start * row_bytes)
+            view = memoryview(target).cast("B")
+            filled = handle.readinto(view)
+        if filled != count * row_bytes:
+            raise SpillError(
+                f"short read from {self.path}: wanted {count * row_bytes} "
+                f"bytes at row {start}, got {filled}"
+            )
+        return target
+
+    def read(self, start: int, stop: int) -> np.ndarray:
+        """Materialize rows ``[start, stop)`` as a fresh array."""
+        out = np.empty((stop - start, self.row_len), dtype=self.dtype)
+        return self.read_into(start, stop, out)
+
+
+def write_batch_file(
+    path,
+    generator,
+    *,
+    rows: int,
+    row_len: int,
+    dtype,
+    block_rows: int = 4096,
+) -> BatchFile:
+    """Stream a generated batch to disk in bounded blocks.
+
+    ``generator(block_index, start_row, block_rows)`` must return a
+    ``(block_rows, row_len)`` array for each block; blocks are written
+    sequentially so peak memory is one block regardless of ``rows``.
+    """
+    path = Path(path)
+    dtype = np.dtype(dtype)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        for block_index, start in enumerate(range(0, rows, block_rows)):
+            take = min(block_rows, rows - start)
+            block = np.ascontiguousarray(
+                generator(block_index, start, take), dtype=dtype
+            )
+            if block.shape != (take, row_len):
+                raise SpillError(
+                    f"generator returned {block.shape}, expected "
+                    f"({take}, {row_len})"
+                )
+            block.tofile(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return BatchFile(path=path, rows=rows, row_len=row_len, dtype=dtype)

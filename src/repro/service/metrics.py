@@ -60,14 +60,32 @@ _TENANT_COUNTERS = (
     "quarantined_rows",
 )
 
+#: Capacity-tier fields exported as monotonically increasing counters
+#: (``_total`` suffix in the Prometheus render); the remaining
+#: CapacityStats fields render as plain gauges.
+_CAPACITY_TOTALS = (
+    "spill_bytes_written",
+    "chunks_committed",
+    "chunks_resumed",
+)
 
-def collect_metrics(service) -> Dict[str, object]:
+
+def collect_metrics(service, *, capacity=None) -> Dict[str, object]:
     """One structured, JSON-ready snapshot of a :class:`SortService`.
 
     The returned dict is self-describing (``schema`` key) and contains
     only plain JSON types, so it can be written verbatim to disk,
     embedded in a benchmark artifact, or rendered to Prometheus text
     with :func:`render_prometheus`.
+
+    ``capacity`` optionally attaches an out-of-core capacity run to the
+    snapshot — a :class:`~repro.outofcore.CapacityStats`, or anything
+    carrying one on a ``stats`` attribute (a
+    :class:`~repro.outofcore.CapacitySorter` or
+    :class:`~repro.outofcore.CapacityResult`).  Its counters
+    (``spill_bytes_written``, ``chunks_committed``, ``chunks_resumed``,
+    the degradation events, …) land under a ``"capacity"`` key and in
+    the Prometheus render as ``<prefix>_capacity_*`` series.
     """
     stats = service.stats()
     payload: Dict[str, object] = {
@@ -95,7 +113,21 @@ def collect_metrics(service) -> Dict[str, object]:
     backend = _describe_backend(service)
     if backend is not None:
         payload["backend"] = backend
+    capacity_block = _describe_capacity(capacity)
+    if capacity_block is not None:
+        payload["capacity"] = capacity_block
     return payload
+
+
+def _describe_capacity(capacity) -> Optional[Dict[str, object]]:
+    """Normalize a capacity run (stats / sorter / result) to a dict."""
+    if capacity is None:
+        return None
+    stats = getattr(capacity, "stats", capacity)
+    as_dict = getattr(stats, "as_dict", None)
+    block = as_dict() if callable(as_dict) else dict(stats)
+    return {key: value for key, value in block.items()
+            if isinstance(value, (int, float))}
 
 
 def _describe_backend(service) -> Optional[Dict[str, object]]:
@@ -239,4 +271,12 @@ def render_prometheus(metrics: Dict[str, object],
         if isinstance(fault_plan, dict):
             _flatten(fault_plan.get("injected", {}),
                      f"{prefix}_faults_injected", lines)
+    capacity = metrics.get("capacity")
+    if isinstance(capacity, dict):
+        for name in sorted(capacity):
+            value = capacity[name]
+            if not isinstance(value, (int, float)):
+                continue
+            suffix = "_total" if name in _CAPACITY_TOTALS else ""
+            lines.append(f"{prefix}_capacity_{name}{suffix} {value}")
     return "\n".join(lines) + "\n"

@@ -1,0 +1,86 @@
+"""Capacity counters on the service metrics surface (JSON + Prometheus)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.outofcore.capacity import CapacitySorter, CapacityStats
+from repro.service import SortService
+from repro.service.metrics import collect_metrics, render_prometheus
+
+pytestmark = [pytest.mark.capacity, pytest.mark.service]
+
+
+@pytest.fixture()
+def served():
+    with SortService(batch_target_rows=4, linger_ms=0.5) as svc:
+        rng = np.random.default_rng(9)
+        svc.submit(rng.uniform(size=(2, 16))).result(timeout=10)
+        yield svc
+
+
+def capacity_run(tmp_path):
+    batch = np.random.default_rng(10).random((60, 8))
+    sorter = CapacitySorter("1M", max_chunk_rows=20)
+    return sorter.run(batch, spill_dir=tmp_path / "spill")
+
+
+class TestCollectMetrics:
+    def test_no_capacity_block_by_default(self, served):
+        assert "capacity" not in collect_metrics(served)
+
+    def test_capacity_block_from_result(self, served, tmp_path):
+        result = capacity_run(tmp_path)
+        metrics = collect_metrics(served, capacity=result)
+        block = metrics["capacity"]
+        assert block["chunks_committed"] == 3
+        assert block["chunks_resumed"] == 0
+        assert block["spill_bytes_written"] == 60 * 8 * 8
+        assert block["rows_sorted"] == 60
+        assert block["shrink_events"] == 0
+        json.dumps(metrics)  # JSON-ready end to end
+
+    def test_capacity_block_from_bare_stats(self, served):
+        stats = CapacityStats(chunks_committed=5, chunks_resumed=2,
+                              spill_bytes_written=4096)
+        block = collect_metrics(served, capacity=stats)["capacity"]
+        assert block["chunks_committed"] == 5
+        assert block["chunks_resumed"] == 2
+        assert block["spill_bytes_written"] == 4096
+
+    def test_capacity_block_from_sorter(self, served, tmp_path):
+        batch = np.random.default_rng(11).random((40, 8))
+        sorter = CapacitySorter("1M", max_chunk_rows=10)
+        sorter.run(batch, spill_dir=tmp_path / "spill")
+        block = collect_metrics(served, capacity=sorter)["capacity"]
+        assert block["chunks_committed"] == 4
+
+
+class TestRenderPrometheus:
+    def test_capacity_series_with_total_suffix(self, served, tmp_path):
+        result = capacity_run(tmp_path)
+        text = render_prometheus(collect_metrics(served, capacity=result))
+        lines = text.splitlines()
+        assert "repro_service_capacity_chunks_committed_total 3" in lines
+        assert "repro_service_capacity_chunks_resumed_total 0" in lines
+        expected_bytes = 60 * 8 * 8
+        assert (
+            f"repro_service_capacity_spill_bytes_written_total {expected_bytes}"
+            in lines
+        )
+        # Non-monotonic fields render as plain gauges (no _total).
+        assert any(
+            line.startswith("repro_service_capacity_shrink_events ")
+            for line in lines
+        )
+        assert not any("shrink_events_total" in line for line in lines)
+        # Exposition stays well-formed: every line is "name value".
+        for line in lines:
+            name, value = line.rsplit(" ", 1)
+            float(value)
+            assert name
+
+    def test_absent_capacity_renders_no_series(self, served):
+        text = render_prometheus(collect_metrics(served))
+        assert "_capacity_" not in text

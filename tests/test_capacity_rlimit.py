@@ -1,0 +1,139 @@
+"""Real memory ceiling: the capacity path under ``RLIMIT_AS``.
+
+The working-set model is only honest if a run actually fits the budget.
+A child process measures its post-import address space, pins
+``RLIMIT_AS`` to that plus a bounded headroom, then either:
+
+* ``capacity`` — sorts a file-backed batch whose payload is larger than
+  the headroom through :class:`CapacitySorter` (must succeed); or
+* ``control`` — allocates the whole batch in RAM the way a one-shot
+  sort would (must die with ``MemoryError``).
+
+The control run proves the limit is real; the capacity run proves the
+chunked path stays under it.  Linux-only (``/proc`` + ``RLIMIT_AS``).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.outofcore.spill import write_batch_file
+
+pytestmark = [
+    pytest.mark.capacity,
+    pytest.mark.skipif(sys.platform != "linux", reason="RLIMIT_AS + /proc"),
+]
+
+ROWS = 12_288
+COLS = 1024  # payload: 96 MiB of float64
+HEADROOM_MIB = 64
+BUDGET = "8M"
+
+CHILD_SCRIPT = """\
+import os, resource, sys
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+
+import numpy as np
+from repro.outofcore.capacity import CapacitySorter
+from repro.outofcore.spill import BatchFile
+
+mode, input_path, spill_dir = sys.argv[1], sys.argv[2], sys.argv[3]
+ROWS, COLS, HEADROOM_MIB = {rows}, {cols}, {headroom}
+
+def vm_size_bytes():
+    with open("/proc/self/status") as handle:
+        for line in handle:
+            if line.startswith("VmSize:"):
+                return int(line.split()[1]) * 1024
+    raise RuntimeError("no VmSize in /proc/self/status")
+
+limit = vm_size_bytes() + HEADROOM_MIB * 1024 * 1024
+resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+
+if mode == "control":
+    try:
+        batch = np.empty((ROWS, COLS), dtype=np.float64)
+        batch[:] = 1.0
+        np.sort(batch, axis=1)
+    except MemoryError:
+        print("CONTROL_OOM")
+        sys.exit(0)
+    print("CONTROL_SURVIVED")
+    sys.exit(1)
+
+source = BatchFile(path=input_path, rows=ROWS, row_len=COLS,
+                   dtype=np.float64)
+sorter = CapacitySorter({budget!r}, planner=None)
+result = sorter.run(source, spill_dir=spill_dir)
+assert result.store.complete
+print("CAPACITY_OK", result.stats.chunks_committed,
+      result.stats.serial_fallback_chunks)
+"""
+
+
+@pytest.fixture(scope="module")
+def child_env():
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run_child(tmp_path, child_env, mode, input_path, spill_dir):
+    script = tmp_path / "rlimit_child.py"
+    script.write_text(CHILD_SCRIPT.format(
+        rows=ROWS, cols=COLS, headroom=HEADROOM_MIB, budget=BUDGET
+    ))
+    return subprocess.run(
+        [sys.executable, str(script), mode, str(input_path), str(spill_dir)],
+        env=child_env, capture_output=True, text=True, timeout=110,
+    )
+
+
+def _ensure_rlimit_supported():
+    import resource
+
+    try:
+        resource.getrlimit(resource.RLIMIT_AS)
+    except (AttributeError, OSError):  # pragma: no cover
+        pytest.skip("RLIMIT_AS not supported here")
+
+
+def test_control_full_ram_sort_exceeds_ceiling(tmp_path, child_env):
+    _ensure_rlimit_supported()
+    proc = _run_child(tmp_path, child_env, "control", "-", "-")
+    assert proc.returncode == 0, proc.stderr
+    assert "CONTROL_OOM" in proc.stdout
+
+
+def test_capacity_run_fits_under_ceiling(tmp_path, child_env):
+    _ensure_rlimit_supported()
+    input_path = tmp_path / "input.bin"
+    rng_block = lambda i, start, take: (  # noqa: E731
+        np.random.default_rng([41, i]).random((take, COLS))
+    )
+    write_batch_file(input_path, rng_block, rows=ROWS, row_len=COLS,
+                     dtype=np.float64)
+    spill_dir = tmp_path / "spill"
+    proc = _run_child(tmp_path, child_env, "capacity", input_path, spill_dir)
+    assert proc.returncode == 0, proc.stderr
+    assert "CAPACITY_OK" in proc.stdout
+
+    # Verify the output out here, with no rlimit: full byte-identity.
+    from repro.outofcore.spill import BatchFile, SpillStore
+
+    store = SpillStore(spill_dir, array_size=COLS, dtype=np.float64,
+                       resume=True)
+    assert store.rows_committed == ROWS
+    source = BatchFile(path=input_path, rows=ROWS, row_len=COLS,
+                       dtype=np.float64)
+    for start, chunk in store.iter_chunks(verify=True):
+        expected = np.sort(source.read(start, start + chunk.shape[0]),
+                           axis=1)
+        np.testing.assert_array_equal(np.asarray(chunk), expected)

@@ -1,0 +1,239 @@
+"""Spill store: crash-safe chunk files, manifest, hygiene, checkpoint."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.outofcore.spill import (
+    MANIFEST_SCHEMA,
+    BatchFile,
+    SpillCorruptionError,
+    SpillDirectoryError,
+    SpillError,
+    SpillStore,
+    write_batch_file,
+)
+
+pytestmark = pytest.mark.capacity
+
+
+def make_chunk(rng, rows, n, dtype=np.float64):
+    return rng.random((rows, n)).astype(dtype)
+
+
+class TestCommitAndRead:
+    def test_roundtrip_with_crc(self, tmp_path):
+        rng = np.random.default_rng(1)
+        store = SpillStore(tmp_path, array_size=16, dtype=np.float64)
+        data = make_chunk(rng, 8, 16)
+        record = store.commit_chunk(0, 0, data)
+        assert record.rows == 8
+        assert record.nbytes == data.nbytes
+        back = store.open_chunk(record, verify=True)
+        np.testing.assert_array_equal(np.asarray(back), data)
+        assert store.rows_committed == 8
+        assert store.spill_bytes_written == data.nbytes
+
+    def test_manifest_is_valid_json_with_schema(self, tmp_path):
+        store = SpillStore(tmp_path, array_size=4, dtype=np.float32,
+                           meta={"total_rows": 3})
+        store.commit_chunk(0, 0, np.ones((3, 4), dtype=np.float32))
+        payload = json.loads((tmp_path / "manifest.json").read_text())
+        assert payload["schema"] == MANIFEST_SCHEMA
+        assert payload["array_size"] == 4
+        assert payload["meta"]["total_rows"] == 3
+        assert len(payload["chunks"]) == 1
+        assert payload["chunks"][0]["start_row"] == 0
+
+    def test_iter_chunks_row_order(self, tmp_path):
+        rng = np.random.default_rng(2)
+        store = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        # Commit out of order; iteration must come back by start_row.
+        store.commit_chunk(1, 10, make_chunk(rng, 5, 8))
+        store.commit_chunk(0, 0, make_chunk(rng, 10, 8))
+        starts = [start for start, _ in store.iter_chunks()]
+        assert starts == [0, 10]
+
+    def test_recommit_replaces_and_counts(self, tmp_path):
+        rng = np.random.default_rng(3)
+        store = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        store.commit_chunk(0, 0, make_chunk(rng, 4, 8))
+        newer = make_chunk(rng, 4, 8)
+        record = store.commit_chunk(0, 0, newer)
+        assert store.recommits == 1
+        assert store.rows_committed == 4
+        np.testing.assert_array_equal(
+            np.asarray(store.open_chunk(record, verify=True)), newer
+        )
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        store = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        with pytest.raises(SpillError):
+            store.commit_chunk(0, 0, np.zeros((4, 9)))
+
+    def test_corruption_detected(self, tmp_path):
+        rng = np.random.default_rng(4)
+        store = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        record = store.commit_chunk(0, 0, make_chunk(rng, 4, 8))
+        path = tmp_path / record.filename
+        raw = bytearray(path.read_bytes())
+        raw[11] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert not store.verify_chunk(record)
+        with pytest.raises(SpillCorruptionError):
+            store.open_chunk(record, verify=True)
+        # Unverified open still works (size is unchanged).
+        store.open_chunk(record)
+
+    def test_truncation_detected_without_verify(self, tmp_path):
+        rng = np.random.default_rng(5)
+        store = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        record = store.commit_chunk(0, 0, make_chunk(rng, 4, 8))
+        path = tmp_path / record.filename
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(SpillCorruptionError):
+            store.open_chunk(record)
+
+
+class TestDirectoryHygiene:
+    def test_refuses_foreign_manifest(self, tmp_path):
+        first = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        first.commit_chunk(0, 0, np.zeros((2, 8)))
+        with pytest.raises(SpillDirectoryError) as excinfo:
+            SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        message = str(excinfo.value)
+        assert "resume=True" in message and "reclaim=True" in message
+        assert first.run_id in message
+
+    def test_reclaim_deletes_previous_run(self, tmp_path):
+        first = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        first.commit_chunk(0, 0, np.zeros((2, 8)))
+        first.save_checkpoint({"rows_done": 2}, np.zeros((0, 8)))
+        fresh = SpillStore(tmp_path, array_size=8, dtype=np.float64,
+                           reclaim=True)
+        assert fresh.committed == []
+        assert fresh.load_checkpoint() is None
+        assert not list(tmp_path.glob("chunk_*.bin"))
+
+    def test_refuses_stray_chunks_without_manifest(self, tmp_path):
+        (tmp_path / "chunk_000000.bin").write_bytes(b"\x00" * 64)
+        with pytest.raises(SpillDirectoryError) as excinfo:
+            SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        assert "reclaim=True" in str(excinfo.value)
+        # reclaim deletes the stray file and proceeds.
+        SpillStore(tmp_path, array_size=8, dtype=np.float64, reclaim=True)
+        assert not (tmp_path / "chunk_000000.bin").exists()
+
+
+class TestResume:
+    def test_adopts_committed_chunks_and_meta(self, tmp_path):
+        rng = np.random.default_rng(6)
+        data = make_chunk(rng, 4, 8)
+        first = SpillStore(tmp_path, array_size=8, dtype=np.float64,
+                           meta={"total_rows": 20, "budget": "1M"})
+        first.commit_chunk(0, 0, data)
+        second = SpillStore(tmp_path, array_size=8, dtype=np.float64,
+                            resume=True, meta={"budget": "2M"})
+        assert second.resumed_from == first.run_id
+        assert second.run_id == first.run_id
+        assert second.rows_committed == 4
+        # Stored meta adopted, new keys win on conflict.
+        assert second.meta["total_rows"] == 20
+        assert second.meta["budget"] == "2M"
+        np.testing.assert_array_equal(
+            np.asarray(second.open_chunk(second.committed[0], verify=True)),
+            data,
+        )
+
+    def test_resume_rejects_shape_or_dtype_mismatch(self, tmp_path):
+        first = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        first.commit_chunk(0, 0, np.zeros((2, 8)))
+        with pytest.raises(SpillError):
+            SpillStore(tmp_path, array_size=9, dtype=np.float64, resume=True)
+        with pytest.raises(SpillError):
+            SpillStore(tmp_path, array_size=8, dtype=np.float32, resume=True)
+
+    def test_resume_detects_missing_chunk_file(self, tmp_path):
+        first = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        record = first.commit_chunk(0, 0, np.zeros((2, 8)))
+        (tmp_path / record.filename).unlink()
+        with pytest.raises(SpillCorruptionError):
+            SpillStore(tmp_path, array_size=8, dtype=np.float64, resume=True)
+
+    def test_resume_with_no_manifest_starts_fresh(self, tmp_path):
+        store = SpillStore(tmp_path, array_size=8, dtype=np.float64,
+                           resume=True)
+        assert store.resumed_from is None
+        assert store.committed == []
+
+    def test_mark_complete_persists(self, tmp_path):
+        first = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        assert not first.complete
+        first.mark_complete()
+        second = SpillStore(tmp_path, array_size=8, dtype=np.float64,
+                            resume=True)
+        assert second.complete
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(7)
+        store = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        staging = make_chunk(rng, 3, 8)
+        store.save_checkpoint({"rows_done": 12, "next_batch_id": 3}, staging)
+        loaded = store.load_checkpoint()
+        assert loaded is not None
+        meta, back = loaded
+        assert meta == {"rows_done": 12, "next_batch_id": 3}
+        np.testing.assert_array_equal(back, staging)
+
+    def test_absent_and_cleared(self, tmp_path):
+        store = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        assert store.load_checkpoint() is None
+        store.save_checkpoint({"rows_done": 0}, np.zeros((0, 8)))
+        store.clear_checkpoint()
+        assert store.load_checkpoint() is None
+
+    def test_garbage_checkpoint_treated_as_absent(self, tmp_path):
+        store = SpillStore(tmp_path, array_size=8, dtype=np.float64)
+        (tmp_path / "checkpoint.npz").write_bytes(b"not an npz archive")
+        assert store.load_checkpoint() is None
+
+
+class TestBatchFile:
+    def test_write_and_windowed_read(self, tmp_path):
+        rng = np.random.default_rng(8)
+        full = rng.random((100, 8))
+
+        def gen(block_index, start, take):
+            return full[start : start + take]
+
+        batch = write_batch_file(tmp_path / "in.bin", gen,
+                                 rows=100, row_len=8, dtype=np.float64,
+                                 block_rows=32)
+        assert batch.shape == (100, 8)
+        assert batch.nbytes == full.nbytes
+        np.testing.assert_array_equal(batch.read(40, 60), full[40:60])
+        out = np.empty((64, 8))
+        got = batch.read_into(90, 100, out)
+        np.testing.assert_array_equal(got, full[90:100])
+
+    def test_rejects_short_file(self, tmp_path):
+        (tmp_path / "short.bin").write_bytes(b"\x00" * 16)
+        with pytest.raises(SpillError):
+            BatchFile(path=tmp_path / "short.bin", rows=100, row_len=8,
+                      dtype=np.float64)
+
+    def test_rejects_bad_window(self, tmp_path):
+        full = np.zeros((10, 4))
+
+        def gen(block_index, start, take):
+            return full[start : start + take]
+
+        batch = write_batch_file(tmp_path / "in.bin", gen,
+                                 rows=10, row_len=4, dtype=np.float64)
+        with pytest.raises(SpillError):
+            batch.read(8, 12)
+        with pytest.raises(SpillError):
+            batch.read_into(0, 4, np.empty((2, 4)))
