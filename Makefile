@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install check lint statan test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate radix-gate service-gate bench-service chaos-smoke chaos-gate bench-chaos fleet-smoke fleet-gate bench-fleet capacity-smoke capacity-gate bench-capacity report examples figures table1 clean
+.PHONY: install check lint statan sanitize test test-resilience test-service bench bench-claims bench-smoke bench-gate bench-hotpath planner-gate radix-gate service-gate bench-service chaos-smoke chaos-gate bench-chaos fleet-smoke fleet-gate bench-fleet capacity-smoke capacity-gate bench-capacity report examples figures table1 clean
 
 # Smoke benchmark artifacts are throwaway sanity outputs; they go to the
 # temp dir, never the repo root (gate artifacts ARE committed).
@@ -12,9 +12,10 @@ install:
 	pip install -e . --no-build-isolation
 
 # The default pre-PR gate: static analysis first (fails in seconds),
-# then the test suite, then the radix and fleet gates re-applied to the
-# committed benchmark artifacts (no re-benchmarking; seconds each).
-check: lint test radix-gate fleet-gate capacity-gate
+# then the test suite, the sanitized checked-build subset, then the
+# radix and fleet gates re-applied to the committed benchmark artifacts
+# (no re-benchmarking; seconds each).
+check: lint test sanitize radix-gate fleet-gate capacity-gate
 
 # ruff and mypy run when installed (CI installs them; a bare container
 # may not have them) — statan always runs, it is stdlib-only.
@@ -26,11 +27,19 @@ lint:
 		echo "== mypy =="; mypy || exit 1; \
 	else echo "== mypy == (not installed, skipped)"; fi
 	@echo "== statan =="
-	PYTHONPATH=src $(PYTHON) -m repro statan src
+	PYTHONPATH=src $(PYTHON) -m repro statan src benchmarks
 
 # Project-native static analysis alone (see docs/static-analysis.md).
 statan:
-	PYTHONPATH=src $(PYTHON) -m repro statan src
+	PYTHONPATH=src $(PYTHON) -m repro statan src benchmarks
+
+# Checked build: re-run the concurrent tiers (service, fleet, capacity,
+# chaos) with the runtime concurrency sanitizer armed — instrumented
+# locks (guarded-by + lock-order) and region epochs (stale zero-copy
+# views).  Minutes, not hours; see docs/static-analysis.md.
+sanitize:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/ \
+		-m "service or fleet or capacity or chaos" -q
 
 # The chaos-marked tests run as part of the default suite (they are in
 # tests/), so `make test` already covers the seeded chaos smoke path.

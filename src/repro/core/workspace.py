@@ -49,6 +49,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..statan import runtime as _sanitizer
+
 __all__ = [
     "ScratchArena",
     "WorkspaceStats",
@@ -111,6 +113,7 @@ class WorkspaceStats:
         return dataclasses.asdict(self)
 
 
+@_sanitizer.sanitize_guarded
 class ScratchArena:
     """Pool of reusable NumPy buffers keyed by ``(tag, dtype)``.
 
@@ -131,7 +134,7 @@ class ScratchArena:
         #: Guards pool checkout/growth and close (see module docstring);
         #: reentrant because get_shared falls back to get() on platforms
         #: without shared memory.
-        self._lock = threading.RLock()
+        self._lock = _sanitizer.make_rlock("ScratchArena._lock")
         self._pools: Dict[Tuple[str, str], np.ndarray] = {}  # guarded-by: _lock
         #: name -> SharedMemory for slabs owned by this arena.
         self._shared: Dict[str, object] = {}  # guarded-by: _lock
@@ -169,7 +172,18 @@ class ScratchArena:
                 self.stats.bytes_held += pool.nbytes
             else:
                 self.stats.hits += 1
-            return pool[:need].reshape(shape)
+            view = pool[:need].reshape(shape)
+            if _sanitizer.enabled():
+                # Checked build: this get() invalidates the previous view
+                # for the same key (the documented contract), and the new
+                # view is tracked so use-after-reuse raises.
+                region = ("ScratchArena", id(self), key)
+                _sanitizer.new_epoch(region)
+                view = _sanitizer.track_view(
+                    view, region,
+                    label=f"ScratchArena.get({tag!r}, {dtype.str})",
+                )
+            return view
 
     # -- shared-memory slabs ----------------------------------------------
     def get_shared(self, tag: str, shape, dtype) -> np.ndarray:
@@ -211,13 +225,25 @@ class ScratchArena:
                 self.stats.bytes_held += pool.nbytes
             else:
                 self.stats.hits += 1
-            return pool[:need].reshape(shape)
+            view = pool[:need].reshape(shape)
+            if _sanitizer.enabled():
+                region = ("ScratchArena", id(self), key)
+                _sanitizer.new_epoch(region)
+                view = _sanitizer.track_view(
+                    view, region,
+                    label=f"ScratchArena.get_shared({tag!r}, {dtype.str})",
+                )
+            return view
 
     def _release_shared_pool_locked(self, key: Tuple[str, str]) -> None:
         """Drop one shared pool and unlink its slab; caller holds ``_lock``."""
         pool = self._pools.pop(key, None)
         if pool is None:
             return
+        if _sanitizer.enabled():
+            # The segment is about to be unlinked: outstanding views of
+            # this key are no longer backed by live storage.
+            _sanitizer.new_epoch(("ScratchArena", id(self), key))
         self.stats.bytes_held -= pool.nbytes
         name = self._pool_shm_name.pop(key, None)
         shm = self._shared.pop(name, None) if name else None

@@ -57,6 +57,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.config import DEFAULT_CONFIG, SortConfig
+from ..statan import runtime as _sanitizer
 from ..service.errors import (
     DeadlineExceededError,
     RejectedError,
@@ -159,6 +160,7 @@ class _WorkerHandle:
         self.redispatched = 0
 
 
+@_sanitizer.sanitize_guarded
 class SortFleet:
     """Sharded, failover-capable front-end over N sort-service processes.
 
@@ -292,7 +294,7 @@ class SortFleet:
 
         # _wakeup shares _lock's mutex (Condition(self._lock)), so
         # holding either name satisfies the guarded-by contract below.
-        self._lock = threading.Lock()
+        self._lock = _sanitizer.make_lock("SortFleet._lock")
         self._wakeup = threading.Condition(self._lock)
         self._handles: Dict[int, _WorkerHandle] = {}  # guarded-by: _wakeup, _lock
         self._pending: Dict[int, _PendingRequest] = {}  # guarded-by: _wakeup, _lock

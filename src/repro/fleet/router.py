@@ -46,6 +46,8 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from ..statan import runtime as _sanitizer
+
 __all__ = ["FleetRouter", "DEFAULT_SPILL_FACTOR", "DEFAULT_SPILL_SLACK_ROWS"]
 
 #: Affinity holds until the lane's worker carries more than
@@ -57,6 +59,7 @@ DEFAULT_SPILL_FACTOR = 2.0
 DEFAULT_SPILL_SLACK_ROWS = 64
 
 
+@_sanitizer.sanitize_guarded
 class FleetRouter:
     """Lane-affinity, least-outstanding-rows router over fleet workers.
 
@@ -110,7 +113,7 @@ class FleetRouter:
         self.spill_slack_rows = int(spill_slack_rows)
         self.linger_s = float(linger_s)
         self.retry_jitter = float(retry_jitter)
-        self._lock = threading.Lock()
+        self._lock = _sanitizer.make_lock("FleetRouter._lock")
         # Jitter draws happen under the router lock (decline path only).
         self._retry_rng = np.random.default_rng(retry_jitter_seed)  # guarded-by: _lock
         self._outstanding_rows: Dict[int, int] = {}  # guarded-by: _lock

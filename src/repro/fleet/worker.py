@@ -49,6 +49,7 @@ from ..service.errors import (
     RejectedError,
     ServiceClosedError,
 )
+from ..statan import runtime as _sanitizer
 
 __all__ = ["WorkerConfig", "worker_main", "rebuild_error"]
 
@@ -106,6 +107,15 @@ def describe_error(exc: BaseException) -> Tuple[str, str, Dict[str, object]]:
         )
     if isinstance(exc, ServiceClosedError):
         return ("closed", str(exc), {})
+    if isinstance(exc, _sanitizer.SanitizerError):
+        # A checked-build violation inside the worker must reach the
+        # parent as a sanitizer report (check + both stacks), not a
+        # generic worker failure — the report IS the diagnosis.
+        return (
+            "sanitizer",
+            str(exc),
+            {"report": {str(k): str(v) for k, v in exc.report.items()}},
+        )
     return ("failed", f"{type(exc).__name__}: {exc}", {})
 
 
@@ -138,6 +148,10 @@ def rebuild_error(
         )
     if kind == "closed":
         return ServiceClosedError(message)
+    if kind == "sanitizer":
+        return _sanitizer.SanitizerError(
+            message, report=dict(fields.get("report", {}))  # type: ignore[arg-type]
+        )
     return RuntimeError(message)
 
 
@@ -202,6 +216,12 @@ def worker_main(worker_id: int, request_q, response_q, cfg: WorkerConfig) -> Non
         )
         work = full[:rows]
         out = full[rows:]
+        if _sanitizer.enabled():
+            # Checked build: enforce the failover invariant mechanically —
+            # the worker must never write the input half.
+            work = _sanitizer.guard_readonly(
+                work, f"fleet-input-slab:req{req_id}"
+            )
 
         def _deliver(future) -> None:
             try:

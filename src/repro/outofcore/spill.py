@@ -44,6 +44,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..statan import runtime as _sanitizer
+
 __all__ = [
     "BatchFile",
     "ChunkRecord",
@@ -361,6 +363,10 @@ class SpillStore:
         )
         if index in self._records:
             self._recommits += 1
+            if _sanitizer.enabled():
+                # Re-committing an index replaces its bytes on disk:
+                # memmap views from open_chunk on the old file are stale.
+                _sanitizer.new_epoch(("SpillStore.chunk", id(self), int(index)))
         self._records[int(index)] = record
         self._write_manifest()
         return record
@@ -379,6 +385,11 @@ class SpillStore:
         if verify and _crc32_array(chunk) != record.crc32:
             raise SpillCorruptionError(
                 f"{record.filename}: CRC mismatch (file corrupted)"
+            )
+        if _sanitizer.enabled():
+            chunk = _sanitizer.track_view(
+                chunk, ("SpillStore.chunk", id(self), int(record.index)),
+                label=f"SpillStore.open_chunk({record.filename})",
             )
         return chunk
 

@@ -245,6 +245,11 @@ def save_profile(
         tmp = Path(tmp_name)
         with os.fdopen(fd, "w") as handle:
             handle.write(json.dumps(payload, indent=2, sort_keys=True))
+            handle.flush()
+            # fsync before the rename: otherwise the rename can become
+            # durable before the data and a crash leaves an empty cache
+            # that fingerprints as valid JSON truncation, not a miss.
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
         return True
     except OSError:

@@ -41,6 +41,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.config import DEFAULT_CONFIG, SortConfig
+from ..statan import runtime as _sanitizer
 from ..core.radix import supports_dtype as _radix_supports_dtype
 from ..parallel.plan import DEFAULT_MIN_ROWS_PER_WORKER, plan_shards
 from .calibrate import calibrate_host, load_or_calibrate, save_profile
@@ -90,12 +91,13 @@ def shape_class_key(num_rows: int, row_len: int, dtype) -> str:
     return f"{dtype.str}|N{big_n}|n{small_n}"
 
 
+@_sanitizer.sanitize_guarded
 class _PlannerBase:
     """Engine-instance caching + decision counting shared by all planners."""
 
     def __init__(self) -> None:
         self._engines: Dict[tuple, object] = {}
-        self._lock = threading.Lock()
+        self._lock = _sanitizer.make_lock("_PlannerBase._lock")
         #: shape key -> engine -> times plan() chose it.  The service's
         #: metrics surface exports this, so live traffic shows *which*
         #: engine each shape class actually dispatches to.

@@ -19,6 +19,8 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from ..statan import runtime as _sanitizer
+
 __all__ = ["DEFAULT_DEAD_LETTER_CAPACITY", "DeadLetter", "DeadLetterQueue"]
 
 #: Default bound consumers (the streaming sorter) apply when creating a
@@ -47,6 +49,7 @@ class DeadLetter:
     tenant: Optional[str] = None
 
 
+@_sanitizer.sanitize_guarded
 class DeadLetterQueue:
     """Append-only store of quarantined rows.
 
@@ -59,7 +62,7 @@ class DeadLetterQueue:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 or None")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = _sanitizer.make_lock("DeadLetterQueue._lock")
         self._letters: List[DeadLetter] = []  # guarded-by: _lock
         self._dropped = 0  # guarded-by: _lock
 

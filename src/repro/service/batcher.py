@@ -55,6 +55,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..statan import runtime as _sanitizer
+
 __all__ = ["QueuedRequest", "Lane", "DynamicBatcher"]
 
 
@@ -127,6 +129,7 @@ class Lane:
         return min((r.vfinish for r in self.requests), default=math.inf)
 
 
+@_sanitizer.sanitize_guarded
 class DynamicBatcher:
     """Lane bookkeeping + the ready/shed/pop decision logic.
 
@@ -183,7 +186,7 @@ class DynamicBatcher:
         self.linger_s = float(linger_s)
         self.tenant_weights: Dict[str, float] = weights
         self.default_tenant_weight = float(default_tenant_weight)
-        self._lock = threading.Lock()
+        self._lock = _sanitizer.make_lock("DynamicBatcher._lock")
         self._lanes: Dict[Tuple[int, str], Lane] = {}  # guarded-by: _lock
         self.total_rows = 0  # guarded-by: _lock
         self.total_requests = 0  # guarded-by: _lock

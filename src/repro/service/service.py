@@ -57,6 +57,7 @@ import numpy as np
 
 from ..core.config import DEFAULT_CONFIG, SortConfig
 from ..parallel.plan import DEFAULT_MIN_ROWS_PER_WORKER
+from ..statan import runtime as _sanitizer
 from .batcher import DynamicBatcher, QueuedRequest
 from .errors import (
     DeadlineExceededError,
@@ -116,6 +117,7 @@ def derive_batch_target(planner) -> int:
     return 1 << int(math.floor(math.log2(clamped)))
 
 
+@_sanitizer.sanitize_guarded
 class SortService:
     """Async sort front-end with dynamic batching and admission control.
 
@@ -242,7 +244,7 @@ class SortService:
 
         # _wakeup shares _lock's mutex (Condition(self._lock)), so holding
         # either name satisfies the guarded-by contract below.
-        self._lock = threading.Lock()
+        self._lock = _sanitizer.make_lock("SortService._lock")
         self._wakeup = threading.Condition(self._lock)
         self._batcher = DynamicBatcher(  # guarded-by: _wakeup, _lock
             target_rows=self.batch_target_rows,
@@ -573,6 +575,10 @@ class SortService:
         live = [r for r in requests if r.future.set_running_or_notify_cancel()]
         if not live:
             return
+        if _sanitizer.enabled():
+            # A new dispatch reuses the batch staging: every copy=False
+            # view handed out by the previous dispatch is now stale.
+            _sanitizer.new_epoch(("SortService.demux", id(self)))
         batch = np.concatenate([r.arrays for r in live], axis=0)
         t0 = self._clock()
         try:
@@ -665,6 +671,11 @@ class SortService:
         # copy=False callers keep the zero-copy view, valid until the
         # service's next dispatch — the StreamingSorter on_batch contract.
         payload = np.array(rows, copy=True) if request.copy else rows  # statan: scratch-view
+        if not request.copy and _sanitizer.enabled():
+            payload = _sanitizer.track_view(
+                payload, ("SortService.demux", id(self)),
+                label="SortService.submit(copy=False) result",
+            )
         if request.single:
             payload = payload.reshape(-1)
         with self._lock:

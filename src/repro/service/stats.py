@@ -30,6 +30,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..statan import runtime as _sanitizer
+
 __all__ = ["ServiceStats", "StatsRecorder", "TenantStats"]
 
 
@@ -190,6 +192,7 @@ class ServiceStats:
         return dataclasses.asdict(self)
 
 
+@_sanitizer.sanitize_guarded
 class StatsRecorder:
     """Mutable accumulator behind :class:`ServiceStats`.
 
@@ -212,7 +215,7 @@ class StatsRecorder:
             raise ValueError(
                 f"tenant_latency_window must be >= 1, got {tenant_latency_window}"
             )
-        self._lock = threading.Lock()
+        self._lock = _sanitizer.make_lock("StatsRecorder._lock")
         self.submitted = 0  # guarded-by: _lock
         self.completed = 0  # guarded-by: _lock
         self.rejected = 0  # guarded-by: _lock

@@ -17,7 +17,18 @@ statically, over the AST, on every ``make lint``:
   copied before escaping a function, or the escape must be named in the
   checked ``baseline.toml`` (:mod:`.scratch_escape`);
 * ``nondeterminism`` / ``silent-except`` / ``mutable-default`` — the
-  determinism & hygiene audit (:mod:`.determinism`, :mod:`.hygiene`).
+  determinism & hygiene audit (:mod:`.determinism`, :mod:`.hygiene`),
+  which also covers ``benchmarks/``;
+* ``lock-order`` — cycles in the whole-program may-acquire graph
+  (:mod:`.lockorder`), diffable against the runtime-observed graph;
+* ``crash-safety`` — durable writes in ``outofcore/``/``planner/``
+  outside the tmp-write → fsync → rename shape (:mod:`.crashsafety`).
+
+The same contracts are enforced at runtime by the checked-build
+sanitizer (:mod:`.runtime`, ``REPRO_SANITIZE=1`` / ``make sanitize``):
+instrumented locks validate every guarded-by access and record the
+acquisition graph, and region epochs catch zero-copy views used after
+their storage was reused.
 
 Entry points: :func:`analyze_paths` (the pytest gate uses it) and the
 ``repro statan`` CLI subcommand (:mod:`.cli`).

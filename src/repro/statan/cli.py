@@ -46,6 +46,12 @@ def add_statan_arguments(parser) -> None:
         help="directory findings paths are reported relative to "
              "(default: current directory)",
     )
+    parser.add_argument(
+        "--lock-graph", action="store_true",
+        help="print the whole-program may-acquire lock graph as JSON "
+             "(statan-lockgraph/v1) instead of findings, and exit 0; "
+             "diffable against the runtime-observed graph",
+    )
 
 
 def _changed_files(root: Path) -> List[Path]:
@@ -66,6 +72,29 @@ def _changed_files(root: Path) -> List[Path]:
             if line.endswith(".py"):
                 out.append(root / line)
     return sorted({p.resolve(): p for p in out if p.exists()}.values())
+
+
+def _lock_graph_json(paths: List[Path], root: Path) -> str:
+    """The static may-acquire graph over ``paths``, as JSON."""
+    import ast
+
+    from .engine import _HYGIENE_ONLY_RE, iter_python_files
+    from .lockorder import build_lock_graph
+
+    trees = {}
+    for file_path in iter_python_files(paths):
+        try:
+            label = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            label = file_path.as_posix()
+        if _HYGIENE_ONLY_RE.search(label):
+            continue
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            trees[label] = ast.parse(source)
+        except (OSError, SyntaxError):
+            continue  # parse-errors are the findings run's business
+    return build_lock_graph(trees).as_json()
 
 
 def run_statan(args) -> int:
@@ -93,6 +122,10 @@ def run_statan(args) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    if getattr(args, "lock_graph", False):
+        print(_lock_graph_json(paths, root))
+        return 0
 
     result = analyze_paths(
         paths,

@@ -3,7 +3,7 @@
 CONTRIBUTING's rule — "every generator takes a ``seed``; tests must not
 depend on unseeded randomness" — only binds if something checks it.
 Inside the algorithm layers (``core/``, ``gpusim/``, ``baselines/``)
-statan forbids:
+and the benchmark harnesses (``benchmarks/``) statan forbids:
 
 * ``time.time()`` — wall-clock reads make phase timings and cache keys
   irreproducible (``time.perf_counter``/``monotonic`` stay legal: they
@@ -27,8 +27,10 @@ from .findings import Finding
 
 __all__ = ["check_nondeterminism", "in_determinism_scope"]
 
-#: Directories (under ``src/repro/``) the audit applies to.
-_SCOPE_RE = re.compile(r"(^|/)repro/(core|gpusim|baselines)/")
+#: Directories the audit applies to: the algorithm layers under
+#: ``src/repro/`` plus the benchmark harnesses — a bench cell drawing
+#: from unseeded global state cannot be re-run for a regression bisect.
+_SCOPE_RE = re.compile(r"(^|/)(repro/(core|gpusim|baselines)|benchmarks)/")
 
 #: ``np.random.<name>`` members that are *not* global-state samplers.
 _NP_RANDOM_OK = {"default_rng", "Generator", "BitGenerator", "SeedSequence",

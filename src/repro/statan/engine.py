@@ -1,14 +1,24 @@
 """The statan engine: discover files, run rules, apply suppressions.
 
-Pipeline per file: parse → run the five analysis rules → drop findings
-silenced by a valid same-line ``# statan: ignore[rule] -- reason``
-comment → drop findings covered by a ``baseline.toml`` entry.  Then the
-engine audits the silencers themselves: reason-less suppressions are
-*ineffective* (the original finding stays **and** a
+Pipeline per file: parse → run the per-file analysis rules → drop
+findings silenced by a valid same-line ``# statan: ignore[rule] --
+reason`` comment → drop findings covered by a ``baseline.toml`` entry.
+Then the engine audits the silencers themselves: reason-less
+suppressions are *ineffective* (the original finding stays **and** a
 ``suppression-missing-reason`` finding is added), unused suppressions
 and stale baseline entries are findings, unknown rule names are
 findings.  Meta findings cannot be suppressed — an allowlist must never
 be able to silence its own decay.
+
+Two scopes of analysis:
+
+* ``src`` trees get the full rule set, including the whole-program
+  lock-order pass (:mod:`repro.statan.lockorder`), which runs once
+  over *all* parsed files because its edges span modules;
+* ``benchmarks/`` files get the hygiene and determinism rules only —
+  bench harnesses legitimately return views, hold no annotated locks,
+  and write throwaway artifacts, but they must still be deterministic
+  and must not swallow errors.
 """
 
 from __future__ import annotations
@@ -16,19 +26,26 @@ from __future__ import annotations
 import ast
 import dataclasses
 import json
+import re
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline
+from .crashsafety import check_crash_safety
 from .determinism import check_nondeterminism
 from .findings import META_RULES, RULES, Finding
 from .guarded_by import check_guarded_by
 from .hygiene import check_mutable_default, check_silent_except
+from .lockorder import check_lock_order
 from .scratch_escape import check_scratch_escape
-from .suppress import scan_markers
+from .suppress import CommentMarkers, scan_markers
 
 __all__ = ["AnalysisResult", "analyze_paths", "analyze_source",
            "iter_python_files"]
+
+#: Paths analyzed hygiene/determinism-only (no concurrency/lifetime
+#: rules): benchmark harnesses.
+_HYGIENE_ONLY_RE = re.compile(r"(^|/)benchmarks/")
 
 
 @dataclasses.dataclass
@@ -95,34 +112,27 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
                 yield candidate
 
 
-def analyze_source(
-    source: str,
-    path: str,
-    *,
-    baseline: Optional[Baseline] = None,
+def _file_rule_findings(
+    tree: ast.Module, path: str, markers: CommentMarkers
 ) -> List[Finding]:
-    """Run every rule over one source string; ``path`` scopes and labels.
-
-    Returns post-suppression findings, including the meta findings about
-    this file's suppression comments.  Baseline staleness is a *run*
-    property — :func:`analyze_paths` checks it, not this.
-    """
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [Finding(
-            rule="parse-error", path=path, line=exc.lineno or 0,
-            message=f"file does not parse: {exc.msg}",
-        )]
-    markers = scan_markers(source)
-
+    """Raw per-file findings, scoped by path (see module docstring)."""
     raw: List[Finding] = []
-    raw.extend(check_guarded_by(tree, path, markers))
-    raw.extend(check_scratch_escape(tree, path, markers))
     raw.extend(check_nondeterminism(tree, path))
     raw.extend(check_silent_except(tree, path))
     raw.extend(check_mutable_default(tree, path))
+    if not _HYGIENE_ONLY_RE.search(path):
+        raw.extend(check_guarded_by(tree, path, markers))
+        raw.extend(check_scratch_escape(tree, path, markers))
+        raw.extend(check_crash_safety(tree, path))
+    return raw
 
+
+def _apply_suppressions(
+    raw: List[Finding],
+    markers: CommentMarkers,
+    baseline: Optional[Baseline],
+) -> List[Finding]:
+    """Drop suppressed/baselined findings, marking suppressions used."""
     by_line = markers.suppressions_by_line()
     kept: List[Finding] = []
     for finding in raw:
@@ -140,16 +150,21 @@ def analyze_source(
         if baseline is not None and baseline.covers(finding):
             continue
         kept.append(finding)
+    return kept
 
+
+def _audit_markers(markers: CommentMarkers, path: str) -> List[Finding]:
+    """Meta findings about the file's suppression comments themselves."""
+    found: List[Finding] = []
     for sup in markers.suppressions:
         for rule in sup.rules:
             if rule not in RULES:
-                kept.append(Finding(
+                found.append(Finding(
                     rule="unknown-rule", path=path, line=sup.line,
                     message=f"suppression names unknown rule {rule!r}",
                 ))
             elif rule in META_RULES:
-                kept.append(Finding(
+                found.append(Finding(
                     rule="unknown-rule", path=path, line=sup.line,
                     message=(
                         f"meta rule {rule!r} cannot be suppressed (the "
@@ -157,7 +172,7 @@ def analyze_source(
                     ),
                 ))
         if not sup.reason:
-            kept.append(Finding(
+            found.append(Finding(
                 rule="suppression-missing-reason", path=path, line=sup.line,
                 message=(
                     "suppression has no reason; write "
@@ -165,12 +180,42 @@ def analyze_source(
                 ),
             ))
         elif not sup.used:
-            kept.append(Finding(
+            found.append(Finding(
                 rule="unused-suppression", path=path, line=sup.line,
                 message=(
                     "suppression matches no finding (expired); delete it"
                 ),
             ))
+    return found
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    *,
+    baseline: Optional[Baseline] = None,
+) -> List[Finding]:
+    """Run every rule over one source string; ``path`` scopes and labels.
+
+    Returns post-suppression findings, including the meta findings about
+    this file's suppression comments.  The lock-order pass sees only
+    this one file here (single-module cycles); cross-module edges need
+    :func:`analyze_paths`.  Baseline staleness is a *run* property —
+    :func:`analyze_paths` checks it, not this.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="parse-error", path=path, line=exc.lineno or 0,
+            message=f"file does not parse: {exc.msg}",
+        )]
+    markers = scan_markers(source)
+    raw = _file_rule_findings(tree, path, markers)
+    if not _HYGIENE_ONLY_RE.search(path):
+        raw.extend(check_lock_order({path: tree}))
+    kept = _apply_suppressions(raw, markers, baseline)
+    kept.extend(_audit_markers(markers, path))
     kept.sort(key=lambda f: (f.path, f.line, f.rule))
     return kept
 
@@ -184,12 +229,18 @@ def analyze_paths(
 ) -> AnalysisResult:
     """Analyze files/directories; paths in findings are ``root``-relative.
 
+    The lock-order pass runs once over every parsed (non-benchmark)
+    file, because its edges cross modules — then its findings flow
+    through the owning file's suppressions and the baseline exactly
+    like per-file findings.
+
     ``check_baseline_staleness=False`` is for partial runs (``--changed``):
     an entry for an unanalyzed file is not stale evidence.
     """
     root = Path(root) if root is not None else Path.cwd()
     findings: List[Finding] = []
     files = 0
+    parsed: List[Tuple[str, ast.Module, CommentMarkers, List[Finding]]] = []
     for file_path in iter_python_files(paths):
         try:
             label = file_path.resolve().relative_to(root.resolve()).as_posix()
@@ -204,7 +255,33 @@ def analyze_paths(
             ))
             continue
         files += 1
-        findings.extend(analyze_source(source, label, baseline=baseline))
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="parse-error", path=label, line=exc.lineno or 0,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        markers = scan_markers(source)
+        parsed.append((
+            label, tree, markers, _file_rule_findings(tree, label, markers)
+        ))
+
+    lock_trees: Dict[str, ast.Module] = {
+        label: tree for label, tree, _, _ in parsed
+        if not _HYGIENE_ONLY_RE.search(label)
+    }
+    lock_findings_by_path: Dict[str, List[Finding]] = {}
+    for finding in check_lock_order(lock_trees):
+        lock_findings_by_path.setdefault(finding.path, []).append(finding)
+
+    for label, _tree, markers, raw in parsed:
+        raw = raw + lock_findings_by_path.get(label, [])
+        kept = _apply_suppressions(raw, markers, baseline)
+        kept.extend(_audit_markers(markers, label))
+        findings.extend(kept)
+
     if baseline is not None:
         problems = baseline.problems()
         if not check_baseline_staleness:

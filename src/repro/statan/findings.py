@@ -28,6 +28,15 @@ RULES: Dict[str, str] = {
     "mutable-default": (
         "mutable default argument ([], {}, set()) shared across calls"
     ),
+    "lock-order": (
+        "cycle in the whole-program lock acquisition (may-acquire) "
+        "graph — two threads taking the locks in different orders can "
+        "deadlock"
+    ),
+    "crash-safety": (
+        "durable write in outofcore/ or planner/ outside the tmp-write "
+        "-> fsync -> rename shape (torn or empty file after a crash)"
+    ),
     "parse-error": (
         "file does not parse or cannot be read; nothing was checked"
     ),

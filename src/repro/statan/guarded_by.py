@@ -13,7 +13,11 @@ Every other read or write of ``self._pools`` / ``self._closed``
 ``with self._lock:`` block.  Conventions the checker understands:
 
 * ``# guarded-by: _wakeup, _lock`` — holding **any** listed lock
-  suffices (the ``threading.Condition(self._lock)`` aliasing idiom);
+  suffices;
+* ``self._wakeup = threading.Condition(self._lock)`` makes holding
+  ``_wakeup`` count as holding ``_lock`` automatically (acquiring the
+  condition IS acquiring the lock — the runtime sanitizer resolves the
+  same alias via the condition's underlying lock object);
 * ``__init__`` is exempt (construction happens-before publication);
 * methods whose name ends in ``_locked`` are exempt — the suffix is
   this repo's contract for "caller already holds the lock";
@@ -67,13 +71,51 @@ def _guarded_attrs(
     return guarded
 
 
-def _with_locks(stmt: ast.With) -> FrozenSet[str]:
-    """Lock attribute names acquired by ``with self.<name>: ...``."""
+def _condition_aliases(cls: ast.ClassDef) -> Dict[str, str]:
+    """``{condition attr: underlying lock attr}`` from Condition(self.X)."""
+    aliases: Dict[str, str] = {}
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            call = node.value
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, (ast.Attribute, ast.Name))
+            ):
+                continue
+            name = (
+                call.func.attr
+                if isinstance(call.func, ast.Attribute)
+                else call.func.id
+            )
+            if name != "Condition" or not call.args:
+                continue
+            underlying = _self_attr(call.args[0])
+            if not underlying:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr:
+                    aliases[attr] = underlying
+    return aliases
+
+
+def _with_locks(stmt: ast.With, aliases: Dict[str, str]) -> FrozenSet[str]:
+    """Lock attribute names acquired by ``with self.<name>: ...``.
+
+    Acquiring a Condition built over another lock acquires that lock:
+    both names count as held.
+    """
     names = set()
     for item in stmt.items:
         attr = _self_attr(item.context_expr)
         if attr:
             names.add(attr)
+            if attr in aliases:
+                names.add(aliases[attr])
     return frozenset(names)
 
 
@@ -83,12 +125,14 @@ class _MethodChecker:
     def __init__(
         self,
         guarded: Dict[str, Tuple[str, ...]],
+        aliases: Dict[str, str],
         cls_name: str,
         method_name: str,
         path: str,
         findings: List[Finding],
     ) -> None:
         self.guarded = guarded
+        self.aliases = aliases
         self.qualname = f"{cls_name}.{method_name}"
         self.path = path
         self.findings = findings
@@ -104,7 +148,7 @@ class _MethodChecker:
             self.run(node, frozenset())
             return
         if isinstance(node, ast.With):
-            inner = held | _with_locks(node)
+            inner = held | _with_locks(node, self.aliases)
             for item in node.items:
                 self._visit(item.context_expr, held)
             for stmt in node.body:
@@ -139,12 +183,13 @@ def check_guarded_by(
         guarded = _guarded_attrs(cls, markers)
         if not guarded:
             continue
+        aliases = _condition_aliases(cls)
         for method in cls.body:
             if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             if method.name == "__init__" or method.name.endswith("_locked"):
                 continue
             _MethodChecker(
-                guarded, cls.name, method.name, path, findings
+                guarded, aliases, cls.name, method.name, path, findings
             ).run(method, frozenset())
     return findings

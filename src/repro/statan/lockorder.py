@@ -1,0 +1,390 @@
+"""Whole-program lock-order analysis: the static may-acquire graph.
+
+A deadlock needs a cycle in the lock *acquisition order*: thread A
+holds L1 and wants L2 while thread B holds L2 and wants L1.  This pass
+builds the may-acquire graph from the AST of every analyzed file and
+reports any cycle as a ``lock-order`` finding — before a run ever
+interleaves badly enough to hang.
+
+The graph is built in three passes over the whole file set (it is a
+*program* property — the edge ``SortService._lock ->
+StatsRecorder._lock`` spans two modules):
+
+1. **Index classes.**  For every class: which attributes are locks
+   (``self.X = threading.Lock()`` / ``RLock`` /
+   :func:`repro.statan.runtime.make_lock` / ``make_rlock`` in any
+   method), which are Condition aliases (``self.X =
+   threading.Condition(self.Y)`` — acquiring X *is* acquiring Y), and
+   which are fields holding instances of other indexed classes
+   (``self._recorder = StatsRecorder(...)``).
+2. **Transitive may-acquire sets.**  Per method, the locks it may
+   acquire directly (``with self.X:``) or through calls it can reach:
+   ``self.m()`` (same class) and ``self.field.m()`` (the field's
+   class), to a fixpoint.  Nested functions contribute to the set
+   (over-approximation is the right direction for a may-analysis) but
+   never inherit the caller's held locks.
+3. **Edges.**  Walking each method with the lexically held set, every
+   acquisition — direct or through a call's may-acquire set — while
+   another lock is held adds ``held -> acquired`` with the site.
+
+Nodes are named ``ClassName._lockattr``, the same names
+:func:`repro.statan.runtime.make_lock` stamps on instrumented locks —
+so the runtime-observed graph diffs directly against this one
+(:func:`unexplained_runtime_edges`): a runtime edge the static pass
+cannot explain means the index missed a call path and the analysis
+needs teaching, not the code.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "LockGraph",
+    "build_lock_graph",
+    "check_lock_order",
+    "unexplained_runtime_edges",
+]
+
+#: Call names that create a lock when assigned to ``self.<attr>``.
+_LOCK_FACTORIES = {"Lock", "RLock", "make_lock", "make_rlock", "allocate_lock"}
+
+
+@dataclasses.dataclass(frozen=True)
+class Site:
+    """Where an edge was observed in the source."""
+
+    path: str
+    line: int
+    qualname: str
+
+
+@dataclasses.dataclass
+class LockGraph:
+    """May-acquire graph: nodes ``Class._lock``, edges held -> acquired."""
+
+    nodes: Set[str] = dataclasses.field(default_factory=set)
+    edges: Dict[Tuple[str, str], Site] = dataclasses.field(default_factory=dict)
+
+    def as_json(self) -> str:
+        return json.dumps(
+            {
+                "schema": "statan-lockgraph/v1",
+                "nodes": sorted(self.nodes),
+                "edges": [
+                    {
+                        "held": a,
+                        "acquired": b,
+                        "path": site.path,
+                        "line": site.line,
+                        "qualname": site.qualname,
+                    }
+                    for (a, b), site in sorted(self.edges.items())
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+class _ClassInfo:
+    """Everything pass 1 learns about one class."""
+
+    def __init__(self, name: str, path: str) -> None:
+        self.name = name
+        self.path = path
+        self.locks: Set[str] = set()
+        #: Condition attr -> underlying lock attr.
+        self.aliases: Dict[str, str] = {}
+        #: field attr -> constructor name (resolved against the index).
+        self.fields: Dict[str, str] = {}
+        self.methods: Dict[str, ast.AST] = {}
+
+    def lock_node(self, attr: str) -> Optional[str]:
+        """Graph node for ``self.<attr>``, following Condition aliases."""
+        attr = self.aliases.get(attr, attr)
+        if attr in self.locks:
+            return f"{self.name}.{attr}"
+        return None
+
+
+def _self_attr(node: ast.AST) -> str:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _call_name(func: ast.AST) -> str:
+    """Trailing name of a call target: ``threading.Lock`` -> ``Lock``."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _index_class(cls: ast.ClassDef, path: str) -> _ClassInfo:
+    info = _ClassInfo(cls.name, path)
+    for method in cls.body:
+        if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[method.name] = method
+    for method in info.methods.values():
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            name = _call_name(node.value.func)
+            for target in node.targets:
+                attr = _self_attr(target)
+                if not attr:
+                    continue
+                if name in _LOCK_FACTORIES:
+                    info.locks.add(attr)
+                elif name == "Condition":
+                    args = node.value.args
+                    underlying = _self_attr(args[0]) if args else ""
+                    if underlying:
+                        info.aliases[attr] = underlying
+                    else:
+                        # A Condition with its own hidden lock is a
+                        # lock in its own right.
+                        info.locks.add(attr)
+                elif name and name[0].isupper():
+                    info.fields[attr] = name
+    return info
+
+
+def _callee(call: ast.Call, info: _ClassInfo, index: Dict[str, _ClassInfo]):
+    """Resolve ``self.m()`` / ``self.field.m()`` to (class info, method)."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    owner = func.value
+    attr = _self_attr(owner)
+    if isinstance(owner, ast.Name) and owner.id == "self":
+        method = info.methods.get(func.attr)
+        if method is not None:
+            return (info, func.attr)
+        return None
+    if attr:  # self.<field>.<method>()
+        field_cls = info.fields.get(attr)
+        if field_cls is None:
+            return None
+        target = index.get(field_cls)
+        if target is not None and func.attr in target.methods:
+            return (target, func.attr)
+    return None
+
+
+def _direct_locks(info: _ClassInfo, method: ast.AST) -> Set[str]:
+    """Lock nodes acquired by ``with self.X:`` anywhere in ``method``."""
+    nodes: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr:
+                    lock = info.lock_node(attr)
+                    if lock:
+                        nodes.add(lock)
+    return nodes
+
+
+def _acquire_sets(
+    index: Dict[str, _ClassInfo],
+) -> Dict[Tuple[str, str], Set[str]]:
+    """Transitive may-acquire set per (class name, method name), fixpoint."""
+    acquires: Dict[Tuple[str, str], Set[str]] = {}
+    calls: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
+    for info in index.values():
+        for method_name, method in info.methods.items():
+            key = (info.name, method_name)
+            acquires[key] = _direct_locks(info, method)
+            out: List[Tuple[str, str]] = []
+            for node in ast.walk(method):
+                if isinstance(node, ast.Call):
+                    resolved = _callee(node, info, index)
+                    if resolved is not None:
+                        out.append((resolved[0].name, resolved[1]))
+            calls[key] = out
+    changed = True
+    while changed:
+        changed = False
+        for key, callees in calls.items():
+            mine = acquires[key]
+            before = len(mine)
+            for callee_key in callees:
+                mine |= acquires.get(callee_key, set())
+            if len(mine) != before:
+                changed = True
+    return acquires
+
+
+class _EdgeWalker:
+    """Walk one method with the lexically held lock set, emitting edges."""
+
+    def __init__(
+        self,
+        info: _ClassInfo,
+        method_name: str,
+        index: Dict[str, _ClassInfo],
+        acquires: Dict[Tuple[str, str], Set[str]],
+        graph: LockGraph,
+    ) -> None:
+        self.info = info
+        self.index = index
+        self.acquires = acquires
+        self.graph = graph
+        self.qualname = f"{info.name}.{method_name}"
+
+    def _edge(self, held: str, acquired: str, line: int) -> None:
+        if held == acquired:
+            return
+        self.graph.nodes.update((held, acquired))
+        self.graph.edges.setdefault(
+            (held, acquired), Site(self.info.path, line, self.qualname)
+        )
+
+    def walk(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _visit(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A closure may run on another thread: no inherited locks.
+            self.walk(node, ())
+            return
+        if isinstance(node, ast.With):
+            inner = list(held)
+            for item in node.items:
+                self._visit(item.context_expr, held)
+                attr = _self_attr(item.context_expr)
+                lock = self.info.lock_node(attr) if attr else None
+                if lock:
+                    self.graph.nodes.add(lock)
+                    for h in held:
+                        self._edge(h, lock, node.lineno)
+                    if lock not in inner:
+                        inner.append(lock)
+            for stmt in node.body:
+                self._visit(stmt, tuple(inner))
+            return
+        if isinstance(node, ast.Call) and held:
+            resolved = _callee(node, self.info, self.index)
+            if resolved is not None:
+                key = (resolved[0].name, resolved[1])
+                for lock in sorted(self.acquires.get(key, ())):
+                    if lock not in held:
+                        for h in held:
+                            self._edge(h, lock, node.lineno)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+
+def build_lock_graph(trees: Dict[str, ast.Module]) -> LockGraph:
+    """The may-acquire graph over ``{path label: parsed module}``."""
+    index: Dict[str, _ClassInfo] = {}
+    for path, tree in trees.items():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                info = _index_class(node, path)
+                existing = index.get(info.name)
+                if existing is None:
+                    index[info.name] = info
+                else:
+                    # Same class name in two modules: union
+                    # conservatively rather than guess which one a
+                    # call site means.
+                    existing.locks |= info.locks
+                    existing.aliases.update(info.aliases)
+                    existing.fields.update(info.fields)
+                    existing.methods.update(info.methods)
+    acquires = _acquire_sets(index)
+    graph = LockGraph()
+    for info in index.values():
+        for attr in info.locks:
+            graph.nodes.add(f"{info.name}.{attr}")
+        for method_name, method in info.methods.items():
+            _EdgeWalker(info, method_name, index, acquires, graph).walk(
+                method, ()
+            )
+    return graph
+
+
+def _find_cycles(graph: LockGraph) -> List[List[str]]:
+    """Elementary cycles in the edge set (DFS, deduplicated by node set)."""
+    adjacency: Dict[str, List[str]] = {}
+    for a, b in graph.edges:
+        adjacency.setdefault(a, []).append(b)
+    cycles: List[List[str]] = []
+    seen_sets: Set[frozenset] = set()
+
+    def walk(start: str, node: str, path: List[str], on_path: Set[str]) -> None:
+        for nxt in sorted(adjacency.get(node, ())):
+            if nxt == start:
+                key = frozenset(path)
+                if key not in seen_sets:
+                    seen_sets.add(key)
+                    cycles.append(list(path))
+            elif nxt not in on_path and nxt > start:
+                # Only explore nodes ordered after start so each cycle
+                # is found once, from its smallest node.
+                path.append(nxt)
+                on_path.add(nxt)
+                walk(start, nxt, path, on_path)
+                on_path.discard(nxt)
+                path.pop()
+
+    for start in sorted(graph.nodes):
+        walk(start, start, [start], {start})
+    return cycles
+
+
+def check_lock_order(trees: Dict[str, ast.Module]) -> List[Finding]:
+    """``lock-order`` findings: one per acquisition-order cycle."""
+    graph = build_lock_graph(trees)
+    findings: List[Finding] = []
+    for cycle in _find_cycles(graph):
+        path_str = " -> ".join(cycle + [cycle[0]])
+        # Pin the finding to the first edge of the cycle that has a
+        # recorded site (every edge does, by construction).
+        first_edge = (cycle[0], cycle[1] if len(cycle) > 1 else cycle[0])
+        site = graph.edges.get(first_edge)
+        if site is None:  # self-loop cannot happen; defensive
+            continue
+        findings.append(Finding(
+            rule="lock-order",
+            path=site.path,
+            line=site.line,
+            message=(
+                f"lock acquisition order cycle {path_str}: two threads "
+                "taking these locks in different orders can deadlock"
+            ),
+            qualname=site.qualname,
+        ))
+    return findings
+
+
+def unexplained_runtime_edges(
+    graph: LockGraph, runtime_edges
+) -> List[Tuple[str, str]]:
+    """Runtime-observed edges the static graph cannot account for.
+
+    ``runtime_edges`` is an iterable of ``(held, acquired)`` pairs (the
+    keys of :func:`repro.statan.runtime.lock_order_edges`).  An edge
+    here means the may-acquire index missed a call path — teach the
+    analysis, don't suppress the diff.
+    """
+    return sorted(
+        (a, b) for (a, b) in set(runtime_edges) if (a, b) not in graph.edges
+    )

@@ -227,10 +227,12 @@ class TestRetryJitter:
         return hints
 
     def _stuffed_service(self, **kwargs):
-        # linger long enough that the queue stays full while we probe.
+        # Stuff *below* the batch target so the lane cannot become ready
+        # until the (long) linger expires — the queue provably stays full
+        # while we probe, no matter how the threads get scheduled.
         svc = SortService(batch_target_rows=64, max_queue_rows=64,
-                          linger_ms=200.0, **kwargs)
-        svc.submit(np.zeros((64, 8), dtype=np.float32))
+                          linger_ms=2000.0, **kwargs)
+        svc.submit(np.zeros((63, 8), dtype=np.float32))
         return svc
 
     def test_hints_disperse_within_bounds(self):

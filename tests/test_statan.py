@@ -664,3 +664,29 @@ class TestCli:
     def test_changed_mode_outside_git_exits_two(self, tmp_path):
         proc = run_cli(["--changed"], tmp_path)
         assert proc.returncode == 2
+
+    def test_changed_mode_survives_a_deleted_file(self, tmp_path):
+        # `git diff --name-only` lists a deleted tracked file; analyzing
+        # it would crash on read.  The deletion must be skipped while
+        # the surviving dirty file is still analyzed.
+        git(tmp_path, "init", "-q")
+        (tmp_path / "doomed.py").write_text("x = 1\n")
+        (tmp_path / "kept.py").write_text("y = 2\n")
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "doomed.py").unlink()
+        (tmp_path / "kept.py").write_text("def f(x=[]):\n    return x\n")
+        proc = run_cli(["--changed", "--baseline", "none.toml"], tmp_path)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "kept.py" in proc.stdout
+        assert "doomed.py" not in proc.stdout
+
+    def test_changed_mode_with_only_deletions_is_clean(self, tmp_path):
+        git(tmp_path, "init", "-q")
+        (tmp_path / "doomed.py").write_text("x = 1\n")
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "doomed.py").unlink()
+        proc = run_cli(["--changed", "--baseline", "none.toml"], tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no changed python files" in proc.stdout

@@ -1,0 +1,195 @@
+"""False-positive regression fixtures for the guarded-by and
+scratch-escape checkers.
+
+Every shape here is legal code that a naive implementation of the rule
+WOULD flag.  Each test pins the checker to silence on that shape, so a
+future "improvement" that reintroduces the false positive fails loudly
+— these are the same exemptions the runtime sanitizer mirrors
+(``tests/test_statan_runtime.py``), and the two must not drift.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.statan import analyze_source
+
+CORE = "src/repro/core/mod.py"
+
+
+def run(source: str, path: str = CORE):
+    return analyze_source(textwrap.dedent(source), path)
+
+
+class TestGuardedByFalsePositives:
+    """Shapes the guarded-by checker must NOT flag."""
+
+    def test_condition_alias_counts_as_the_lock(self):
+        # FP shape 1: the service idiom — a Condition wrapping the lock.
+        # Holding the condition IS holding the lock; flagging this would
+        # force every wait-loop to double-acquire.
+        findings = run("""
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._wakeup = threading.Condition(self._lock)
+                    self._queue = []  # guarded-by: _lock
+
+                def submit(self, item):
+                    with self._wakeup:
+                        self._queue.append(item)
+                        self._wakeup.notify_all()
+        """)
+        assert findings == []
+
+    def test_locked_suffix_helpers_are_exempt(self):
+        # FP shape 2: the ``*_locked`` convention — helpers documented
+        # to run with the lock already held by their caller.
+        findings = run("""
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}  # guarded-by: _lock
+
+                def drop(self, key):
+                    with self._lock:
+                        self._drop_locked(key)
+
+                def _drop_locked(self, key):
+                    self._items.pop(key, None)
+        """)
+        assert findings == []
+
+    def test_init_publication_is_exempt(self):
+        # FP shape 3: __init__ writes before the object is published to
+        # any other thread; requiring the lock there is pure noise.
+        findings = run("""
+            import threading
+
+            class Box:
+                def __init__(self, seed):
+                    self._lock = threading.Lock()
+                    self._n = seed  # guarded-by: _lock
+                    self._n += 1  # still construction, still exempt
+        """)
+        assert findings == []
+
+    def test_same_name_on_another_object_is_exempt(self):
+        # FP shape 4: ``other._n`` matches the attribute name but not
+        # the annotated object — the contract is per-instance, accessed
+        # through ``self``.
+        findings = run("""
+            import threading
+
+            class Node:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def merge(self, other):
+                    with self._lock:
+                        self._n += other._n
+        """)
+        assert findings == []
+
+    def test_closure_taking_the_lock_itself_is_clean(self):
+        # FP shape 5: closures are analyzed lock-free (they may run on
+        # another thread), but a closure that takes the lock itself is
+        # doing exactly the right thing.
+        findings = run("""
+            import threading
+
+            class Deferred:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def work(self):
+                    def later():
+                        with self._lock:
+                            self._n += 1
+                    return later
+        """)
+        assert findings == []
+
+
+class TestScratchEscapeFalsePositives:
+    """Shapes the scratch-escape checker must NOT flag."""
+
+    def test_copy_before_return_is_clean(self):
+        # FP shape 1: the documented fix — .copy() allocates fresh
+        # storage, so nothing arena-backed escapes.
+        findings = run("""
+            def snapshot(arena, shape, dtype):
+                view = arena.get("work", shape, dtype)
+                return view.copy()
+        """)
+        assert findings == []
+
+    def test_np_array_copy_sanitizes(self):
+        # FP shape 2: np.array(view) copies by default; only
+        # copy=False keeps the alias.
+        findings = run("""
+            import numpy as np
+
+            def snapshot(arena, shape, dtype):
+                view = arena.get("work", shape, dtype)
+                return np.array(view)
+        """)
+        assert findings == []
+
+    def test_scalar_aggregation_is_clean(self):
+        # FP shape 3: reductions produce fresh scalars/arrays — a sum
+        # of scratch data is not scratch data.
+        findings = run("""
+            def checksum(arena, shape, dtype):
+                view = arena.get("work", shape, dtype)
+                return view.sum()
+        """)
+        assert findings == []
+
+    def test_tolist_is_clean(self):
+        # FP shape 4: .tolist() materializes into Python objects.
+        findings = run("""
+            def rows(arena, shape, dtype):
+                view = arena.get("work", shape, dtype)
+                return view.tolist()
+        """)
+        assert findings == []
+
+    def test_constructor_storing_its_own_arena_is_clean(self):
+        # FP shape 5: a sorter OWNING an arena is the design, not an
+        # escape — only buffers leaving the owner are hazards.
+        findings = run("""
+            from repro.core import ScratchArena
+
+            class Sorter:
+                def __init__(self):
+                    self.workspace = ScratchArena()
+        """)
+        assert findings == []
+
+    def test_checkers_still_fire_on_the_real_bugs(self):
+        # Guard the guards: the exemptions above must not have lobotomized
+        # the rules.  One canonical true positive each.
+        guarded = run("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def bump(self):
+                    self._n += 1
+        """)
+        assert [f.rule for f in guarded] == ["guarded-by"]
+        escape = run("""
+            def leak(arena, shape, dtype):
+                return arena.get("work", shape, dtype)
+        """)
+        assert [f.rule for f in escape] == ["scratch-escape"]

@@ -1,25 +1,70 @@
-"""The CI gate: statan over all of ``src/`` must be clean.
+"""The CI gate: statan over ``src/`` AND ``benchmarks/`` must be clean.
 
 This is the enforcement point for the suite's contract — zero
 unsuppressed findings, every suppression carrying a reason, no stale
-baseline entries.  ``make lint`` runs the same analysis through the CLI;
-this test keeps the gate active even where ``make`` is not in the loop.
+baseline entries, no dead (unused) suppressions.  ``make lint`` runs the
+same analysis through the CLI; this test keeps the gate active even
+where ``make`` is not in the loop.
 """
 
 from __future__ import annotations
 
+import textwrap
 from pathlib import Path
 
-from repro.statan import analyze_paths, load_baseline
+from repro.statan import analyze_paths, analyze_source, load_baseline
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
+BENCHMARKS = REPO_ROOT / "benchmarks"
 
 
-def test_src_tree_is_statan_clean():
-    result = analyze_paths([SRC], root=REPO_ROOT, baseline=load_baseline())
+def test_src_and_benchmarks_are_statan_clean():
+    result = analyze_paths(
+        [SRC, BENCHMARKS], root=REPO_ROOT, baseline=load_baseline()
+    )
     assert result.files_analyzed > 50  # the whole tree, not a subset
     assert result.clean, "\n" + result.render_text()
+
+
+def test_benchmarks_are_actually_analyzed():
+    result = analyze_paths(
+        [BENCHMARKS], root=REPO_ROOT, baseline=load_baseline(),
+        check_baseline_staleness=False,
+    )
+    assert result.files_analyzed >= 5, "benchmarks/ missing from the gate"
+
+
+def test_benchmarks_scope_is_hygiene_and_determinism_only():
+    # The concurrency rules (guarded-by, scratch-escape, lock-order,
+    # crash-safety) reason about product invariants that benchmark
+    # drivers don't carry; only hygiene + determinism apply there.
+    source = textwrap.dedent("""
+        import threading
+
+        class Driver:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0  # guarded-by: _lock
+
+            def bump(self):
+                self._n += 1
+
+        def leak(arena, shape, dtype):
+            return arena.get("work", shape, dtype)
+
+        def stamp():
+            import time
+            return time.time()
+    """)
+    in_bench = analyze_source(source, "benchmarks/bench_mod.py")
+    # The nondeterminism finding still fires; the guarded-by and
+    # scratch-escape ones do not.
+    assert [f.rule for f in in_bench] == ["nondeterminism"]
+    in_src = analyze_source(source, "src/repro/core/mod.py")
+    assert {f.rule for f in in_src} == {
+        "guarded-by", "scratch-escape", "nondeterminism",
+    }
 
 
 def test_baseline_entries_all_carry_reasons():
@@ -27,3 +72,14 @@ def test_baseline_entries_all_carry_reasons():
     assert baseline.entries, "expected a seeded baseline"
     for entry in baseline.entries.values():
         assert entry.reason.strip(), f"baseline entry {entry.key} has no reason"
+
+
+def test_baseline_has_no_dead_entries():
+    # The re-audit, continuously enforced: every baseline entry must
+    # still match a live finding — a dead entry is a stale-baseline
+    # finding, which fails the gate above; this pins the mechanism.
+    result = analyze_paths(
+        [SRC, BENCHMARKS], root=REPO_ROOT, baseline=load_baseline()
+    )
+    stale = [f for f in result.findings if f.rule == "stale-baseline"]
+    assert stale == [], "\n".join(str(f) for f in stale)
